@@ -1,0 +1,39 @@
+//! Ablation: lazy (CELF-style) vs naive greedy maximum coverage — the
+//! paper's §5.2 motivation for lazy evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_core::maxcover::{greedy_max_cover, greedy_max_cover_naive};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn synth_sets(num_sets: usize, universe: u32, rng: &mut SmallRng) -> Vec<Vec<u32>> {
+    (0..num_sets)
+        .map(|_| {
+            let len = rng.gen_range(1..8);
+            let mut set: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("a1_maxcover");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &num_sets in &[2_000usize, 10_000] {
+        let sets = synth_sets(num_sets, 1_000, &mut rng);
+        group.bench_with_input(BenchmarkId::new("lazy", num_sets), &sets, |b, sets| {
+            b.iter(|| greedy_max_cover(sets, 30))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", num_sets), &sets, |b, sets| {
+            b.iter(|| greedy_max_cover_naive(sets, 30))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

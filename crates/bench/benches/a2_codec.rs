@@ -1,0 +1,48 @@
+//! Ablation: posting-list codecs — raw u32 vs delta + bit-packing
+//! (the paper's FastPFOR choice, Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kbtim_codec::Codec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn sorted_list(len: usize, gap: u32, rng: &mut SmallRng) -> Vec<u32> {
+    let mut acc = 0u32;
+    (0..len)
+        .map(|_| {
+            acc += rng.gen_range(1..=gap);
+            acc
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let list = sorted_list(100_000, 16, &mut rng);
+    let mut group = c.benchmark_group("a2_codec");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(list.len() as u64));
+    for (label, codec) in [("raw", Codec::Raw), ("packed", Codec::Packed)] {
+        group.bench_with_input(BenchmarkId::new("encode", label), &codec, |b, codec| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                codec.encode_sorted(&list, &mut out);
+                out
+            })
+        });
+        let mut encoded = Vec::new();
+        codec.encode_sorted(&list, &mut encoded);
+        group.bench_with_input(BenchmarkId::new("decode", label), &codec, |b, codec| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                codec.decode_sorted(&encoded, &mut out).unwrap();
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: IRR partition size δ (the paper fixes δ = 100).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_codec::Codec;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexVariant, ThetaMode};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::News, 2_000);
+    let mut group = c.benchmark_group("a3_partition_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for delta in [10u32, 100, 1_000] {
+        let build = ctx.build_or_load(
+            &data,
+            Codec::Packed,
+            IndexVariant::Irr { partition_size: delta },
+            ThetaMode::Compact,
+            None,
+        );
+        let index = ctx.open(&build);
+        let queries = ctx.queries(&data, ctx.scale.default_keywords, ctx.scale.default_k);
+        group.bench_with_input(BenchmarkId::new("query_irr", delta), &delta, |b, _| {
+            b.iter(|| index.query_irr(&queries[0]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation: O(1) alias-table sampling vs O(log n) cumulative search for
+//! the weighted root distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kbtim_core::alias::{AliasTable, CumulativeSampler};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut group = c.benchmark_group("a4_sampler");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 100_000] {
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let alias = AliasTable::new(&weights).unwrap();
+        let cumulative = CumulativeSampler::new(&weights).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| alias.sample(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("cumulative", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| cumulative.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

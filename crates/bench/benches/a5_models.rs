@@ -1,0 +1,38 @@
+//! Ablation: RR-set sampling cost under IC vs LT (§6.6 model generality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_datagen::DatasetFamily;
+use kbtim_propagation::model::{IcModel, LtModel};
+use kbtim_propagation::{RrSampler, TriggeringModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::Twitter, 2_000);
+    let graph = &data.graph;
+    let ic = IcModel::weighted_cascade(graph);
+    let mut lt_rng = SmallRng::seed_from_u64(3);
+    let lt = LtModel::random_weights(graph, &mut lt_rng);
+
+    let mut group = c.benchmark_group("a5_models");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let run = |b: &mut criterion::Bencher, model: &dyn TriggeringModel| {
+        let mut sampler = RrSampler::new(graph.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        b.iter(|| {
+            let root = rng.gen_range(0..graph.num_nodes());
+            sampler.sample_into(model, root, &mut rng, &mut out);
+            out.len()
+        })
+    };
+    group.bench_function(BenchmarkId::new("rr_sample", "IC"), |b| run(b, &ic));
+    group.bench_function(BenchmarkId::new("rr_sample", "LT"), |b| run(b, &lt));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

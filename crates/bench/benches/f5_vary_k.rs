@@ -1,0 +1,47 @@
+//! Figure 5 micro-bench: query latency vs `Q.k` for RR, IRR and WRIS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_codec::Codec;
+use kbtim_core::wris::wris_query;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexVariant, ThetaMode};
+use kbtim_propagation::model::IcModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::News, 2_000);
+    let build = ctx.build_or_load(
+        &data,
+        Codec::Packed,
+        IndexVariant::Irr { partition_size: 100 },
+        ThetaMode::Compact,
+        None,
+    );
+    let index = ctx.open(&build);
+    let model = IcModel::weighted_cascade(&data.graph);
+    let wris_config = ctx.wris_sampling();
+
+    let mut group = c.benchmark_group("f5_vary_k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &k in &ctx.scale.k_values {
+        let queries = ctx.queries(&data, ctx.scale.default_keywords, k);
+        group.bench_with_input(BenchmarkId::new("query_rr", k), &k, |b, _| {
+            b.iter(|| index.query_rr(&queries[0]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("query_irr", k), &k, |b, _| {
+            b.iter(|| index.query_irr(&queries[0]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wris", k), &k, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| wris_query(&model, &data.profiles, &queries[0], &wris_config, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

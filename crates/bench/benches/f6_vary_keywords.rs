@@ -1,0 +1,37 @@
+//! Figure 6 micro-bench: query latency vs keyword count `|Q.T|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_codec::Codec;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexVariant, ThetaMode};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::News, 2_000);
+    let build = ctx.build_or_load(
+        &data,
+        Codec::Packed,
+        IndexVariant::Irr { partition_size: 100 },
+        ThetaMode::Compact,
+        None,
+    );
+    let index = ctx.open(&build);
+
+    let mut group = c.benchmark_group("f6_vary_keywords");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &len in &ctx.scale.keyword_counts {
+        let queries = ctx.queries(&data, len, ctx.scale.default_k);
+        group.bench_with_input(BenchmarkId::new("query_rr", len), &len, |b, _| {
+            b.iter(|| index.query_rr(&queries[0]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("query_irr", len), &len, |b, _| {
+            b.iter(|| index.query_irr(&queries[0]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

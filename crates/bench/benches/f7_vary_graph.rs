@@ -1,0 +1,36 @@
+//! Figure 7 micro-bench: query latency vs graph size |V|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_codec::Codec;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexVariant, ThetaMode};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let mut group = c.benchmark_group("f7_vary_graph");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in [1_000u32, 2_000, 4_000] {
+        let data = ctx.dataset(DatasetFamily::News, size);
+        let build = ctx.build_or_load(
+            &data,
+            Codec::Packed,
+            IndexVariant::Irr { partition_size: 100 },
+            ThetaMode::Compact,
+            None,
+        );
+        let index = ctx.open(&build);
+        let queries = ctx.queries(&data, ctx.scale.default_keywords, ctx.scale.default_k);
+        group.bench_with_input(BenchmarkId::new("query_rr", size), &size, |b, _| {
+            b.iter(|| index.query_rr(&queries[0]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("query_irr", size), &size, |b, _| {
+            b.iter(|| index.query_irr(&queries[0]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

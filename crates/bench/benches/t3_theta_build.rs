@@ -1,0 +1,43 @@
+//! Table 3 micro-bench: index build time under θ̂_w (Eqn 8) vs θ_w
+//! (Eqn 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexBuildConfig, IndexBuilder, IndexVariant, ThetaMode};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::TempDir;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::News, 800);
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    let mut group = c.benchmark_group("t3_theta_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (label, mode) in [("theta_hat_eqn8", ThetaMode::Conservative), ("theta_eqn10", ThetaMode::Compact)] {
+        group.bench_with_input(BenchmarkId::new("build", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let dir = TempDir::new("t3-bench").unwrap();
+                let config = IndexBuildConfig {
+                    sampling: SamplingConfig {
+                        theta_cap: Some(3_000),
+                        opt_initial_samples: 64,
+                        opt_max_rounds: 5,
+                        ..SamplingConfig::fast()
+                    },
+                    theta_mode: mode,
+                    variant: IndexVariant::Irr { partition_size: 100 },
+                    ..IndexBuildConfig::default()
+                };
+                IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 4 micro-bench: build time with the Raw vs Packed list codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_bench::{ExpContext, ExpScale};
+use kbtim_codec::Codec;
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::DatasetFamily;
+use kbtim_index::{IndexBuildConfig, IndexBuilder, IndexVariant};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::TempDir;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExpContext::new(ExpScale::bench(), "target/kbtim-bench-fixtures");
+    let data = ctx.dataset(DatasetFamily::News, 1_500);
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    let mut group = c.benchmark_group("t4_compression");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (label, codec) in [("raw", Codec::Raw), ("packed", Codec::Packed)] {
+        group.bench_with_input(BenchmarkId::new("build", label), &codec, |b, &codec| {
+            b.iter(|| {
+                let dir = TempDir::new("t4-bench").unwrap();
+                let config = IndexBuildConfig {
+                    sampling: SamplingConfig {
+                        theta_cap: Some(3_000),
+                        opt_initial_samples: 64,
+                        opt_max_rounds: 5,
+                        ..SamplingConfig::fast()
+                    },
+                    codec,
+                    variant: IndexVariant::Irr { partition_size: 100 },
+                    ..IndexBuildConfig::default()
+                };
+                IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

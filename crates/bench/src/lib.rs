@@ -1,0 +1,20 @@
+//! Benchmark harness for the KB-TIM paper's evaluation (§6).
+//!
+//! Two consumers share this crate:
+//!
+//! * the `experiments` binary (`cargo run --release -p kbtim-bench --bin
+//!   experiments`) regenerates **every table and figure** of the paper as
+//!   text rows — the per-experiment index lives in `DESIGN.md`;
+//! * the Criterion benches (`cargo bench`) time the hot paths and the
+//!   ablations on small fixtures.
+//!
+//! Indexes are cached under a root directory keyed by dataset + build
+//! configuration, so query experiments do not pay repeated build costs
+//! and build experiments report the originally measured times.
+
+pub mod scale;
+pub mod setup;
+pub mod table;
+
+pub use scale::ExpScale;
+pub use setup::ExpContext;

@@ -1,0 +1,298 @@
+//! Dataset construction and cached index builds for experiments.
+
+use crate::scale::ExpScale;
+use kbtim_codec::Codec;
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{news_shape, twitter_edges_per_node, Dataset, DatasetConfig, DatasetFamily};
+use kbtim_index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::IoStats;
+use kbtim_topics::workload::QueryWorkloadConfig;
+use kbtim_topics::Query;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Everything an experiment needs: the scale preset and a cache root.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Size / budget preset.
+    pub scale: ExpScale,
+    /// Directory that caches built indexes between runs.
+    pub root: PathBuf,
+}
+
+/// Summary of a (possibly cached) index build.
+#[derive(Debug, Clone)]
+pub struct CachedBuild {
+    /// Index directory.
+    pub dir: PathBuf,
+    /// Σ θ_w.
+    pub total_theta: u64,
+    /// Mean RR-set size.
+    pub mean_rr_size: f64,
+    /// Total bytes on disk.
+    pub total_bytes: u64,
+    /// Build wall time (the original one if served from cache).
+    pub elapsed: Duration,
+    /// Whether this call rebuilt the index or reused the cache.
+    pub from_cache: bool,
+}
+
+impl ExpContext {
+    /// Context rooted at `root` (usually `target/kbtim-exp`).
+    pub fn new(scale: ExpScale, root: impl AsRef<Path>) -> ExpContext {
+        ExpContext { scale, root: root.as_ref().to_path_buf() }
+    }
+
+    /// Deterministic dataset for a family at a given size.
+    pub fn dataset(&self, family: DatasetFamily, num_users: u32) -> Dataset {
+        let mut config = DatasetConfig::family(family)
+            .num_users(num_users)
+            .num_topics(self.scale.num_topics);
+        match family {
+            DatasetFamily::Twitter => {
+                config = config.edges_per_node(twitter_edges_per_node(num_users));
+            }
+            DatasetFamily::News => {
+                let (m, recip) = news_shape(num_users);
+                config = config.edges_per_node(m).reciprocal_prob(recip);
+            }
+        }
+        config.build()
+    }
+
+    /// Sampling settings for index builds of a family.
+    pub fn sampling(&self, family: DatasetFamily) -> SamplingConfig {
+        let cap = match family {
+            DatasetFamily::News => self.scale.news_theta_cap,
+            DatasetFamily::Twitter => self.scale.twitter_theta_cap,
+        };
+        SamplingConfig {
+            eps: self.scale.eps,
+            k_max: self.scale.k_max,
+            theta_cap: Some(cap),
+            ..SamplingConfig::fast()
+        }
+    }
+
+    /// Sampling settings for the online WRIS baseline. OPT estimation is
+    /// bounded (512 → ~16k samples) so a WRIS measurement reflects the
+    /// sampling pipeline rather than an unbounded estimator refinement.
+    pub fn wris_sampling(&self) -> SamplingConfig {
+        SamplingConfig {
+            eps: self.scale.eps,
+            k_max: self.scale.k_max,
+            theta_cap: Some(self.scale.wris_theta_cap),
+            opt_initial_samples: 512,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        }
+    }
+
+    /// The standard measured query workload for a dataset: fixed keyword
+    /// count, `queries_per_length` queries, given `k`.
+    pub fn queries(&self, data: &Dataset, keywords: usize, k: u32) -> Vec<Query> {
+        data.queries(QueryWorkloadConfig {
+            min_keywords: keywords,
+            max_keywords: keywords,
+            queries_per_length: self.scale.queries_per_length,
+            k,
+            keyword_skew: 1.0,
+        })
+    }
+
+    /// Build (or load from cache) an index for `data` under the given
+    /// configuration knobs; `theta_cap` overrides the family default when
+    /// provided (Table 3 uses a higher cap to expose the θ̂/θ contrast).
+    pub fn build_or_load(
+        &self,
+        data: &Dataset,
+        codec: Codec,
+        variant: IndexVariant,
+        theta_mode: ThetaMode,
+        theta_cap: Option<u64>,
+    ) -> CachedBuild {
+        let sampling = SamplingConfig {
+            theta_cap: theta_cap.or(self.sampling(data.family).theta_cap),
+            ..self.sampling(data.family)
+        };
+        let tag = cache_tag(data, codec, variant, theta_mode, &sampling);
+        let dir = self.root.join(&tag);
+        let report_path = dir.join("report.txt");
+        if let Some(cached) = load_report(&report_path, &dir) {
+            return cached;
+        }
+
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling,
+            codec,
+            theta_mode,
+            variant,
+            threads: 8,
+            seed: 42,
+        };
+        let report = IndexBuilder::new(&model, &data.profiles, config)
+            .build(&dir)
+            .expect("index build failed");
+        let cached = CachedBuild {
+            dir: dir.clone(),
+            total_theta: report.total_theta,
+            mean_rr_size: report.mean_rr_size,
+            total_bytes: report.total_bytes,
+            elapsed: report.elapsed,
+            from_cache: false,
+        };
+        save_report(&report_path, &cached);
+        cached
+    }
+
+    /// Open an index previously produced by
+    /// [`ExpContext::build_or_load`].
+    pub fn open(&self, build: &CachedBuild) -> KbtimIndex {
+        KbtimIndex::open(&build.dir, IoStats::new()).expect("open index")
+    }
+}
+
+fn cache_tag(
+    data: &Dataset,
+    codec: Codec,
+    variant: IndexVariant,
+    theta_mode: ThetaMode,
+    sampling: &SamplingConfig,
+) -> String {
+    let codec_tag = match codec {
+        Codec::Raw => "raw",
+        Codec::Packed => "packed",
+    };
+    let variant_tag = match variant {
+        IndexVariant::Rr => "rr".to_string(),
+        IndexVariant::Irr { partition_size } => format!("irr{partition_size}"),
+    };
+    let mode_tag = match theta_mode {
+        ThetaMode::Conservative => "cons",
+        ThetaMode::Compact => "compact",
+    };
+    format!(
+        "{}-{}t-{codec_tag}-{variant_tag}-{mode_tag}-cap{}-eps{}",
+        data.name,
+        data.profiles.num_topics(),
+        sampling.theta_cap.unwrap_or(0),
+        (sampling.eps * 100.0) as u32
+    )
+}
+
+fn save_report(path: &Path, build: &CachedBuild) {
+    let body = format!(
+        "total_theta={}\nmean_rr_size={}\ntotal_bytes={}\nelapsed_us={}\n",
+        build.total_theta,
+        build.mean_rr_size,
+        build.total_bytes,
+        build.elapsed.as_micros()
+    );
+    std::fs::write(path, body).expect("write build report");
+}
+
+fn load_report(path: &Path, dir: &Path) -> Option<CachedBuild> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let mut total_theta = None;
+    let mut mean_rr_size = None;
+    let mut total_bytes = None;
+    let mut elapsed_us = None;
+    for line in body.lines() {
+        let (key, value) = line.split_once('=')?;
+        match key {
+            "total_theta" => total_theta = value.parse::<u64>().ok(),
+            "mean_rr_size" => mean_rr_size = value.parse::<f64>().ok(),
+            "total_bytes" => total_bytes = value.parse::<u64>().ok(),
+            "elapsed_us" => elapsed_us = value.parse::<u64>().ok(),
+            _ => {}
+        }
+    }
+    Some(CachedBuild {
+        dir: dir.to_path_buf(),
+        total_theta: total_theta?,
+        mean_rr_size: mean_rr_size?,
+        total_bytes: total_bytes?,
+        elapsed: Duration::from_micros(elapsed_us?),
+        from_cache: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbtim_storage::TempDir;
+
+    fn tiny_context(root: &Path) -> ExpContext {
+        let mut scale = ExpScale::bench();
+        scale.news_sizes = vec![300];
+        scale.news_theta_cap = 500;
+        ExpContext::new(scale, root)
+    }
+
+    #[test]
+    fn build_then_cache_hit() {
+        let root = TempDir::new("exp-cache").unwrap();
+        let ctx = tiny_context(root.path());
+        let data = ctx.dataset(DatasetFamily::News, 300);
+        let first = ctx.build_or_load(
+            &data,
+            Codec::Packed,
+            IndexVariant::Irr { partition_size: 50 },
+            ThetaMode::Compact,
+            None,
+        );
+        assert!(!first.from_cache);
+        let second = ctx.build_or_load(
+            &data,
+            Codec::Packed,
+            IndexVariant::Irr { partition_size: 50 },
+            ThetaMode::Compact,
+            None,
+        );
+        assert!(second.from_cache);
+        assert_eq!(first.total_theta, second.total_theta);
+        assert_eq!(first.total_bytes, second.total_bytes);
+        // The report stores microseconds, so compare at that granularity.
+        assert_eq!(first.elapsed.as_micros(), second.elapsed.as_micros());
+
+        let index = ctx.open(&second);
+        let queries = ctx.queries(&data, 2, 5);
+        assert!(!queries.is_empty());
+        let outcome = index.query_irr(&queries[0]).unwrap();
+        assert!(outcome.stats.theta_q > 0);
+    }
+
+    #[test]
+    fn different_configs_get_different_dirs() {
+        let root = TempDir::new("exp-tags").unwrap();
+        let ctx = tiny_context(root.path());
+        let data = ctx.dataset(DatasetFamily::News, 300);
+        let a = ctx.build_or_load(
+            &data,
+            Codec::Packed,
+            IndexVariant::Rr,
+            ThetaMode::Compact,
+            None,
+        );
+        let b = ctx.build_or_load(
+            &data,
+            Codec::Raw,
+            IndexVariant::Rr,
+            ThetaMode::Compact,
+            None,
+        );
+        assert_ne!(a.dir, b.dir);
+        assert!(b.total_bytes > a.total_bytes, "raw must be bigger than packed");
+    }
+
+    #[test]
+    fn twitter_density_applied() {
+        let root = TempDir::new("exp-density").unwrap();
+        let ctx = tiny_context(root.path());
+        let news = ctx.dataset(DatasetFamily::News, 2_000);
+        let twitter = ctx.dataset(DatasetFamily::Twitter, 2_000);
+        assert!(twitter.graph.avg_degree() > 2.0 * news.graph.avg_degree());
+    }
+}

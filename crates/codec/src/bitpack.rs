@@ -1,0 +1,182 @@
+//! Frame-of-reference bit-packing of fixed-size integer blocks.
+//!
+//! A block of [`BLOCK_LEN`] `u32` values is stored with a single bit width
+//! `b = max(bits(v))`: each value occupies exactly `b` bits in a contiguous
+//! little-endian bit stream, so a block costs `1 + 4·b` bytes instead of
+//! 512. This is the core of PFoR-style codecs (the paper uses FastPFOR);
+//! we omit exception patching because delta-coded posting-list gaps in this
+//! workload are uniformly small and patching buys little for the extra
+//! branchiness.
+
+use crate::CodecError;
+
+/// Number of values per packed block. 128 matches common PFoR layouts and
+/// keeps each block's packed payload a whole number of bytes for any width.
+pub const BLOCK_LEN: usize = 128;
+
+/// Number of bits needed to represent `v` (0 for 0).
+#[inline]
+pub fn bits_needed(v: u32) -> u8 {
+    (32 - v.leading_zeros()) as u8
+}
+
+/// Widest value in a slice, in bits.
+#[inline]
+pub fn max_bits(values: &[u32]) -> u8 {
+    values.iter().fold(0u8, |acc, &v| acc.max(bits_needed(v)))
+}
+
+/// Pack exactly [`BLOCK_LEN`] values with the given `width` into `out`.
+///
+/// `width` must satisfy `max_bits(values) <= width <= 32`. The output is
+/// `width * BLOCK_LEN / 8` bytes (always whole because `BLOCK_LEN` is a
+/// multiple of 8).
+///
+/// # Panics
+///
+/// Panics if `values.len() != BLOCK_LEN` or a value does not fit in `width`.
+pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u8>) {
+    assert_eq!(values.len(), BLOCK_LEN, "pack_block requires a full block");
+    assert!(width <= 32, "width must be <= 32");
+    if width == 0 {
+        assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    let mask: u64 = if width == 32 { u32::MAX as u64 } else { (1u64 << width) - 1 };
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &v in values {
+        assert!(
+            (v as u64) <= mask,
+            "value {v} does not fit in {width} bits"
+        );
+        acc |= (v as u64) << acc_bits;
+        acc_bits += width as u32;
+        while acc_bits >= 8 {
+            out.push((acc & 0xff) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    debug_assert_eq!(acc_bits, 0, "BLOCK_LEN * width is a multiple of 8");
+}
+
+/// Unpack one block previously written by [`pack_block`].
+///
+/// Appends [`BLOCK_LEN`] values to `out` and returns the number of input
+/// bytes consumed.
+pub fn unpack_block(input: &[u8], width: u8, out: &mut Vec<u32>) -> Result<usize, CodecError> {
+    if width > 32 {
+        return Err(CodecError::InvalidBitWidth(width));
+    }
+    if width == 0 {
+        out.resize(out.len() + BLOCK_LEN, 0);
+        return Ok(0);
+    }
+    let byte_len = width as usize * BLOCK_LEN / 8;
+    if input.len() < byte_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mask: u64 = if width == 32 { u32::MAX as u64 } else { (1u64 << width) - 1 };
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut bytes = input[..byte_len].iter();
+    out.reserve(BLOCK_LEN);
+    for _ in 0..BLOCK_LEN {
+        while acc_bits < width as u32 {
+            // Framing guarantees enough bytes; the iterator cannot run dry.
+            let byte = *bytes.next().expect("length checked above");
+            acc |= (byte as u64) << acc_bits;
+            acc_bits += 8;
+        }
+        out.push((acc & mask) as u32);
+        acc >>= width;
+        acc_bits -= width as u32;
+    }
+    Ok(byte_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) {
+        let width = max_bits(values);
+        let mut packed = Vec::new();
+        pack_block(values, width, &mut packed);
+        let mut unpacked = Vec::new();
+        let used = unpack_block(&packed, width, &mut unpacked).unwrap();
+        assert_eq!(used, packed.len());
+        assert_eq!(unpacked, values);
+    }
+
+    #[test]
+    fn zeros_pack_to_nothing() {
+        let values = [0u32; BLOCK_LEN];
+        let mut packed = Vec::new();
+        pack_block(&values, 0, &mut packed);
+        assert!(packed.is_empty());
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn all_widths_roundtrip() {
+        for width in 1..=32u8 {
+            let max = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let values: Vec<u32> =
+                (0..BLOCK_LEN as u32).map(|i| i.wrapping_mul(2_654_435_761) % max.max(1)).collect();
+            let mut with_max = values;
+            with_max[0] = max; // force the full width to be exercised
+            roundtrip(&with_max);
+        }
+    }
+
+    #[test]
+    fn packed_size_is_exact() {
+        for width in 1..=32u8 {
+            let values = [if width == 32 { u32::MAX } else { (1u32 << width) - 1 }; BLOCK_LEN];
+            let mut packed = Vec::new();
+            pack_block(&values, width, &mut packed);
+            assert_eq!(packed.len(), width as usize * BLOCK_LEN / 8);
+        }
+    }
+
+    #[test]
+    fn bits_needed_edges() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(u32::MAX), 32);
+    }
+
+    #[test]
+    fn truncated_block_is_eof() {
+        let values = [5u32; BLOCK_LEN];
+        let mut packed = Vec::new();
+        pack_block(&values, 3, &mut packed);
+        let mut out = Vec::new();
+        assert_eq!(
+            unpack_block(&packed[..packed.len() - 1], 3, &mut out).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        let mut out = Vec::new();
+        assert_eq!(
+            unpack_block(&[0u8; 1024], 33, &mut out).unwrap_err(),
+            CodecError::InvalidBitWidth(33)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut values = [0u32; BLOCK_LEN];
+        values[7] = 8; // needs 4 bits
+        let mut out = Vec::new();
+        pack_block(&values, 3, &mut out);
+    }
+}

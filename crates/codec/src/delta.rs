@@ -1,0 +1,104 @@
+//! Delta transforms for sorted id sequences.
+//!
+//! RR-set member lists and inverted lists are stored sorted, so consecutive
+//! gaps are small and compress far better than absolute ids. The transform
+//! here is the standard "first value absolute, rest are gaps" scheme; lists
+//! may contain duplicates (gap 0), which the inverse transform preserves.
+
+use crate::CodecError;
+
+/// Replace a sorted slice by `[v0, v1-v0, v2-v1, ...]` in place.
+///
+/// # Panics
+///
+/// Debug-asserts that the input is sorted (non-decreasing); in release
+/// builds an unsorted input silently produces wrapped gaps that
+/// [`undelta_in_place`] will reject.
+pub fn delta_in_place(values: &mut [u32]) {
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    for i in (1..values.len()).rev() {
+        values[i] = values[i].wrapping_sub(values[i - 1]);
+    }
+}
+
+/// Inverse of [`delta_in_place`]: rebuild absolute values from gaps.
+///
+/// Fails with [`CodecError::NonMonotonic`] if a prefix sum overflows `u32`,
+/// which can only happen on corrupted input.
+pub fn undelta_in_place(values: &mut [u32]) -> Result<(), CodecError> {
+    let mut acc: u32 = 0;
+    for v in values.iter_mut() {
+        acc = acc.checked_add(*v).ok_or(CodecError::NonMonotonic)?;
+        *v = acc;
+    }
+    Ok(())
+}
+
+/// Copy `values` (sorted) into `out` as gaps, without mutating the input.
+pub fn delta_to(values: &[u32], out: &mut Vec<u32>) {
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    out.reserve(values.len());
+    let mut prev = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            out.push(v);
+        } else {
+            out.push(v.wrapping_sub(prev));
+        }
+        prev = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let original = vec![3u32, 7, 7, 20, 100];
+        let mut work = original.clone();
+        delta_in_place(&mut work);
+        assert_eq!(work, vec![3, 4, 0, 13, 80]);
+        undelta_in_place(&mut work).unwrap();
+        assert_eq!(work, original);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<u32> = vec![];
+        delta_in_place(&mut empty);
+        undelta_in_place(&mut empty).unwrap();
+        assert!(empty.is_empty());
+
+        let mut one = vec![42u32];
+        delta_in_place(&mut one);
+        assert_eq!(one, vec![42]);
+        undelta_in_place(&mut one).unwrap();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn delta_to_matches_in_place() {
+        let values = vec![0u32, 0, 5, 5, 6, 1000, u32::MAX];
+        let mut in_place = values.clone();
+        delta_in_place(&mut in_place);
+        let mut copied = Vec::new();
+        delta_to(&values, &mut copied);
+        assert_eq!(in_place, copied);
+    }
+
+    #[test]
+    fn overflow_on_corrupt_gaps() {
+        let mut bad = vec![u32::MAX, 1];
+        assert_eq!(undelta_in_place(&mut bad).unwrap_err(), CodecError::NonMonotonic);
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let original = vec![0u32, u32::MAX];
+        let mut work = original.clone();
+        delta_in_place(&mut work);
+        undelta_in_place(&mut work).unwrap();
+        assert_eq!(work, original);
+    }
+}

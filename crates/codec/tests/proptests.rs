@@ -1,0 +1,113 @@
+//! Property-based round-trip tests for every codec layer.
+
+use kbtim_codec::{bitpack, delta, list, varint, Codec};
+use proptest::prelude::*;
+
+fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn varint_u32_roundtrip(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        varint::write_u32(v, &mut buf);
+        let (decoded, used) = varint::read_u32(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn varint_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(v, &mut buf);
+        let (decoded, used) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn delta_roundtrip(values in sorted_vec(600)) {
+        let mut work = values.clone();
+        delta::delta_in_place(&mut work);
+        delta::undelta_in_place(&mut work).unwrap();
+        prop_assert_eq!(work, values);
+    }
+
+    #[test]
+    fn bitpack_roundtrip(values in proptest::collection::vec(any::<u32>(), bitpack::BLOCK_LEN)) {
+        let width = bitpack::max_bits(&values);
+        let mut packed = Vec::new();
+        bitpack::pack_block(&values, width, &mut packed);
+        let mut out = Vec::new();
+        let used = bitpack::unpack_block(&packed, width, &mut out).unwrap();
+        prop_assert_eq!(used, packed.len());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn packed_list_roundtrip(values in sorted_vec(1000)) {
+        let mut buf = Vec::new();
+        list::encode_packed(&values, &mut buf);
+        let mut out = Vec::new();
+        let used = list::decode_packed(&buf, &mut out).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn raw_list_roundtrip(values in sorted_vec(1000)) {
+        let mut buf = Vec::new();
+        list::encode_raw(&values, &mut buf);
+        let mut out = Vec::new();
+        let used = list::decode_raw(&buf, &mut out).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn codecs_agree(values in sorted_vec(800)) {
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            codec.encode_sorted(&values, &mut buf);
+            let mut out = Vec::new();
+            codec.decode_sorted(&buf, &mut out).unwrap();
+            prop_assert_eq!(&out, &values);
+        }
+    }
+
+    #[test]
+    fn concatenated_stream_roundtrip(lists in proptest::collection::vec(sorted_vec(120), 0..12)) {
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            for l in &lists {
+                codec.encode_sorted(l, &mut buf);
+            }
+            let mut pos = 0;
+            for l in &lists {
+                let mut out = Vec::new();
+                pos += codec.decode_sorted(&buf[pos..], &mut out).unwrap();
+                prop_assert_eq!(&out, l);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+
+    /// Decoding never panics on arbitrary bytes — it either succeeds or
+    /// returns a structured error.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut out = Vec::new();
+        let _ = list::decode_packed(&bytes, &mut out);
+        out.clear();
+        let _ = list::decode_raw(&bytes, &mut out);
+    }
+}

@@ -1,0 +1,296 @@
+//! Weighted discrete sampling.
+//!
+//! WRIS samples RR-set roots from the non-uniform distribution
+//! `ps(v, Q) = φ(v, Q)/φ_Q` (Eqn 3) and the per-keyword builders from
+//! `ps(v, w) = tf(w, v)/Σ_v tf(w, v)` (§4.1). Index construction draws
+//! hundreds of thousands of roots per keyword, so sampling must be O(1):
+//! the Vose alias method. A cumulative-table sampler (O(log n)) is kept as
+//! the comparison point for the `a4_sampler` ablation bench.
+
+use rand::Rng;
+
+/// O(1) weighted sampler over indices `0..n` (Vose alias method).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each slot.
+    prob: Vec<f64>,
+    /// Fallback index of each slot.
+    alias: Vec<u32>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. Returns `None` when no weight is
+    /// positive (there is nothing to sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite weights, or more than `u32::MAX`
+    /// items.
+    pub fn new(weights: &[f64]) -> Option<AliasTable> {
+        assert!(weights.len() <= u32::MAX as usize, "too many items");
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0, got {w}");
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Partition into under- and over-full slots.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Move the overflow of `l` onto `s`.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining slots are (numerically) exactly full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+
+        Some(AliasTable { prob, alias, total })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when there are no items (never: construction requires > 0
+    /// total weight over ≥ 1 items).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sum of the input weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Draw one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
+        let slot = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+}
+
+/// O(log n) weighted sampler by binary search over cumulative weights.
+///
+/// Functionally identical to [`AliasTable`]; exists as the ablation
+/// baseline and for tiny tables where construction cost dominates.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    /// Build from non-negative weights; `None` when the total is 0.
+    pub fn new(weights: &[f64]) -> Option<CumulativeSampler> {
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0, got {w}");
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(CumulativeSampler { cumulative })
+    }
+
+    /// Draw one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Weighted sampler over graph nodes, mapping alias slots to node ids.
+///
+/// This is the root distribution of WRIS (`ps(v, Q)`, Eqn 3) and of the
+/// per-keyword discriminative sampler (`ps(v, w)`, Eqn 7).
+#[derive(Debug, Clone)]
+pub struct RootSampler {
+    alias: AliasTable,
+    items: Vec<kbtim_graph::NodeId>,
+}
+
+impl RootSampler {
+    /// Build from a dense per-node weight vector (index = node id).
+    /// `None` when every weight is zero.
+    pub fn from_dense(weights: &[f64]) -> Option<RootSampler> {
+        let alias = AliasTable::new(weights)?;
+        Some(RootSampler { alias, items: (0..weights.len() as u32).collect() })
+    }
+
+    /// Build from parallel sparse `(nodes, weights)` slices.
+    /// `None` when every weight is zero.
+    pub fn from_sparse(nodes: &[kbtim_graph::NodeId], weights: &[f64]) -> Option<RootSampler> {
+        assert_eq!(nodes.len(), weights.len(), "parallel slices must match");
+        let alias = AliasTable::new(weights)?;
+        Some(RootSampler { alias, items: nodes.to_vec() })
+    }
+
+    /// Draw one node.
+    #[inline]
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> kbtim_graph::NodeId {
+        self.items[self.alias.sample(rng)]
+    }
+
+    /// Sum of the input weights (φ_Q for a query sampler, Σtf for a
+    /// keyword sampler).
+    pub fn total_weight(&self) -> f64 {
+        self.alias.total_weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: u32, seed: u64, use_alias: bool) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u32; weights.len()];
+        if use_alias {
+            let table = AliasTable::new(weights).unwrap();
+            for _ in 0..draws {
+                counts[table.sample(&mut rng)] += 1;
+            }
+        } else {
+            let table = CumulativeSampler::new(weights).unwrap();
+            for _ in 0..draws {
+                counts[table.sample(&mut rng)] += 1;
+            }
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let freq = empirical(&weights, 200_000, 1, true);
+        assert!((freq[0] - 0.1).abs() < 0.01);
+        assert!((freq[1] - 0.3).abs() < 0.01);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[3] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn cumulative_matches_weights() {
+        let weights = [2.0, 0.0, 2.0, 4.0];
+        let freq = empirical(&weights, 200_000, 2, false);
+        assert!((freq[0] - 0.25).abs() < 0.01);
+        assert_eq!(freq[1], 0.0);
+        assert!((freq[2] - 0.25).abs() < 0.01);
+        assert!((freq[3] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_item() {
+        let table = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+        assert_eq!(table.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn zero_total_is_none() {
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(CumulativeSampler::new(&[0.0]).is_none());
+        assert!(CumulativeSampler::new(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let weights = vec![1.0; 10];
+        let freq = empirical(&weights, 200_000, 4, true);
+        for f in freq {
+            assert!((f - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn alias_and_cumulative_agree_statistically() {
+        let weights: Vec<f64> = (1..=20).map(|i| (i as f64).sqrt()).collect();
+        let a = empirical(&weights, 300_000, 5, true);
+        let c = empirical(&weights, 300_000, 6, false);
+        for (x, y) in a.iter().zip(c.iter()) {
+            assert!((x - y).abs() < 0.01, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn extreme_skew() {
+        let weights = [1e-9, 1.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let picks: Vec<usize> = (0..1000).map(|_| table.sample(&mut rng)).collect();
+        assert!(picks.iter().filter(|&&p| p == 1).count() > 990);
+    }
+
+    #[test]
+    fn root_sampler_sparse_maps_ids() {
+        let sampler = RootSampler::from_sparse(&[10, 20, 30], &[0.0, 1.0, 3.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut hits_20 = 0;
+        let draws = 100_000;
+        for _ in 0..draws {
+            let node = sampler.sample(&mut rng);
+            assert!(node == 20 || node == 30, "node 10 has zero weight");
+            if node == 20 {
+                hits_20 += 1;
+            }
+        }
+        let rate = hits_20 as f64 / draws as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert_eq!(sampler.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn root_sampler_dense_is_identity_mapping() {
+        let sampler = RootSampler::from_dense(&[0.0, 0.0, 5.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(sampler.sample(&mut rng), 2);
+        assert!(RootSampler::from_dense(&[0.0, 0.0]).is_none());
+    }
+}

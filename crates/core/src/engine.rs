@@ -1,0 +1,162 @@
+//! Convenience facade bundling a graph, its profiles and a propagation
+//! model behind one query interface.
+
+use crate::ris::ris_query;
+use crate::theta::SamplingConfig;
+use crate::wris::{wris_query, WrisResult};
+use kbtim_graph::{Graph, NodeId};
+use kbtim_propagation::model::IcModel;
+use kbtim_propagation::spread::{monte_carlo_spread, monte_carlo_targeted};
+use kbtim_propagation::TriggeringModel;
+use kbtim_topics::{Query, UserProfiles};
+use rand::RngCore;
+
+/// In-memory KB-TIM query engine.
+///
+/// Owns the propagation model (generic `M`, default IC with the paper's
+/// weighted-cascade probabilities) and borrows the graph and profiles.
+/// This is the *online* path; the disk-based real-time path lives in
+/// `kbtim-index`.
+pub struct KbTimEngine<'a, M: TriggeringModel> {
+    graph: &'a Graph,
+    profiles: &'a UserProfiles,
+    model: M,
+    config: SamplingConfig,
+}
+
+impl<'a> KbTimEngine<'a, IcModel<'a>> {
+    /// Engine with the paper's default model: IC, `p(e) = 1/N_v`.
+    pub fn new(
+        graph: &'a Graph,
+        profiles: &'a UserProfiles,
+        config: SamplingConfig,
+    ) -> KbTimEngine<'a, IcModel<'a>> {
+        assert_eq!(graph.num_nodes(), profiles.num_users(), "graph/profiles size mismatch");
+        KbTimEngine { graph, profiles, model: IcModel::weighted_cascade(graph), config }
+    }
+}
+
+impl<'a, M: TriggeringModel> KbTimEngine<'a, M> {
+    /// Engine with an explicit propagation model (LT, uniform IC, …).
+    pub fn with_model(
+        graph: &'a Graph,
+        profiles: &'a UserProfiles,
+        model: M,
+        config: SamplingConfig,
+    ) -> KbTimEngine<'a, M> {
+        assert_eq!(graph.num_nodes(), profiles.num_users(), "graph/profiles size mismatch");
+        KbTimEngine { graph, profiles, model, config }
+    }
+
+    /// Answer a KB-TIM query with online WRIS sampling (§3.2).
+    pub fn wris(&self, query: &Query, rng: &mut dyn RngCore) -> WrisResult {
+        wris_query(&self.model, self.profiles, query, &self.config, rng)
+    }
+
+    /// Answer an untargeted IM query with uniform RIS (§2.2 baseline).
+    pub fn ris(&self, k: u32, rng: &mut dyn RngCore) -> WrisResult {
+        ris_query(&self.model, k, &self.config, rng)
+    }
+
+    /// Monte-Carlo ground truth for `E[I^Q(S)]` of an arbitrary seed set.
+    pub fn targeted_spread(
+        &self,
+        seeds: &[NodeId],
+        query: &Query,
+        rounds: u32,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        monte_carlo_targeted(&self.model, self.profiles, query, seeds, rounds, rng)
+    }
+
+    /// Monte-Carlo ground truth for the plain spread `E[I(S)]`.
+    pub fn spread(&self, seeds: &[NodeId], rounds: u32, rng: &mut dyn RngCore) -> f64 {
+        monte_carlo_spread(&self.model, seeds, rounds, rng)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The user profiles.
+    pub fn profiles(&self) -> &UserProfiles {
+        self.profiles
+    }
+
+    /// The propagation model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbtim_graph::gen;
+    use kbtim_propagation::model::LtModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> (Graph, UserProfiles) {
+        let g = gen::star(10);
+        let entries: Vec<(u32, u32, f32)> = (1..10).map(|v| (v, 0u32, 1.0f32)).collect();
+        let p = UserProfiles::from_entries(10, 1, &entries);
+        (g, p)
+    }
+
+    #[test]
+    fn default_engine_answers_queries() {
+        let (g, p) = tiny();
+        let engine = KbTimEngine::new(&g, &p, SamplingConfig::fast());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let result = engine.wris(&Query::new([0], 2), &mut rng);
+        assert!(!result.seeds.is_empty());
+        let spread = engine.targeted_spread(&result.seeds, &Query::new([0], 2), 500, &mut rng);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn lt_engine_via_with_model() {
+        let (g, p) = tiny();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let model = LtModel::random_weights(&g, &mut rng);
+        let engine = KbTimEngine::with_model(&g, &p, model, SamplingConfig::fast());
+        let result = engine.wris(&Query::new([0], 1), &mut rng);
+        // Star with LT: hub is every leaf's only in-neighbour (weight 1),
+        // so seeding the hub activates everyone — hub must win.
+        assert_eq!(result.seeds, vec![0]);
+    }
+
+    #[test]
+    fn ris_ignores_profiles() {
+        let (g, p) = tiny();
+        let engine = KbTimEngine::new(&g, &p, SamplingConfig::fast());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let result = engine.ris(1, &mut rng);
+        assert_eq!(result.seeds, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let g = gen::line(3);
+        let p = UserProfiles::from_entries(5, 1, &[(0, 0, 1.0)]);
+        let _ = KbTimEngine::new(&g, &p, SamplingConfig::fast());
+    }
+
+    #[test]
+    fn accessors() {
+        let (g, p) = tiny();
+        let engine = KbTimEngine::new(&g, &p, SamplingConfig::fast());
+        assert_eq!(engine.graph().num_nodes(), 10);
+        assert_eq!(engine.profiles().num_users(), 10);
+        assert_eq!(engine.config().eps, 0.5);
+        assert_eq!(engine.model().name(), "IC");
+    }
+}

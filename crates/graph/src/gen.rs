@@ -1,0 +1,210 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP's Twitter (dense, heavy-tailed) and News
+//! (sparse, lighter-tailed) graphs, which are not redistributable here. The
+//! generators below reproduce the *shape* properties the algorithms are
+//! sensitive to — in-degree distribution and density (Table 2, Figure 4) —
+//! with deterministic seeds:
+//!
+//! * [`preferential_attachment`] — directed Barabási–Albert-style growth
+//!   producing power-law in/out-degree tails (Twitter-like).
+//! * [`erdos_renyi`] — uniform random digraph (light-tailed control).
+//! * Deterministic shapes ([`line`], [`cycle`], [`star`], [`complete`]) for
+//!   exact-answer tests.
+
+use crate::{Graph, NodeId};
+use rand::Rng;
+
+/// Configuration for [`preferential_attachment`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrefAttachConfig {
+    /// Number of nodes to grow.
+    pub num_nodes: u32,
+    /// Edges created by each arriving node.
+    pub edges_per_node: u32,
+    /// Probability that an edge also gets its reverse inserted, producing
+    /// reciprocal follow relationships. `1.0` makes hubs both highly
+    /// influential and highly influenceable (Twitter-like); `0.0` keeps the
+    /// graph strictly one-directional (news hyperlink-like).
+    pub reciprocal_prob: f64,
+}
+
+impl Default for PrefAttachConfig {
+    fn default() -> Self {
+        PrefAttachConfig { num_nodes: 1000, edges_per_node: 4, reciprocal_prob: 0.5 }
+    }
+}
+
+/// Directed preferential-attachment graph.
+///
+/// Each arriving node `u` draws `edges_per_node` targets from an endpoint
+/// pool (the classic Barabási–Albert repeated-endpoint trick: sampling a
+/// uniform element of the pool is equivalent to degree-proportional
+/// sampling) and adds `u → t`, plus `t → u` with `reciprocal_prob`.
+/// Targets attract future edges proportionally to their degree, producing
+/// the heavy in-degree tail of Figure 4.
+pub fn preferential_attachment(config: PrefAttachConfig, rng: &mut impl Rng) -> Graph {
+    let n = config.num_nodes;
+    let m = config.edges_per_node.max(1);
+    if n == 0 {
+        return Graph::from_edges(0, &[]);
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n as usize * m as usize);
+    // Endpoint pool: every time a node participates in an edge it is pushed,
+    // so uniform pool sampling is degree-proportional sampling.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n as usize * m as usize);
+    pool.push(0);
+
+    for u in 1..n {
+        let picks = m.min(u);
+        for _ in 0..picks {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t == u {
+                continue;
+            }
+            edges.push((u, t));
+            pool.push(t);
+            if rng.gen_bool(config.reciprocal_prob) {
+                edges.push((t, u));
+            }
+        }
+        pool.push(u);
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Uniform random digraph with (approximately) `num_edges` edges.
+pub fn erdos_renyi(num_nodes: u32, num_edges: u64, rng: &mut impl Rng) -> Graph {
+    if num_nodes < 2 {
+        return Graph::from_edges(num_nodes, &[]);
+    }
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..num_nodes);
+        let v = rng.gen_range(0..num_nodes);
+        edges.push((u, v));
+    }
+    Graph::from_edges(num_nodes, &edges)
+}
+
+/// Path `0 → 1 → 2 → … → n-1`.
+pub fn line(num_nodes: u32) -> Graph {
+    let edges: Vec<_> = (1..num_nodes).map(|v| (v - 1, v)).collect();
+    Graph::from_edges(num_nodes, &edges)
+}
+
+/// Cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle(num_nodes: u32) -> Graph {
+    if num_nodes < 2 {
+        return Graph::from_edges(num_nodes, &[]);
+    }
+    let edges: Vec<_> = (0..num_nodes).map(|v| (v, (v + 1) % num_nodes)).collect();
+    Graph::from_edges(num_nodes, &edges)
+}
+
+/// Star with node 0 at the centre pointing at every other node.
+pub fn star(num_nodes: u32) -> Graph {
+    let edges: Vec<_> = (1..num_nodes).map(|v| (0, v)).collect();
+    Graph::from_edges(num_nodes, &edges)
+}
+
+/// Complete digraph (every ordered pair, no self-loops).
+pub fn complete(num_nodes: u32) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..num_nodes {
+        for v in 0..num_nodes {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(num_nodes, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pa_grows_requested_nodes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = preferential_attachment(
+            PrefAttachConfig { num_nodes: 500, edges_per_node: 3, reciprocal_prob: 0.5 },
+            &mut rng,
+        );
+        assert_eq!(g.num_nodes(), 500);
+        assert!(g.num_edges() > 500, "expected >1 edge per node, got {}", g.num_edges());
+    }
+
+    #[test]
+    fn pa_has_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = preferential_attachment(
+            PrefAttachConfig { num_nodes: 5000, edges_per_node: 4, reciprocal_prob: 1.0 },
+            &mut rng,
+        );
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        // Power-law graphs have hubs far above the mean.
+        assert!(
+            (max_in as f64) > 10.0 * avg,
+            "max in-degree {max_in} not heavy-tailed vs avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn pa_deterministic_under_seed() {
+        let config = PrefAttachConfig { num_nodes: 300, edges_per_node: 2, reciprocal_prob: 0.3 };
+        let g1 = preferential_attachment(config, &mut SmallRng::seed_from_u64(9));
+        let g2 = preferential_attachment(config, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn pa_zero_nodes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = preferential_attachment(
+            PrefAttachConfig { num_nodes: 0, edges_per_node: 3, reciprocal_prob: 0.5 },
+            &mut rng,
+        );
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn er_density_close_to_requested() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = erdos_renyi(2000, 10_000, &mut rng);
+        // Duplicates/self-loops remove a small fraction.
+        assert!(g.num_edges() > 9_500 && g.num_edges() <= 10_000);
+    }
+
+    #[test]
+    fn special_shapes() {
+        let l = line(5);
+        assert_eq!(l.num_edges(), 4);
+        assert_eq!(l.out_neighbors(0), &[1]);
+        assert_eq!(l.in_degree(0), 0);
+
+        let c = cycle(4);
+        assert_eq!(c.num_edges(), 4);
+        assert!(c.nodes().all(|v| c.in_degree(v) == 1 && c.out_degree(v) == 1));
+
+        let s = star(6);
+        assert_eq!(s.out_degree(0), 5);
+        assert!(s.nodes().skip(1).all(|v| s.in_degree(v) == 1));
+
+        let k = complete(4);
+        assert_eq!(k.num_edges(), 12);
+    }
+
+    #[test]
+    fn tiny_shapes_do_not_panic() {
+        assert_eq!(line(0).num_edges(), 0);
+        assert_eq!(line(1).num_edges(), 0);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text edge-list persistence (SNAP-compatible format).
+//!
+//! Lines are `u<whitespace>v`; `#`-prefixed lines are comments. This is the
+//! format SNAP distributes social graphs in, so real datasets can be
+//! dropped in as a substitute for the synthetic generators.
+
+use crate::{Graph, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number and content.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse(line, content) => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Write a graph as a `u v` edge list with a comment header.
+pub fn write_edge_list(graph: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "# kbtim edge list: nodes={} edges={}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(out, "{u}\t{v}")?;
+    }
+    out.flush()
+}
+
+/// Read an edge list. Node count is `max id + 1` unless `num_nodes` forces a
+/// larger value (for graphs with trailing isolated nodes).
+pub fn read_edge_list(
+    path: impl AsRef<Path>,
+    num_nodes: Option<u32>,
+) -> Result<Graph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|t| t.parse().ok()) };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) if parts.next().is_none() => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => return Err(EdgeListError::Parse(line_no, trimmed.to_string())),
+        }
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id + 1 };
+    let n = num_nodes.map_or(inferred, |forced| forced.max(inferred));
+    Ok(Graph::from_edges(n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kbtim-graph-io-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("graph.txt")
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::cycle(50);
+        let path = temp_path("roundtrip");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path, None).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let path = temp_path("comments");
+        std::fs::write(&path, "# header\n\n0 1\n  \n1\t2\n").unwrap();
+        let g = read_edge_list(&path, None).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forced_node_count() {
+        let path = temp_path("forced");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let g = read_edge_list(&path, Some(10)).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        // Forcing fewer nodes than the max id is ignored in favour of validity.
+        let g2 = read_edge_list(&path, Some(1)).unwrap();
+        assert_eq!(g2.num_nodes(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_lines_error_with_position() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "0 1\nnot numbers\n").unwrap();
+        match read_edge_list(&path, None).unwrap_err() {
+            EdgeListError::Parse(line, content) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not numbers");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extra_columns_rejected() {
+        let path = temp_path("cols");
+        std::fs::write(&path, "0 1 2\n").unwrap();
+        assert!(matches!(
+            read_edge_list(&path, None).unwrap_err(),
+            EdgeListError::Parse(1, _)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_graph() {
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        let g = read_edge_list(&path, None).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,250 @@
+//! Directed social-graph substrate for KB-TIM.
+//!
+//! The paper models the social network as a directed graph `G = (V, E)`
+//! where an edge `u → v` means user `u` can influence user `v` (§2.1).
+//! Everything downstream — RR-set sampling, Monte-Carlo spread, index
+//! construction — only needs fast forward/backward adjacency scans, so the
+//! graph is stored as a pair of CSR (compressed sparse row) arrays:
+//!
+//! * forward: `out_neighbors(u)` — used by forward influence simulation;
+//! * reverse: `in_neighbors(v)` — used by reverse-reachable sampling, where
+//!   walks traverse edges *backwards* from a sampled root.
+//!
+//! Construction dedups parallel edges and drops self-loops; node ids are
+//! dense `0..n`. The [`gen`] module provides the synthetic generators used
+//! to reproduce the paper's two dataset families, [`stats`] the degree
+//! statistics behind Table 2 / Figure 4, and [`io`] plain-text edge-list
+//! persistence.
+
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+/// Dense node identifier (`0..n`).
+pub type NodeId = u32;
+
+/// Immutable directed graph in dual-CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: u32,
+    /// Forward CSR: `fwd_targets[fwd_offsets[u]..fwd_offsets[u+1]]` are the
+    /// nodes `u` points at, sorted ascending.
+    fwd_offsets: Vec<u64>,
+    fwd_targets: Vec<NodeId>,
+    /// Reverse CSR: `rev_sources[rev_offsets[v]..rev_offsets[v+1]]` are the
+    /// nodes pointing at `v`, sorted ascending.
+    rev_offsets: Vec<u64>,
+    rev_sources: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Build a graph with `num_nodes` nodes from a directed edge list.
+    ///
+    /// Self-loops are dropped and parallel edges deduplicated, matching the
+    /// usual cleaning applied to SNAP social graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: u32, edges: &[(NodeId, NodeId)]) -> Graph {
+        let mut cleaned: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .copied()
+            .inspect(|&(u, v)| {
+                assert!(u < num_nodes && v < num_nodes, "edge ({u},{v}) out of range");
+            })
+            .filter(|&(u, v)| u != v)
+            .collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+
+        let n = num_nodes as usize;
+        let mut fwd_offsets = vec![0u64; n + 1];
+        for &(u, _) in &cleaned {
+            fwd_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_offsets[i + 1] += fwd_offsets[i];
+        }
+        let fwd_targets: Vec<NodeId> = cleaned.iter().map(|&(_, v)| v).collect();
+
+        // Reverse CSR: counting sort by target.
+        let mut rev_offsets = vec![0u64; n + 1];
+        for &(_, v) in &cleaned {
+            rev_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut cursor = rev_offsets.clone();
+        let mut rev_sources = vec![0 as NodeId; cleaned.len()];
+        for &(u, v) in &cleaned {
+            let slot = cursor[v as usize];
+            rev_sources[slot as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sources within each bucket are already ascending because `cleaned`
+        // is sorted by (u, v) and the counting sort is stable in u.
+
+        Graph { num_nodes, fwd_offsets, fwd_targets, rev_offsets, rev_sources }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of (deduplicated) directed edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.fwd_targets.len() as u64
+    }
+
+    /// Nodes that `u` points at (people `u` can influence), ascending.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.fwd_offsets[u as usize] as usize;
+        let hi = self.fwd_offsets[u as usize + 1] as usize;
+        &self.fwd_targets[lo..hi]
+    }
+
+    /// Nodes pointing at `v` (people who can influence `v`), ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.rev_offsets[v as usize] as usize;
+        let hi = self.rev_offsets[v as usize + 1] as usize;
+        &self.rev_sources[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> u32 {
+        (self.fwd_offsets[u as usize + 1] - self.fwd_offsets[u as usize]) as u32
+    }
+
+    /// In-degree of `v` — the `N_v` of the paper's IC probability
+    /// `p(e) = 1/N_v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> u32 {
+        (self.rev_offsets[v as usize + 1] - self.rev_offsets[v as usize]) as u32
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes
+    }
+
+    /// Iterator over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.out_neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Average degree `|E| / |V|` (in- and out-averages coincide).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// `true` when `u → v` exists. Binary search over the CSR row.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (2, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[] as &[NodeId]);
+        assert_eq!(g.out_neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = Graph::from_edges(10, &[(0, 9)]);
+        assert_eq!(g.num_edges(), 1);
+        for v in 1..9 {
+            assert_eq!(g.out_degree(v), 0);
+            assert_eq!(g.in_degree(v), 0);
+        }
+        assert_eq!(g.in_degree(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let input = vec![(0, 1), (2, 1), (1, 0)];
+        let g = Graph::from_edges(3, &input);
+        let mut collected: Vec<_> = g.edges().collect();
+        collected.sort_unstable();
+        let mut expected = input;
+        expected.sort_unstable();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn has_edge() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count() {
+        let g = diamond();
+        let out_sum: u64 = g.nodes().map(|v| g.out_degree(v) as u64).sum();
+        let in_sum: u64 = g.nodes().map(|v| g.in_degree(v) as u64).sum();
+        assert_eq!(out_sum, g.num_edges());
+        assert_eq!(in_sum, g.num_edges());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(0, 4), (0, 2), (0, 3), (4, 0), (1, 0), (3, 0)]);
+        assert_eq!(g.out_neighbors(0), &[2, 3, 4]);
+        assert_eq!(g.in_neighbors(0), &[1, 3, 4]);
+    }
+}

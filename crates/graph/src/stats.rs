@@ -1,0 +1,179 @@
+//! Degree statistics: the numbers behind Table 2 and Figure 4.
+
+use crate::Graph;
+
+/// Summary degree statistics for a graph (one row of Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_nodes: u32,
+    /// `|E|`.
+    pub num_edges: u64,
+    /// Average degree `|E|/|V|`.
+    pub avg_degree: f64,
+    /// Largest in-degree.
+    pub max_in_degree: u32,
+    /// Largest out-degree.
+    pub max_out_degree: u32,
+}
+
+/// Compute summary statistics.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    GraphStats {
+        num_nodes: graph.num_nodes(),
+        num_edges: graph.num_edges(),
+        avg_degree: graph.avg_degree(),
+        max_in_degree: graph.nodes().map(|v| graph.in_degree(v)).max().unwrap_or(0),
+        max_out_degree: graph.nodes().map(|v| graph.out_degree(v)).max().unwrap_or(0),
+    }
+}
+
+/// Exact in-degree histogram: `(degree, number_of_nodes)` pairs sorted by
+/// degree, skipping empty degrees. This is the raw series of Figure 4.
+pub fn in_degree_histogram(graph: &Graph) -> Vec<(u32, u64)> {
+    degree_histogram(graph.nodes().map(|v| graph.in_degree(v)))
+}
+
+/// Exact out-degree histogram, same format as [`in_degree_histogram`].
+pub fn out_degree_histogram(graph: &Graph) -> Vec<(u32, u64)> {
+    degree_histogram(graph.nodes().map(|v| graph.out_degree(v)))
+}
+
+fn degree_histogram(degrees: impl Iterator<Item = u32>) -> Vec<(u32, u64)> {
+    let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for d in degrees {
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Log-binned histogram for plotting heavy tails on log-log axes: bucket
+/// `i` covers degrees `[base^i, base^(i+1))` and reports the node count.
+///
+/// Returns `(bucket_lower_bound, count)` pairs; degree-0 nodes are reported
+/// in a leading `(0, count)` bucket.
+pub fn log_binned_in_degrees(graph: &Graph, base: f64) -> Vec<(u32, u64)> {
+    assert!(base > 1.0, "log base must exceed 1");
+    let mut zero = 0u64;
+    let mut buckets: Vec<u64> = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.in_degree(v);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let idx = (d as f64).log(base).floor() as usize;
+        if buckets.len() <= idx {
+            buckets.resize(idx + 1, 0);
+        }
+        buckets[idx] += 1;
+    }
+    let mut out = Vec::new();
+    if zero > 0 {
+        out.push((0, zero));
+    }
+    for (i, &count) in buckets.iter().enumerate() {
+        if count > 0 {
+            out.push((base.powi(i as i32).floor() as u32, count));
+        }
+    }
+    out
+}
+
+/// Least-squares slope of `log(count)` vs `log(degree)` over the nonzero
+/// part of an in-degree histogram — a quick power-law-exponent probe used
+/// by tests to check that generated graphs are heavy-tailed.
+pub fn log_log_slope(histogram: &[(u32, u64)]) -> Option<f64> {
+    let points: Vec<(f64, f64)> = histogram
+        .iter()
+        .filter(|&&(d, c)| d > 0 && c > 0)
+        .map(|&(d, c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_star() {
+        let g = gen::star(11);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 11);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.max_out_degree, 10);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_degree - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_every_node() {
+        let g = gen::star(11);
+        let hist = in_degree_histogram(&g);
+        assert_eq!(hist, vec![(0, 1), (1, 10)]);
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn out_histogram_on_line() {
+        let g = gen::line(4);
+        assert_eq!(out_degree_histogram(&g), vec![(0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn log_binned_buckets_sum_to_node_count() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gen::preferential_attachment(
+            gen::PrefAttachConfig { num_nodes: 2000, edges_per_node: 3, reciprocal_prob: 1.0 },
+            &mut rng,
+        );
+        let binned = log_binned_in_degrees(&g, 2.0);
+        let total: u64 = binned.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 2000);
+        // Lower bounds strictly increase.
+        assert!(binned.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn pa_slope_is_negative_er_is_flat_tailed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pa = gen::preferential_attachment(
+            gen::PrefAttachConfig { num_nodes: 8000, edges_per_node: 4, reciprocal_prob: 1.0 },
+            &mut rng,
+        );
+        let slope = log_log_slope(&in_degree_histogram(&pa)).unwrap();
+        assert!(slope < -0.8, "PA slope should be steeply negative, got {slope}");
+    }
+
+    #[test]
+    fn slope_none_for_degenerate() {
+        assert_eq!(log_log_slope(&[]), None);
+        assert_eq!(log_log_slope(&[(1, 5)]), None);
+        assert_eq!(log_log_slope(&[(0, 5), (0, 7)]), None);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::Graph::from_edges(0, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.max_in_degree, 0);
+        assert_eq!(s.num_edges, 0);
+    }
+}

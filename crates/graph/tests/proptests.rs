@@ -1,0 +1,75 @@
+//! Property tests for the CSR graph invariants.
+
+use kbtim_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(NodeId, NodeId)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..max_edges);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// Forward and reverse CSR views describe the same edge set.
+    #[test]
+    fn forward_and_reverse_mirror((n, edges) in edge_list(60, 300)) {
+        let g = Graph::from_edges(n, &edges);
+        let mut fwd: Vec<(u32, u32)> = g.edges().collect();
+        let mut rev: Vec<(u32, u32)> = g
+            .nodes()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)).collect::<Vec<_>>())
+            .collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Dedup + self-loop removal is exactly what construction performs.
+    #[test]
+    fn edge_count_matches_cleaned_input((n, edges) in edge_list(60, 300)) {
+        let g = Graph::from_edges(n, &edges);
+        let mut cleaned: Vec<(u32, u32)> =
+            edges.iter().copied().filter(|&(u, v)| u != v).collect();
+        cleaned.sort_unstable();
+        cleaned.dedup();
+        prop_assert_eq!(g.num_edges(), cleaned.len() as u64);
+        for (u, v) in cleaned {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    /// Degree sums both equal |E|.
+    #[test]
+    fn degree_sums((n, edges) in edge_list(60, 300)) {
+        let g = Graph::from_edges(n, &edges);
+        let out_sum: u64 = g.nodes().map(|v| g.out_degree(v) as u64).sum();
+        let in_sum: u64 = g.nodes().map(|v| g.in_degree(v) as u64).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    /// Neighbour slices are sorted and unique.
+    #[test]
+    fn neighbor_slices_sorted_unique((n, edges) in edge_list(50, 250)) {
+        let g = Graph::from_edges(n, &edges);
+        for v in g.nodes() {
+            prop_assert!(g.out_neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(g.in_neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Edge-list text round trip preserves the graph exactly.
+    #[test]
+    fn edge_list_io_roundtrip((n, edges) in edge_list(40, 150)) {
+        let g = Graph::from_edges(n, &edges);
+        let dir = std::env::temp_dir()
+            .join(format!("kbtim-graph-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g-{n}-{}.txt", edges.len()));
+        kbtim_graph::io::write_edge_list(&g, &path).unwrap();
+        let back = kbtim_graph::io::read_edge_list(&path, Some(n)).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(g, back);
+    }
+}

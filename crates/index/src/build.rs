@@ -1,0 +1,548 @@
+//! Index construction — Algorithm 1 (`BuildRR`) and Algorithm 3
+//! (`BuildIRR`).
+//!
+//! For every keyword `w` held by at least one user:
+//!
+//! 1. estimate `OPT^w` (singleton for Eqn 8's conservative `θ̂_w`, size-`K`
+//!    for Eqn 10's compact `θ_w` — the paper's Table 3 shows the compact
+//!    bound shrinking the index ~9×);
+//! 2. draw `θ_w` RR sets with roots from `ps(v, w) ∝ tf(w, v)`;
+//! 3. invert them into `L_w`, and for the IRR variant sort by list length,
+//!    partition into blocks of δ users, group RR sets by first-touching
+//!    partition and record first occurrences (`IP_w`);
+//! 4. write one checksummed segment per keyword.
+//!
+//! Keywords build in parallel on a fixed-size thread pool (the paper uses
+//! 8 threads, §6.2); per-keyword RNG streams are derived from the build
+//! seed and the topic id, so the index bytes are independent of thread
+//! scheduling.
+
+use crate::format::{self, IlEntry, IndexMeta, IndexVariant, IrEntry, KeywordMeta, PartitionMeta};
+use crate::IndexError;
+use kbtim_codec::Codec;
+use kbtim_core::alias::RootSampler;
+use kbtim_core::opt::estimate_opt;
+use kbtim_core::theta::{keyword_theta, SamplingConfig};
+use kbtim_graph::NodeId;
+use kbtim_propagation::{RrSampler, TriggeringModel};
+use kbtim_storage::segment::SegmentWriter;
+use kbtim_topics::{TopicId, UserProfiles};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which θ bound sizes each keyword's RR pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThetaMode {
+    /// Eqn 8: `θ̂_w` with `OPT^w_1` — conservative, ~an order of magnitude
+    /// larger on disk (paper Table 3).
+    Conservative,
+    /// Eqn 10: `θ_w` with `OPT^w_K` — the paper's default.
+    Compact,
+}
+
+/// Build-time configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexBuildConfig {
+    /// ε, K and the OPT-estimation knobs.
+    pub sampling: SamplingConfig,
+    /// List codec (Table 4 compares `Raw` vs `Packed`).
+    pub codec: Codec,
+    /// θ̂_w (Eqn 8) vs θ_w (Eqn 10).
+    pub theta_mode: ThetaMode,
+    /// RR-only or IRR layout.
+    pub variant: IndexVariant,
+    /// Worker threads (paper: 8).
+    pub threads: usize,
+    /// Deterministic build seed.
+    pub seed: u64,
+}
+
+impl Default for IndexBuildConfig {
+    /// Laptop-scale defaults: compact θ, packed codec, IRR with the
+    /// paper's δ = 100, 8 threads.
+    fn default() -> Self {
+        IndexBuildConfig {
+            sampling: SamplingConfig::fast(),
+            codec: Codec::Packed,
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 100 },
+            threads: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-keyword construction statistics (rows of Tables 3–5).
+#[derive(Debug, Clone)]
+pub struct KeywordBuildStats {
+    /// Topic id.
+    pub topic: TopicId,
+    /// θ_w — RR sets sampled and stored.
+    pub theta: u64,
+    /// Mean RR-set size (nodes per set).
+    pub mean_rr_size: f64,
+    /// On-disk segment size in bytes.
+    pub file_bytes: u64,
+    /// Wall time for this keyword.
+    pub elapsed: Duration,
+}
+
+/// Whole-build statistics.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// One entry per keyword with θ_w > 0.
+    pub keywords: Vec<KeywordBuildStats>,
+    /// Σ θ_w (Table 5's left column).
+    pub total_theta: u64,
+    /// Mean RR-set size across all keywords (Table 5's right column).
+    pub mean_rr_size: f64,
+    /// Total index bytes on disk, catalog included.
+    pub total_bytes: u64,
+    /// Wall-clock build time.
+    pub elapsed: Duration,
+}
+
+/// Builds an on-disk index from a propagation model and user profiles.
+pub struct IndexBuilder<'a, M: TriggeringModel> {
+    model: &'a M,
+    profiles: &'a UserProfiles,
+    config: IndexBuildConfig,
+}
+
+impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
+    /// Create a builder. The model's graph and the profiles must agree on
+    /// the number of users.
+    pub fn new(
+        model: &'a M,
+        profiles: &'a UserProfiles,
+        config: IndexBuildConfig,
+    ) -> IndexBuilder<'a, M> {
+        assert_eq!(
+            model.graph().num_nodes(),
+            profiles.num_users(),
+            "graph/profiles size mismatch"
+        );
+        assert!(config.threads >= 1, "need at least one build thread");
+        if let IndexVariant::Irr { partition_size } = config.variant {
+            assert!(partition_size >= 1, "partition size must be >= 1");
+        }
+        IndexBuilder { model, profiles, config }
+    }
+
+    /// Build the index into `dir` (created if missing; existing segments
+    /// are overwritten).
+    pub fn build(&self, dir: impl AsRef<Path>) -> Result<BuildReport, IndexError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(kbtim_storage::segment::StorageError::Io)?;
+        let start = Instant::now();
+        let num_topics = self.profiles.num_topics();
+
+        let next_topic = AtomicU32::new(0);
+        let results: Mutex<Vec<Option<(KeywordMeta, KeywordBuildStats)>>> =
+            Mutex::new(vec![None; num_topics as usize]);
+        let errors: Mutex<Vec<IndexError>> = Mutex::new(Vec::new());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|_| loop {
+                    let topic = next_topic.fetch_add(1, Ordering::Relaxed);
+                    if topic >= num_topics {
+                        break;
+                    }
+                    match self.build_keyword(dir, topic) {
+                        Ok(entry) => {
+                            results.lock()[topic as usize] = Some(entry);
+                        }
+                        Err(e) => {
+                            errors.lock().push(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("build worker panicked");
+
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+
+        let mut keywords_meta = Vec::with_capacity(num_topics as usize);
+        let mut stats = Vec::new();
+        for entry in results.into_inner() {
+            let (meta, stat) = entry.expect("every topic processed");
+            if meta.theta > 0 {
+                stats.push(stat);
+            }
+            keywords_meta.push(meta);
+        }
+
+        // Catalog.
+        let meta = IndexMeta {
+            num_users: self.profiles.num_users(),
+            num_topics,
+            codec: self.config.codec,
+            variant: self.config.variant,
+            model_name: self.model.name().to_string(),
+            keywords: keywords_meta,
+        };
+        let mut writer = SegmentWriter::create(dir.join(format::META_FILE))?;
+        writer.write_block(format::META_BLOCK, &meta.encode())?;
+        let meta_bytes = writer.finish()?;
+
+        let total_theta: u64 = meta.keywords.iter().map(|k| k.theta).sum();
+        let total_members: u64 = meta.keywords.iter().map(|k| k.total_rr_members).sum();
+        let total_bytes = meta_bytes + stats.iter().map(|s| s.file_bytes).sum::<u64>();
+        Ok(BuildReport {
+            keywords: stats,
+            total_theta,
+            mean_rr_size: if total_theta == 0 {
+                0.0
+            } else {
+                total_members as f64 / total_theta as f64
+            },
+            total_bytes,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Build one keyword's segment; returns its catalog entry and stats.
+    fn build_keyword(
+        &self,
+        dir: &Path,
+        topic: TopicId,
+    ) -> Result<(KeywordMeta, KeywordBuildStats), IndexError> {
+        let started = Instant::now();
+        let empty = |topic| {
+            (
+                KeywordMeta {
+                    topic,
+                    theta: 0,
+                    tf_sum: 0.0,
+                    idf: 0.0,
+                    opt_w: 0.0,
+                    max_list_len: 0,
+                    num_partitions: 0,
+                    total_rr_members: 0,
+                },
+                KeywordBuildStats {
+                    topic,
+                    theta: 0,
+                    mean_rr_size: 0.0,
+                    file_bytes: 0,
+                    elapsed: started.elapsed(),
+                },
+            )
+        };
+
+        let (users, tfs) = self.profiles.topic_vector(topic);
+        if users.is_empty() {
+            return Ok(empty(topic));
+        }
+        let weights: Vec<f64> = tfs.iter().map(|&t| t as f64).collect();
+        let Some(roots) = RootSampler::from_sparse(users, &weights) else {
+            return Ok(empty(topic));
+        };
+        let tf_sum = self.profiles.tf_sum(topic);
+
+        // Deterministic per-keyword RNG stream, independent of scheduling.
+        let mut rng = SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add((topic as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+
+        // OPT^w_1 (Eqn 8) or OPT^w_K (Eqn 10), in raw-tf units.
+        let opt_k = match self.config.theta_mode {
+            ThetaMode::Conservative => 1,
+            ThetaMode::Compact => self.config.sampling.k_max,
+        };
+        let opt =
+            estimate_opt(self.model, &roots, tf_sum, opt_k, &self.config.sampling, &mut rng);
+        let theta =
+            keyword_theta(self.model.graph().num_nodes() as u64, tf_sum, opt.value.max(1e-12), &self.config.sampling);
+        if theta == 0 {
+            return Ok(empty(topic));
+        }
+
+        // Sample R_w.
+        let mut sampler = RrSampler::new(self.model.graph().num_nodes());
+        let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta as usize);
+        let mut total_members = 0u64;
+        for _ in 0..theta {
+            let root = roots.sample(&mut rng);
+            let mut set = Vec::new();
+            sampler.sample_into(self.model, root, &mut rng, &mut set);
+            total_members += set.len() as u64;
+            sets.push(set);
+        }
+
+        // Invert into L_w (rr ids ascend per user by construction).
+        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (id, set) in sets.iter().enumerate() {
+            for &node in set {
+                inverted.entry(node).or_default().push(id as u32);
+            }
+        }
+        let mut il_entries: Vec<IlEntry> = inverted.into_iter().collect();
+        il_entries.sort_unstable_by_key(|(user, _)| *user);
+        let max_list_len =
+            il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
+
+        // Write the segment.
+        let codec = self.config.codec;
+        let path = dir.join(format::keyword_file_name(topic));
+        let mut writer = SegmentWriter::create(&path)?;
+
+        // "rr" + "rr_off": sets in id order with a byte-offset table.
+        writer.begin_block(format::RR_BLOCK)?;
+        let mut offsets: Vec<u64> = Vec::with_capacity(sets.len() + 1);
+        let mut scratch = Vec::new();
+        offsets.push(0);
+        for set in &sets {
+            scratch.clear();
+            codec.encode_sorted(set, &mut scratch);
+            writer.write(&scratch)?;
+            offsets.push(writer.block_position());
+        }
+        writer.end_block()?;
+        let mut off_bytes = Vec::with_capacity(offsets.len() * 8);
+        for &o in &offsets {
+            off_bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        writer.write_block(format::RR_OFF_BLOCK, &off_bytes)?;
+
+        // "il".
+        let mut il_bytes = Vec::new();
+        format::encode_il_entries(&il_entries, codec, &mut il_bytes);
+        writer.write_block(format::IL_BLOCK, &il_bytes)?;
+
+        // IRR blocks.
+        let mut num_partitions = 0u32;
+        if let IndexVariant::Irr { partition_size } = self.config.variant {
+            // IP_w: first occurrence = first (smallest) id in each list.
+            let ip_users: Vec<NodeId> = il_entries.iter().map(|(u, _)| *u).collect();
+            let ip_firsts: Vec<u32> = il_entries.iter().map(|(_, l)| l[0]).collect();
+            let mut ip_bytes = Vec::new();
+            format::encode_ip(&ip_users, &ip_firsts, codec, &mut ip_bytes);
+            writer.write_block(format::IP_BLOCK, &ip_bytes)?;
+
+            // IL sorted by (len desc, user asc), split into δ-sized chunks.
+            let mut sorted = il_entries.clone();
+            sorted.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+            let chunks: Vec<&[IlEntry]> = sorted.chunks(partition_size as usize).collect();
+            num_partitions = chunks.len() as u32;
+
+            // Assign each RR set to the first partition touching it.
+            let mut assigned = vec![false; sets.len()];
+            let mut parts: Vec<PartitionMeta> = Vec::with_capacity(chunks.len());
+            let mut ilp_bytes = Vec::new();
+            let mut irp_bytes = Vec::new();
+            for (p, chunk) in chunks.iter().enumerate() {
+                let il_start = ilp_bytes.len() as u64;
+                format::encode_il_entries(chunk, codec, &mut ilp_bytes);
+                let il_end = ilp_bytes.len() as u64;
+
+                let mut ids: Vec<u32> = Vec::new();
+                for (_, list) in chunk.iter() {
+                    for &rr in list {
+                        if !assigned[rr as usize] {
+                            assigned[rr as usize] = true;
+                            ids.push(rr);
+                        }
+                    }
+                }
+                ids.sort_unstable();
+                let ir_entries: Vec<IrEntry> =
+                    ids.iter().map(|&id| (id, sets[id as usize].clone())).collect();
+                let ir_start = irp_bytes.len() as u64;
+                let ir_samples = format::encode_ir_entries(&ir_entries, codec, &mut irp_bytes);
+                let ir_end = irp_bytes.len() as u64;
+
+                let max_len_after = sorted
+                    .get((p + 1) * partition_size as usize)
+                    .map(|(_, l)| l.len() as u32)
+                    .unwrap_or(0);
+                parts.push(PartitionMeta {
+                    il_start,
+                    il_end,
+                    ir_start,
+                    ir_end,
+                    rr_count: ir_entries.len() as u32,
+                    user_count: chunk.len() as u32,
+                    max_len_after,
+                    ir_samples,
+                });
+            }
+            debug_assert!(assigned.iter().all(|&a| a), "every RR set reaches a partition");
+
+            let mut pmeta_bytes = Vec::new();
+            format::encode_partition_meta(&parts, &mut pmeta_bytes);
+            writer.write_block(format::PMETA_BLOCK, &pmeta_bytes)?;
+            writer.write_block(format::ILP_BLOCK, &ilp_bytes)?;
+            writer.write_block(format::IRP_BLOCK, &irp_bytes)?;
+        }
+
+        let file_bytes = writer.finish()?;
+        let meta = KeywordMeta {
+            topic,
+            theta,
+            tf_sum,
+            idf: self.profiles.idf(topic),
+            opt_w: opt.value,
+            max_list_len,
+            num_partitions,
+            total_rr_members: total_members,
+        };
+        let stats = KeywordBuildStats {
+            topic,
+            theta,
+            mean_rr_size: total_members as f64 / theta as f64,
+            file_bytes,
+            elapsed: started.elapsed(),
+        };
+        Ok((meta, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KbtimIndex;
+    use kbtim_datagen::{DatasetConfig, DatasetFamily};
+    use kbtim_propagation::model::IcModel;
+    use kbtim_storage::{IoStats, TempDir};
+
+    fn small_dataset() -> kbtim_datagen::Dataset {
+        DatasetConfig::family(DatasetFamily::News)
+            .num_users(400)
+            .num_topics(6)
+            .seed(11)
+            .build()
+    }
+
+    fn small_config() -> IndexBuildConfig {
+        IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(800),
+                opt_initial_samples: 64,
+                opt_max_rounds: 6,
+                ..SamplingConfig::fast()
+            },
+            codec: Codec::Packed,
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 16 },
+            threads: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn build_and_open_roundtrip() {
+        let data = small_dataset();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let dir = TempDir::new("idx-build").unwrap();
+        let report = IndexBuilder::new(&model, &data.profiles, small_config())
+            .build(dir.path())
+            .unwrap();
+        assert!(report.total_theta > 0);
+        assert!(report.total_bytes > 0);
+        assert!(!report.keywords.is_empty());
+
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        assert_eq!(index.meta().num_users, 400);
+        assert_eq!(index.meta().num_topics, 6);
+        assert_eq!(index.meta().model_name, "IC");
+        let disk = index.disk_bytes().unwrap();
+        assert_eq!(disk, report.total_bytes);
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let data = small_dataset();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let mut bytes_by_threads = Vec::new();
+        for threads in [1, 4] {
+            let dir = TempDir::new("idx-det").unwrap();
+            let config = IndexBuildConfig { threads, ..small_config() };
+            IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+            // Hash every keyword file's bytes.
+            let mut digest: Vec<(String, u64)> = Vec::new();
+            for entry in std::fs::read_dir(dir.path()).unwrap() {
+                let path = entry.unwrap().path();
+                let bytes = std::fs::read(&path).unwrap();
+                let sum = bytes.iter().fold(0u64, |acc, &b| {
+                    acc.wrapping_mul(1_000_003).wrapping_add(b as u64)
+                });
+                digest.push((path.file_name().unwrap().to_string_lossy().into_owned(), sum));
+            }
+            digest.sort();
+            bytes_by_threads.push(digest);
+        }
+        assert_eq!(bytes_by_threads[0], bytes_by_threads[1]);
+    }
+
+    #[test]
+    fn conservative_theta_builds_bigger_index() {
+        let data = small_dataset();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let mut totals = Vec::new();
+        for mode in [ThetaMode::Compact, ThetaMode::Conservative] {
+            let dir = TempDir::new("idx-theta").unwrap();
+            let config = IndexBuildConfig {
+                theta_mode: mode,
+                sampling: SamplingConfig {
+                    theta_cap: Some(100_000),
+                    opt_initial_samples: 128,
+                    opt_max_rounds: 8,
+                    ..SamplingConfig::fast()
+                },
+                ..small_config()
+            };
+            let report =
+                IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+            totals.push(report.total_theta);
+        }
+        assert!(
+            totals[1] > totals[0],
+            "conservative θ̂ ({}) must exceed compact θ ({})",
+            totals[1],
+            totals[0]
+        );
+    }
+
+    #[test]
+    fn rr_variant_lacks_partition_blocks() {
+        let data = small_dataset();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let dir = TempDir::new("idx-rr").unwrap();
+        let config = IndexBuildConfig { variant: IndexVariant::Rr, ..small_config() };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        assert_eq!(index.meta().variant, IndexVariant::Rr);
+        assert!(index.meta().keywords.iter().all(|k| k.num_partitions == 0));
+    }
+
+    #[test]
+    fn unheld_topics_get_zero_theta() {
+        // 3 users, topics 0 and 1 held, topic 2 unheld.
+        use kbtim_graph::gen;
+        use kbtim_topics::UserProfiles;
+        let g = gen::cycle(3);
+        let model = IcModel::weighted_cascade(&g);
+        let profiles =
+            UserProfiles::from_entries(3, 3, &[(0, 0, 1.0), (1, 1, 0.5), (2, 1, 0.5)]);
+        let dir = TempDir::new("idx-zero").unwrap();
+        let report = IndexBuilder::new(&model, &profiles, small_config())
+            .build(dir.path())
+            .unwrap();
+        assert_eq!(report.keywords.len(), 2, "only held topics get segments");
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        assert_eq!(index.meta().keywords[2].theta, 0);
+    }
+}

@@ -1,0 +1,671 @@
+//! On-disk layout of a KB-TIM index directory.
+//!
+//! ```text
+//! <dir>/index.meta        catalog segment, one "meta" block
+//! <dir>/kw_<topic>.seg    one segment per keyword with θ_w > 0
+//! ```
+//!
+//! Keyword segment blocks (integer lists use the catalog's [`Codec`];
+//! framing integers are LEB128 varints):
+//!
+//! | block    | contents                                                  |
+//! |----------|-----------------------------------------------------------|
+//! | `rr`     | `R_w`: θ_w RR sets, each a codec-encoded sorted node list |
+//! | `rr_off` | θ_w + 1 little-endian `u64` byte offsets into `rr`        |
+//! | `il`     | `L_w`: count, then per user: varint user, codec rr-id list|
+//! | `ip`     | IRR `IP_w`: count, codec users, then varint first-ids     |
+//! | `pmeta`  | IRR partition table (byte ranges, counts, kb bounds)      |
+//! | `ilp`    | IRR `IL^p_w` partitions back to back (same entry format)  |
+//! | `irp`    | IRR `IR^p_w` partitions: per set varint id + codec members|
+//!
+//! Every structure here is a pure byte transform with a round-trip test;
+//! the I/O lives in `kbtim-storage`.
+
+use crate::IndexError;
+use kbtim_codec::{varint, Codec};
+use kbtim_graph::NodeId;
+use kbtim_topics::TopicId;
+
+/// Catalog file name inside the index directory.
+pub const META_FILE: &str = "index.meta";
+/// Catalog block name.
+pub const META_BLOCK: &str = "meta";
+/// RR-set data block.
+pub const RR_BLOCK: &str = "rr";
+/// RR-set offset table block.
+pub const RR_OFF_BLOCK: &str = "rr_off";
+/// Inverted-list block.
+pub const IL_BLOCK: &str = "il";
+/// IRR first-occurrence block.
+pub const IP_BLOCK: &str = "ip";
+/// IRR partition-table block.
+pub const PMETA_BLOCK: &str = "pmeta";
+/// IRR sorted/partitioned inverted lists.
+pub const ILP_BLOCK: &str = "ilp";
+/// IRR partitioned RR sets.
+pub const IRP_BLOCK: &str = "irp";
+
+/// Segment file name for a keyword.
+pub fn keyword_file_name(topic: TopicId) -> String {
+    format!("kw_{topic:05}.seg")
+}
+
+/// Whether the index carries IRR partition blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexVariant {
+    /// Plain RR index (§4): `rr`, `rr_off`, `il` only.
+    Rr,
+    /// IRR index (§5) with the given partition size δ; supports both query
+    /// algorithms.
+    Irr {
+        /// Users per `IL^p_w` partition (the paper uses δ = 100).
+        partition_size: u32,
+    },
+}
+
+impl IndexVariant {
+    fn tag(&self) -> u8 {
+        match self {
+            IndexVariant::Rr => 0,
+            IndexVariant::Irr { .. } => 1,
+        }
+    }
+}
+
+/// Catalog entry for one keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordMeta {
+    /// The topic this entry indexes.
+    pub topic: TopicId,
+    /// Number of RR sets stored (`θ_w`, Eqn 8 or Eqn 10). 0 = no segment.
+    pub theta: u64,
+    /// `Σ_v tf(w, v)` at build time.
+    pub tf_sum: f64,
+    /// `idf(w)` at build time (needed to form `p_w` at query time).
+    pub idf: f64,
+    /// The estimated `OPT^w` used in the θ denominator.
+    pub opt_w: f64,
+    /// Longest inverted list (the initial `kb[w]` bound of Algorithm 4).
+    pub max_list_len: u32,
+    /// Number of IRR partitions (0 for the RR variant).
+    pub num_partitions: u32,
+    /// Sum of RR-set sizes (for mean-size statistics, Table 5).
+    pub total_rr_members: u64,
+}
+
+/// Catalog of an index directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexMeta {
+    /// `|V|` the index was built for.
+    pub num_users: u32,
+    /// Topic-space size; `keywords` has exactly this many entries.
+    pub num_topics: u32,
+    /// Codec used for every integer list.
+    pub codec: Codec,
+    /// RR or IRR layout.
+    pub variant: IndexVariant,
+    /// Propagation model name recorded at build time ("IC" / "LT").
+    pub model_name: String,
+    /// Per-topic entries, indexed by topic id.
+    pub keywords: Vec<KeywordMeta>,
+}
+
+impl IndexMeta {
+    /// Serialize the catalog.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u32(self.num_users, &mut out);
+        varint::write_u32(self.num_topics, &mut out);
+        out.push(self.codec.tag());
+        out.push(self.variant.tag());
+        match self.variant {
+            IndexVariant::Rr => varint::write_u32(0, &mut out),
+            IndexVariant::Irr { partition_size } => varint::write_u32(partition_size, &mut out),
+        }
+        varint::write_u32(self.model_name.len() as u32, &mut out);
+        out.extend_from_slice(self.model_name.as_bytes());
+        varint::write_u32(self.keywords.len() as u32, &mut out);
+        for kw in &self.keywords {
+            varint::write_u32(kw.topic, &mut out);
+            varint::write_u64(kw.theta, &mut out);
+            out.extend_from_slice(&kw.tf_sum.to_bits().to_le_bytes());
+            out.extend_from_slice(&kw.idf.to_bits().to_le_bytes());
+            out.extend_from_slice(&kw.opt_w.to_bits().to_le_bytes());
+            varint::write_u32(kw.max_list_len, &mut out);
+            varint::write_u32(kw.num_partitions, &mut out);
+            varint::write_u64(kw.total_rr_members, &mut out);
+        }
+        out
+    }
+
+    /// Deserialize a catalog written by [`IndexMeta::encode`].
+    pub fn decode(input: &[u8]) -> Result<IndexMeta, IndexError> {
+        let mut cursor = Cursor::new(input);
+        let num_users = cursor.u32()?;
+        let num_topics = cursor.u32()?;
+        let codec = Codec::from_tag(cursor.byte()?)
+            .ok_or_else(|| IndexError::Corrupt("unknown codec tag".into()))?;
+        let variant_tag = cursor.byte()?;
+        let partition_size = cursor.u32()?;
+        let variant = match variant_tag {
+            0 => IndexVariant::Rr,
+            1 => IndexVariant::Irr { partition_size },
+            t => return Err(IndexError::Corrupt(format!("unknown variant tag {t}"))),
+        };
+        let name_len = cursor.u32()? as usize;
+        let model_name = String::from_utf8(cursor.bytes(name_len)?.to_vec())
+            .map_err(|_| IndexError::Corrupt("model name not utf-8".into()))?;
+        let count = cursor.u32()? as usize;
+        let mut keywords = Vec::with_capacity(count);
+        for _ in 0..count {
+            keywords.push(KeywordMeta {
+                topic: cursor.u32()?,
+                theta: cursor.u64()?,
+                tf_sum: cursor.f64()?,
+                idf: cursor.f64()?,
+                opt_w: cursor.f64()?,
+                max_list_len: cursor.u32()?,
+                num_partitions: cursor.u32()?,
+                total_rr_members: cursor.u64()?,
+            });
+        }
+        if keywords.len() != num_topics as usize {
+            return Err(IndexError::Corrupt(format!(
+                "catalog lists {} keywords for {num_topics} topics",
+                keywords.len()
+            )));
+        }
+        Ok(IndexMeta { num_users, num_topics, codec, variant, model_name, keywords })
+    }
+}
+
+/// One inverted-list entry: a user and the (ascending) ids of the RR sets
+/// containing it.
+pub type IlEntry = (NodeId, Vec<u32>);
+
+/// Encode an inverted-list block (`il` or one `ilp` partition): count then
+/// per-entry varint user + codec list.
+pub fn encode_il_entries(entries: &[IlEntry], codec: Codec, out: &mut Vec<u8>) {
+    varint::write_u32(entries.len() as u32, out);
+    for (user, list) in entries {
+        varint::write_u32(*user, out);
+        codec.encode_sorted(list, out);
+    }
+}
+
+/// Decode a block written by [`encode_il_entries`].
+pub fn decode_il_entries(input: &[u8], codec: Codec) -> Result<Vec<IlEntry>, IndexError> {
+    let mut cursor = Cursor::new(input);
+    let count = cursor.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let user = cursor.u32()?;
+        let list = cursor.list(codec)?;
+        entries.push((user, list));
+    }
+    cursor.expect_end()?;
+    Ok(entries)
+}
+
+/// Encode the `ip` block: users ascending, plus their first-occurrence RR
+/// ids (parallel, unsorted → plain varints).
+pub fn encode_ip(users: &[NodeId], firsts: &[u32], codec: Codec, out: &mut Vec<u8>) {
+    assert_eq!(users.len(), firsts.len());
+    varint::write_u32(users.len() as u32, out);
+    codec.encode_sorted(users, out);
+    for &f in firsts {
+        varint::write_u32(f, out);
+    }
+}
+
+/// Decode the `ip` block into parallel `(users, firsts)`.
+pub fn decode_ip(input: &[u8], codec: Codec) -> Result<(Vec<NodeId>, Vec<u32>), IndexError> {
+    let mut cursor = Cursor::new(input);
+    let count = cursor.u32()? as usize;
+    let users = cursor.list(codec)?;
+    if users.len() != count {
+        return Err(IndexError::Corrupt("ip user count mismatch".into()));
+    }
+    let mut firsts = Vec::with_capacity(count);
+    for _ in 0..count {
+        firsts.push(cursor.u32()?);
+    }
+    cursor.expect_end()?;
+    Ok((users, firsts))
+}
+
+/// Every `IR_SAMPLE_EVERY`-th IR entry gets an (id, byte-offset) sample so
+/// queries can load only the `rr_id < θ^Q_w` prefix of a partition instead
+/// of the whole thing.
+pub const IR_SAMPLE_EVERY: usize = 16;
+
+/// Catalog row for one IRR partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMeta {
+    /// Byte range of this partition inside the `ilp` block.
+    pub il_start: u64,
+    /// End of the `ilp` range (exclusive).
+    pub il_end: u64,
+    /// Byte range of this partition inside the `irp` block.
+    pub ir_start: u64,
+    /// End of the `irp` range (exclusive).
+    pub ir_end: u64,
+    /// RR sets first covered by this partition (= entries in its `irp`).
+    pub rr_count: u32,
+    /// Users in this partition (≤ δ).
+    pub user_count: u32,
+    /// Longest inverted list in any *later* partition — the `kb[w]` bound
+    /// after loading this partition (0 for the last one).
+    pub max_len_after: u32,
+    /// Sparse `(rr_id, byte offset within this partition's irp range)`
+    /// samples at entry boundaries, every [`IR_SAMPLE_EVERY`] entries
+    /// (entry 0 included). Ids and offsets both ascend.
+    pub ir_samples: Vec<(u32, u64)>,
+}
+
+impl PartitionMeta {
+    /// Byte length of the partition's IR prefix containing every entry
+    /// with `rr_id < limit` (may additionally cover up to
+    /// `IR_SAMPLE_EVERY - 1` later entries, which the decoder skips).
+    pub fn ir_prefix_len(&self, limit: u64) -> u64 {
+        let total = self.ir_end - self.ir_start;
+        // First sample whose id is >= limit bounds the range.
+        match self.ir_samples.iter().find(|&&(id, _)| id as u64 >= limit) {
+            Some(&(_, offset)) => offset.min(total),
+            None => total,
+        }
+    }
+}
+
+/// Encode the `pmeta` block.
+pub fn encode_partition_meta(parts: &[PartitionMeta], out: &mut Vec<u8>) {
+    varint::write_u32(parts.len() as u32, out);
+    for p in parts {
+        varint::write_u64(p.il_start, out);
+        varint::write_u64(p.il_end, out);
+        varint::write_u64(p.ir_start, out);
+        varint::write_u64(p.ir_end, out);
+        varint::write_u32(p.rr_count, out);
+        varint::write_u32(p.user_count, out);
+        varint::write_u32(p.max_len_after, out);
+        varint::write_u32(p.ir_samples.len() as u32, out);
+        let mut prev_id = 0u32;
+        let mut prev_off = 0u64;
+        for &(id, off) in &p.ir_samples {
+            varint::write_u32(id - prev_id, out);
+            varint::write_u64(off - prev_off, out);
+            prev_id = id;
+            prev_off = off;
+        }
+    }
+}
+
+/// Decode the `pmeta` block.
+pub fn decode_partition_meta(input: &[u8]) -> Result<Vec<PartitionMeta>, IndexError> {
+    let mut cursor = Cursor::new(input);
+    let count = cursor.u32()? as usize;
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let il_start = cursor.u64()?;
+        let il_end = cursor.u64()?;
+        let ir_start = cursor.u64()?;
+        let ir_end = cursor.u64()?;
+        let rr_count = cursor.u32()?;
+        let user_count = cursor.u32()?;
+        let max_len_after = cursor.u32()?;
+        let sample_count = cursor.u32()? as usize;
+        let mut ir_samples = Vec::with_capacity(sample_count);
+        let mut prev_id = 0u32;
+        let mut prev_off = 0u64;
+        for _ in 0..sample_count {
+            prev_id += cursor.u32()?;
+            prev_off += cursor.u64()?;
+            ir_samples.push((prev_id, prev_off));
+        }
+        parts.push(PartitionMeta {
+            il_start,
+            il_end,
+            ir_start,
+            ir_end,
+            rr_count,
+            user_count,
+            max_len_after,
+            ir_samples,
+        });
+    }
+    cursor.expect_end()?;
+    Ok(parts)
+}
+
+/// One partitioned RR set: its per-keyword ordinal id and sorted members.
+pub type IrEntry = (u32, Vec<NodeId>);
+
+/// Encode one `irp` partition: entries back to back (varint id + codec
+/// members, ids ascending), **no count header** — partitions are read as
+/// byte ranges whose boundaries always fall on entry boundaries, so the
+/// decoder simply consumes the buffer. Returns the sparse offset samples
+/// for [`PartitionMeta::ir_samples`].
+pub fn encode_ir_entries(
+    entries: &[IrEntry],
+    codec: Codec,
+    out: &mut Vec<u8>,
+) -> Vec<(u32, u64)> {
+    let base = out.len() as u64;
+    let mut samples = Vec::with_capacity(entries.len() / IR_SAMPLE_EVERY + 1);
+    for (i, (id, members)) in entries.iter().enumerate() {
+        if i % IR_SAMPLE_EVERY == 0 {
+            samples.push((*id, out.len() as u64 - base));
+        }
+        varint::write_u32(*id, out);
+        codec.encode_sorted(members, out);
+    }
+    samples
+}
+
+/// Decode an `irp` byte range written by [`encode_ir_entries`], consuming
+/// the whole buffer. `limit` truncates decoding at the first id `>= limit`
+/// (`u32::MAX` decodes everything).
+pub fn decode_ir_entries(
+    input: &[u8],
+    codec: Codec,
+    limit: u32,
+) -> Result<Vec<IrEntry>, IndexError> {
+    let mut cursor = Cursor::new(input);
+    let mut entries = Vec::new();
+    while !cursor.at_end() {
+        let id = cursor.u32()?;
+        if id >= limit {
+            break;
+        }
+        let members = cursor.list(codec)?;
+        entries.push((id, members));
+    }
+    Ok(entries)
+}
+
+/// Decode a prefix of the `rr` block containing `count` RR sets.
+pub fn decode_rr_prefix(
+    input: &[u8],
+    count: u64,
+    codec: Codec,
+) -> Result<Vec<Vec<NodeId>>, IndexError> {
+    let mut sets = Vec::with_capacity(count as usize);
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let mut members = Vec::new();
+        pos += codec.decode_sorted(&input[pos..], &mut members)?;
+        sets.push(members);
+    }
+    Ok(sets)
+}
+
+/// Byte cursor with varint helpers over a borrowed buffer.
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a [u8]) -> Cursor<'a> {
+        Cursor { input, pos: 0 }
+    }
+
+    fn byte(&mut self) -> Result<u8, IndexError> {
+        let b = *self
+            .input
+            .get(self.pos)
+            .ok_or(IndexError::Codec(kbtim_codec::CodecError::UnexpectedEof))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], IndexError> {
+        if self.pos + n > self.input.len() {
+            return Err(IndexError::Codec(kbtim_codec::CodecError::UnexpectedEof));
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, IndexError> {
+        let (v, used) = varint::read_u32(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, IndexError> {
+        let (v, used) = varint::read_u64(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, IndexError> {
+        let bytes: [u8; 8] = self.bytes(8)?.try_into().expect("fixed length");
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    fn list(&mut self, codec: Codec) -> Result<Vec<u32>, IndexError> {
+        let mut out = Vec::new();
+        let used = codec.decode_sorted(&self.input[self.pos..], &mut out)?;
+        self.pos += used;
+        Ok(out)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.input.len()
+    }
+
+    fn expect_end(&self) -> Result<(), IndexError> {
+        if self.pos != self.input.len() {
+            return Err(IndexError::Corrupt(format!(
+                "{} trailing bytes after block payload",
+                self.input.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> IndexMeta {
+        IndexMeta {
+            num_users: 1000,
+            num_topics: 3,
+            codec: Codec::Packed,
+            variant: IndexVariant::Irr { partition_size: 100 },
+            model_name: "IC".to_string(),
+            keywords: vec![
+                KeywordMeta {
+                    topic: 0,
+                    theta: 500,
+                    tf_sum: 123.5,
+                    idf: 2.5,
+                    opt_w: 17.25,
+                    max_list_len: 44,
+                    num_partitions: 3,
+                    total_rr_members: 1200,
+                },
+                KeywordMeta {
+                    topic: 1,
+                    theta: 0,
+                    tf_sum: 0.0,
+                    idf: 0.0,
+                    opt_w: 0.0,
+                    max_list_len: 0,
+                    num_partitions: 0,
+                    total_rr_members: 0,
+                },
+                KeywordMeta {
+                    topic: 2,
+                    theta: 9,
+                    tf_sum: 1.0,
+                    idf: 1.0,
+                    opt_w: 0.5,
+                    max_list_len: 3,
+                    num_partitions: 1,
+                    total_rr_members: 21,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = sample_meta();
+        let bytes = meta.encode();
+        let decoded = IndexMeta::decode(&bytes).unwrap();
+        assert_eq!(meta, decoded);
+    }
+
+    #[test]
+    fn meta_rr_variant_roundtrip() {
+        let mut meta = sample_meta();
+        meta.variant = IndexVariant::Rr;
+        let decoded = IndexMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(decoded.variant, IndexVariant::Rr);
+    }
+
+    #[test]
+    fn meta_truncation_detected() {
+        let bytes = sample_meta().encode();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(IndexMeta::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn il_entries_roundtrip() {
+        let entries: Vec<IlEntry> = vec![
+            (3, vec![0, 5, 9, 200]),
+            (7, vec![]),
+            (900, vec![1]),
+        ];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            encode_il_entries(&entries, codec, &mut buf);
+            assert_eq!(decode_il_entries(&buf, codec).unwrap(), entries);
+        }
+    }
+
+    #[test]
+    fn ip_roundtrip() {
+        let users = vec![1u32, 5, 8, 100];
+        let firsts = vec![40u32, 0, 7, 3];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            encode_ip(&users, &firsts, codec, &mut buf);
+            let (u, f) = decode_ip(&buf, codec).unwrap();
+            assert_eq!(u, users);
+            assert_eq!(f, firsts);
+        }
+    }
+
+    #[test]
+    fn partition_meta_roundtrip() {
+        let parts = vec![
+            PartitionMeta {
+                il_start: 0,
+                il_end: 100,
+                ir_start: 0,
+                ir_end: 400,
+                rr_count: 12,
+                user_count: 100,
+                max_len_after: 7,
+                ir_samples: vec![(0, 0), (40, 128), (200, 320)],
+            },
+            PartitionMeta {
+                il_start: 100,
+                il_end: 130,
+                ir_start: 400,
+                ir_end: 410,
+                rr_count: 1,
+                user_count: 30,
+                max_len_after: 0,
+                ir_samples: vec![(3, 0)],
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_partition_meta(&parts, &mut buf);
+        assert_eq!(decode_partition_meta(&buf).unwrap(), parts);
+    }
+
+    #[test]
+    fn ir_entries_roundtrip() {
+        let entries: Vec<IrEntry> = vec![(0, vec![1, 2, 3]), (5, vec![9]), (6, vec![])];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            let samples = encode_ir_entries(&entries, codec, &mut buf);
+            assert_eq!(samples[0], (0, 0));
+            assert_eq!(decode_ir_entries(&buf, codec, u32::MAX).unwrap(), entries);
+        }
+    }
+
+    #[test]
+    fn ir_entries_limit_truncates() {
+        let entries: Vec<IrEntry> = vec![(0, vec![1]), (5, vec![2]), (9, vec![3]), (12, vec![])];
+        let mut buf = Vec::new();
+        encode_ir_entries(&entries, Codec::Packed, &mut buf);
+        let decoded = decode_ir_entries(&buf, Codec::Packed, 9).unwrap();
+        assert_eq!(decoded, &entries[..2]);
+    }
+
+    #[test]
+    fn ir_prefix_len_bounds() {
+        // 40 entries → samples at 0, 16, 32.
+        let entries: Vec<IrEntry> = (0..40u32).map(|i| (i * 2, vec![i])).collect();
+        let mut buf = Vec::new();
+        let samples = encode_ir_entries(&entries, Codec::Packed, &mut buf);
+        assert_eq!(samples.len(), 3);
+        let meta = PartitionMeta {
+            il_start: 0,
+            il_end: 0,
+            ir_start: 1000,
+            ir_end: 1000 + buf.len() as u64,
+            rr_count: 40,
+            user_count: 40,
+            max_len_after: 0,
+            ir_samples: samples.clone(),
+        };
+        // Limit below the second sample's id cuts at that sample.
+        let cut = meta.ir_prefix_len(10);
+        assert_eq!(cut, samples[1].1);
+        // The cut range decodes exactly the entries with id < 32 (first 16).
+        let decoded = decode_ir_entries(&buf[..cut as usize], Codec::Packed, 10).unwrap();
+        assert_eq!(decoded.len(), 5, "ids 0,2,4,6,8");
+        // A huge limit spans everything.
+        assert_eq!(meta.ir_prefix_len(u64::MAX), buf.len() as u64);
+    }
+
+    #[test]
+    fn rr_prefix_decoding() {
+        let sets: Vec<Vec<NodeId>> = vec![vec![1, 2], vec![7], vec![0, 100, 200]];
+        let codec = Codec::Packed;
+        let mut buf = Vec::new();
+        for s in &sets {
+            codec.encode_sorted(s, &mut buf);
+        }
+        let two = decode_rr_prefix(&buf, 2, codec).unwrap();
+        assert_eq!(two, &sets[..2]);
+        let all = decode_rr_prefix(&buf, 3, codec).unwrap();
+        assert_eq!(all, sets);
+    }
+
+    #[test]
+    fn keyword_file_names_are_stable() {
+        assert_eq!(keyword_file_name(0), "kw_00000.seg");
+        assert_eq!(keyword_file_name(42), "kw_00042.seg");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let entries: Vec<IlEntry> = vec![(1, vec![2])];
+        let mut buf = Vec::new();
+        encode_il_entries(&entries, Codec::Raw, &mut buf);
+        buf.push(0xff);
+        assert!(decode_il_entries(&buf, Codec::Raw).is_err());
+    }
+}

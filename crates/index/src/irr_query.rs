@@ -1,0 +1,442 @@
+//! Algorithm 4 — `QueryIRR`: incremental KB-TIM query processing.
+//!
+//! The IRR index sorts each keyword's inverted lists by length, so the
+//! most impactful users come first. Queries run an NRA-style top-k
+//! aggregation (after Fagin et al. [8]):
+//!
+//! * candidates live in a max-priority-queue keyed by an **upper bound**
+//!   on their uncovered coverage count;
+//! * a keyword's bound for users not yet seen is `kb[w]` — the longest
+//!   inverted list in any unloaded partition (clamped to `θ^Q_w`, since a
+//!   prefix count can never exceed the prefix);
+//! * `IP_w` resolves "missing" partial scores: a user whose first RR-set
+//!   occurrence is at or beyond `θ^Q_w` scores 0 on `w` without loading
+//!   anything (§5.2's first issue);
+//! * scores are refined **lazily**: only the queue's top entry is ever
+//!   recomputed (§5.2's second issue); gains shrink monotonically, so a
+//!   stale top that recomputes to the same value is safe to accept;
+//! * a candidate becomes a seed when its score is exact (`COMPLETE`) and
+//!   at least `Σ_w kb[w]`, the best any unseen user could do.
+//!
+//! Theorem 3: the seeds' coverage scores equal Algorithm 2's. The
+//! implementation shares its tie-breaking (score desc, node id asc) with
+//! the greedy used by `query_rr`, so the *seed sequences* are identical —
+//! property-tested in `tests/`.
+
+use crate::format::{self, PartitionMeta};
+use crate::rr_query::empty_outcome;
+use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_graph::NodeId;
+use kbtim_topics::Query;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
+
+/// Per-keyword NRA state.
+struct KwState<'a> {
+    /// `θ^Q_w` — only RR ids below this participate.
+    share: u64,
+    /// Base offset of this keyword's ids in the global covered bitmap.
+    base: u64,
+    /// First-occurrence table (`IP_w`).
+    ip: HashMap<NodeId, u32>,
+    /// Partition catalog.
+    partitions: Vec<PartitionMeta>,
+    /// How many partitions have been loaded.
+    loaded: usize,
+    /// Loaded inverted lists, truncated to ids `< share` (local ids).
+    lists: HashMap<NodeId, Vec<u32>>,
+    /// Current unseen-user bound for this keyword.
+    kb: u64,
+    reader: &'a kbtim_storage::segment::SegmentReader,
+}
+
+impl KwState<'_> {
+    /// Exact uncovered count for a loaded user.
+    fn exact_count(&self, list: &[u32], covered: &[bool]) -> u64 {
+        list.iter().filter(|&&id| !covered[(self.base + id as u64) as usize]).count() as u64
+    }
+
+    /// Partial score of `v` on this keyword: `(bound, is_exact)`.
+    fn partial(&self, v: NodeId, covered: &[bool]) -> (u64, bool) {
+        if let Some(list) = self.lists.get(&v) {
+            return (self.exact_count(list, covered), true);
+        }
+        match self.ip.get(&v) {
+            // First occurrence beyond the prefix → exact zero (§5.2).
+            Some(&first) if (first as u64) < self.share => (self.kb, false),
+            _ => (0, true),
+        }
+    }
+}
+
+impl KbtimIndex {
+    /// Answer `query` with Algorithm 4. Requires the IRR variant.
+    pub fn query_irr(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        let format::IndexVariant::Irr { .. } = self.meta().variant else {
+            return Err(IndexError::NotAnIrrIndex);
+        };
+        let started = Instant::now();
+        let io_before = self.io_stats().snapshot();
+        let (phi_q, budget) = self.query_budget(query);
+        if budget.is_empty() {
+            return Ok(empty_outcome(started));
+        }
+        let codec = self.meta().codec;
+
+        // Initialize per-keyword state; IP and the partition catalog are
+        // read up front (one small read each, as in the paper).
+        let mut states: Vec<KwState<'_>> = Vec::with_capacity(budget.len());
+        let mut base = 0u64;
+        for &(topic, share) in &budget {
+            let reader = self.reader(topic)?;
+            let ip_bytes = reader.read_block(format::IP_BLOCK)?;
+            let (users, firsts) = format::decode_ip(&ip_bytes, codec)?;
+            let ip: HashMap<NodeId, u32> = users.into_iter().zip(firsts).collect();
+            let pmeta_bytes = reader.read_block(format::PMETA_BLOCK)?;
+            let partitions = format::decode_partition_meta(&pmeta_bytes)?;
+            let max_len = self.meta().keywords[topic as usize].max_list_len as u64;
+            states.push(KwState {
+                share,
+                base,
+                ip,
+                partitions,
+                loaded: 0,
+                lists: HashMap::new(),
+                kb: max_len.min(share),
+                reader,
+            });
+            base += share;
+        }
+        let theta_q = base;
+
+        let mut covered = vec![false; theta_q as usize];
+        let mut pq: BinaryHeap<(u64, Reverse<NodeId>)> = BinaryHeap::new();
+        let mut selected: HashSet<NodeId> = HashSet::new();
+        let mut seeds: Vec<NodeId> = Vec::new();
+        let mut marginal_gains: Vec<u64> = Vec::new();
+        let mut coverage = 0u64;
+        let mut rr_sets_loaded = 0u64;
+        let mut partitions_loaded = 0u64;
+
+        // Aggregate upper-bound score of a candidate.
+        let score = |v: NodeId, covered: &[bool], states: &[KwState<'_>]| -> (u64, bool) {
+            let mut total = 0u64;
+            let mut complete = true;
+            for st in states {
+                let (s, exact) = st.partial(v, covered);
+                total += s;
+                complete &= exact;
+            }
+            (total, complete)
+        };
+
+        // Load the next partition of every query keyword; push fresh
+        // candidates. Returns false when everything is exhausted.
+        let mut load_more = |states: &mut [KwState<'_>],
+                             pq: &mut BinaryHeap<(u64, Reverse<NodeId>)>,
+                             covered: &[bool],
+                             selected: &HashSet<NodeId>|
+         -> Result<bool, IndexError> {
+            let mut any = false;
+            let mut fresh: Vec<NodeId> = Vec::new();
+            for st in states.iter_mut() {
+                if st.loaded >= st.partitions.len() {
+                    st.kb = 0;
+                    continue;
+                }
+                let part = st.partitions[st.loaded].clone();
+                let il = st.reader.read_range(
+                    format::ILP_BLOCK,
+                    part.il_start,
+                    part.il_end - part.il_start,
+                )?;
+                let entries = format::decode_il_entries(&il, codec)?;
+                // Only the byte range holding ids < θ^Q_w is read — sets
+                // beyond the query's prefix never touch memory (the sparse
+                // ir_samples table bounds the range).
+                let ir_len = part.ir_prefix_len(st.share);
+                let ir = st.reader.read_range(format::IRP_BLOCK, part.ir_start, ir_len)?;
+                // RR-set payloads are decoded (and counted) exactly as the
+                // paper's loader does; the lazy NRA itself only needs ids.
+                let ir_entries = format::decode_ir_entries(&ir, codec, st.share as u32)?;
+                rr_sets_loaded += ir_entries.len() as u64;
+                partitions_loaded += 1;
+                for (user, list) in entries {
+                    let cut = list.partition_point(|&id| (id as u64) < st.share);
+                    st.lists.insert(user, list[..cut].to_vec());
+                    if !selected.contains(&user) {
+                        fresh.push(user);
+                    }
+                }
+                st.loaded += 1;
+                st.kb = (part.max_len_after as u64).min(st.share);
+                any = true;
+            }
+            // Push fresh candidates with bounds computed against the *new*
+            // kb values.
+            for v in fresh {
+                let mut total = 0u64;
+                for st in states.iter() {
+                    total += st.partial(v, covered).0;
+                }
+                pq.push((total, Reverse(v)));
+            }
+            Ok(any)
+        };
+
+        while (seeds.len() as u32) < query.k() {
+            let total_kb: u64 = states.iter().map(|st| st.kb).sum();
+            match pq.peek().copied() {
+                Some((s, Reverse(v))) if s > 0 => {
+                    pq.pop();
+                    if selected.contains(&v) {
+                        continue;
+                    }
+                    let (s2, complete) = score(v, &covered, &states);
+                    if s2 != s {
+                        // Stale: refresh and reinsert (lazy update, §5.2).
+                        if s2 > 0 {
+                            pq.push((s2, Reverse(v)));
+                        }
+                        continue;
+                    }
+                    if complete && s >= total_kb {
+                        // New seed confirmed.
+                        selected.insert(v);
+                        seeds.push(v);
+                        marginal_gains.push(s);
+                        coverage += s;
+                        for st in &states {
+                            if let Some(list) = st.lists.get(&v) {
+                                for &id in list {
+                                    covered[(st.base + id as u64) as usize] = true;
+                                }
+                            }
+                        }
+                    } else {
+                        // Cannot separate from unseen users yet: reinsert
+                        // and deepen the index scan.
+                        pq.push((s, Reverse(v)));
+                        if !load_more(&mut states, &mut pq, &covered, &selected)? && total_kb == 0
+                        {
+                            // Exhausted and still not separable — only
+                            // possible transiently; with kb = 0 the accept
+                            // condition holds on the next iteration for any
+                            // complete candidate. Guard against an
+                            // incomplete candidate surviving exhaustion
+                            // (cannot happen: exhaustion loads every list).
+                            debug_assert!(complete, "incomplete candidate after exhaustion");
+                        }
+                    }
+                }
+                _ => {
+                    // No positive candidate in the queue: either deepen the
+                    // scan or finish.
+                    if total_kb == 0 || !load_more(&mut states, &mut pq, &covered, &selected)? {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let estimated_influence = if theta_q == 0 {
+            0.0
+        } else {
+            coverage as f64 / theta_q as f64 * phi_q
+        };
+        Ok(QueryOutcome {
+            seeds,
+            marginal_gains,
+            coverage,
+            estimated_influence,
+            stats: QueryStats {
+                theta_q,
+                rr_sets_loaded,
+                partitions_loaded,
+                io: self.io_stats().snapshot().since(&io_before),
+                elapsed: started.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{IndexBuildConfig, IndexBuilder, ThetaMode};
+    use crate::format::IndexVariant;
+    use crate::{IndexError, KbtimIndex};
+    use kbtim_codec::Codec;
+    use kbtim_core::theta::SamplingConfig;
+    use kbtim_datagen::{Dataset, DatasetConfig, DatasetFamily};
+    use kbtim_propagation::model::IcModel;
+    use kbtim_storage::{IoStats, TempDir};
+    use kbtim_topics::Query;
+
+    fn dataset(users: u32, topics: u32, seed: u64) -> Dataset {
+        DatasetConfig::family(DatasetFamily::News)
+            .num_users(users)
+            .num_topics(topics)
+            .seed(seed)
+            .build()
+    }
+
+    fn build_irr(data: &Dataset, dir: &std::path::Path, partition_size: u32) {
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(2000),
+                opt_initial_samples: 128,
+                opt_max_rounds: 8,
+                ..SamplingConfig::fast()
+            },
+            codec: Codec::Packed,
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size },
+            threads: 4,
+            seed: 13,
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
+    }
+
+    #[test]
+    fn irr_matches_rr_seeds_exactly() {
+        // Theorem 3, strengthened to identical sequences by shared
+        // tie-breaking.
+        let data = dataset(500, 6, 31);
+        let dir = TempDir::new("irrq-eq").unwrap();
+        build_irr(&data, dir.path(), 16);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        for q in [
+            Query::new([0], 5),
+            Query::new([0, 1], 10),
+            Query::new([1, 2, 3], 15),
+            Query::new([0, 1, 2, 3, 4, 5], 25),
+        ] {
+            let rr = index.query_rr(&q).unwrap();
+            let irr = index.query_irr(&q).unwrap();
+            assert_eq!(rr.seeds, irr.seeds, "query {q:?}");
+            assert_eq!(rr.marginal_gains, irr.marginal_gains, "query {q:?}");
+            assert_eq!(rr.coverage, irr.coverage);
+            assert_eq!(rr.stats.theta_q, irr.stats.theta_q);
+        }
+    }
+
+    #[test]
+    fn irr_loads_fewer_rr_sets_with_small_k() {
+        let data = dataset(1200, 6, 37);
+        let dir = TempDir::new("irrq-fewer").unwrap();
+        build_irr(&data, dir.path(), 25);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let q = Query::new([0, 1], 5);
+        let rr = index.query_rr(&q).unwrap();
+        let irr = index.query_irr(&q).unwrap();
+        assert!(
+            irr.stats.rr_sets_loaded < rr.stats.rr_sets_loaded,
+            "IRR {} should load fewer sets than RR {}",
+            irr.stats.rr_sets_loaded,
+            rr.stats.rr_sets_loaded
+        );
+        assert!(irr.stats.partitions_loaded > 0);
+    }
+
+    #[test]
+    fn rr_variant_rejects_irr_queries() {
+        let data = dataset(300, 4, 41);
+        let model = IcModel::weighted_cascade(&data.graph);
+        let dir = TempDir::new("irrq-notirr").unwrap();
+        let config = IndexBuildConfig {
+            variant: IndexVariant::Rr,
+            sampling: SamplingConfig {
+                theta_cap: Some(500),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            ..IndexBuildConfig::default()
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        assert!(matches!(
+            index.query_irr(&Query::new([0], 3)).unwrap_err(),
+            IndexError::NotAnIrrIndex
+        ));
+    }
+
+    #[test]
+    fn partition_size_one_still_correct() {
+        let data = dataset(250, 4, 43);
+        let dir = TempDir::new("irrq-p1").unwrap();
+        build_irr(&data, dir.path(), 1);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let q = Query::new([0, 1], 8);
+        let rr = index.query_rr(&q).unwrap();
+        let irr = index.query_irr(&q).unwrap();
+        assert_eq!(rr.seeds, irr.seeds);
+    }
+
+    #[test]
+    fn huge_partition_size_still_correct() {
+        // One partition holding everything degenerates IRR to RR.
+        let data = dataset(250, 4, 47);
+        let dir = TempDir::new("irrq-phuge").unwrap();
+        build_irr(&data, dir.path(), 1_000_000);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let q = Query::new([0, 1, 2], 8);
+        let rr = index.query_rr(&q).unwrap();
+        let irr = index.query_irr(&q).unwrap();
+        assert_eq!(rr.seeds, irr.seeds);
+        assert_eq!(irr.stats.partitions_loaded, q.num_topics() as u64);
+    }
+
+    #[test]
+    fn query_auto_picks_by_k() {
+        let data = dataset(400, 4, 59);
+        let dir = TempDir::new("irrq-auto").unwrap();
+        build_irr(&data, dir.path(), 40); // δ = 40 → IRR for k ≤ 10
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let small = index.query_auto(&Query::new([0, 1], 5)).unwrap();
+        let large = index.query_auto(&Query::new([0, 1], 30)).unwrap();
+        // IRR path leaves partition traces; RR path does not.
+        assert!(small.stats.partitions_loaded > 0, "small k should take IRR");
+        assert_eq!(large.stats.partitions_loaded, 0, "large k should take RR");
+        // Both remain Theorem-3-identical to the explicit calls.
+        assert_eq!(small.seeds, index.query_irr(&Query::new([0, 1], 5)).unwrap().seeds);
+        assert_eq!(large.seeds, index.query_rr(&Query::new([0, 1], 30)).unwrap().seeds);
+    }
+
+    #[test]
+    fn query_auto_on_rr_variant_never_uses_irr() {
+        let data = dataset(300, 4, 67);
+        let model = IcModel::weighted_cascade(&data.graph);
+        let dir = TempDir::new("irrq-auto-rr").unwrap();
+        let config = IndexBuildConfig {
+            variant: IndexVariant::Rr,
+            sampling: SamplingConfig {
+                theta_cap: Some(500),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            ..IndexBuildConfig::default()
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let outcome = index.query_auto(&Query::new([0], 2)).unwrap();
+        assert_eq!(outcome.stats.partitions_loaded, 0);
+    }
+
+    #[test]
+    fn io_counted_per_query() {
+        let data = dataset(400, 4, 53);
+        let dir = TempDir::new("irrq-io").unwrap();
+        build_irr(&data, dir.path(), 10);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let q = Query::new([0, 1], 6);
+        let first = index.query_irr(&q).unwrap();
+        let second = index.query_irr(&q).unwrap();
+        // Stats are per query (deltas), not cumulative.
+        assert_eq!(first.stats.io.read_ops, second.stats.io.read_ops);
+        assert!(first.stats.io.read_ops > 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Disk-based RR and IRR indexes — the paper's real-time query path
+//! (§4 and §5).
+//!
+//! Online WRIS sampling is correct but slow: hundreds of thousands of
+//! reverse BFS walks per query. The paper's key move is *discriminative*
+//! WRIS (Eqn 7): the query-dependent root distribution `ps(v, Q)` factors
+//! into per-keyword distributions `ps(v, w)` mixed with query-independent
+//! proportions `p_w`, so RR sets can be sampled **offline per keyword**
+//! and merged at query time. Lemma 2 shows a query drawing `θ^Q·p_w` sets
+//! from each keyword's pool keeps Theorem 2's `(1 − 1/e − ε)` guarantee.
+//!
+//! Two index layouts share one on-disk directory format:
+//!
+//! * **RR index** (§4, Algorithms 1–2): per keyword, `θ_w` RR sets
+//!   ([`theta`](kbtim_core::theta)-sized via Eqn 8 or the compact Eqn 10)
+//!   plus inverted lists `L_w`. A query loads the `θ^Q·p_w` *prefix* of
+//!   each keyword's sets plus the whole `L_w` and runs greedy
+//!   max-coverage.
+//! * **IRR index** (§5, Algorithms 3–4): additionally sorts `L_w` by
+//!   descending list length, splits it into partitions of `δ` users
+//!   (`IL^p_w`), groups RR sets by the first partition that touches them
+//!   (`IR^p_w`), and keeps a first-occurrence table `IP_w`. Queries run
+//!   NRA-style top-k aggregation, loading partitions incrementally and
+//!   refining upper bounds lazily — far fewer RR sets touch memory.
+//!
+//! Theorem 3 (the seeds' coverage scores from Algorithm 4 equal
+//! Algorithm 2's) is enforced in this crate's property tests: both query
+//! paths share tie-breaking and produce identical seed sequences.
+//!
+//! All reads go through checksummed [`kbtim_storage`] segments with
+//! counted I/O; every query returns a [`QueryStats`] with the RR-sets-
+//! loaded and I/O numbers behind the paper's Figures 5–7 and Table 6.
+
+pub mod build;
+pub mod format;
+pub mod irr_query;
+pub mod memory;
+pub mod rr_query;
+pub mod validate;
+
+use kbtim_graph::NodeId;
+use kbtim_storage::segment::SegmentReader;
+use kbtim_storage::{IoSnapshot, IoStats};
+use kbtim_topics::{Query, TopicId};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+pub use build::{BuildReport, IndexBuildConfig, IndexBuilder, KeywordBuildStats, ThetaMode};
+pub use format::{IndexMeta, IndexVariant, KeywordMeta};
+pub use memory::MemoryIndex;
+
+/// Errors from index construction and querying.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying storage failure.
+    Storage(kbtim_storage::segment::StorageError),
+    /// Compressed data failed to decode.
+    Codec(kbtim_codec::CodecError),
+    /// Structural inconsistency in the index itself.
+    Corrupt(String),
+    /// The operation requires IRR partition blocks, but the index was
+    /// built as a plain RR index.
+    NotAnIrrIndex,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage: {e}"),
+            IndexError::Codec(e) => write!(f, "codec: {e}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+            IndexError::NotAnIrrIndex => write!(f, "index has no IRR partitions"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<kbtim_storage::segment::StorageError> for IndexError {
+    fn from(e: kbtim_storage::segment::StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl From<kbtim_codec::CodecError> for IndexError {
+    fn from(e: kbtim_codec::CodecError) -> Self {
+        IndexError::Codec(e)
+    }
+}
+
+/// Per-query measurement record (the quantities reported in §6).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Total RR sets the query needed, `θ^Q = Σ_w θ^Q_w`.
+    pub theta_q: u64,
+    /// RR sets physically loaded from disk (equals `theta_q` for the RR
+    /// index; usually far smaller … or larger … for IRR depending on
+    /// partition granularity — this is Figures 5–7's right-hand axis).
+    pub rr_sets_loaded: u64,
+    /// IRR partitions loaded (0 for RR queries).
+    pub partitions_loaded: u64,
+    /// Positioned-read / byte / seek counters for this query (Table 6).
+    pub io: IoSnapshot,
+    /// Wall-clock query time.
+    pub elapsed: Duration,
+}
+
+/// Result of an index-backed KB-TIM query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Selected seeds in greedy order (≤ `Q.k`).
+    pub seeds: Vec<NodeId>,
+    /// Marginal RR-set coverage of each seed.
+    pub marginal_gains: Vec<u64>,
+    /// Total covered RR sets.
+    pub coverage: u64,
+    /// Unbiased targeted-influence estimate
+    /// `coverage/θ^Q · φ_Q` (Lemma 1 + Lemma 2).
+    pub estimated_influence: f64,
+    /// Measurements for this query.
+    pub stats: QueryStats,
+}
+
+/// An opened on-disk KB-TIM index (either variant).
+///
+/// [`KbtimIndex::query_rr`] implements Algorithm 2 and works on both
+/// variants; [`KbtimIndex::query_irr`] implements Algorithm 4 and requires
+/// the IRR variant.
+pub struct KbtimIndex {
+    dir: PathBuf,
+    meta: IndexMeta,
+    /// Per-topic segment readers (`None` for topics with no index — no
+    /// user holds them, so their `θ_w = 0`).
+    readers: Vec<Option<SegmentReader>>,
+    stats: IoStats,
+}
+
+impl KbtimIndex {
+    /// Open an index directory, validating segment framing. Reads done
+    /// during `open` are *not* charged to `stats` (the paper measures
+    /// per-query I/O against a warm catalog).
+    pub fn open(dir: impl AsRef<Path>, stats: IoStats) -> Result<KbtimIndex, IndexError> {
+        let dir = dir.as_ref().to_path_buf();
+        let open_stats = IoStats::new(); // discard catalog-open I/O
+        let meta_reader = SegmentReader::open(dir.join(format::META_FILE), open_stats.clone())?;
+        let meta_bytes = meta_reader.read_block(format::META_BLOCK)?;
+        let meta = IndexMeta::decode(&meta_bytes)?;
+
+        let mut readers = Vec::with_capacity(meta.keywords.len());
+        for kw in &meta.keywords {
+            if kw.theta == 0 {
+                readers.push(None);
+            } else {
+                let path = dir.join(format::keyword_file_name(kw.topic));
+                readers.push(Some(SegmentReader::open(path, stats.clone())?));
+            }
+        }
+        Ok(KbtimIndex { dir, meta, readers, stats })
+    }
+
+    /// The index catalog (sizes, θ_w table, codec, variant).
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    /// Directory this index lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shared I/O counters for all queries against this index.
+    pub fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Total on-disk footprint in bytes (catalog + keyword segments).
+    pub fn disk_bytes(&self) -> Result<u64, IndexError> {
+        let mut total = std::fs::metadata(self.dir.join(format::META_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        for reader in self.readers.iter().flatten() {
+            total += reader.file_len()?;
+        }
+        Ok(total)
+    }
+
+    /// Per-keyword mixture proportions and the query budget:
+    /// `θ^Q = min_w θ_w/p_w` (Eqn 11), split as `θ^Q_w = ⌊θ^Q·p_w⌋`.
+    ///
+    /// Returns `(phi_q, per-keyword (topic, θ^Q_w))`; keywords nobody holds
+    /// contribute nothing. `phi_q == 0` means no user is relevant.
+    pub fn query_budget(&self, query: &Query) -> (f64, Vec<(TopicId, u64)>) {
+        memory::query_budget_from_meta(&self.meta, query)
+    }
+
+    /// Answer a query with whichever algorithm the cost model prefers.
+    ///
+    /// Figure 5's crossover: IRR's incremental loading wins while the
+    /// top-k aggregation stops after a few partitions (small `Q.k`), and
+    /// degrades past the full prefix scan as `k` approaches the partition
+    /// size δ. The default policy — IRR when `4·Q.k ≤ δ` — is read
+    /// directly off that figure; tune per deployment via
+    /// [`KbtimIndex::query_auto_with`].
+    pub fn query_auto(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        let irr_max_k = match self.meta.variant {
+            IndexVariant::Rr => 0,
+            IndexVariant::Irr { partition_size } => partition_size / 4,
+        };
+        self.query_auto_with(query, irr_max_k)
+    }
+
+    /// [`KbtimIndex::query_auto`] with an explicit `Q.k` threshold below
+    /// which IRR is used.
+    pub fn query_auto_with(
+        &self,
+        query: &Query,
+        irr_max_k: u32,
+    ) -> Result<QueryOutcome, IndexError> {
+        let irr_available = matches!(self.meta.variant, IndexVariant::Irr { .. });
+        if irr_available && query.k() <= irr_max_k {
+            self.query_irr(query)
+        } else {
+            self.query_rr(query)
+        }
+    }
+
+    fn reader(&self, topic: TopicId) -> Result<&SegmentReader, IndexError> {
+        self.readers
+            .get(topic as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or_else(|| IndexError::Corrupt(format!("no segment for topic {topic}")))
+    }
+}

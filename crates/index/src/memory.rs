@@ -1,0 +1,250 @@
+//! Fully in-memory serving copy of an index.
+//!
+//! The paper's indexes are disk-resident because their θ_w pools (tens of
+//! GB) exceed RAM. Scaled deployments — and latency-critical serving
+//! tiers in front of the disk index — fit comfortably in memory, where
+//! Algorithm 2 runs with zero I/O. [`MemoryIndex::load`] slurps every
+//! per-keyword block of an opened [`KbtimIndex`] once (checksum-verified)
+//! and answers queries from RAM from then on; results are bit-identical
+//! to [`KbtimIndex::query_rr`] because both share the budget computation
+//! and the greedy implementation.
+
+use crate::format::{self, IlEntry};
+use crate::{IndexError, IndexMeta, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_core::maxcover::greedy_max_cover_inverted;
+use kbtim_graph::NodeId;
+use kbtim_topics::Query;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One keyword's resident pool.
+struct MemKeyword {
+    /// Inverted lists, users ascending, rr ids ascending.
+    il: Vec<IlEntry>,
+}
+
+/// RAM-resident index answering KB-TIM queries without I/O.
+pub struct MemoryIndex {
+    meta: IndexMeta,
+    keywords: Vec<Option<MemKeyword>>,
+}
+
+impl MemoryIndex {
+    /// Load every keyword of `index` into memory.
+    pub fn load(index: &KbtimIndex) -> Result<MemoryIndex, IndexError> {
+        let meta = index.meta().clone();
+        let codec = meta.codec;
+        let mut keywords = Vec::with_capacity(meta.keywords.len());
+        for kw in &meta.keywords {
+            if kw.theta == 0 {
+                keywords.push(None);
+                continue;
+            }
+            let reader = index.reader(kw.topic)?;
+            let il_bytes = reader.read_block(format::IL_BLOCK)?;
+            let il = format::decode_il_entries(&il_bytes, codec)?;
+            keywords.push(Some(MemKeyword { il }));
+        }
+        Ok(MemoryIndex { meta, keywords })
+    }
+
+    /// The catalog this index was loaded from.
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    /// Resident footprint estimate in bytes (inverted lists only).
+    pub fn resident_bytes(&self) -> u64 {
+        self.keywords
+            .iter()
+            .flatten()
+            .map(|kw| {
+                kw.il
+                    .iter()
+                    .map(|(_, list)| 8 + 4 * list.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Answer a query with Algorithm 2 semantics, entirely from RAM.
+    ///
+    /// `stats.io` stays zero and `rr_sets_loaded` reports the θ^Q budget
+    /// the query *would* have read from disk, for comparability.
+    pub fn query(&self, query: &Query) -> QueryOutcome {
+        let started = Instant::now();
+        let (phi_q, budget) = query_budget_from_meta(&self.meta, query);
+        if budget.is_empty() {
+            return QueryOutcome {
+                seeds: Vec::new(),
+                marginal_gains: Vec::new(),
+                coverage: 0,
+                estimated_influence: 0.0,
+                stats: QueryStats { elapsed: started.elapsed(), ..QueryStats::default() },
+            };
+        }
+
+        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut base = 0u64;
+        for &(topic, share) in &budget {
+            let kw = self.keywords[topic as usize].as_ref().expect("budgeted keyword loaded");
+            for (user, list) in &kw.il {
+                let cut = list.partition_point(|&id| (id as u64) < share);
+                if cut == 0 {
+                    continue;
+                }
+                inverted
+                    .entry(*user)
+                    .or_default()
+                    .extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
+            }
+            base += share;
+        }
+        let theta_q = base;
+        let cover = greedy_max_cover_inverted(&inverted, theta_q, query.k());
+        let estimated_influence = if theta_q == 0 {
+            0.0
+        } else {
+            cover.covered as f64 / theta_q as f64 * phi_q
+        };
+        QueryOutcome {
+            seeds: cover.seeds,
+            marginal_gains: cover.marginal_gains,
+            coverage: cover.covered,
+            estimated_influence,
+            stats: QueryStats {
+                theta_q,
+                rr_sets_loaded: theta_q,
+                partitions_loaded: 0,
+                io: Default::default(),
+                elapsed: started.elapsed(),
+            },
+        }
+    }
+}
+
+/// The Eqn-11 budget computed from a catalog alone (shared with
+/// [`KbtimIndex::query_budget`], which delegates here).
+pub(crate) fn query_budget_from_meta(
+    meta: &IndexMeta,
+    query: &Query,
+) -> (f64, Vec<(u32, u64)>) {
+    let masses: Vec<(u32, f64)> = query
+        .topics()
+        .iter()
+        .filter_map(|&w| {
+            let kw = meta.keywords.get(w as usize)?;
+            let mass = kw.tf_sum * kw.idf;
+            (kw.theta > 0 && mass > 0.0).then_some((w, mass))
+        })
+        .collect();
+    let phi_q: f64 = masses.iter().map(|&(_, m)| m).sum();
+    if phi_q <= 0.0 {
+        return (0.0, Vec::new());
+    }
+    let theta_q = masses
+        .iter()
+        .map(|&(w, mass)| {
+            let p_w = mass / phi_q;
+            meta.keywords[w as usize].theta as f64 / p_w
+        })
+        .fold(f64::INFINITY, f64::min);
+    let budget = masses
+        .iter()
+        .map(|&(w, mass)| {
+            let p_w = mass / phi_q;
+            let share = ((theta_q * p_w).floor() as u64)
+                .min(meta.keywords[w as usize].theta)
+                .max(1);
+            (w, share)
+        })
+        .collect();
+    (phi_q, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{IndexBuildConfig, IndexBuilder};
+    use crate::format::IndexVariant;
+    use kbtim_core::theta::SamplingConfig;
+    use kbtim_datagen::{DatasetConfig, DatasetFamily};
+    use kbtim_propagation::model::IcModel;
+    use kbtim_storage::{IoStats, TempDir};
+
+    fn build_index(dir: &std::path::Path) -> kbtim_datagen::Dataset {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(500)
+            .num_topics(6)
+            .seed(71)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(1_500),
+                opt_initial_samples: 64,
+                opt_max_rounds: 5,
+                ..SamplingConfig::fast()
+            },
+            variant: IndexVariant::Irr { partition_size: 25 },
+            ..IndexBuildConfig::default()
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
+        data
+    }
+
+    #[test]
+    fn memory_matches_disk_exactly() {
+        let dir = TempDir::new("mem-idx").unwrap();
+        build_index(dir.path());
+        let disk = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let mem = MemoryIndex::load(&disk).unwrap();
+        for q in [
+            Query::new([0], 5),
+            Query::new([0, 1, 2], 12),
+            Query::new([3, 4, 5], 20),
+        ] {
+            let a = disk.query_rr(&q).unwrap();
+            let b = mem.query(&q);
+            assert_eq!(a.seeds, b.seeds, "query {q:?}");
+            assert_eq!(a.coverage, b.coverage);
+            assert_eq!(a.stats.theta_q, b.stats.theta_q);
+            assert!((a.estimated_influence - b.estimated_influence).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn memory_query_does_zero_io() {
+        let dir = TempDir::new("mem-io").unwrap();
+        build_index(dir.path());
+        let stats = IoStats::new();
+        let disk = KbtimIndex::open(dir.path(), stats.clone()).unwrap();
+        let mem = MemoryIndex::load(&disk).unwrap();
+        stats.reset();
+        let outcome = mem.query(&Query::new([0, 1], 8));
+        assert_eq!(stats.read_ops(), 0, "RAM queries must not touch disk");
+        assert_eq!(outcome.stats.io.read_ops, 0);
+        assert!(!outcome.seeds.is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_reported() {
+        let dir = TempDir::new("mem-bytes").unwrap();
+        build_index(dir.path());
+        let disk = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let mem = MemoryIndex::load(&disk).unwrap();
+        assert!(mem.resident_bytes() > 0);
+        assert_eq!(mem.meta().num_users, 500);
+    }
+
+    #[test]
+    fn unheld_topic_is_empty() {
+        let dir = TempDir::new("mem-empty").unwrap();
+        let data = build_index(dir.path());
+        let disk = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let mem = MemoryIndex::load(&disk).unwrap();
+        // A topic beyond the space → empty result, no panic.
+        let outcome = mem.query(&Query::new([data.profiles.num_topics() + 5], 3));
+        assert!(outcome.seeds.is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Algorithm 2 — `QueryRR`: answer a KB-TIM query from the RR index.
+//!
+//! For each query keyword `w`, load the first `θ^Q_w = θ^Q·p_w` RR sets
+//! (a sequential prefix read, ids are ordinals) and the whole inverted
+//! list `L_w`; remap per-keyword RR ids into one global id space; run the
+//! shared greedy maximum-coverage loop over the merged instance. Lemma 2
+//! guarantees the prefix mix is an unbiased WRIS sample, so Theorem 2's
+//! approximation bound carries over.
+
+use crate::format;
+use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_core::maxcover::greedy_max_cover_inverted;
+use kbtim_graph::NodeId;
+use kbtim_topics::Query;
+use std::collections::HashMap;
+use std::time::Instant;
+
+impl KbtimIndex {
+    /// Answer `query` with Algorithm 2 (works on both index variants).
+    pub fn query_rr(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        let started = Instant::now();
+        let io_before = self.io_stats().snapshot();
+        let (phi_q, budget) = self.query_budget(query);
+        if budget.is_empty() {
+            return Ok(empty_outcome(started));
+        }
+
+        let codec = self.meta().codec;
+        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut rr_sets_loaded = 0u64;
+        let mut base = 0u64;
+        for &(topic, share) in &budget {
+            let reader = self.reader(topic)?;
+
+            // Prefix of the offset table → byte length of the RR prefix.
+            let off_bytes = reader.read_range(format::RR_OFF_BLOCK, share * 8, 8)?;
+            let prefix_len =
+                u64::from_le_bytes(off_bytes.as_slice().try_into().expect("8 bytes"));
+
+            // The RR-set prefix itself (decoded for faithful query-time
+            // cost; greedy itself runs off the inverted lists).
+            let rr_bytes = reader.read_range(format::RR_BLOCK, 0, prefix_len)?;
+            let sets = format::decode_rr_prefix(&rr_bytes, share, codec)?;
+            debug_assert_eq!(sets.len() as u64, share);
+            rr_sets_loaded += share;
+
+            // Whole L_w, truncated to the prefix and remapped to global ids.
+            let il_bytes = reader.read_block(format::IL_BLOCK)?;
+            let entries = format::decode_il_entries(&il_bytes, codec)?;
+            for (user, list) in entries {
+                let cut = list.partition_point(|&id| (id as u64) < share);
+                if cut == 0 {
+                    continue;
+                }
+                let target = inverted.entry(user).or_default();
+                target.extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
+            }
+            base += share;
+        }
+
+        let theta_q = base;
+        let cover = greedy_max_cover_inverted(&inverted, theta_q, query.k());
+        let estimated_influence = if theta_q == 0 {
+            0.0
+        } else {
+            cover.covered as f64 / theta_q as f64 * phi_q
+        };
+        Ok(QueryOutcome {
+            seeds: cover.seeds,
+            marginal_gains: cover.marginal_gains,
+            coverage: cover.covered,
+            estimated_influence,
+            stats: QueryStats {
+                theta_q,
+                rr_sets_loaded,
+                partitions_loaded: 0,
+                io: self.io_stats().snapshot().since(&io_before),
+                elapsed: started.elapsed(),
+            },
+        })
+    }
+}
+
+pub(crate) fn empty_outcome(started: Instant) -> QueryOutcome {
+    QueryOutcome {
+        seeds: Vec::new(),
+        marginal_gains: Vec::new(),
+        coverage: 0,
+        estimated_influence: 0.0,
+        stats: QueryStats { elapsed: started.elapsed(), ..QueryStats::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{IndexBuildConfig, IndexBuilder, ThetaMode};
+    use crate::format::IndexVariant;
+    use crate::KbtimIndex;
+    use kbtim_codec::Codec;
+    use kbtim_core::theta::SamplingConfig;
+    use kbtim_core::wris::wris_query;
+    use kbtim_datagen::{Dataset, DatasetConfig, DatasetFamily};
+    use kbtim_propagation::model::IcModel;
+    use kbtim_propagation::spread::monte_carlo_targeted;
+    use kbtim_storage::{IoStats, TempDir};
+    use kbtim_topics::Query;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        DatasetConfig::family(DatasetFamily::News)
+            .num_users(600)
+            .num_topics(8)
+            .seed(21)
+            .build()
+    }
+
+    fn build(data: &Dataset, dir: &std::path::Path, codec: Codec) {
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(3000),
+                opt_initial_samples: 128,
+                opt_max_rounds: 8,
+                ..SamplingConfig::fast()
+            },
+            codec,
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 20 },
+            threads: 4,
+            seed: 3,
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
+    }
+
+    #[test]
+    fn query_returns_seeds_and_stats() {
+        let data = dataset();
+        let dir = TempDir::new("rrq").unwrap();
+        build(&data, dir.path(), Codec::Packed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let query = Query::new([0, 1], 10);
+        let outcome = index.query_rr(&query).unwrap();
+        assert!(!outcome.seeds.is_empty());
+        assert!(outcome.seeds.len() <= 10);
+        assert!(outcome.estimated_influence > 0.0);
+        assert!(outcome.stats.rr_sets_loaded > 0);
+        assert_eq!(outcome.stats.rr_sets_loaded, outcome.stats.theta_q);
+        assert!(outcome.stats.io.read_ops >= 3, "offsets + rr + il per keyword");
+        assert!(outcome.stats.io.bytes_read > 0);
+    }
+
+    #[test]
+    fn raw_and_packed_codecs_agree() {
+        let data = dataset();
+        let dir_a = TempDir::new("rrq-raw").unwrap();
+        let dir_b = TempDir::new("rrq-packed").unwrap();
+        build(&data, dir_a.path(), Codec::Raw);
+        build(&data, dir_b.path(), Codec::Packed);
+        let a = KbtimIndex::open(dir_a.path(), IoStats::new()).unwrap();
+        let b = KbtimIndex::open(dir_b.path(), IoStats::new()).unwrap();
+        for q in [Query::new([0], 5), Query::new([1, 2, 3], 8)] {
+            let oa = a.query_rr(&q).unwrap();
+            let ob = b.query_rr(&q).unwrap();
+            assert_eq!(oa.seeds, ob.seeds, "same sampled sets, codec-independent");
+            assert_eq!(oa.coverage, ob.coverage);
+            // Compression must reduce bytes read.
+            assert!(ob.stats.io.bytes_read < oa.stats.io.bytes_read);
+        }
+    }
+
+    #[test]
+    fn influence_estimate_tracks_monte_carlo() {
+        let data = dataset();
+        let dir = TempDir::new("rrq-mc").unwrap();
+        build(&data, dir.path(), Codec::Packed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let query = Query::new([0, 1, 2], 10);
+        let outcome = index.query_rr(&query).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mc = monte_carlo_targeted(
+            &model,
+            &data.profiles,
+            &query,
+            &outcome.seeds,
+            20_000,
+            &mut rng,
+        );
+        let rel = (outcome.estimated_influence - mc).abs() / mc.max(1e-9);
+        assert!(
+            rel < 0.2,
+            "index estimate {} vs MC {mc} (rel {rel})",
+            outcome.estimated_influence
+        );
+    }
+
+    #[test]
+    fn index_seeds_quality_comparable_to_online_wris() {
+        // Table 7's claim: the disk index loses nothing vs online WRIS.
+        let data = dataset();
+        let dir = TempDir::new("rrq-vs-wris").unwrap();
+        build(&data, dir.path(), Codec::Packed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let query = Query::new([0, 1], 10);
+        let idx_outcome = index.query_rr(&query).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let config = SamplingConfig { theta_cap: Some(6000), ..SamplingConfig::fast() };
+        let online = wris_query(&model, &data.profiles, &query, &config, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mc_idx = monte_carlo_targeted(
+            &model, &data.profiles, &query, &idx_outcome.seeds, 20_000, &mut rng,
+        );
+        let mc_online = monte_carlo_targeted(
+            &model, &data.profiles, &query, &online.seeds, 20_000, &mut rng,
+        );
+        let rel = (mc_idx - mc_online).abs() / mc_online.max(1e-9);
+        assert!(rel < 0.1, "index spread {mc_idx} vs online {mc_online} (rel {rel})");
+    }
+
+    #[test]
+    fn unheld_topic_query_is_empty() {
+        let data = dataset();
+        let dir = TempDir::new("rrq-empty").unwrap();
+        build(&data, dir.path(), Codec::Packed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        // Find an unheld topic if any; otherwise fabricate one by asking
+        // only for a topic id that exists but may be held — fall back to
+        // checking the budget logic directly.
+        let unheld: Vec<u32> = (0..data.profiles.num_topics())
+            .filter(|&w| data.profiles.doc_freq(w) == 0)
+            .collect();
+        if let Some(&w) = unheld.first() {
+            let outcome = index.query_rr(&Query::new([w], 4)).unwrap();
+            assert!(outcome.seeds.is_empty());
+            assert_eq!(outcome.stats.theta_q, 0);
+        }
+        let (phi_q, budget) = index.query_budget(&Query::new([0], 4));
+        assert!(phi_q > 0.0);
+        assert_eq!(budget.len(), 1);
+    }
+
+    #[test]
+    fn budget_respects_eqn_11() {
+        let data = dataset();
+        let dir = TempDir::new("rrq-budget").unwrap();
+        build(&data, dir.path(), Codec::Packed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let query = Query::new([0, 1, 2, 3], 10);
+        let (phi_q, budget) = index.query_budget(&query);
+        assert!(phi_q > 0.0);
+        for &(topic, share) in &budget {
+            let kw = &index.meta().keywords[topic as usize];
+            assert!(share <= kw.theta, "θ^Q_w must not exceed the stored pool");
+            // p_w-proportionality: share ≈ θ^Q · p_w.
+            let p_w = kw.tf_sum * kw.idf / phi_q;
+            let theta_q_total: u64 = budget.iter().map(|&(_, s)| s).sum();
+            let expected = theta_q_total as f64 * p_w;
+            assert!(
+                (share as f64 - expected).abs() <= expected * 0.05 + 2.0,
+                "topic {topic}: share {share} vs expected {expected:.1}"
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Structural validation of an on-disk index.
+//!
+//! [`KbtimIndex::validate`] re-reads every block (checksum-verified) and
+//! cross-checks the invariants the query algorithms rely on. It is the
+//! "fsck" of the index: run it after copying indexes between machines or
+//! when debugging a suspected corruption that the per-block CRCs cannot
+//! see (e.g. a truncated catalog pointing at a stale segment).
+
+use crate::format;
+use crate::{IndexError, KbtimIndex};
+use std::collections::HashMap;
+
+/// Summary of a successful validation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Keywords with a segment (θ_w > 0).
+    pub keywords_checked: u32,
+    /// Total RR sets decoded and verified.
+    pub rr_sets_checked: u64,
+    /// Total inverted-list entries verified.
+    pub il_entries_checked: u64,
+    /// Total IRR partitions verified (0 for the RR variant).
+    pub partitions_checked: u64,
+}
+
+impl KbtimIndex {
+    /// Verify every structural invariant of the index. Returns a summary
+    /// on success; the first violated invariant aborts with
+    /// [`IndexError::Corrupt`].
+    pub fn validate(&self) -> Result<ValidationReport, IndexError> {
+        let corrupt = |msg: String| IndexError::Corrupt(msg);
+        let codec = self.meta().codec;
+        let mut report = ValidationReport::default();
+
+        for kw in &self.meta().keywords {
+            if kw.theta == 0 {
+                continue;
+            }
+            let topic = kw.topic;
+            let reader = self.reader(topic)?;
+            report.keywords_checked += 1;
+
+            // --- rr + rr_off ------------------------------------------------
+            let off_bytes = reader.read_block(format::RR_OFF_BLOCK)?;
+            if off_bytes.len() as u64 != (kw.theta + 1) * 8 {
+                return Err(corrupt(format!(
+                    "topic {topic}: offset table has {} bytes for theta {}",
+                    off_bytes.len(),
+                    kw.theta
+                )));
+            }
+            let offsets: Vec<u64> = off_bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunked")))
+                .collect();
+            if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(format!("topic {topic}: offsets not monotone from 0")));
+            }
+            let rr_bytes = reader.read_block(format::RR_BLOCK)?;
+            if *offsets.last().expect("non-empty") != rr_bytes.len() as u64 {
+                return Err(corrupt(format!("topic {topic}: offsets do not span the rr block")));
+            }
+            let sets = format::decode_rr_prefix(&rr_bytes, kw.theta, codec)?;
+            let mut members_total = 0u64;
+            for (i, set) in sets.iter().enumerate() {
+                if set.is_empty() {
+                    return Err(corrupt(format!("topic {topic}: rr set {i} is empty")));
+                }
+                if set.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(corrupt(format!("topic {topic}: rr set {i} not sorted/unique")));
+                }
+                if *set.last().expect("non-empty") >= self.meta().num_users {
+                    return Err(corrupt(format!("topic {topic}: rr set {i} has bad node id")));
+                }
+                members_total += set.len() as u64;
+            }
+            if members_total != kw.total_rr_members {
+                return Err(corrupt(format!(
+                    "topic {topic}: catalog says {} members, segment has {members_total}",
+                    kw.total_rr_members
+                )));
+            }
+            report.rr_sets_checked += sets.len() as u64;
+
+            // --- il: exact inverse of the rr sets ---------------------------
+            let il_bytes = reader.read_block(format::IL_BLOCK)?;
+            let entries = format::decode_il_entries(&il_bytes, codec)?;
+            let mut expected: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (id, set) in sets.iter().enumerate() {
+                for &node in set {
+                    expected.entry(node).or_default().push(id as u32);
+                }
+            }
+            if entries.len() != expected.len() {
+                return Err(corrupt(format!(
+                    "topic {topic}: il has {} entries, expected {}",
+                    entries.len(),
+                    expected.len()
+                )));
+            }
+            let mut max_len = 0u32;
+            for (user, list) in &entries {
+                let want = expected
+                    .get(user)
+                    .ok_or_else(|| corrupt(format!("topic {topic}: il user {user} unknown")))?;
+                if want != list {
+                    return Err(corrupt(format!("topic {topic}: il mismatch for user {user}")));
+                }
+                max_len = max_len.max(list.len() as u32);
+            }
+            if max_len != kw.max_list_len {
+                return Err(corrupt(format!(
+                    "topic {topic}: catalog max list len {} vs actual {max_len}",
+                    kw.max_list_len
+                )));
+            }
+            report.il_entries_checked += entries.len() as u64;
+
+            // --- IRR blocks -------------------------------------------------
+            if let format::IndexVariant::Irr { partition_size } = self.meta().variant {
+                let ip_bytes = reader.read_block(format::IP_BLOCK)?;
+                let (users, firsts) = format::decode_ip(&ip_bytes, codec)?;
+                if users.len() != entries.len() {
+                    return Err(corrupt(format!("topic {topic}: ip/il size mismatch")));
+                }
+                for ((user, list), (ip_user, first)) in
+                    entries.iter().zip(users.iter().zip(firsts.iter()))
+                {
+                    if user != ip_user || list[0] != *first {
+                        return Err(corrupt(format!(
+                            "topic {topic}: ip first-occurrence mismatch for user {user}"
+                        )));
+                    }
+                }
+
+                let pmeta_bytes = reader.read_block(format::PMETA_BLOCK)?;
+                let parts = format::decode_partition_meta(&pmeta_bytes)?;
+                if parts.len() != kw.num_partitions as usize {
+                    return Err(corrupt(format!("topic {topic}: partition count mismatch")));
+                }
+                let user_total: u64 = parts.iter().map(|p| p.user_count as u64).sum();
+                if user_total != entries.len() as u64 {
+                    return Err(corrupt(format!("topic {topic}: partition users != il users")));
+                }
+                let rr_total: u64 = parts.iter().map(|p| p.rr_count as u64).sum();
+                if rr_total != kw.theta {
+                    return Err(corrupt(format!(
+                        "topic {topic}: partitions cover {rr_total} sets, theta is {}",
+                        kw.theta
+                    )));
+                }
+                let mut seen = vec![false; kw.theta as usize];
+                for (p, part) in parts.iter().enumerate() {
+                    if part.user_count == 0 || part.user_count > partition_size {
+                        return Err(corrupt(format!(
+                            "topic {topic}: partition {p} has {} users (δ = {partition_size})",
+                            part.user_count
+                        )));
+                    }
+                    let ir = reader.read_range(
+                        format::IRP_BLOCK,
+                        part.ir_start,
+                        part.ir_end - part.ir_start,
+                    )?;
+                    let ir_entries = format::decode_ir_entries(&ir, codec, u32::MAX)?;
+                    if ir_entries.len() != part.rr_count as usize {
+                        return Err(corrupt(format!(
+                            "topic {topic}: partition {p} decodes {} sets, meta says {}",
+                            ir_entries.len(),
+                            part.rr_count
+                        )));
+                    }
+                    for (id, members) in &ir_entries {
+                        let id = *id as usize;
+                        if id >= seen.len() || seen[id] {
+                            return Err(corrupt(format!(
+                                "topic {topic}: rr id {id} out of range or duplicated"
+                            )));
+                        }
+                        seen[id] = true;
+                        if members != &sets[id] {
+                            return Err(corrupt(format!(
+                                "topic {topic}: partition copy of rr {id} differs from rr block"
+                            )));
+                        }
+                    }
+                    report.partitions_checked += 1;
+                }
+                if !seen.iter().all(|&s| s) {
+                    return Err(corrupt(format!("topic {topic}: some rr sets unassigned")));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{IndexBuildConfig, IndexBuilder};
+    use crate::format::IndexVariant;
+    use crate::KbtimIndex;
+    use kbtim_core::theta::SamplingConfig;
+    use kbtim_datagen::{DatasetConfig, DatasetFamily};
+    use kbtim_propagation::model::IcModel;
+    use kbtim_storage::{IoStats, TempDir};
+
+    fn build(dir: &std::path::Path, variant: IndexVariant) {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(400)
+            .num_topics(5)
+            .seed(61)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(900),
+                opt_initial_samples: 64,
+                opt_max_rounds: 5,
+                ..SamplingConfig::fast()
+            },
+            variant,
+            ..IndexBuildConfig::default()
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_irr_index_validates() {
+        let dir = TempDir::new("validate-irr").unwrap();
+        build(dir.path(), IndexVariant::Irr { partition_size: 16 });
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let report = index.validate().unwrap();
+        assert!(report.keywords_checked > 0);
+        assert!(report.rr_sets_checked > 0);
+        assert!(report.il_entries_checked > 0);
+        assert!(report.partitions_checked > 0);
+    }
+
+    #[test]
+    fn fresh_rr_index_validates() {
+        let dir = TempDir::new("validate-rr").unwrap();
+        build(dir.path(), IndexVariant::Rr);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let report = index.validate().unwrap();
+        assert!(report.keywords_checked > 0);
+        assert_eq!(report.partitions_checked, 0);
+    }
+
+    #[test]
+    fn bit_flips_fail_validation() {
+        let dir = TempDir::new("validate-flip").unwrap();
+        build(dir.path(), IndexVariant::Irr { partition_size: 16 });
+        // Corrupt one keyword segment payload byte (past the header).
+        let victim = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("kw_"))
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let target = bytes.len() / 3;
+        bytes[target] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        match KbtimIndex::open(dir.path(), IoStats::new()) {
+            Err(_) => {} // directory/footer damage: also acceptable
+            Ok(index) => {
+                assert!(index.validate().is_err(), "validation must catch the flip");
+            }
+        }
+    }
+}

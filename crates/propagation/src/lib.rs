@@ -1,0 +1,33 @@
+//! Influence propagation models and estimators for KB-TIM (§2.1).
+//!
+//! Everything is expressed through the **general triggering model** of
+//! Kempe et al.: each node `v` independently samples a *trigger set* — a
+//! random subset of its in-neighbours — and `v` becomes active as soon as
+//! any member of its trigger set is active. Both models evaluated in the
+//! paper are instances:
+//!
+//! * **Independent cascade (IC)** — every in-edge `(u, v)` joins the
+//!   trigger set independently with probability `p(u, v)`; the paper uses
+//!   the weighted-cascade assignment `p(e) = 1/N_v`.
+//! * **Linear threshold (LT)** — at most one in-neighbour is chosen, with
+//!   probability equal to its edge weight (weights per node sum to ≤ 1);
+//!   the paper assigns random normalised weights.
+//!
+//! The equivalence between trigger-set sampling and the step-by-step
+//! cascade is the classic *live-edge* argument, and it is what makes
+//! reverse-reachable (RR) sampling model-agnostic: an RR set for root `v`
+//! is exactly the set of nodes that reach `v` through live edges, obtained
+//! by a reverse BFS that samples trigger sets on demand ([`rr`]).
+//!
+//! [`spread`] provides forward Monte-Carlo estimation of `E[I(S)]` and the
+//! targeted `E[I^Q(S)]`, plus *exact* enumeration for tiny graphs used to
+//! pin down the paper's worked examples in tests.
+
+pub mod model;
+pub mod rr;
+pub mod spread;
+pub mod triggering;
+
+pub use model::{IcModel, LtModel, TriggeringModel};
+pub use rr::RrSampler;
+pub use triggering::TableTriggeringModel;

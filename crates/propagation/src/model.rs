@@ -1,0 +1,428 @@
+//! The triggering-model trait and its IC / LT instances.
+
+use kbtim_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// A propagation model in triggering form.
+///
+/// Implementations hold a reference to the graph and know, for every node
+/// `v`, the distribution of its random trigger set (a subset of
+/// `in_neighbors(v)`). All of RR sampling, Monte-Carlo spread and the exact
+/// enumerators are generic over this trait, mirroring the paper's claim
+/// that WRIS inherits RIS's support for any triggering model.
+pub trait TriggeringModel: Send + Sync {
+    /// The graph this model propagates over.
+    fn graph(&self) -> &Graph;
+
+    /// Sample a trigger set for `v` into `out` (cleared first).
+    ///
+    /// Members are in-neighbours of `v`; order is unspecified.
+    fn sample_triggers(&self, v: NodeId, rng: &mut dyn RngCore, out: &mut Vec<NodeId>);
+
+    /// Exact trigger-set distribution of `v` as `(set, probability)` pairs
+    /// summing to 1. Used by the exact spread enumerators in tests; may be
+    /// exponentially large in `in_degree(v)` for IC, so callers cap degree.
+    fn trigger_distribution(&self, v: NodeId) -> Vec<(Vec<NodeId>, f64)>;
+
+    /// Short human-readable name ("IC" / "LT"), used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// How IC edge probabilities are assigned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum IcAssignment {
+    /// `p(u, v) = 1 / in_degree(v)` — the paper's default (§2.1).
+    WeightedCascade,
+    /// Constant probability for every edge.
+    Uniform(f64),
+    /// Explicit per-edge probabilities (stored separately).
+    PerEdge,
+}
+
+/// Independent cascade model.
+///
+/// Each in-edge of `v` enters the trigger set independently with its own
+/// probability.
+pub struct IcModel<'g> {
+    graph: &'g Graph,
+    assignment: IcAssignment,
+    /// Per-edge probabilities aligned with `graph.in_neighbors(v)` order,
+    /// indexed by `rev_offsets[v] + i`. Empty unless `PerEdge`.
+    probs: Vec<f32>,
+    rev_offsets: Vec<u64>,
+}
+
+impl<'g> IcModel<'g> {
+    /// The paper's weighted-cascade assignment `p(e) = 1/N_v`.
+    pub fn weighted_cascade(graph: &'g Graph) -> IcModel<'g> {
+        IcModel {
+            graph,
+            assignment: IcAssignment::WeightedCascade,
+            probs: Vec::new(),
+            rev_offsets: Vec::new(),
+        }
+    }
+
+    /// Constant probability `p` on every edge.
+    pub fn uniform(graph: &'g Graph, p: f64) -> IcModel<'g> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        IcModel {
+            graph,
+            assignment: IcAssignment::Uniform(p),
+            probs: Vec::new(),
+            rev_offsets: Vec::new(),
+        }
+    }
+
+    /// Explicit probabilities via a function of the edge `(u, v)`.
+    pub fn from_fn(graph: &'g Graph, mut f: impl FnMut(NodeId, NodeId) -> f64) -> IcModel<'g> {
+        let rev_offsets = reverse_offsets(graph);
+        let mut probs = Vec::with_capacity(graph.num_edges() as usize);
+        for v in graph.nodes() {
+            for &u in graph.in_neighbors(v) {
+                let p = f(u, v);
+                assert!((0.0..=1.0).contains(&p), "probability {p} for edge ({u},{v})");
+                probs.push(p as f32);
+            }
+        }
+        IcModel { graph, assignment: IcAssignment::PerEdge, probs, rev_offsets }
+    }
+
+    /// Probability of edge `(u, v)`; `u` must be an in-neighbour of `v`.
+    pub fn edge_prob(&self, u: NodeId, v: NodeId) -> f64 {
+        match self.assignment {
+            IcAssignment::WeightedCascade => 1.0 / self.graph.in_degree(v) as f64,
+            IcAssignment::Uniform(p) => p,
+            IcAssignment::PerEdge => {
+                let idx = self
+                    .graph
+                    .in_neighbors(v)
+                    .binary_search(&u)
+                    .expect("u is not an in-neighbor of v");
+                self.probs[self.rev_offsets[v as usize] as usize + idx] as f64
+            }
+        }
+    }
+}
+
+impl TriggeringModel for IcModel<'_> {
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn sample_triggers(&self, v: NodeId, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
+        out.clear();
+        let neighbors = self.graph.in_neighbors(v);
+        match self.assignment {
+            IcAssignment::WeightedCascade => {
+                let p = 1.0 / neighbors.len().max(1) as f64;
+                for &u in neighbors {
+                    if rng.gen::<f64>() < p {
+                        out.push(u);
+                    }
+                }
+            }
+            IcAssignment::Uniform(p) => {
+                for &u in neighbors {
+                    if rng.gen::<f64>() < p {
+                        out.push(u);
+                    }
+                }
+            }
+            IcAssignment::PerEdge => {
+                let base = self.rev_offsets[v as usize] as usize;
+                for (i, &u) in neighbors.iter().enumerate() {
+                    if rng.gen::<f64>() < self.probs[base + i] as f64 {
+                        out.push(u);
+                    }
+                }
+            }
+        }
+    }
+
+    fn trigger_distribution(&self, v: NodeId) -> Vec<(Vec<NodeId>, f64)> {
+        let neighbors = self.graph.in_neighbors(v);
+        assert!(
+            neighbors.len() <= 20,
+            "exact IC enumeration limited to in-degree <= 20 (got {})",
+            neighbors.len()
+        );
+        let probs: Vec<f64> = neighbors.iter().map(|&u| self.edge_prob(u, v)).collect();
+        let mut dist = Vec::with_capacity(1 << neighbors.len());
+        for mask in 0u32..(1u32 << neighbors.len()) {
+            let mut set = Vec::new();
+            let mut p = 1.0f64;
+            for (i, &u) in neighbors.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    set.push(u);
+                    p *= probs[i];
+                } else {
+                    p *= 1.0 - probs[i];
+                }
+            }
+            if p > 0.0 {
+                dist.push((set, p));
+            }
+        }
+        dist
+    }
+
+    fn name(&self) -> &'static str {
+        "IC"
+    }
+}
+
+/// Linear threshold model in triggering form: each node picks at most one
+/// in-neighbour, with probability equal to the edge weight.
+pub struct LtModel<'g> {
+    graph: &'g Graph,
+    /// Cumulative in-edge weights aligned with `in_neighbors(v)`;
+    /// `cum[rev_offsets[v] + i]` is the prefix sum through neighbour `i`.
+    cum_weights: Vec<f64>,
+    rev_offsets: Vec<u64>,
+}
+
+impl<'g> LtModel<'g> {
+    /// The paper's assignment (§6.6): each in-edge gets a random value in
+    /// `[0, 1]`, normalised so a node's incoming weights sum to exactly 1.
+    pub fn random_weights(graph: &'g Graph, rng: &mut impl Rng) -> LtModel<'g> {
+        Self::from_fn_normalized(graph, |_, _| rng.gen_range(0.05..1.0))
+    }
+
+    /// Classic degree-normalised LT: every in-edge of `v` weighs
+    /// `1/in_degree(v)`.
+    pub fn degree_normalized(graph: &'g Graph) -> LtModel<'g> {
+        Self::from_fn_normalized(graph, |_, _| 1.0)
+    }
+
+    /// Arbitrary raw weights, normalised per node to sum to 1.
+    pub fn from_fn_normalized(
+        graph: &'g Graph,
+        mut raw: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> LtModel<'g> {
+        let rev_offsets = reverse_offsets(graph);
+        let mut cum_weights = Vec::with_capacity(graph.num_edges() as usize);
+        for v in graph.nodes() {
+            let neighbors = graph.in_neighbors(v);
+            let weights: Vec<f64> = neighbors
+                .iter()
+                .map(|&u| {
+                    let w = raw(u, v);
+                    assert!(w > 0.0 && w.is_finite(), "raw LT weight must be positive");
+                    w
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total;
+                cum_weights.push(acc);
+            }
+            // Guard against floating drift: the last prefix must be 1.
+            if let Some(last) = cum_weights.last_mut() {
+                if !neighbors.is_empty() {
+                    *last = 1.0;
+                }
+            }
+        }
+        LtModel { graph, cum_weights, rev_offsets }
+    }
+
+    /// Weight `b(u, v)` of edge `(u, v)`.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        let neighbors = self.graph.in_neighbors(v);
+        let idx = neighbors.binary_search(&u).expect("u is not an in-neighbor of v");
+        let base = self.rev_offsets[v as usize] as usize;
+        let hi = self.cum_weights[base + idx];
+        let lo = if idx == 0 { 0.0 } else { self.cum_weights[base + idx - 1] };
+        hi - lo
+    }
+}
+
+impl TriggeringModel for LtModel<'_> {
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn sample_triggers(&self, v: NodeId, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
+        out.clear();
+        let neighbors = self.graph.in_neighbors(v);
+        if neighbors.is_empty() {
+            return;
+        }
+        let base = self.rev_offsets[v as usize] as usize;
+        let cum = &self.cum_weights[base..base + neighbors.len()];
+        let x = rng.gen::<f64>();
+        // Weights sum to 1, so exactly one neighbour is always chosen.
+        let idx = cum.partition_point(|&c| c <= x).min(neighbors.len() - 1);
+        out.push(neighbors[idx]);
+    }
+
+    fn trigger_distribution(&self, v: NodeId) -> Vec<(Vec<NodeId>, f64)> {
+        let neighbors = self.graph.in_neighbors(v);
+        if neighbors.is_empty() {
+            return vec![(Vec::new(), 1.0)];
+        }
+        neighbors
+            .iter()
+            .map(|&u| (vec![u], self.edge_weight(u, v)))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "LT"
+    }
+}
+
+/// Prefix sums of in-degrees, i.e. per-node base offsets into any array
+/// aligned with `in_neighbors` order.
+fn reverse_offsets(graph: &Graph) -> Vec<u64> {
+    let mut offsets = vec![0u64; graph.num_nodes() as usize + 1];
+    for v in graph.nodes() {
+        offsets[v as usize + 1] = offsets[v as usize] + graph.in_degree(v) as u64;
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbtim_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_cascade_probability() {
+        let g = gen::star(5); // 0 → 1..4, each target has in-degree 1
+        let model = IcModel::weighted_cascade(&g);
+        assert_eq!(model.edge_prob(0, 3), 1.0);
+        // With p = 1 the trigger set is always the full in-neighbour set.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        model.sample_triggers(3, &mut rng, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn uniform_zero_and_one() {
+        let g = gen::complete(4);
+        let zero = IcModel::uniform(&g, 0.0);
+        let one = IcModel::uniform(&g, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        zero.sample_triggers(2, &mut rng, &mut out);
+        assert!(out.is_empty());
+        one.sample_triggers(2, &mut rng, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn per_edge_probs() {
+        let g = kbtim_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let model = IcModel::from_fn(&g, |u, _| if u == 0 { 1.0 } else { 0.25 });
+        assert_eq!(model.edge_prob(0, 2), 1.0);
+        assert_eq!(model.edge_prob(1, 2), 0.25);
+    }
+
+    #[test]
+    fn ic_empirical_trigger_rate() {
+        let g = kbtim_graph::Graph::from_edges(2, &[(0, 1)]);
+        let model = IcModel::uniform(&g, 0.3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        let mut hits = 0;
+        let rounds = 100_000;
+        for _ in 0..rounds {
+            model.sample_triggers(1, &mut rng, &mut out);
+            hits += out.len();
+        }
+        let rate = hits as f64 / rounds as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn ic_distribution_sums_to_one() {
+        let g = kbtim_graph::Graph::from_edges(4, &[(0, 3), (1, 3), (2, 3)]);
+        let model = IcModel::uniform(&g, 0.4);
+        let dist = model.trigger_distribution(3);
+        assert_eq!(dist.len(), 8);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lt_always_picks_exactly_one() {
+        let g = gen::complete(5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let model = LtModel::random_weights(&g, &mut rng);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            model.sample_triggers(2, &mut rng, &mut out);
+            assert_eq!(out.len(), 1);
+            assert!(g.in_neighbors(2).contains(&out[0]));
+        }
+    }
+
+    #[test]
+    fn lt_weights_sum_to_one() {
+        let g = gen::complete(6);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let model = LtModel::random_weights(&g, &mut rng);
+        for v in g.nodes() {
+            let total: f64 = g.in_neighbors(v).iter().map(|&u| model.edge_weight(u, v)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "node {v} weights sum to {total}");
+        }
+    }
+
+    #[test]
+    fn lt_empirical_matches_weights() {
+        let g = kbtim_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let model = LtModel::from_fn_normalized(&g, |u, _| if u == 0 { 3.0 } else { 1.0 });
+        assert!((model.edge_weight(0, 2) - 0.75).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        let mut zero_picks = 0;
+        let rounds = 100_000;
+        for _ in 0..rounds {
+            model.sample_triggers(2, &mut rng, &mut out);
+            if out[0] == 0 {
+                zero_picks += 1;
+            }
+        }
+        let rate = zero_picks as f64 / rounds as f64;
+        assert!((rate - 0.75).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn lt_distribution_matches_weights() {
+        let g = kbtim_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let model = LtModel::degree_normalized(&g);
+        let dist = model.trigger_distribution(2);
+        assert_eq!(dist.len(), 2);
+        for (set, p) in dist {
+            assert_eq!(set.len(), 1);
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_in_neighbors_empty_triggers() {
+        let g = gen::line(3);
+        let ic = IcModel::weighted_cascade(&g);
+        let lt = LtModel::degree_normalized(&g);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = vec![99];
+        ic.sample_triggers(0, &mut rng, &mut out);
+        assert!(out.is_empty());
+        lt.sample_triggers(0, &mut rng, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(lt.trigger_distribution(0), vec![(Vec::new(), 1.0)]);
+    }
+
+    #[test]
+    fn model_names() {
+        let g = gen::line(2);
+        assert_eq!(IcModel::weighted_cascade(&g).name(), "IC");
+        assert_eq!(LtModel::degree_normalized(&g).name(), "LT");
+    }
+}

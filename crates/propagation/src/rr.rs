@@ -1,0 +1,194 @@
+//! Reverse-reachable (RR) set sampling (Definition 2).
+//!
+//! An RR set for root `v` contains every node that can reach `v` in a
+//! random live-edge instantiation of the graph. Under the triggering
+//! abstraction the live in-edges of a node are exactly its sampled trigger
+//! set, so a reverse BFS that samples trigger sets on demand generates RR
+//! sets for *any* model — the key to the paper's model-generality claim.
+
+use crate::model::TriggeringModel;
+use kbtim_graph::NodeId;
+use rand::RngCore;
+
+/// Reusable RR-set sampler.
+///
+/// Holds scratch buffers (stamped visited array, BFS queue) so that
+/// sampling millions of RR sets during index construction performs no
+/// per-set allocation beyond the output.
+pub struct RrSampler {
+    /// `visited[v] == round` marks membership in the current RR set.
+    visited: Vec<u32>,
+    round: u32,
+    queue: Vec<NodeId>,
+    triggers: Vec<NodeId>,
+}
+
+impl RrSampler {
+    /// Create a sampler for graphs with `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> RrSampler {
+        RrSampler {
+            visited: vec![0; num_nodes as usize],
+            round: 0,
+            queue: Vec::new(),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Sample one RR set rooted at `root` into `out` (cleared first).
+    ///
+    /// The output is sorted ascending and always contains `root` itself.
+    pub fn sample_into<M: TriggeringModel + ?Sized>(
+        &mut self,
+        model: &M,
+        root: NodeId,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            // Stamp wrapped around: reset the array and restart at 1.
+            self.visited.iter_mut().for_each(|s| *s = 0);
+            self.round = 1;
+        }
+        let round = self.round;
+
+        self.visited[root as usize] = round;
+        out.push(root);
+        self.queue.clear();
+        self.queue.push(root);
+
+        while let Some(x) = self.queue.pop() {
+            model.sample_triggers(x, rng, &mut self.triggers);
+            for &u in &self.triggers {
+                if self.visited[u as usize] != round {
+                    self.visited[u as usize] = round;
+                    out.push(u);
+                    self.queue.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Convenience allocation-per-call variant of
+    /// [`RrSampler::sample_into`].
+    pub fn sample<M: TriggeringModel + ?Sized>(
+        &mut self,
+        model: &M,
+        root: NodeId,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.sample_into(model, root, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IcModel;
+    use kbtim_graph::{gen, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contains_root() {
+        let g = gen::line(5);
+        let model = IcModel::uniform(&g, 0.0);
+        let mut sampler = RrSampler::new(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for v in g.nodes() {
+            assert_eq!(sampler.sample(&model, v, &mut rng), vec![v]);
+        }
+    }
+
+    #[test]
+    fn full_ancestors_with_p_one() {
+        let g = gen::line(6); // 0→1→…→5
+        let model = IcModel::uniform(&g, 1.0);
+        let mut sampler = RrSampler::new(6);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rr = sampler.sample(&model, 4, &mut rng);
+        assert_eq!(rr, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cycle_with_p_one_is_everything() {
+        let g = gen::cycle(7);
+        let model = IcModel::uniform(&g, 1.0);
+        let mut sampler = RrSampler::new(7);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rr = sampler.sample(&model, 3, &mut rng);
+        assert_eq!(rr, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_sorted_and_unique() {
+        let g = gen::complete(12);
+        let model = IcModel::uniform(&g, 0.4);
+        let mut sampler = RrSampler::new(12);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let rr = sampler.sample(&model, 5, &mut rng);
+            assert!(rr.windows(2).all(|w| w[0] < w[1]), "not sorted/unique: {rr:?}");
+            assert!(rr.contains(&5));
+        }
+    }
+
+    #[test]
+    fn membership_frequency_matches_activation_probability() {
+        // Graph 0→1 with p = 0.6: P(0 ∈ RR(1)) must equal 0.6.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let model = IcModel::uniform(&g, 0.6);
+        let mut sampler = RrSampler::new(2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let rounds = 100_000;
+        let mut hits = 0u32;
+        let mut out = Vec::new();
+        for _ in 0..rounds {
+            sampler.sample_into(&model, 1, &mut rng, &mut out);
+            if out.contains(&0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / rounds as f64;
+        assert!((rate - 0.6).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn two_hop_membership_probability() {
+        // 0→1→2 with p = 0.5 per edge: P(0 ∈ RR(2)) = 0.25.
+        let g = gen::line(3);
+        let model = IcModel::uniform(&g, 0.5);
+        let mut sampler = RrSampler::new(3);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let rounds = 200_000;
+        let mut hits = 0u32;
+        let mut out = Vec::new();
+        for _ in 0..rounds {
+            sampler.sample_into(&model, 2, &mut rng, &mut out);
+            if out.contains(&0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / rounds as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn sampler_reuse_is_clean_across_rounds() {
+        let g = gen::complete(8);
+        let model = IcModel::uniform(&g, 1.0);
+        let mut sampler = RrSampler::new(8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // With p = 1 every RR set is all 8 nodes; any stamp leakage across
+        // reuse would surface as missing members.
+        let mut out = Vec::new();
+        for root in 0..8u32 {
+            sampler.sample_into(&model, root, &mut rng, &mut out);
+            assert_eq!(out.len(), 8);
+        }
+    }
+}

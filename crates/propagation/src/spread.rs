@@ -1,0 +1,422 @@
+//! Influence spread estimation: Monte-Carlo (forward live-edge simulation)
+//! and exact enumeration for tiny graphs.
+//!
+//! `E[I(S)]` is the expected number of activated users; the targeted
+//! variant `E[I^Q(S)] = Σ_v p(S ↝ v) · φ(v, Q)` (Eqn 2) weighs each
+//! activated user by ad relevance. Both are special cases of a
+//! weight-function spread, which is what the implementations below expose.
+
+use crate::model::TriggeringModel;
+use kbtim_graph::NodeId;
+use kbtim_topics::{Query, UserProfiles};
+use rand::RngCore;
+
+/// Forward Monte-Carlo estimate of the weighted spread
+/// `E[Σ_{v ∈ I(S)} weight(v)]` over `rounds` live-edge simulations.
+///
+/// Each round samples trigger sets lazily: a node's trigger set is drawn
+/// the first time an active neighbour touches it and memoised for the rest
+/// of the round, which keeps LT (and any correlated triggering model)
+/// exact.
+pub fn monte_carlo_weighted<M: TriggeringModel + ?Sized>(
+    model: &M,
+    seeds: &[NodeId],
+    rounds: u32,
+    rng: &mut dyn RngCore,
+    mut weight: impl FnMut(NodeId) -> f64,
+) -> f64 {
+    assert!(rounds > 0, "need at least one simulation round");
+    let graph = model.graph();
+    let n = graph.num_nodes() as usize;
+    // Stamped scratch state reused across rounds.
+    let mut active = vec![0u32; n];
+    let mut trigger_stamp = vec![0u32; n];
+    let mut trigger_cache: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut queue: Vec<NodeId> = Vec::new();
+
+    // Per-node weights are looked up once and cached (weight() may be
+    // expensive, e.g. a φ(v, Q) profile merge).
+    let mut weight_cache: Vec<f64> = Vec::with_capacity(n);
+    for v in 0..n {
+        weight_cache.push(weight(v as NodeId));
+    }
+
+    let mut total = 0.0f64;
+    for round in 1..=rounds {
+        let mut round_sum = 0.0f64;
+        queue.clear();
+        for &s in seeds {
+            if active[s as usize] != round {
+                active[s as usize] = round;
+                round_sum += weight_cache[s as usize];
+                queue.push(s);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for &v in graph.out_neighbors(u) {
+                if active[v as usize] == round {
+                    continue;
+                }
+                if trigger_stamp[v as usize] != round {
+                    trigger_stamp[v as usize] = round;
+                    let cache = &mut trigger_cache[v as usize];
+                    model.sample_triggers(v, rng, cache);
+                }
+                if trigger_cache[v as usize].contains(&u) {
+                    active[v as usize] = round;
+                    round_sum += weight_cache[v as usize];
+                    queue.push(v);
+                }
+            }
+        }
+        total += round_sum;
+    }
+    total / rounds as f64
+}
+
+/// A Monte-Carlo spread estimate with uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadEstimate {
+    /// Sample mean of the per-round weighted spreads.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of simulation rounds.
+    pub rounds: u32,
+}
+
+impl SpreadEstimate {
+    /// Central-limit 95 % confidence interval `(lo, hi)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error;
+        (self.mean - half, self.mean + half)
+    }
+
+    /// `true` when `value` lies inside the 95 % interval.
+    pub fn contains(&self, value: f64) -> bool {
+        let (lo, hi) = self.ci95();
+        lo <= value && value <= hi
+    }
+}
+
+/// Like [`monte_carlo_weighted`], additionally reporting the standard
+/// error so callers (e.g. an advertiser comparing two campaigns) can tell
+/// whether a spread difference is signal or simulation noise.
+pub fn monte_carlo_weighted_ci<M: TriggeringModel + ?Sized>(
+    model: &M,
+    seeds: &[NodeId],
+    rounds: u32,
+    rng: &mut dyn RngCore,
+    mut weight: impl FnMut(NodeId) -> f64,
+) -> SpreadEstimate {
+    assert!(rounds >= 2, "need at least two rounds for a variance estimate");
+    // Welford's online mean/variance over per-round totals.
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut count = 0u32;
+    let graph = model.graph();
+    let n = graph.num_nodes() as usize;
+    let mut active = vec![0u32; n];
+    let mut trigger_stamp = vec![0u32; n];
+    let mut trigger_cache: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let weight_cache: Vec<f64> = (0..n).map(|v| weight(v as NodeId)).collect();
+
+    for round in 1..=rounds {
+        let mut round_sum = 0.0f64;
+        queue.clear();
+        for &s in seeds {
+            if active[s as usize] != round {
+                active[s as usize] = round;
+                round_sum += weight_cache[s as usize];
+                queue.push(s);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for &v in graph.out_neighbors(u) {
+                if active[v as usize] == round {
+                    continue;
+                }
+                if trigger_stamp[v as usize] != round {
+                    trigger_stamp[v as usize] = round;
+                    model.sample_triggers(v, rng, &mut trigger_cache[v as usize]);
+                }
+                if trigger_cache[v as usize].contains(&u) {
+                    active[v as usize] = round;
+                    round_sum += weight_cache[v as usize];
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+        let delta = round_sum - mean;
+        mean += delta / count as f64;
+        m2 += delta * (round_sum - mean);
+    }
+    let variance = m2 / (count as f64 - 1.0);
+    SpreadEstimate { mean, std_error: (variance / count as f64).sqrt(), rounds }
+}
+
+/// Monte-Carlo estimate of the plain spread `E[I(S)]`.
+pub fn monte_carlo_spread<M: TriggeringModel + ?Sized>(
+    model: &M,
+    seeds: &[NodeId],
+    rounds: u32,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    monte_carlo_weighted(model, seeds, rounds, rng, |_| 1.0)
+}
+
+/// Monte-Carlo estimate of the targeted spread `E[I^Q(S)]` (Eqn 2).
+pub fn monte_carlo_targeted<M: TriggeringModel + ?Sized>(
+    model: &M,
+    profiles: &UserProfiles,
+    query: &Query,
+    seeds: &[NodeId],
+    rounds: u32,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    monte_carlo_weighted(model, seeds, rounds, rng, |v| profiles.phi(v, query))
+}
+
+/// Exact weighted spread by enumerating every joint trigger configuration.
+///
+/// The number of configurations is `Π_v |trigger_distribution(v)|`, capped
+/// at 2²² — this is a test oracle for paper-scale examples, not a
+/// production estimator.
+pub fn exact_weighted_spread<M: TriggeringModel + ?Sized>(
+    model: &M,
+    seeds: &[NodeId],
+    mut weight: impl FnMut(NodeId) -> f64,
+) -> f64 {
+    let graph = model.graph();
+    let n = graph.num_nodes() as usize;
+
+    // Per-node distributions; nodes with a deterministic (single-outcome)
+    // distribution do not contribute branching.
+    let dists: Vec<Vec<(Vec<NodeId>, f64)>> =
+        graph.nodes().map(|v| model.trigger_distribution(v)).collect();
+    let combos: f64 = dists.iter().map(|d| d.len() as f64).product();
+    assert!(
+        combos <= (1 << 22) as f64,
+        "exact enumeration would need {combos} configurations"
+    );
+
+    let weights: Vec<f64> = (0..n).map(|v| weight(v as NodeId)).collect();
+
+    // Depth-first product over per-node choices, carrying the probability.
+    let mut choice = vec![0usize; n];
+    let mut total = 0.0f64;
+    enumerate(&dists, 0, 1.0, &mut choice, &mut |choice, p| {
+        // Live edge u → v exists iff u ∈ triggers(v) under this choice.
+        // Forward reachability from the seeds over live edges.
+        let mut active = vec![false; n];
+        let mut queue: Vec<NodeId> = Vec::new();
+        let mut sum = 0.0;
+        for &s in seeds {
+            if !active[s as usize] {
+                active[s as usize] = true;
+                sum += weights[s as usize];
+                queue.push(s);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for v in 0..n {
+                if active[v] {
+                    continue;
+                }
+                let triggers = &dists[v][choice[v]].0;
+                if triggers.contains(&u) {
+                    active[v] = true;
+                    sum += weights[v];
+                    queue.push(v as NodeId);
+                }
+            }
+        }
+        total += p * sum;
+    });
+    total
+}
+
+fn enumerate(
+    dists: &[Vec<(Vec<NodeId>, f64)>],
+    node: usize,
+    prob: f64,
+    choice: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize], f64),
+) {
+    if node == dists.len() {
+        visit(choice, prob);
+        return;
+    }
+    for (i, (_, p)) in dists[node].iter().enumerate() {
+        choice[node] = i;
+        enumerate(dists, node + 1, prob * p, choice, visit);
+    }
+}
+
+/// Exact `E[I(S)]` (unit weights).
+pub fn exact_spread<M: TriggeringModel + ?Sized>(model: &M, seeds: &[NodeId]) -> f64 {
+    exact_weighted_spread(model, seeds, |_| 1.0)
+}
+
+/// Exact activation probability `p(S ↝ target)`.
+pub fn exact_activation_probability<M: TriggeringModel + ?Sized>(
+    model: &M,
+    seeds: &[NodeId],
+    target: NodeId,
+) -> f64 {
+    exact_weighted_spread(model, seeds, |v| if v == target { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IcModel, LtModel};
+    use kbtim_graph::{gen, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_line_graph() {
+        // 0→1→2 with p = 0.5: E[I({0})] = 1 + 0.5 + 0.25 = 1.75.
+        let g = gen::line(3);
+        let model = IcModel::uniform(&g, 0.5);
+        let spread = exact_spread(&model, &[0]);
+        assert!((spread - 1.75).abs() < 1e-12, "{spread}");
+    }
+
+    #[test]
+    fn exact_activation_on_diamond() {
+        // 0→1, 0→2, 1→3, 2→3 each p = 0.5:
+        // p(1 active) = 0.5; p(3) = 1 - (1 - 0.25)² = 0.4375.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let model = IcModel::uniform(&g, 0.5);
+        assert!((exact_activation_probability(&model, &[0], 1) - 0.5).abs() < 1e-12);
+        let p3 = exact_activation_probability(&model, &[0], 3);
+        assert!((p3 - 0.4375).abs() < 1e-12, "{p3}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_ic() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let model = IcModel::uniform(&g, 0.5);
+        let exact = exact_spread(&model, &[0]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mc = monte_carlo_spread(&model, &[0], 60_000, &mut rng);
+        assert!((mc - exact).abs() < 0.02, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_lt() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let model = LtModel::degree_normalized(&g);
+        let exact = exact_spread(&model, &[0]);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mc = monte_carlo_spread(&model, &[0], 60_000, &mut rng);
+        assert!((mc - exact).abs() < 0.02, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn seeds_always_count() {
+        let g = gen::line(4);
+        let model = IcModel::uniform(&g, 0.0);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mc = monte_carlo_spread(&model, &[1, 3], 100, &mut rng);
+        assert_eq!(mc, 2.0);
+        assert_eq!(exact_spread(&model, &[1, 3]), 2.0);
+    }
+
+    #[test]
+    fn duplicate_seeds_not_double_counted() {
+        let g = gen::line(3);
+        let model = IcModel::uniform(&g, 0.0);
+        let mut rng = SmallRng::seed_from_u64(14);
+        assert_eq!(monte_carlo_spread(&model, &[1, 1, 1], 10, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn weighted_spread_uses_weights() {
+        let g = gen::line(2);
+        let model = IcModel::uniform(&g, 1.0);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let w = monte_carlo_weighted(&model, &[0], 10, &mut rng, |v| if v == 1 { 10.0 } else { 1.0 });
+        assert_eq!(w, 11.0);
+        assert_eq!(exact_weighted_spread(&model, &[0], |v| if v == 1 { 10.0 } else { 1.0 }), 11.0);
+    }
+
+    #[test]
+    fn targeted_spread_against_profiles() {
+        use kbtim_topics::{Query, UserProfiles};
+        let g = gen::line(2); // 0 → 1, p = 1
+        let model = IcModel::uniform(&g, 1.0);
+        let profiles = UserProfiles::from_entries(2, 1, &[(1, 0, 0.5)]);
+        let q = Query::new([0], 1);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let spread = monte_carlo_targeted(&model, &profiles, &q, &[0], 10, &mut rng);
+        // Only node 1 is relevant: φ(1, Q) = 0.5 · idf, activated surely.
+        let expected = 0.5 * profiles.idf(0);
+        assert!((spread - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_contains_exact_value() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let model = IcModel::uniform(&g, 0.5);
+        let exact = exact_spread(&model, &[0]);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let est = monte_carlo_weighted_ci(&model, &[0], 20_000, &mut rng, |_| 1.0);
+        assert!(est.contains(exact), "CI {:?} misses exact {exact}", est.ci95());
+        assert!((est.mean - exact).abs() < 0.05);
+        assert!(est.std_error > 0.0);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_rounds() {
+        let g = gen::line(5);
+        let model = IcModel::uniform(&g, 0.5);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let small = monte_carlo_weighted_ci(&model, &[0], 500, &mut rng, |_| 1.0);
+        let large = monte_carlo_weighted_ci(&model, &[0], 50_000, &mut rng, |_| 1.0);
+        assert!(
+            large.std_error < small.std_error / 5.0,
+            "small {} vs large {}",
+            small.std_error,
+            large.std_error
+        );
+    }
+
+    #[test]
+    fn ci_of_deterministic_spread_is_tight() {
+        // p = 1 everywhere: zero variance.
+        let g = gen::line(3);
+        let model = IcModel::uniform(&g, 1.0);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let est = monte_carlo_weighted_ci(&model, &[0], 100, &mut rng, |_| 1.0);
+        assert_eq!(est.mean, 3.0);
+        assert_eq!(est.std_error, 0.0);
+        assert_eq!(est.ci95(), (3.0, 3.0));
+    }
+
+    #[test]
+    fn ci_mean_matches_plain_estimator() {
+        let g = gen::complete(6);
+        let model = IcModel::uniform(&g, 0.3);
+        let mut rng_a = SmallRng::seed_from_u64(24);
+        let mut rng_b = SmallRng::seed_from_u64(24);
+        let plain = monte_carlo_spread(&model, &[0, 1], 2_000, &mut rng_a);
+        let with_ci = monte_carlo_weighted_ci(&model, &[0, 1], 2_000, &mut rng_b, |_| 1.0);
+        assert!((plain - with_ci.mean).abs() < 1e-9, "{plain} vs {}", with_ci.mean);
+    }
+
+    #[test]
+    fn lt_spread_on_cycle() {
+        // Cycle of 3 with degree-normalised LT: every node has exactly one
+        // in-neighbour with weight 1, so seeding any node activates all.
+        let g = gen::cycle(3);
+        let model = LtModel::degree_normalized(&g);
+        assert!((exact_spread(&model, &[0]) - 3.0).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(17);
+        assert_eq!(monte_carlo_spread(&model, &[0], 50, &mut rng), 3.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! Every segment block stores a checksum so that bit rot or a bad partial
+//! write is detected at read time rather than decoded into a corrupt index.
+
+/// Lazily built 256-entry lookup table for the reflected IEEE polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        let mut crc = self.state;
+        for &byte in data {
+            crc = table[((crc ^ byte as u32) & 0xff) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(checksum(b""), 0x0000_0000);
+        assert_eq!(checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(checksum(b"abc"), 0x3524_41C2);
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut streaming = Crc32::new();
+        for chunk in data.chunks(7) {
+            streaming.update(chunk);
+        }
+        assert_eq!(streaming.finalize(), checksum(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 128];
+        let base = checksum(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(checksum(&data), base, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Append-once segment files with a named-block directory.
+//!
+//! A segment holds the on-disk index for one keyword (or a whole index's
+//! metadata). Blocks are written once, back to back, by [`SegmentWriter`];
+//! a directory with per-block offsets and CRC-32 checksums is appended at
+//! the end, followed by a fixed-size footer:
+//!
+//! ```text
+//! +--------+----------------+-----------+--------+
+//! | header | block payloads | directory | footer |
+//! +--------+----------------+-----------+--------+
+//! header    = magic "KBTIMSG1", version u32le, reserved u32le
+//! directory = count u32le, then per block:
+//!             name_len u16le, name bytes, offset u64le, len u64le, crc u32le
+//! footer    = dir_offset u64le, dir_len u64le, dir_crc u32le, magic
+//! ```
+//!
+//! [`SegmentReader`] supports whole-block reads (checksum-verified) and
+//! positioned range reads within a block (for loading an RR-set prefix or a
+//! single IRR partition without touching the rest of the file). All reads
+//! are recorded in a shared [`IoStats`].
+
+use crate::crc32::{self, Crc32};
+use crate::IoStats;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"KBTIMSG1";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const FOOTER_LEN: u64 = 8 + 8 + 4 + 8;
+
+/// Errors from segment reading/writing.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural damage: bad magic, truncated framing, or CRC mismatch.
+    Corrupt(String),
+    /// A requested block name is not present in the directory.
+    MissingBlock(String),
+    /// A block with the same name was written twice.
+    DuplicateBlock(String),
+    /// A range read extends past the end of the block.
+    RangeOutOfBounds {
+        /// Block that was being read.
+        block: String,
+        /// Requested start offset within the block.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual block length.
+        block_len: u64,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt segment: {msg}"),
+            StorageError::MissingBlock(name) => write!(f, "missing block: {name}"),
+            StorageError::DuplicateBlock(name) => write!(f, "duplicate block: {name}"),
+            StorageError::RangeOutOfBounds { block, offset, len, block_len } => write!(
+                f,
+                "range {offset}+{len} out of bounds for block {block} (len {block_len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias for fallible storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    name: String,
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+/// Writes a segment file: header, then blocks, then directory + footer.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    position: u64,
+    entries: Vec<BlockEntry>,
+    open_block: Option<(String, u64, Crc32)>,
+    finished: bool,
+}
+
+impl SegmentWriter {
+    /// Create (truncate) the segment at `path` and write the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<SegmentWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut writer = SegmentWriter {
+            file: BufWriter::new(file),
+            path,
+            position: 0,
+            entries: Vec::new(),
+            open_block: None,
+            finished: false,
+        };
+        writer.file.write_all(MAGIC)?;
+        writer.file.write_all(&VERSION.to_le_bytes())?;
+        writer.file.write_all(&0u32.to_le_bytes())?;
+        writer.position = HEADER_LEN;
+        Ok(writer)
+    }
+
+    /// Begin a streaming block. Data is appended with [`SegmentWriter::write`]
+    /// until [`SegmentWriter::end_block`].
+    pub fn begin_block(&mut self, name: &str) -> Result<()> {
+        assert!(self.open_block.is_none(), "previous block not closed");
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(StorageError::DuplicateBlock(name.to_string()));
+        }
+        self.open_block = Some((name.to_string(), self.position, Crc32::new()));
+        Ok(())
+    }
+
+    /// Append payload bytes to the currently open block.
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        let (_, _, crc) = self.open_block.as_mut().expect("no open block");
+        crc.update(data);
+        self.file.write_all(data)?;
+        self.position += data.len() as u64;
+        Ok(())
+    }
+
+    /// Close the currently open block, recording its directory entry.
+    pub fn end_block(&mut self) -> Result<()> {
+        let (name, offset, crc) = self.open_block.take().expect("no open block");
+        self.entries.push(BlockEntry {
+            name,
+            offset,
+            len: self.position - offset,
+            crc: crc.finalize(),
+        });
+        Ok(())
+    }
+
+    /// Write a complete block in one call.
+    pub fn write_block(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.begin_block(name)?;
+        self.write(data)?;
+        self.end_block()
+    }
+
+    /// Current byte offset within the block being written (0 at block start).
+    pub fn block_position(&self) -> u64 {
+        let (_, start, _) = self.open_block.as_ref().expect("no open block");
+        self.position - start
+    }
+
+    /// Write directory + footer and flush everything to disk.
+    ///
+    /// Returns the total file size in bytes.
+    pub fn finish(mut self) -> Result<u64> {
+        assert!(self.open_block.is_none(), "block still open at finish");
+        let dir_offset = self.position;
+        let mut dir = Vec::new();
+        dir.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for entry in &self.entries {
+            let name = entry.name.as_bytes();
+            dir.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            dir.extend_from_slice(name);
+            dir.extend_from_slice(&entry.offset.to_le_bytes());
+            dir.extend_from_slice(&entry.len.to_le_bytes());
+            dir.extend_from_slice(&entry.crc.to_le_bytes());
+        }
+        let dir_crc = crc32::checksum(&dir);
+        self.file.write_all(&dir)?;
+        self.file.write_all(&dir_offset.to_le_bytes())?;
+        self.file.write_all(&(dir.len() as u64).to_le_bytes())?;
+        self.file.write_all(&dir_crc.to_le_bytes())?;
+        self.file.write_all(MAGIC)?;
+        self.file.flush()?;
+        self.finished = true;
+        let total = dir_offset + dir.len() as u64 + FOOTER_LEN;
+        Ok(total)
+    }
+
+    /// Path this writer is producing.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Metadata for one block, from the segment directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Block name.
+    pub name: String,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Reads a segment file with positioned, counted, checksum-verified reads.
+///
+/// The reader is internally synchronized; `&self` methods may be shared
+/// across threads.
+#[derive(Debug)]
+pub struct SegmentReader {
+    file: Mutex<PositionedFile>,
+    entries: Vec<BlockEntry>,
+    stats: IoStats,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct PositionedFile {
+    file: File,
+    /// Where the last read ended, for seek accounting.
+    last_end: u64,
+}
+
+impl PositionedFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8], stats: &IoStats) -> Result<()> {
+        let seeked = offset != self.last_end;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        self.last_end = offset + buf.len() as u64;
+        stats.record_read(buf.len() as u64, seeked);
+        Ok(())
+    }
+}
+
+impl SegmentReader {
+    /// Open a segment, validating the footer and directory checksums.
+    pub fn open(path: impl AsRef<Path>, stats: IoStats) -> Result<SegmentReader> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + FOOTER_LEN {
+            return Err(StorageError::Corrupt("file shorter than framing".into()));
+        }
+
+        // Header.
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if &header[0..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad header magic".into()));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+        if version != VERSION {
+            return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+        }
+        let reserved = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
+        if reserved != 0 {
+            return Err(StorageError::Corrupt("nonzero reserved header field".into()));
+        }
+
+        // Footer.
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
+        file.read_exact(&mut footer)?;
+        if &footer[20..28] != MAGIC {
+            return Err(StorageError::Corrupt("bad footer magic".into()));
+        }
+        let dir_offset = u64::from_le_bytes(footer[0..8].try_into().expect("fixed slice"));
+        let dir_len = u64::from_le_bytes(footer[8..16].try_into().expect("fixed slice"));
+        let dir_crc = u32::from_le_bytes(footer[16..20].try_into().expect("fixed slice"));
+        if dir_offset + dir_len + FOOTER_LEN != file_len {
+            return Err(StorageError::Corrupt("directory framing mismatch".into()));
+        }
+
+        // Directory.
+        let mut dir = vec![0u8; dir_len as usize];
+        file.seek(SeekFrom::Start(dir_offset))?;
+        file.read_exact(&mut dir)?;
+        if crc32::checksum(&dir) != dir_crc {
+            return Err(StorageError::Corrupt("directory checksum mismatch".into()));
+        }
+        let entries = parse_directory(&dir, dir_offset)?;
+
+        Ok(SegmentReader {
+            file: Mutex::new(PositionedFile { file, last_end: 0 }),
+            entries,
+            stats,
+            path,
+        })
+    }
+
+    /// Names and sizes of every block.
+    pub fn blocks(&self) -> Vec<BlockInfo> {
+        self.entries
+            .iter()
+            .map(|e| BlockInfo { name: e.name.clone(), len: e.len })
+            .collect()
+    }
+
+    /// Length of a named block's payload in bytes.
+    pub fn block_len(&self, name: &str) -> Result<u64> {
+        Ok(self.entry(name)?.len)
+    }
+
+    /// Read a whole block and verify its checksum.
+    pub fn read_block(&self, name: &str) -> Result<Vec<u8>> {
+        let entry = self.entry(name)?.clone();
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.lock().read_at(entry.offset, &mut buf, &self.stats)?;
+        if crc32::checksum(&buf) != entry.crc {
+            return Err(StorageError::Corrupt(format!("checksum mismatch in block {name}")));
+        }
+        Ok(buf)
+    }
+
+    /// Read `len` bytes starting `offset` bytes into the named block.
+    ///
+    /// Range reads cannot be checksum-verified (the CRC covers the whole
+    /// block); they exist so queries can load an RR-set prefix or a single
+    /// IRR partition without paying for the full block.
+    pub fn read_range(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let entry = self.entry(name)?.clone();
+        if offset + len > entry.len {
+            return Err(StorageError::RangeOutOfBounds {
+                block: name.to_string(),
+                offset,
+                len,
+                block_len: entry.len,
+            });
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.file.lock().read_at(entry.offset + offset, &mut buf, &self.stats)?;
+        Ok(buf)
+    }
+
+    /// The shared I/O counters this reader records into.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total on-disk size of the segment file.
+    pub fn file_len(&self) -> Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    fn entry(&self, name: &str) -> Result<&BlockEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| StorageError::MissingBlock(name.to_string()))
+    }
+}
+
+fn parse_directory(dir: &[u8], dir_offset: u64) -> Result<Vec<BlockEntry>> {
+    let corrupt = |msg: &str| StorageError::Corrupt(msg.to_string());
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > dir.len() {
+            return Err(corrupt("directory truncated"));
+        }
+        let slice = &dir[*pos..*pos + n];
+        *pos += n;
+        Ok(slice)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed")) as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("fixed")) as usize;
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| corrupt("block name not utf-8"))?
+            .to_string();
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("fixed"));
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("fixed"));
+        let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed"));
+        if offset < HEADER_LEN || offset + len > dir_offset {
+            return Err(corrupt("block extent out of bounds"));
+        }
+        entries.push(BlockEntry { name, offset, len, crc });
+    }
+    if pos != dir.len() {
+        return Err(corrupt("trailing bytes in directory"));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+
+    fn write_demo(path: &Path) {
+        let mut writer = SegmentWriter::create(path).unwrap();
+        writer.write_block("alpha", b"hello world").unwrap();
+        writer.begin_block("beta").unwrap();
+        writer.write(b"chunk-1/").unwrap();
+        writer.write(b"chunk-2").unwrap();
+        writer.end_block().unwrap();
+        writer.write_block("empty", b"").unwrap();
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_blocks() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        assert_eq!(reader.read_block("alpha").unwrap(), b"hello world");
+        assert_eq!(reader.read_block("beta").unwrap(), b"chunk-1/chunk-2");
+        assert_eq!(reader.read_block("empty").unwrap(), b"");
+        assert_eq!(reader.block_len("beta").unwrap(), 15);
+        let names: Vec<String> = reader.blocks().into_iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["alpha", "beta", "empty"]);
+    }
+
+    #[test]
+    fn range_reads() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        assert_eq!(reader.read_range("alpha", 6, 5).unwrap(), b"world");
+        assert_eq!(reader.read_range("beta", 0, 7).unwrap(), b"chunk-1");
+        assert!(matches!(
+            reader.read_range("alpha", 8, 10).unwrap_err(),
+            StorageError::RangeOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn io_stats_recorded() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let stats = IoStats::new();
+        let reader = SegmentReader::open(&path, stats.clone()).unwrap();
+        assert_eq!(stats.read_ops(), 0, "open() reads are not charged to queries");
+        reader.read_block("alpha").unwrap();
+        reader.read_range("alpha", 0, 4).unwrap();
+        assert_eq!(stats.read_ops(), 2);
+        assert_eq!(stats.bytes_read(), 11 + 4);
+    }
+
+    #[test]
+    fn sequential_reads_do_not_seek() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let stats = IoStats::new();
+        let reader = SegmentReader::open(&path, stats.clone()).unwrap();
+        reader.read_range("alpha", 0, 4).unwrap(); // seek (from 0 to header end)
+        reader.read_range("alpha", 4, 4).unwrap(); // continues where we left off
+        reader.read_range("alpha", 0, 4).unwrap(); // jumps back: seek
+        assert_eq!(stats.seeks(), 2);
+    }
+
+    #[test]
+    fn duplicate_block_rejected() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("dup.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.write_block("a", b"1").unwrap();
+        assert!(matches!(
+            writer.write_block("a", b"2").unwrap_err(),
+            StorageError::DuplicateBlock(_)
+        ));
+    }
+
+    #[test]
+    fn missing_block_reported() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        assert!(matches!(
+            reader.read_block("nope").unwrap_err(),
+            StorageError::MissingBlock(_)
+        ));
+    }
+
+    #[test]
+    fn corruption_detected_in_block() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        // Flip one payload byte of "alpha" (payload starts right after header).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        assert!(matches!(
+            reader.read_block("alpha").unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn corruption_detected_in_directory() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        // Somewhere inside the directory, before the footer.
+        bytes[n - FOOTER_LEN as usize - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path, IoStats::new()).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(SegmentReader::open(&path, IoStats::new()).is_err());
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("empty.seg");
+        let writer = SegmentWriter::create(&path).unwrap();
+        writer.finish().unwrap();
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        assert!(reader.blocks().is_empty());
+    }
+
+    #[test]
+    fn block_position_tracks_stream() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("pos.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.begin_block("x").unwrap();
+        assert_eq!(writer.block_position(), 0);
+        writer.write(b"12345").unwrap();
+        assert_eq!(writer.block_position(), 5);
+        writer.write(b"678").unwrap();
+        assert_eq!(writer.block_position(), 8);
+        writer.end_block().unwrap();
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn file_len_matches_finish_return() {
+        let dir = TempDir::new("seg").unwrap();
+        let path = dir.path().join("len.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.write_block("a", &[7u8; 1000]).unwrap();
+        let reported = writer.finish().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), reported);
+    }
+}

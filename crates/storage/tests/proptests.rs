@@ -1,0 +1,103 @@
+//! Property tests for segment-file round trips and range reads.
+
+use kbtim_storage::segment::{SegmentReader, SegmentWriter};
+use kbtim_storage::{IoStats, TempDir};
+use proptest::prelude::*;
+
+fn blocks() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        ("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512)),
+        0..8,
+    )
+    .prop_map(|mut blocks| {
+        // Unique names (duplicates are a writer error by design).
+        blocks.sort_by(|a, b| a.0.cmp(&b.0));
+        blocks.dedup_by(|a, b| a.0 == b.0);
+        blocks
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Whatever is written comes back, block by block, checksum-verified.
+    #[test]
+    fn segment_roundtrip(blocks in blocks()) {
+        let dir = TempDir::new("seg-prop").unwrap();
+        let path = dir.path().join("seg.bin");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        for (name, data) in &blocks {
+            writer.write_block(name, data).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        prop_assert_eq!(reader.blocks().len(), blocks.len());
+        for (name, data) in &blocks {
+            prop_assert_eq!(&reader.read_block(name).unwrap(), data);
+            prop_assert_eq!(reader.block_len(name).unwrap(), data.len() as u64);
+        }
+    }
+
+    /// Arbitrary in-bounds range reads return exactly the right bytes.
+    #[test]
+    fn range_reads_match_slices(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        cuts in proptest::collection::vec((0usize..2048, 0usize..512), 1..10),
+    ) {
+        let dir = TempDir::new("seg-prop-range").unwrap();
+        let path = dir.path().join("seg.bin");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.write_block("data", &data).unwrap();
+        writer.finish().unwrap();
+
+        let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+        for (start, len) in cuts {
+            let start = start % data.len();
+            let len = len.min(data.len() - start);
+            let got = reader.read_range("data", start as u64, len as u64).unwrap();
+            prop_assert_eq!(&got[..], &data[start..start + len]);
+        }
+    }
+
+    /// Any single-bit flip in the payload area is caught by a whole-block
+    /// read (or by open, if it lands in the framing).
+    #[test]
+    fn bit_flips_never_pass_silently(
+        data in proptest::collection::vec(any::<u8>(), 8..256),
+        flip_at in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let dir = TempDir::new("seg-prop-flip").unwrap();
+        let path = dir.path().join("seg.bin");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.write_block("data", &data).unwrap();
+        writer.finish().unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match SegmentReader::open(&path, IoStats::new()) {
+            Err(_) => {} // framing/directory damage detected at open
+            Ok(reader) => match reader.read_block("data") {
+                Err(_) => {} // checksum mismatch detected at read
+                Ok(read_back) => {
+                    // The flip landed outside both the directory and this
+                    // block's payload+checksum coverage is impossible: the
+                    // whole file is either framing (validated) or payload
+                    // (checksummed). The only legal success is... none.
+                    prop_assert!(
+                        read_back == data,
+                        "corrupted data returned without error"
+                    );
+                    // If data matches, the flip must have hit padding that
+                    // does not exist in this format — fail loudly so we
+                    // notice if the format ever grows unchecked regions.
+                    prop_assert!(false, "flip at byte {idx} bit {bit} went undetected");
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Plain-text persistence for user profiles.
+//!
+//! Format: one `user<TAB>topic<TAB>tf` triple per line, `#` comments, a
+//! header comment recording the dimensions. Human-inspectable and
+//! diff-friendly, in the same spirit as the SNAP edge lists — real topic
+//! models exported from other toolchains can be dropped in.
+
+use crate::UserProfiles;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from profile parsing.
+#[derive(Debug)]
+pub enum ProfileIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse(usize, String),
+    /// The `# kbtim profiles:` header is missing or malformed.
+    MissingHeader,
+}
+
+impl std::fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProfileIoError::Parse(line, content) => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+            ProfileIoError::MissingHeader => write!(f, "missing profile header line"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileIoError {}
+
+impl From<std::io::Error> for ProfileIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileIoError::Io(e)
+    }
+}
+
+/// Write profiles as tab-separated triples with a dimension header.
+pub fn write_profiles(profiles: &UserProfiles, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(
+        out,
+        "# kbtim profiles: users={} topics={} entries={}",
+        profiles.num_users(),
+        profiles.num_topics(),
+        profiles.num_entries()
+    )?;
+    for user in 0..profiles.num_users() {
+        let (topics, tfs) = profiles.user_vector(user);
+        for (&topic, &tf) in topics.iter().zip(tfs.iter()) {
+            writeln!(out, "{user}\t{topic}\t{tf}")?;
+        }
+    }
+    out.flush()
+}
+
+/// Read profiles written by [`write_profiles`] (or hand-assembled in the
+/// same format — the header fixes the dimensions so trailing users/topics
+/// without entries survive the round trip).
+pub fn read_profiles(path: impl AsRef<Path>) -> Result<UserProfiles, ProfileIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let (num_users, num_topics) = parse_header(header.trim()).ok_or(ProfileIoError::MissingHeader)?;
+
+    let mut entries = Vec::new();
+    let mut line = String::new();
+    let mut line_no = 1usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let parsed = (|| {
+            let user: u32 = parts.next()?.parse().ok()?;
+            let topic: u32 = parts.next()?.parse().ok()?;
+            let tf: f32 = parts.next()?.parse().ok()?;
+            parts.next().is_none().then_some((user, topic, tf))
+        })();
+        match parsed {
+            Some(entry) => entries.push(entry),
+            None => return Err(ProfileIoError::Parse(line_no, trimmed.to_string())),
+        }
+    }
+    Ok(UserProfiles::from_entries(num_users, num_topics, &entries))
+}
+
+fn parse_header(header: &str) -> Option<(u32, u32)> {
+    let rest = header.strip_prefix("# kbtim profiles:")?;
+    let mut users = None;
+    let mut topics = None;
+    for token in rest.split_whitespace() {
+        if let Some(v) = token.strip_prefix("users=") {
+            users = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("topics=") {
+            topics = v.parse().ok();
+        }
+    }
+    Some((users?, topics?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_profiles, ProfileConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kbtim-topics-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_generated_profiles() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let profiles = generate_profiles(
+            ProfileConfig { num_users: 300, num_topics: 12, max_topics_per_user: 4, topic_skew: 1.0 },
+            &mut rng,
+        );
+        let path = temp_path("roundtrip.tsv");
+        write_profiles(&profiles, &path).unwrap();
+        let back = read_profiles(&path).unwrap();
+        assert_eq!(back.num_users(), profiles.num_users());
+        assert_eq!(back.num_topics(), profiles.num_topics());
+        assert_eq!(back.num_entries(), profiles.num_entries());
+        for user in 0..profiles.num_users() {
+            assert_eq!(back.user_vector(user), profiles.user_vector(user));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dimensions_survive_trailing_empties() {
+        // User 4 and topic 9 hold nothing; the header keeps them.
+        let profiles = UserProfiles::from_entries(5, 10, &[(0, 0, 1.0)]);
+        let path = temp_path("empty-tail.tsv");
+        write_profiles(&profiles, &path).unwrap();
+        let back = read_profiles(&path).unwrap();
+        assert_eq!(back.num_users(), 5);
+        assert_eq!(back.num_topics(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let path = temp_path("no-header.tsv");
+        std::fs::write(&path, "0\t0\t0.5\n").unwrap();
+        assert!(matches!(read_profiles(&path).unwrap_err(), ProfileIoError::MissingHeader));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let path = temp_path("bad-line.tsv");
+        std::fs::write(&path, "# kbtim profiles: users=2 topics=2 entries=1\n0\t0\n").unwrap();
+        match read_profiles(&path).unwrap_err() {
+            ProfileIoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_between_entries_ok() {
+        let path = temp_path("comments.tsv");
+        std::fs::write(
+            &path,
+            "# kbtim profiles: users=2 topics=2 entries=2\n0\t0\t0.5\n# interlude\n1\t1\t1\n",
+        )
+        .unwrap();
+        let back = read_profiles(&path).unwrap();
+        assert_eq!(back.num_entries(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,396 @@
+//! Synthetic profile and query workload generation.
+//!
+//! Stands in for the paper's two unavailable inputs (§6.1):
+//!
+//! * **LDA topic vectors** mined from tweets / news text → Zipf-skewed
+//!   sparse profiles: each user holds a few topics (popular topics held by
+//!   many users), with per-user weights normalised to sum to 1, exactly
+//!   like the preference tables of Figure 1.
+//! * **AOL keyword queries** filtered to the topic vocabulary → Zipf-
+//!   weighted distinct keyword sets of length 1–6, 100 queries per length.
+
+use crate::zipf::ZipfSampler;
+use crate::{Query, TopicId, UserProfiles};
+use kbtim_graph::NodeId;
+use rand::Rng;
+
+/// Configuration for [`generate_profiles`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileConfig {
+    /// Number of users (must match the graph's node count downstream).
+    pub num_users: u32,
+    /// Size of the topic space `|T|` (the paper uses 200).
+    pub num_topics: u32,
+    /// Most topics a single user holds (Figure 1 profiles hold 1–4).
+    pub max_topics_per_user: u32,
+    /// Zipf exponent for topic popularity (≈1 matches social media skew).
+    pub topic_skew: f64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig { num_users: 1000, num_topics: 200, max_topics_per_user: 4, topic_skew: 1.0 }
+    }
+}
+
+/// Generate sparse user profiles.
+///
+/// Each user draws `1..=max_topics_per_user` distinct topics (count uniform,
+/// topics Zipf-ranked) and random positive weights normalised so each
+/// user's preferences sum to 1, mirroring the paper's example profiles.
+pub fn generate_profiles(config: ProfileConfig, rng: &mut impl Rng) -> UserProfiles {
+    assert!(config.num_topics > 0, "need at least one topic");
+    assert!(config.max_topics_per_user > 0, "users must hold at least one topic");
+    let zipf = ZipfSampler::new(config.num_topics as usize, config.topic_skew);
+    let mut entries: Vec<(NodeId, TopicId, f32)> = Vec::new();
+    for user in 0..config.num_users {
+        let count = rng.gen_range(1..=config.max_topics_per_user) as usize;
+        let topics = zipf.sample_distinct(count, rng);
+        // Random positive weights, normalised to sum to 1.
+        let raw: Vec<f64> = topics.iter().map(|_| rng.gen_range(0.1..1.0)).collect();
+        let total: f64 = raw.iter().sum();
+        for (topic, weight) in topics.iter().zip(raw.iter()) {
+            entries.push((user, *topic as TopicId, (*weight / total) as f32));
+        }
+    }
+    UserProfiles::from_entries(config.num_users, config.num_topics, &entries)
+}
+
+/// Configuration for [`generate_profiles_homophilous`].
+#[derive(Debug, Clone, Copy)]
+pub struct HomophilyConfig {
+    /// Base sparsity/skew parameters.
+    pub base: ProfileConfig,
+    /// Probability that a user's *primary* topic is copied from an
+    /// already-assigned graph neighbour instead of drawn from the global
+    /// Zipf distribution. 0 reduces to [`generate_profiles`]-like
+    /// independence; ~0.8 produces strong topical communities.
+    pub homophily: f64,
+    /// Fraction of a user's preference mass assigned to the primary topic
+    /// (the rest is split over the secondary topics).
+    pub primary_weight: f64,
+}
+
+impl Default for HomophilyConfig {
+    fn default() -> Self {
+        HomophilyConfig { base: ProfileConfig::default(), homophily: 0.8, primary_weight: 0.6 }
+    }
+}
+
+/// Generate profiles whose topics cluster along the graph.
+///
+/// Real social networks are topically assortative: the communities the
+/// paper observes in its News results ("disseminate the advertisement in
+/// the more relevant communities") only exist because neighbours share
+/// interests. Users are processed in id order (preferential-attachment
+/// arrival order, so neighbours with smaller ids are usually assigned
+/// already); each user's primary topic is copied from a random assigned
+/// neighbour with probability `homophily`, otherwise drawn Zipf-globally.
+/// Secondary topics are Zipf-drawn; weights sum to 1 per user with
+/// `primary_weight` on the primary topic.
+pub fn generate_profiles_homophilous(
+    graph: &kbtim_graph::Graph,
+    config: HomophilyConfig,
+    rng: &mut impl Rng,
+) -> UserProfiles {
+    let base = config.base;
+    assert_eq!(graph.num_nodes(), base.num_users, "graph/profile size mismatch");
+    assert!(base.num_topics > 0 && base.max_topics_per_user > 0);
+    assert!((0.0..=1.0).contains(&config.homophily));
+    assert!(config.primary_weight > 0.0 && config.primary_weight < 1.0);
+
+    let zipf = ZipfSampler::new(base.num_topics as usize, base.topic_skew);
+    let mut primary: Vec<Option<TopicId>> = vec![None; base.num_users as usize];
+    let mut entries: Vec<(NodeId, TopicId, f32)> = Vec::new();
+    let mut neighbor_pool: Vec<TopicId> = Vec::new();
+
+    for user in 0..base.num_users {
+        // Collect assigned neighbours (either direction).
+        neighbor_pool.clear();
+        for &u in graph.out_neighbors(user).iter().chain(graph.in_neighbors(user)) {
+            if let Some(topic) = primary[u as usize] {
+                neighbor_pool.push(topic);
+            }
+        }
+        let main_topic = if !neighbor_pool.is_empty() && rng.gen_bool(config.homophily) {
+            neighbor_pool[rng.gen_range(0..neighbor_pool.len())]
+        } else {
+            zipf.sample(rng) as TopicId
+        };
+        primary[user as usize] = Some(main_topic);
+
+        // Secondary topics: Zipf-distinct, excluding the primary.
+        let extra = rng.gen_range(0..base.max_topics_per_user) as usize;
+        let mut topics = vec![main_topic];
+        for candidate in zipf.sample_distinct(extra + 1, rng) {
+            if topics.len() > extra {
+                break;
+            }
+            if candidate as TopicId != main_topic {
+                topics.push(candidate as TopicId);
+            }
+        }
+        // Weights: primary_weight on the main topic (all of it if the
+        // user ended up single-topic), the remainder split randomly.
+        if topics.len() == 1 {
+            entries.push((user, main_topic, 1.0));
+        } else {
+            let raw: Vec<f64> = topics[1..].iter().map(|_| rng.gen_range(0.1..1.0)).collect();
+            let raw_total: f64 = raw.iter().sum();
+            entries.push((user, main_topic, config.primary_weight as f32));
+            for (topic, w) in topics[1..].iter().zip(raw.iter()) {
+                let share = (1.0 - config.primary_weight) * w / raw_total;
+                entries.push((user, *topic, share as f32));
+            }
+        }
+    }
+    UserProfiles::from_entries(base.num_users, base.num_topics, &entries)
+}
+
+/// Configuration for [`generate_queries`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadConfig {
+    /// Inclusive range of keyword counts (`1..=6` in the paper).
+    pub min_keywords: usize,
+    /// See `min_keywords`.
+    pub max_keywords: usize,
+    /// Queries generated per keyword count (100 in the paper).
+    pub queries_per_length: usize,
+    /// Seeds requested by each query.
+    pub k: u32,
+    /// Zipf exponent over topic popularity for keyword choice.
+    pub keyword_skew: f64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig {
+            min_keywords: 1,
+            max_keywords: 6,
+            queries_per_length: 100,
+            k: 30,
+            keyword_skew: 1.0,
+        }
+    }
+}
+
+/// Generate the query workload: for each length in
+/// `min_keywords..=max_keywords`, `queries_per_length` queries whose
+/// keyword sets are distinct Zipf-ranked topics **restricted to topics at
+/// least one user holds** (the paper filters AOL queries to its topic
+/// vocabulary the same way).
+pub fn generate_queries(
+    profiles: &UserProfiles,
+    config: QueryWorkloadConfig,
+    rng: &mut impl Rng,
+) -> Vec<Query> {
+    assert!(config.min_keywords >= 1 && config.min_keywords <= config.max_keywords);
+    // Rank held topics by descending popularity so Zipf rank 0 is the most
+    // popular actually-used topic.
+    let mut held: Vec<TopicId> =
+        (0..profiles.num_topics()).filter(|&w| profiles.doc_freq(w) > 0).collect();
+    assert!(!held.is_empty(), "no topic is held by any user");
+    held.sort_by(|&a, &b| {
+        profiles
+            .doc_freq(b)
+            .cmp(&profiles.doc_freq(a))
+            .then(a.cmp(&b))
+    });
+    let zipf = ZipfSampler::new(held.len(), config.keyword_skew);
+
+    let mut queries = Vec::new();
+    for len in config.min_keywords..=config.max_keywords {
+        for _ in 0..config.queries_per_length {
+            let ranks = zipf.sample_distinct(len, rng);
+            let topics = ranks.into_iter().map(|r| held[r]);
+            queries.push(Query::new(topics, config.k));
+        }
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn profiles() -> UserProfiles {
+        let mut rng = SmallRng::seed_from_u64(17);
+        generate_profiles(
+            ProfileConfig { num_users: 500, num_topics: 40, max_topics_per_user: 4, topic_skew: 1.0 },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn every_user_has_a_profile() {
+        let p = profiles();
+        for user in 0..p.num_users() {
+            let (topics, tfs) = p.user_vector(user);
+            assert!(!topics.is_empty(), "user {user} has no topics");
+            assert!(topics.len() <= 4);
+            let sum: f64 = tfs.iter().map(|&t| t as f64).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "user {user} weights sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn popular_topics_have_higher_doc_freq() {
+        let p = profiles();
+        // Zipf rank 0 (topic 0) should be held by many more users than the
+        // tail topic.
+        assert!(p.doc_freq(0) > p.doc_freq(39) * 2, "{} vs {}", p.doc_freq(0), p.doc_freq(39));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let config = ProfileConfig::default();
+        let a = generate_profiles(config, &mut SmallRng::seed_from_u64(5));
+        let b = generate_profiles(config, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.num_entries(), b.num_entries());
+        for u in 0..a.num_users() {
+            assert_eq!(a.user_vector(u), b.user_vector(u));
+        }
+    }
+
+    #[test]
+    fn query_workload_shape() {
+        let p = profiles();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let config = QueryWorkloadConfig {
+            min_keywords: 1,
+            max_keywords: 6,
+            queries_per_length: 10,
+            k: 25,
+            keyword_skew: 1.0,
+        };
+        let queries = generate_queries(&p, config, &mut rng);
+        assert_eq!(queries.len(), 60);
+        for (i, q) in queries.iter().enumerate() {
+            let expected_len = i / 10 + 1;
+            assert_eq!(q.num_topics(), expected_len, "query {i}");
+            assert_eq!(q.k(), 25);
+            // All keywords must be held by someone (φ_Q > 0).
+            assert!(p.phi_q(q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn homophilous_profiles_cluster_topics() {
+        use kbtim_graph::gen::{preferential_attachment, PrefAttachConfig};
+        let mut rng = SmallRng::seed_from_u64(71);
+        let g = preferential_attachment(
+            PrefAttachConfig { num_nodes: 3000, edges_per_node: 3, reciprocal_prob: 0.5 },
+            &mut rng,
+        );
+        let config = HomophilyConfig {
+            base: ProfileConfig {
+                num_users: 3000,
+                num_topics: 20,
+                max_topics_per_user: 3,
+                topic_skew: 1.0,
+            },
+            homophily: 0.85,
+            primary_weight: 0.6,
+        };
+        let p = generate_profiles_homophilous(&g, config, &mut rng);
+        // Assortativity probe: how often does an edge connect users whose
+        // top topic matches, vs the same statistic on a topic-shuffled
+        // null? Homophily must beat the null clearly.
+        let top_topic = |v: u32| -> u32 {
+            let (topics, tfs) = p.user_vector(v);
+            topics[tfs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0]
+        };
+        let tops: Vec<u32> = (0..3000).map(top_topic).collect();
+        let mut same = 0u32;
+        let mut total = 0u32;
+        for (u, v) in g.edges() {
+            total += 1;
+            if tops[u as usize] == tops[v as usize] {
+                same += 1;
+            }
+        }
+        let assortativity = same as f64 / total as f64;
+        // Null rate = Σ p_i² over the topic marginals.
+        let mut counts = vec![0u32; 20];
+        for &t in &tops {
+            counts[t as usize] += 1;
+        }
+        let null: f64 =
+            counts.iter().map(|&c| (c as f64 / 3000.0).powi(2)).sum();
+        // The Zipf head keeps the null high (topic 0 dominates); a 30 %
+        // lift over it is already strong clustering.
+        assert!(
+            assortativity > 1.3 * null,
+            "assortativity {assortativity:.3} should be well above the null {null:.3}"
+        );
+    }
+
+    #[test]
+    fn homophilous_weights_sum_to_one() {
+        use kbtim_graph::gen;
+        let mut rng = SmallRng::seed_from_u64(72);
+        let g = gen::cycle(200);
+        let config = HomophilyConfig {
+            base: ProfileConfig {
+                num_users: 200,
+                num_topics: 10,
+                max_topics_per_user: 4,
+                topic_skew: 1.0,
+            },
+            ..HomophilyConfig::default()
+        };
+        let p = generate_profiles_homophilous(&g, config, &mut rng);
+        for user in 0..200 {
+            let (topics, tfs) = p.user_vector(user);
+            assert!(!topics.is_empty());
+            let sum: f64 = tfs.iter().map(|&t| t as f64).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "user {user}: {sum}");
+        }
+    }
+
+    #[test]
+    fn zero_homophily_matches_global_popularity() {
+        use kbtim_graph::gen;
+        let mut rng = SmallRng::seed_from_u64(73);
+        let g = gen::line(2000);
+        let config = HomophilyConfig {
+            base: ProfileConfig {
+                num_users: 2000,
+                num_topics: 15,
+                max_topics_per_user: 1,
+                topic_skew: 1.0,
+            },
+            homophily: 0.0,
+            primary_weight: 0.6,
+        };
+        let p = generate_profiles_homophilous(&g, config, &mut rng);
+        // Rank-0 topic should dominate, as in the plain Zipf generator.
+        assert!(p.doc_freq(0) > p.doc_freq(14) * 3);
+    }
+
+    #[test]
+    fn queries_only_use_held_topics() {
+        // Profiles where only topics 0 and 1 are held.
+        let p = UserProfiles::from_entries(3, 10, &[(0, 0, 1.0), (1, 1, 0.5), (2, 1, 0.5)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = QueryWorkloadConfig {
+            min_keywords: 1,
+            max_keywords: 2,
+            queries_per_length: 20,
+            k: 1,
+            keyword_skew: 1.0,
+        };
+        for q in generate_queries(&p, config, &mut rng) {
+            for &w in q.topics() {
+                assert!(w <= 1, "unheld topic {w} in query");
+            }
+        }
+    }
+}

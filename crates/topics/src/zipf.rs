@@ -1,0 +1,169 @@
+//! Zipf-distributed sampling over ranked items.
+//!
+//! Topic popularity in social media follows a heavy-tailed rank
+//! distribution; the paper's 200 LDA topics and the AOL query keywords are
+//! both strongly skewed toward a head of popular topics. `rand` (the only
+//! random crate in the allowed dependency set) has no Zipf distribution, so
+//! this is a small exact implementation: weights `w_i = 1/(i+1)^s` with
+//! inverse-CDF sampling over the precomputed cumulative table.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `s >= 0`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` matches
+    /// classic Zipf popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when only one rank exists.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Probability mass of a single rank.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        (self.cumulative[rank] - lo) / total
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        // partition_point: first index whose cumulative weight exceeds x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Draw `count` *distinct* ranks (at most `len()`); useful for picking
+    /// the keyword set of a query. Sampling is by rejection, which is fast
+    /// because `count` is tiny (≤ 6 in the paper's workload).
+    pub fn sample_distinct(&self, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+        let count = count.min(self.len());
+        let mut picked = Vec::with_capacity(count);
+        // Rejection sampling with a safety valve: fall back to scanning
+        // unpicked ranks if the head is exhausted (possible when count is
+        // close to len()).
+        let mut attempts = 0usize;
+        while picked.len() < count {
+            let r = self.sample(rng);
+            if !picked.contains(&r) {
+                picked.push(r);
+            }
+            attempts += 1;
+            if attempts > 64 * count.max(1) {
+                for r in 0..self.len() {
+                    if picked.len() == count {
+                        break;
+                    }
+                    if !picked.contains(&r) {
+                        picked.push(r);
+                    }
+                }
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(50, 1.0);
+        let total: f64 = (0..50).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(100, 1.2);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+    }
+
+    #[test]
+    fn empirical_distribution_matches() {
+        let z = ZipfSampler::new(20, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 20];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..20 {
+            let expected = z.probability(r);
+            let observed = counts[r] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: observed {observed:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_sampling() {
+        let z = ZipfSampler::new(8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for count in 0..=10 {
+            let picks = z.sample_distinct(count, &mut rng);
+            assert_eq!(picks.len(), count.min(8));
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picks.len(), "duplicates in {picks:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Why sampling won: WRIS vs the classic IM baselines (§7 of the paper).
+//!
+//! Compares four seed-selection strategies on the same targeted query:
+//!
+//! * CELF — the original Kempe-et-al. greedy with Monte-Carlo gains and
+//!   lazy evaluation (quality gold standard, painfully many simulations);
+//! * WRIS — the paper's weighted sampling (same guarantee, a fraction of
+//!   the work);
+//! * degree-discount and max-degree — fast heuristics without guarantees.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use kbtim::core::baselines::{celf_greedy, degree_discount, max_degree};
+use kbtim::core::{wris::wris_query, SamplingConfig};
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::propagation::model::IcModel;
+use kbtim::propagation::spread::monte_carlo_weighted_ci;
+use kbtim::topics::Query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(2_500)
+        .num_topics(16)
+        .seed(404)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let query = Query::new([0, 2], 10);
+    println!(
+        "dataset {}: {} users, {} edges — query {:?}, k = {}\n",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        query.topics(),
+        query.k()
+    );
+
+    let weight = |v: u32| data.profiles.phi(v, &query);
+    let mut results: Vec<(&str, Vec<u32>, std::time::Duration)> = Vec::new();
+
+    // CELF restricted to users relevant to the query (all candidates would
+    // take minutes — exactly the paper's point).
+    let candidates: Vec<u32> =
+        (0..data.graph.num_nodes()).filter(|&v| weight(v) > 0.0).collect();
+    println!("CELF candidate pool: {} relevant users", candidates.len());
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t0 = Instant::now();
+    let celf = celf_greedy(&model, &candidates, query.k(), 300, &mut rng, weight);
+    results.push(("CELF(MC)", celf.seeds.clone(), t0.elapsed()));
+    println!("CELF spread evaluations: {}", celf.evaluations);
+
+    let config = SamplingConfig { theta_cap: Some(60_000), ..SamplingConfig::fast() };
+    let mut rng = SmallRng::seed_from_u64(2);
+    let t0 = Instant::now();
+    let wris = wris_query(&model, &data.profiles, &query, &config, &mut rng);
+    results.push(("WRIS", wris.seeds.clone(), t0.elapsed()));
+
+    let t0 = Instant::now();
+    let dd = degree_discount(&model, query.k(), 0.1);
+    results.push(("deg-discount", dd.seeds.clone(), t0.elapsed()));
+
+    let t0 = Instant::now();
+    let md = max_degree(&model, query.k());
+    results.push(("max-degree", md.seeds.clone(), t0.elapsed()));
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>22}",
+        "method", "select time", "spread", "95% CI"
+    );
+    let mut rng = SmallRng::seed_from_u64(3);
+    for (name, seeds, elapsed) in &results {
+        let est = monte_carlo_weighted_ci(&model, seeds, 20_000, &mut rng, weight);
+        let (lo, hi) = est.ci95();
+        println!(
+            "{:<14} {:>12} {:>12.2} {:>22}",
+            name,
+            format!("{elapsed:.2?}"),
+            est.mean,
+            format!("[{lo:.2}, {hi:.2}]")
+        );
+    }
+    println!(
+        "\n(CELF and WRIS should tie within CI — both carry the (1-1/e-ε)\n guarantee — while CELF pays hundreds of Monte-Carlo evaluations;\n the heuristics are fastest and weakest on *targeted* spread.)"
+    );
+}

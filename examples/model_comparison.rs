@@ -1,0 +1,82 @@
+//! IC vs LT propagation models, Table-8 style.
+//!
+//! §6.6 of the paper compares the top influencers found under the
+//! independent cascade and linear threshold models for two keywords, plus
+//! the untargeted RIS baseline (which cannot distinguish keywords at all).
+//! This example reproduces that comparison on a synthetic twitter-like
+//! graph: WRIS(IC) and WRIS(LT) return keyword-specific seeds, while RIS
+//! returns one global celebrity list.
+//!
+//! Run with: `cargo run --release --example model_comparison`
+
+use kbtim::core::{ris::ris_query, wris::wris_query, SamplingConfig};
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::propagation::model::{IcModel, LtModel};
+use kbtim::propagation::TriggeringModel;
+use kbtim::topics::Query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn seeds_for<M: TriggeringModel>(
+    model: &M,
+    data: &kbtim::datagen::Dataset,
+    topic: u32,
+    sampling: &SamplingConfig,
+) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let query = Query::new([topic], 8);
+    wris_query(model, &data.profiles, &query, sampling, &mut rng).seeds
+}
+
+fn main() {
+    let data = DatasetConfig::family(DatasetFamily::Twitter)
+        .num_users(5_000)
+        .num_topics(24)
+        .seed(2015)
+        .build();
+    println!(
+        "dataset {}: {} users, {} edges\n",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges()
+    );
+
+    // Two "advertising" keywords standing in for the paper's
+    // "software" / "journal": one head topic, one mid topic.
+    let keywords = [("software", 1u32), ("journal", 8u32)];
+    let sampling = SamplingConfig { theta_cap: Some(15_000), ..SamplingConfig::fast() };
+
+    let ic = IcModel::weighted_cascade(&data.graph);
+    let mut lt_rng = SmallRng::seed_from_u64(11);
+    let lt = LtModel::random_weights(&data.graph, &mut lt_rng);
+
+    println!("{:<12} {:<10} top-8 seeds", "method", "keyword");
+    for (name, topic) in keywords {
+        let ic_seeds = seeds_for(&ic, &data, topic, &sampling);
+        println!("{:<12} {:<10} {:?}", "WRIS(IC)", name, ic_seeds);
+        let lt_seeds = seeds_for(&lt, &data, topic, &sampling);
+        println!("{:<12} {:<10} {:?}", "WRIS(LT)", name, lt_seeds);
+    }
+
+    // The untargeted baseline: keyword-independent by construction.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ris = ris_query(&ic, 8, &sampling, &mut rng);
+    println!("{:<12} {:<10} {:?}", "RIS", "(any)", ris.seeds);
+
+    // Quantify keyword-sensitivity: Jaccard overlap between the two
+    // keywords' seed sets per method.
+    let jaccard = |a: &[u32], b: &[u32]| -> f64 {
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        let sb: std::collections::HashSet<_> = b.iter().collect();
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        if union == 0.0 { 1.0 } else { inter / union }
+    };
+    let ic_a = seeds_for(&ic, &data, keywords[0].1, &sampling);
+    let ic_b = seeds_for(&ic, &data, keywords[1].1, &sampling);
+    println!(
+        "\nseed overlap between keywords — WRIS(IC): {:.2}, RIS: 1.00 by construction",
+        jaccard(&ic_a, &ic_b)
+    );
+    println!("(low overlap = keyword-aware seeding, the point of KB-TIM)");
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the KB-TIM pipeline in ~60 lines.
+//!
+//! 1. Generate a small news-like social network with topic profiles.
+//! 2. Answer an advertisement query online with WRIS (§3.2).
+//! 3. Build the disk-based IRR index and answer the same query in
+//!    real time (§4–§5).
+//! 4. Verify both answers against Monte-Carlo ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kbtim::core::{KbTimEngine, SamplingConfig};
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{IndexBuildConfig, IndexBuilder, KbtimIndex};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::Query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // A 3 000-user news-like network with 16 topics, deterministic seed.
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(3_000)
+        .num_topics(16)
+        .seed(7)
+        .build();
+    println!(
+        "dataset {}: {} users, {} edges (avg degree {:.1})",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        data.graph.avg_degree()
+    );
+
+    // An advertisement about topics {0, 3}, asking for 10 seed users.
+    let query = Query::new([0, 3], 10);
+    let config = SamplingConfig { theta_cap: Some(20_000), ..SamplingConfig::fast() };
+
+    // --- Online path: WRIS sampling at query time. -----------------------
+    let engine = KbTimEngine::new(&data.graph, &data.profiles, config);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let started = Instant::now();
+    let online = engine.wris(&query, &mut rng);
+    let online_time = started.elapsed();
+    println!(
+        "\nWRIS (online):  seeds {:?}\n  θ = {}, estimated influence {:.2}, {:?}",
+        online.seeds, online.theta, online.estimated_influence, online_time
+    );
+
+    // --- Real-time path: offline index, instant queries. -----------------
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("kbtim-quickstart").expect("temp dir");
+    let build_config = IndexBuildConfig {
+        sampling: config,
+        ..IndexBuildConfig::default()
+    };
+    let report = IndexBuilder::new(&model, &data.profiles, build_config)
+        .build(dir.path())
+        .expect("index build");
+    println!(
+        "\nIRR index built offline: {} RR sets, {:.1} KiB, {:?}",
+        report.total_theta,
+        report.total_bytes as f64 / 1024.0,
+        report.elapsed
+    );
+
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).expect("open index");
+    let irr = index.query_irr(&query).expect("irr query");
+    println!(
+        "IRR (real-time): seeds {:?}\n  loaded {} of {} RR sets in {:?} ({} reads, {} bytes)",
+        irr.seeds,
+        irr.stats.rr_sets_loaded,
+        irr.stats.theta_q,
+        irr.stats.elapsed,
+        irr.stats.io.read_ops,
+        irr.stats.io.bytes_read
+    );
+
+    // --- Ground truth: forward Monte-Carlo simulation. --------------------
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mc_online = engine.targeted_spread(&online.seeds, &query, 10_000, &mut rng);
+    let mc_irr = engine.targeted_spread(&irr.seeds, &query, 10_000, &mut rng);
+    println!(
+        "\nMonte-Carlo targeted spread:\n  WRIS seeds: {mc_online:.2}\n  IRR  seeds: {mc_irr:.2}"
+    );
+    println!(
+        "  (index estimate was {:.2}; WRIS estimate was {:.2})",
+        irr.estimated_influence, online.estimated_influence
+    );
+}

@@ -1,0 +1,270 @@
+//! `kbtim` — command-line front end for the KB-TIM library.
+//!
+//! ```text
+//! kbtim gen      --family news|twitter --users N [--topics T] [--seed S] --out DIR
+//! kbtim stats    --graph FILE
+//! kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
+//!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
+//! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr]
+//! kbtim validate --index DIR
+//! ```
+//!
+//! `gen` writes `graph.txt` (SNAP edge list) and `profiles.tsv` into the
+//! output directory; `build` reads that pair back, so datasets can also be
+//! assembled by other tools in the same two formats.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::graph::{io as graph_io, stats::graph_stats, Graph};
+use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim::propagation::model::{IcModel, LtModel};
+use kbtim::storage::IoStats;
+use kbtim::topics::{io as topics_io, Query, UserProfiles};
+use kbtim_codec::Codec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        "build" => cmd_build(&flags),
+        "query" => cmd_query(&flags),
+        "validate" => cmd_validate(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "kbtim — keyword-based targeted influence maximization
+
+USAGE:
+  kbtim gen      --family news|twitter --users N [--topics T] [--seed S] --out DIR
+  kbtim stats    --graph FILE
+  kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
+                 [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
+  kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr]
+  kbtim validate --index DIR";
+
+/// `--key value` pairs, last occurrence wins.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse {raw:?}")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let family = match required(flags, "family")? {
+        "news" => DatasetFamily::News,
+        "twitter" => DatasetFamily::Twitter,
+        other => return Err(format!("--family must be news|twitter, got {other:?}")),
+    };
+    let users: u32 = required(flags, "users")?.parse().map_err(|_| "--users: bad number")?;
+    let topics: u32 = parse(flags, "topics", 48)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let out = PathBuf::from(required(flags, "out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    let data = DatasetConfig::family(family)
+        .num_users(users)
+        .num_topics(topics)
+        .seed(seed)
+        .build();
+    graph_io::write_edge_list(&data.graph, out.join("graph.txt")).map_err(|e| e.to_string())?;
+    topics_io::write_profiles(&data.profiles, out.join("profiles.tsv"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} users, {} edges, {} topics) to {}",
+        data.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        topics,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(flags, "graph")?;
+    let graph = graph_io::read_edge_list(path, None).map_err(|e| e.to_string())?;
+    let s = graph_stats(&graph);
+    println!("nodes:          {}", s.num_nodes);
+    println!("edges:          {}", s.num_edges);
+    println!("avg degree:     {:.2}", s.avg_degree);
+    println!("max in-degree:  {}", s.max_in_degree);
+    println!("max out-degree: {}", s.max_out_degree);
+    Ok(())
+}
+
+fn load_data(dir: &Path) -> Result<(Graph, UserProfiles), String> {
+    let graph =
+        graph_io::read_edge_list(dir.join("graph.txt"), None).map_err(|e| e.to_string())?;
+    let profiles =
+        topics_io::read_profiles(dir.join("profiles.tsv")).map_err(|e| e.to_string())?;
+    // Profiles fix |V|; the edge list may omit trailing isolated users.
+    let graph = if graph.num_nodes() < profiles.num_users() {
+        let edges: Vec<_> = graph.edges().collect();
+        Graph::from_edges(profiles.num_users(), &edges)
+    } else if graph.num_nodes() > profiles.num_users() {
+        return Err(format!(
+            "graph has {} nodes but profiles cover {} users",
+            graph.num_nodes(),
+            profiles.num_users()
+        ));
+    } else {
+        graph
+    };
+    Ok((graph, profiles))
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data_dir = PathBuf::from(required(flags, "data")?);
+    let out = PathBuf::from(required(flags, "out")?);
+    let (graph, profiles) = load_data(&data_dir)?;
+
+    let codec = match flags.get("codec").map(String::as_str).unwrap_or("packed") {
+        "raw" => Codec::Raw,
+        "packed" => Codec::Packed,
+        other => return Err(format!("--codec must be raw|packed, got {other:?}")),
+    };
+    let delta: u32 = parse(flags, "delta", 100)?;
+    let variant = match flags.get("variant").map(String::as_str).unwrap_or("irr") {
+        "rr" => IndexVariant::Rr,
+        "irr" => IndexVariant::Irr { partition_size: delta },
+        other => return Err(format!("--variant must be rr|irr, got {other:?}")),
+    };
+    let eps: f64 = parse(flags, "eps", 0.5)?;
+    let cap: u64 = parse(flags, "cap", 100_000)?;
+    let threads: usize = parse(flags, "threads", 8)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let sampling = SamplingConfig {
+        eps,
+        theta_cap: if cap == 0 { None } else { Some(cap) },
+        ..SamplingConfig::fast()
+    };
+    let config = IndexBuildConfig {
+        sampling,
+        codec,
+        theta_mode: ThetaMode::Compact,
+        variant,
+        threads,
+        seed,
+    };
+
+    let model_name = flags.get("model").map(String::as_str).unwrap_or("ic");
+    let report = match model_name {
+        "ic" => {
+            let model = IcModel::weighted_cascade(&graph);
+            IndexBuilder::new(&model, &profiles, config).build(&out)
+        }
+        "lt" => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let model = LtModel::random_weights(&graph, &mut rng);
+            IndexBuilder::new(&model, &profiles, config).build(&out)
+        }
+        other => return Err(format!("--model must be ic|lt, got {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "built index at {}: {} RR sets across {} keywords, {:.1} MiB in {:.2?}",
+        out.display(),
+        report.total_theta,
+        report.keywords.len(),
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = required(flags, "index")?;
+    let topics: Vec<u32> = required(flags, "topics")?
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|_| format!("bad topic id {t:?}")))
+        .collect::<Result<_, _>>()?;
+    let k: u32 = parse(flags, "k", 30)?;
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("irr");
+
+    let index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    let query = Query::new(topics, k);
+    let outcome = match algo {
+        "rr" => index.query_rr(&query),
+        "irr" => index.query_irr(&query),
+        other => return Err(format!("--algo must be rr|irr, got {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("seeds: {:?}", outcome.seeds);
+    println!("marginal coverage: {:?}", outcome.marginal_gains);
+    println!("estimated targeted influence: {:.2}", outcome.estimated_influence);
+    println!(
+        "theta_q {}, rr sets loaded {}, reads {}, bytes {}, time {:.2?}",
+        outcome.stats.theta_q,
+        outcome.stats.rr_sets_loaded,
+        outcome.stats.io.read_ops,
+        outcome.stats.io.bytes_read,
+        outcome.stats.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = required(flags, "index")?;
+    let index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    let report = index.validate().map_err(|e| e.to_string())?;
+    println!(
+        "ok: {} keywords, {} RR sets, {} inverted entries, {} partitions (model {}, {:?})",
+        report.keywords_checked,
+        report.rr_sets_checked,
+        report.il_entries_checked,
+        report.partitions_checked,
+        index.meta().model_name,
+        index.meta().variant,
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the `kbtim` command-line tool, exercising the
+//! full gen → stats → build → validate → query loop through the binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn kbtim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kbtim"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kbtim-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let root = temp_dir("workflow");
+    let data = root.join("data");
+    let index = root.join("index");
+
+    // gen
+    let out = kbtim()
+        .args(["gen", "--family", "news", "--users", "400", "--topics", "6"])
+        .args(["--seed", "5", "--out", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("graph.txt").is_file());
+    assert!(data.join("profiles.tsv").is_file());
+
+    // stats
+    let out = kbtim()
+        .args(["stats", "--graph", data.join("graph.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edges:"), "{stdout}");
+
+    // build
+    let out = kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "800", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // validate
+    let out = kbtim()
+        .args(["validate", "--index", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "validate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok:"));
+
+    // query (both algorithms, same seeds by Theorem 3)
+    let run_query = |algo: &str| -> String {
+        let out = kbtim()
+            .args(["query", "--index", index.to_str().unwrap()])
+            .args(["--topics", "0,1", "--k", "8", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        stdout.lines().next().unwrap_or_default().to_string()
+    };
+    let rr_seeds = run_query("rr");
+    let irr_seeds = run_query("irr");
+    assert!(rr_seeds.starts_with("seeds: ["), "{rr_seeds}");
+    assert_eq!(rr_seeds, irr_seeds, "Theorem 3 via the CLI");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lt_model_build_via_cli() {
+    let root = temp_dir("lt");
+    let data = root.join("data");
+    let index = root.join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "twitter", "--users", "300", "--topics", "4"])
+        .args(["--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--model", "lt", "--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+    let out = kbtim()
+        .args(["validate", "--index", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("model LT"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    // Unknown command.
+    let out = kbtim().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    // Missing required flag.
+    let out = kbtim().args(["gen", "--family", "news"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--users"));
+    // Bad enum value.
+    let out = kbtim()
+        .args(["gen", "--family", "myspace", "--users", "10", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Query against a missing index.
+    let out = kbtim()
+        .args(["query", "--index", "/nonexistent", "--topics", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = kbtim().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

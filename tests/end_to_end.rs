@@ -1,0 +1,193 @@
+//! End-to-end integration: dataset → online engine → disk index → query →
+//! Monte-Carlo verification, across every crate in the workspace.
+
+use kbtim::core::{KbTimEngine, SamplingConfig};
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::Query;
+use kbtim_codec::Codec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_sampling() -> SamplingConfig {
+    SamplingConfig {
+        theta_cap: Some(4_000),
+        opt_initial_samples: 128,
+        opt_max_rounds: 8,
+        ..SamplingConfig::fast()
+    }
+}
+
+fn build_config() -> IndexBuildConfig {
+    IndexBuildConfig {
+        sampling: small_sampling(),
+        codec: Codec::Packed,
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 25 },
+        threads: 4,
+        seed: 99,
+    }
+}
+
+#[test]
+fn full_pipeline_news() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(800)
+        .num_topics(10)
+        .seed(42)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("e2e-news").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, build_config())
+        .build(dir.path())
+        .unwrap();
+    assert!(report.total_theta > 0);
+
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let engine = KbTimEngine::new(&data.graph, &data.profiles, small_sampling());
+    let query = Query::new([0, 1, 2], 12);
+
+    // All three query paths must produce seeds of comparable quality.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let online = engine.wris(&query, &mut rng);
+    let rr = index.query_rr(&query).unwrap();
+    let irr = index.query_irr(&query).unwrap();
+    assert!(!online.seeds.is_empty());
+    assert!(!rr.seeds.is_empty());
+    assert_eq!(rr.seeds, irr.seeds, "Theorem 3");
+
+    let mut rng = SmallRng::seed_from_u64(8);
+    let spread_online = engine.targeted_spread(&online.seeds, &query, 15_000, &mut rng);
+    let spread_index = engine.targeted_spread(&rr.seeds, &query, 15_000, &mut rng);
+    let rel = (spread_online - spread_index).abs() / spread_online.max(1e-9);
+    assert!(
+        rel < 0.1,
+        "online {spread_online} vs index {spread_index} (rel {rel})"
+    );
+
+    // The index's internal estimate must track the MC ground truth.
+    let est_rel = (rr.estimated_influence - spread_index).abs() / spread_index.max(1e-9);
+    assert!(est_rel < 0.25, "estimate {} vs MC {spread_index}", rr.estimated_influence);
+}
+
+#[test]
+fn index_persists_across_reopen() {
+    let data = DatasetConfig::family(DatasetFamily::Twitter)
+        .num_users(500)
+        .num_topics(6)
+        .seed(11)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("e2e-reopen").unwrap();
+    IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
+
+    let query = Query::new([0, 1], 8);
+    let first = {
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        index.query_irr(&query).unwrap()
+    };
+    // Fresh process-equivalent reopen: identical answers.
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let second = index.query_irr(&query).unwrap();
+    assert_eq!(first.seeds, second.seeds);
+    assert_eq!(first.coverage, second.coverage);
+    assert_eq!(first.stats.rr_sets_loaded, second.stats.rr_sets_loaded);
+}
+
+#[test]
+fn corrupted_segment_is_detected() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(300)
+        .num_topics(4)
+        .seed(13)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("e2e-corrupt").unwrap();
+    IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
+
+    // Flip one byte in the middle of a keyword segment.
+    let victim = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("kw_"))
+        .expect("keyword segment exists");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xAA;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // Either opening fails (directory damage) or whole-block reads fail the
+    // checksum; silent misreads are unacceptable — an error OR identical
+    // query output (flip landed in a block this query never touches over a
+    // range read) are the only allowed outcomes. We assert that any
+    // *successful* full-block path still checksums: query_rr reads the
+    // whole `il` block, which covers most of the file.
+    match KbtimIndex::open(dir.path(), IoStats::new()) {
+        Err(_) => {}
+        Ok(index) => {
+            let queries: Vec<Query> =
+                (0..4).map(|w| Query::new([w], 5)).collect();
+            let mut any_error = false;
+            for q in &queries {
+                if index.query_rr(q).is_err() {
+                    any_error = true;
+                }
+            }
+            assert!(
+                any_error,
+                "corruption must surface as an error on at least one keyword query"
+            );
+        }
+    }
+}
+
+#[test]
+fn lt_model_end_to_end() {
+    use kbtim::propagation::model::LtModel;
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(400)
+        .num_topics(5)
+        .seed(17)
+        .build();
+    let mut rng = SmallRng::seed_from_u64(23);
+    let model = LtModel::random_weights(&data.graph, &mut rng);
+    let dir = TempDir::new("e2e-lt").unwrap();
+    IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    assert_eq!(index.meta().model_name, "LT");
+    let query = Query::new([0, 1], 6);
+    let rr = index.query_rr(&query).unwrap();
+    let irr = index.query_irr(&query).unwrap();
+    assert_eq!(rr.seeds, irr.seeds, "Theorem 3 under LT");
+    assert!(!rr.seeds.is_empty());
+}
+
+#[test]
+fn io_accounting_distinguishes_variants() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(1_500)
+        .num_topics(8)
+        .seed(29)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("e2e-io").unwrap();
+    IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+
+    // Small k: IRR should load fewer RR sets than the full RR prefix scan.
+    let query = Query::new([0, 1, 2], 5);
+    let rr = index.query_rr(&query).unwrap();
+    let irr = index.query_irr(&query).unwrap();
+    assert_eq!(rr.stats.rr_sets_loaded, rr.stats.theta_q);
+    assert!(
+        irr.stats.rr_sets_loaded < rr.stats.rr_sets_loaded,
+        "IRR {} vs RR {}",
+        irr.stats.rr_sets_loaded,
+        rr.stats.rr_sets_loaded
+    );
+    assert!(irr.stats.partitions_loaded > 0);
+    assert!(rr.stats.io.bytes_read > 0);
+}

@@ -1,0 +1,158 @@
+//! Property tests for the paper's correctness theorems, randomized over
+//! dataset shapes and build configurations.
+//!
+//! * **Theorem 3**: Algorithm 4 (IRR) returns seeds with the same coverage
+//!   scores as Algorithm 2 (RR) — strengthened here to identical seed
+//!   *sequences* because both share deterministic tie-breaking.
+//! * Codec independence: Raw and Packed indexes answer identically.
+//! * Determinism: a build seed fully determines the index bytes.
+
+use kbtim::core::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::Query;
+use kbtim_codec::Codec;
+use proptest::prelude::*;
+
+fn build(
+    data: &kbtim::datagen::Dataset,
+    dir: &std::path::Path,
+    partition_size: u32,
+    codec: Codec,
+    seed: u64,
+) {
+    let model = IcModel::weighted_cascade(&data.graph);
+    let config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(1_200),
+            opt_initial_samples: 64,
+            opt_max_rounds: 5,
+            ..SamplingConfig::fast()
+        },
+        codec,
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size },
+        threads: 2,
+        seed,
+    };
+    IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Theorem 3 across random graph sizes, topic counts, partition sizes
+    /// and query shapes.
+    #[test]
+    fn theorem3_irr_equals_rr(
+        users in 80u32..400,
+        topics in 2u32..8,
+        partition in 1u32..60,
+        k in 1u32..25,
+        family in prop_oneof![Just(DatasetFamily::News), Just(DatasetFamily::Twitter)],
+        data_seed in 0u64..1000,
+        build_seed in 0u64..1000,
+    ) {
+        let data = DatasetConfig::family(family)
+            .num_users(users)
+            .num_topics(topics)
+            .seed(data_seed)
+            .build();
+        let dir = TempDir::new("prop-thm3").unwrap();
+        build(&data, dir.path(), partition, Codec::Packed, build_seed);
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+
+        // Query over up to 3 held topics.
+        let held: Vec<u32> =
+            (0..topics).filter(|&w| data.profiles.doc_freq(w) > 0).collect();
+        prop_assume!(!held.is_empty());
+        let query = Query::new(held.into_iter().take(3), k);
+
+        let rr = index.query_rr(&query).unwrap();
+        let irr = index.query_irr(&query).unwrap();
+        prop_assert_eq!(&rr.seeds, &irr.seeds);
+        prop_assert_eq!(&rr.marginal_gains, &irr.marginal_gains);
+        prop_assert_eq!(rr.coverage, irr.coverage);
+        prop_assert!((rr.estimated_influence - irr.estimated_influence).abs() < 1e-9);
+    }
+
+    /// The list codec is an implementation detail: Raw and Packed indexes
+    /// built from the same seed answer queries identically.
+    #[test]
+    fn codec_independence(
+        users in 100u32..300,
+        k in 1u32..15,
+        seed in 0u64..500,
+    ) {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(users)
+            .num_topics(5)
+            .seed(seed)
+            .build();
+        let dir_raw = TempDir::new("prop-raw").unwrap();
+        let dir_packed = TempDir::new("prop-packed").unwrap();
+        build(&data, dir_raw.path(), 20, Codec::Raw, seed);
+        build(&data, dir_packed.path(), 20, Codec::Packed, seed);
+        let raw = KbtimIndex::open(dir_raw.path(), IoStats::new()).unwrap();
+        let packed = KbtimIndex::open(dir_packed.path(), IoStats::new()).unwrap();
+
+        let held: Vec<u32> = (0..5).filter(|&w| data.profiles.doc_freq(w) > 0).collect();
+        prop_assume!(!held.is_empty());
+        let query = Query::new(held.into_iter().take(2), k);
+        let a = raw.query_rr(&query).unwrap();
+        let b = packed.query_rr(&query).unwrap();
+        prop_assert_eq!(a.seeds, b.seeds);
+        prop_assert_eq!(a.coverage, b.coverage);
+        let a = raw.query_irr(&query).unwrap();
+        let b = packed.query_irr(&query).unwrap();
+        prop_assert_eq!(a.seeds, b.seeds);
+    }
+}
+
+/// A fixed build seed determines the index bit-for-bit, regardless of
+/// thread count (regression guard for the parallel builder).
+#[test]
+fn deterministic_builds() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(400)
+        .num_topics(6)
+        .seed(3)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let mut digests = Vec::new();
+    for threads in [1usize, 8] {
+        let dir = TempDir::new("prop-det").unwrap();
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(1_000),
+                opt_initial_samples: 64,
+                opt_max_rounds: 5,
+                ..SamplingConfig::fast()
+            },
+            threads,
+            seed: 12345,
+            ..IndexBuildConfig::default()
+        };
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "seg"))
+            .map(|e| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        digests.push(files);
+    }
+    assert_eq!(digests[0].len(), digests[1].len());
+    for (a, b) in digests[0].iter().zip(digests[1].iter()) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "segment {} differs across thread counts", a.0);
+    }
+}

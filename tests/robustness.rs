@@ -1,0 +1,141 @@
+//! Edge cases and failure handling across the public API.
+
+use kbtim::core::{KbTimEngine, SamplingConfig};
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::{Query, UserProfiles};
+use kbtim_codec::Codec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn tiny_config() -> IndexBuildConfig {
+    IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(600),
+            opt_initial_samples: 32,
+            opt_max_rounds: 4,
+            ..SamplingConfig::fast()
+        },
+        codec: Codec::Packed,
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 10 },
+        threads: 2,
+        seed: 7,
+    }
+}
+
+#[test]
+fn k_larger_than_population() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(50)
+        .num_topics(3)
+        .seed(1)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("rob-bigk").unwrap();
+    IndexBuilder::new(&model, &data.profiles, tiny_config()).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let query = Query::new([0], 500);
+    let rr = index.query_rr(&query).unwrap();
+    let irr = index.query_irr(&query).unwrap();
+    assert!(rr.seeds.len() <= 50);
+    assert_eq!(rr.seeds, irr.seeds);
+}
+
+#[test]
+fn query_topic_out_of_range_is_empty_not_panic() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(100)
+        .num_topics(3)
+        .seed(2)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let dir = TempDir::new("rob-oob").unwrap();
+    IndexBuilder::new(&model, &data.profiles, tiny_config()).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    // Topic 99 does not exist in this index: skipped, empty outcome.
+    let outcome = index.query_rr(&Query::new([99], 5)).unwrap();
+    assert!(outcome.seeds.is_empty());
+    assert_eq!(outcome.stats.theta_q, 0);
+    // Mixed query: the valid keyword still answers.
+    let outcome = index.query_rr(&Query::new([0, 99], 5)).unwrap();
+    assert!(outcome.stats.theta_q > 0);
+}
+
+#[test]
+fn single_user_graph() {
+    let graph = kbtim::graph::Graph::from_edges(1, &[]);
+    let profiles = UserProfiles::from_entries(1, 2, &[(0, 0, 1.0)]);
+    let model = IcModel::weighted_cascade(&graph);
+    let dir = TempDir::new("rob-single").unwrap();
+    IndexBuilder::new(&model, &profiles, tiny_config()).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let rr = index.query_rr(&Query::new([0], 1)).unwrap();
+    assert_eq!(rr.seeds, vec![0]);
+    let irr = index.query_irr(&Query::new([0], 1)).unwrap();
+    assert_eq!(irr.seeds, vec![0]);
+}
+
+#[test]
+fn engine_rejects_mismatched_profiles() {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(60)
+        .num_topics(3)
+        .seed(3)
+        .build();
+    let other = UserProfiles::from_entries(10, 3, &[(0, 0, 1.0)]);
+    let result = std::panic::catch_unwind(|| {
+        KbTimEngine::new(&data.graph, &other, SamplingConfig::fast())
+    });
+    assert!(result.is_err(), "size mismatch must panic loudly");
+}
+
+#[test]
+fn open_missing_directory_fails_cleanly() {
+    let err = KbtimIndex::open("/nonexistent/kbtim-index", IoStats::new());
+    assert!(err.is_err());
+}
+
+#[test]
+fn empty_profile_dataset_builds_empty_index() {
+    let graph = kbtim::graph::gen::cycle(20);
+    let profiles = UserProfiles::from_entries(20, 4, &[]);
+    let model = IcModel::weighted_cascade(&graph);
+    let dir = TempDir::new("rob-empty").unwrap();
+    let report =
+        IndexBuilder::new(&model, &profiles, tiny_config()).build(dir.path()).unwrap();
+    assert_eq!(report.total_theta, 0);
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let outcome = index.query_rr(&Query::new([0, 1, 2, 3], 5)).unwrap();
+    assert!(outcome.seeds.is_empty());
+}
+
+#[test]
+fn zero_probability_edges_confine_influence() {
+    // With p = 0 everywhere, each user only ever covers their own RR sets.
+    let graph = kbtim::graph::gen::complete(30);
+    let entries: Vec<(u32, u32, f32)> = (0..30).map(|v| (v, 0u32, 1.0f32)).collect();
+    let profiles = UserProfiles::from_entries(30, 1, &entries);
+    let model = IcModel::uniform(&graph, 0.0);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let engine_result = kbtim::core::wris::wris_query(
+        &model,
+        &profiles,
+        &Query::new([0], 3),
+        &SamplingConfig { theta_cap: Some(3_000), ..SamplingConfig::fast() },
+        &mut rng,
+    );
+    // Influence of k seeds is exactly the seeds' own relevance: 3 users'
+    // mass out of 30. Greedy picks the 3 *most-sampled* roots, so the
+    // coverage estimate sits slightly above the uniform 3/30 baseline
+    // (multinomial max order statistics) but can never be below it and
+    // stays well under 2x at θ = 3000.
+    let phi_q = profiles.phi_q(&Query::new([0], 3));
+    let baseline = phi_q * 3.0 / 30.0;
+    let est = engine_result.estimated_influence;
+    assert!(est >= baseline * 0.999, "estimate {est} below baseline {baseline}");
+    assert!(est <= baseline * 1.5, "estimate {est} too far above baseline {baseline}");
+    assert_eq!(engine_result.seeds.len(), 3);
+}
