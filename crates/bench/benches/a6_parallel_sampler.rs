@@ -1,0 +1,52 @@
+//! Parallel-sampler ablation: RR-set batch generation throughput at
+//! 1/2/4/8 worker threads on a ≥100k-node generated graph.
+//!
+//! The batch sampler's output is bit-identical across thread counts
+//! (asserted once up front), so this bench isolates pure scheduling
+//! speed-up. Expect ≈linear scaling up to the machine's core count and a
+//! flat line beyond it (for example, on a single-core host every row
+//! reports the same throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_exec::ExecPool;
+use kbtim_propagation::model::IcModel;
+use kbtim_propagation::sample_batch;
+use rand::Rng;
+use std::time::Duration;
+
+const BATCH: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(100_000)
+        .num_topics(16)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let num_nodes = data.graph.num_nodes();
+
+    // Determinism guard: thread count must not change the sampled sets.
+    let reference =
+        sample_batch(&model, 2_000, 42, &ExecPool::new(Some(1)), |rng| rng.gen_range(0..num_nodes));
+    for threads in [2usize, 8] {
+        let check = sample_batch(&model, 2_000, 42, &ExecPool::new(Some(threads)), |rng| {
+            rng.gen_range(0..num_nodes)
+        });
+        assert_eq!(reference, check, "threads={threads} diverged from sequential");
+    }
+
+    let mut group = c.benchmark_group("a6_parallel_sampler");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = ExecPool::new(Some(threads));
+        group.bench_with_input(BenchmarkId::new("rr_batch", threads), &threads, |b, _| {
+            b.iter(|| sample_batch(&model, BATCH, 42, &pool, |rng| rng.gen_range(0..num_nodes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("t3_theta_build");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
-    for (label, mode) in [("theta_hat_eqn8", ThetaMode::Conservative), ("theta_eqn10", ThetaMode::Compact)] {
+    for (label, mode) in
+        [("theta_hat_eqn8", ThetaMode::Conservative), ("theta_eqn10", ThetaMode::Compact)]
+    {
         group.bench_with_input(BenchmarkId::new("build", label), &mode, |b, &mode| {
             b.iter(|| {
                 let dir = TempDir::new("t3-bench").unwrap();

@@ -77,10 +77,7 @@ fn main() {
     };
 
     let ctx = ExpContext::new(scale, &root);
-    println!(
-        "== KB-TIM experiment harness  (scale: {}, cache root: {root}) ==\n",
-        ctx.scale.name
-    );
+    println!("== KB-TIM experiment harness  (scale: {}, cache root: {root}) ==\n", ctx.scale.name);
     let started = std::time::Instant::now();
     let mut harness = Harness::new(ctx);
     for exp in &selected {
@@ -272,8 +269,7 @@ impl Harness {
                 let mut times = Vec::new();
                 for codec in [Codec::Raw, Codec::Packed] {
                     for variant in [IndexVariant::Rr, IndexVariant::Irr { partition_size: 100 }] {
-                        let b =
-                            ctx.build_or_load(data, codec, variant, ThetaMode::Compact, None);
+                        let b = ctx.build_or_load(data, codec, variant, ThetaMode::Compact, None);
                         sizes.push(fmt_bytes(b.total_bytes));
                         times.push(fmt_duration(b.elapsed));
                     }
@@ -667,9 +663,7 @@ impl Harness {
             let sampling = ctx.wris_sampling();
 
             let mut t = TextTable::new(["method", "keyword", "top-8 seeds"]);
-            for (label, model) in
-                [("WRIS(IC)", &ic as &dyn TriggeringModel), ("WRIS(LT)", &lt)]
-            {
+            for (label, model) in [("WRIS(IC)", &ic as &dyn TriggeringModel), ("WRIS(LT)", &lt)] {
                 for (name, topic) in keywords {
                     let mut rng = SmallRng::seed_from_u64(55);
                     let q = Query::new([topic], 8);

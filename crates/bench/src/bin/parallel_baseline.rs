@@ -1,0 +1,78 @@
+//! Record a machine-readable baseline for parallel RR-set generation.
+//!
+//! Measures `kbtim_propagation::sample_batch` throughput at 1/2/4/8
+//! worker threads on a 100k-node news-family graph, verifies the outputs
+//! are bit-identical across thread counts, and writes the results as JSON
+//! (default `BENCH_parallel.json`; pass a path to override).
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin parallel_baseline [OUT.json]
+//! ```
+
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_exec::ExecPool;
+use kbtim_propagation::model::IcModel;
+use kbtim_propagation::sample_batch;
+use rand::Rng;
+use std::time::Instant;
+
+const USERS: u32 = 100_000;
+const BATCH: usize = 20_000;
+const ROUNDS: usize = 3;
+const SEED: u64 = 42;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({USERS} users)...");
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(USERS).num_topics(16).seed(6).build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let num_nodes = data.graph.num_nodes();
+    let num_edges = data.graph.num_edges();
+
+    // Cross-thread-count determinism check before measuring anything.
+    let reference = sample_batch(&model, 2_000, SEED, &ExecPool::new(Some(1)), |rng| {
+        rng.gen_range(0..num_nodes)
+    });
+    for threads in [2usize, 4, 8] {
+        let check = sample_batch(&model, 2_000, SEED, &ExecPool::new(Some(threads)), |rng| {
+            rng.gen_range(0..num_nodes)
+        });
+        assert_eq!(reference, check, "threads={threads} diverged from sequential output");
+    }
+    eprintln!("determinism check passed (1 == 2 == 4 == 8 threads)");
+
+    let mut rows = Vec::new();
+    let mut base_rate = 0.0f64;
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = ExecPool::new(Some(threads));
+        // Warm-up round, then best-of-ROUNDS.
+        let _ = sample_batch(&model, BATCH, SEED, &pool, |rng| rng.gen_range(0..num_nodes));
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let sets = sample_batch(&model, BATCH, SEED, &pool, |rng| rng.gen_range(0..num_nodes));
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(sets.len(), BATCH);
+            best_secs = best_secs.min(secs);
+        }
+        let rate = BATCH as f64 / best_secs;
+        if threads == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        eprintln!("threads={threads:>2}  {rate:>12.0} sets/s  speedup {speedup:.2}x");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"sets_per_sec\": {rate:.1}, \"speedup_vs_1\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_rr_sampler\",\n  \"graph\": {{ \"family\": \"news\", \"nodes\": {num_nodes}, \"edges\": {num_edges} }},\n  \"batch_size\": {BATCH},\n  \"seed\": {SEED},\n  \"host_available_parallelism\": {host_threads},\n  \"deterministic_across_threads\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

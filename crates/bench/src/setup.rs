@@ -46,9 +46,8 @@ impl ExpContext {
 
     /// Deterministic dataset for a family at a given size.
     pub fn dataset(&self, family: DatasetFamily, num_users: u32) -> Dataset {
-        let mut config = DatasetConfig::family(family)
-            .num_users(num_users)
-            .num_topics(self.scale.num_topics);
+        let mut config =
+            DatasetConfig::family(family).num_users(num_users).num_topics(self.scale.num_topics);
         match family {
             DatasetFamily::Twitter => {
                 config = config.edges_per_node(twitter_edges_per_node(num_users));
@@ -124,14 +123,8 @@ impl ExpContext {
         }
 
         let model = IcModel::weighted_cascade(&data.graph);
-        let config = IndexBuildConfig {
-            sampling,
-            codec,
-            theta_mode,
-            variant,
-            threads: 8,
-            seed: 42,
-        };
+        let config =
+            IndexBuildConfig { sampling, codec, theta_mode, variant, threads: 8, seed: 42 };
         let report = IndexBuilder::new(&model, &data.profiles, config)
             .build(&dir)
             .expect("index build failed");
@@ -269,20 +262,8 @@ mod tests {
         let root = TempDir::new("exp-tags").unwrap();
         let ctx = tiny_context(root.path());
         let data = ctx.dataset(DatasetFamily::News, 300);
-        let a = ctx.build_or_load(
-            &data,
-            Codec::Packed,
-            IndexVariant::Rr,
-            ThetaMode::Compact,
-            None,
-        );
-        let b = ctx.build_or_load(
-            &data,
-            Codec::Raw,
-            IndexVariant::Rr,
-            ThetaMode::Compact,
-            None,
-        );
+        let a = ctx.build_or_load(&data, Codec::Packed, IndexVariant::Rr, ThetaMode::Compact, None);
+        let b = ctx.build_or_load(&data, Codec::Raw, IndexVariant::Rr, ThetaMode::Compact, None);
         assert_ne!(a.dir, b.dir);
         assert!(b.total_bytes > a.total_bytes, "raw must be bigger than packed");
     }

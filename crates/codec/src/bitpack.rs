@@ -46,10 +46,7 @@ pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u8>) {
     let mut acc: u64 = 0;
     let mut acc_bits: u32 = 0;
     for &v in values {
-        assert!(
-            (v as u64) <= mask,
-            "value {v} does not fit in {width} bits"
-        );
+        assert!((v as u64) <= mask, "value {v} does not fit in {width} bits");
         acc |= (v as u64) << acc_bits;
         acc_bits += width as u32;
         while acc_bits >= 8 {

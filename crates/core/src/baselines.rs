@@ -115,11 +115,7 @@ pub fn max_degree<M: TriggeringModel + ?Sized>(model: &M, k: u32) -> BaselineRes
 /// degree by `2·t_v + (d_v − t_v)·t_v·p`, where `t_v` counts already-
 /// selected in-neighbours — exact for IC with uniform probability `p`,
 /// a good cheap proxy otherwise.
-pub fn degree_discount<M: TriggeringModel + ?Sized>(
-    model: &M,
-    k: u32,
-    p: f64,
-) -> BaselineResult {
+pub fn degree_discount<M: TriggeringModel + ?Sized>(model: &M, k: u32, p: f64) -> BaselineResult {
     let graph = model.graph();
     let n = graph.num_nodes() as usize;
     if n == 0 {
@@ -168,9 +164,9 @@ pub fn degree_discount<M: TriggeringModel + ?Sized>(
 mod tests {
     use super::*;
     use crate::theta::SamplingConfig;
+    use kbtim_graph::gen;
     use kbtim_propagation::model::IcModel;
     use kbtim_propagation::spread::{exact_spread, monte_carlo_spread};
-    use kbtim_graph::gen;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -14,7 +14,16 @@
 //! Both use identical tie-breaking — larger gain first, then smaller node
 //! id — so their outputs are *bit-identical*, a property the IRR ≡ RR
 //! equivalence tests (Theorem 3) rely on.
+//!
+//! The lazy variant additionally supports **parallel marginal-gain
+//! recounts** ([`greedy_max_cover_with`]): when the queue's top entry is
+//! stale, a batch of stale entries is refreshed concurrently on a
+//! [`kbtim_exec::ExecPool`]. Refreshing replaces upper bounds with exact
+//! current gains, and the accepted seed is always the `(max gain, min
+//! id)` argmax, so the selected sequence is independent of the batch
+//! schedule — and therefore of the thread count.
 
+use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
 use std::collections::HashMap;
 
@@ -30,12 +39,19 @@ pub struct MaxCoverResult {
     pub covered: u64,
 }
 
-/// Lazy (CELF-style) greedy maximum coverage.
+/// Lazy (CELF-style) greedy maximum coverage, single-threaded.
 ///
 /// Selects up to `k` nodes; stops early when no node covers any uncovered
 /// set (zero-gain seeds are never emitted).
 pub fn greedy_max_cover(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
-    greedy_max_cover_inverted(&invert(sets), sets.len() as u64, k)
+    greedy_max_cover_with(sets, k, &ExecPool::sequential())
+}
+
+/// [`greedy_max_cover`] with parallel marginal-gain recounts on `pool`.
+///
+/// The result is bit-identical for every thread count.
+pub fn greedy_max_cover_with(sets: &[Vec<NodeId>], k: u32, pool: &ExecPool) -> MaxCoverResult {
+    greedy_max_cover_inverted_with(&invert(sets), sets.len() as u64, k, pool)
 }
 
 /// Lazy greedy maximum coverage over a pre-inverted instance: `inverted`
@@ -50,19 +66,50 @@ pub fn greedy_max_cover_inverted(
     num_sets: u64,
     k: u32,
 ) -> MaxCoverResult {
+    greedy_max_cover_inverted_with(inverted, num_sets, k, &ExecPool::sequential())
+}
+
+/// [`greedy_max_cover_inverted`] with parallel marginal-gain recounts.
+///
+/// Heap keys are upper bounds on true gains (submodularity). A node is
+/// accepted only when its freshly recomputed gain still equals the top
+/// key, i.e. when it is the `(max gain, min id)` argmax over all
+/// candidates — a property of the *instance*, not of the refresh
+/// schedule. The parallel path merely refreshes a batch of stale keys to
+/// their exact values concurrently, so any thread count selects the same
+/// seed sequence.
+pub fn greedy_max_cover_inverted_with(
+    inverted: &HashMap<NodeId, Vec<u32>>,
+    num_sets: u64,
+    k: u32,
+    pool: &ExecPool,
+) -> MaxCoverResult {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
     let mut covered = vec![false; num_sets as usize];
 
     // Heap of (gain, Reverse(node)): max gain first, then min node id.
-    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> = inverted
-        .iter()
-        .map(|(&node, list)| (list.len() as u64, Reverse(node)))
-        .collect();
+    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> =
+        inverted.iter().map(|(&node, list)| (list.len() as u64, Reverse(node))).collect();
 
     let mut result = MaxCoverResult { seeds: Vec::new(), marginal_gains: Vec::new(), covered: 0 };
     let mut selected: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    // Entries refreshed concurrently per stale top: large enough to
+    // amortize a fork/join, small enough not to waste recounts near the
+    // end of a run. Constant (not thread-derived) so work sizing never
+    // depends on the pool.
+    const REFRESH_BATCH: usize = 64;
+    // Below this many scanned list entries a refresh runs inline: the
+    // pool's scoped fork/join (tens to hundreds of µs) must be dwarfed by
+    // the linear scans it parallelizes, which needs refresh work in the
+    // hundreds of thousands of entries. Either path computes the same
+    // exact gains, so the choice cannot affect the selected seeds.
+    const PARALLEL_REFRESH_MIN_WORK: usize = 1 << 18;
+
+    let recount = |node: NodeId, covered: &[bool]| -> u64 {
+        inverted[&node].iter().filter(|&&s| !covered[s as usize]).count() as u64
+    };
 
     while (result.seeds.len() as u32) < k {
         let Some(&(stale_gain, Reverse(node))) = heap.peek() else { break };
@@ -74,7 +121,7 @@ pub fn greedy_max_cover_inverted(
             continue;
         }
         // Recompute the true current gain.
-        let gain = inverted[&node].iter().filter(|&&s| !covered[s as usize]).count() as u64;
+        let gain = recount(node, &covered);
         if gain == stale_gain {
             // Fresh enough: gains are monotone non-increasing, so nothing
             // else in the heap can beat it; equal-gain entries with smaller
@@ -87,8 +134,37 @@ pub fn greedy_max_cover_inverted(
             for &s in &inverted[&node] {
                 covered[s as usize] = true;
             }
-        } else {
+        } else if pool.threads() <= 1 {
             heap.push((gain, Reverse(node)));
+        } else {
+            // Stale top: refresh a whole batch of potentially-stale keys in
+            // parallel while we are at it. Only keys above the refreshed
+            // top can shadow it, so refreshing them now saves one
+            // pop-recount-push round trip each. The initiating node's
+            // exact gain is already in hand — only the others recount.
+            heap.push((gain, Reverse(node)));
+            let mut batch: Vec<NodeId> = Vec::new();
+            while batch.len() + 1 < REFRESH_BATCH {
+                match heap.peek() {
+                    Some(&(g, Reverse(n))) if g > gain => {
+                        heap.pop();
+                        if !selected.contains(&n) {
+                            batch.push(n);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let work: usize = batch.iter().map(|n| inverted[n].len()).sum();
+            let fresh: Vec<u64> = if work < PARALLEL_REFRESH_MIN_WORK {
+                batch.iter().map(|&n| recount(n, &covered)).collect()
+            } else {
+                let covered = &covered;
+                pool.map_shards(batch.len(), |i| recount(batch[i], covered))
+            };
+            for (n, g) in batch.into_iter().zip(fresh) {
+                heap.push((g, Reverse(n)));
+            }
         }
     }
     result
@@ -159,6 +235,40 @@ mod tests {
         let r = greedy_max_cover(&s, 1);
         assert_eq!(r.seeds, vec![1]);
         assert_eq!(r.covered, 3);
+    }
+
+    #[test]
+    fn parallel_recount_matches_sequential() {
+        // Random-ish overlapping instances force plenty of stale heap
+        // entries, exercising the batch-refresh path; every thread count
+        // must agree with the sequential oracle bit-for-bit.
+        let mut state = 9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        // The dense final instance (per-node lists of several thousand
+        // set ids) pushes batch refreshes past PARALLEL_REFRESH_MIN_WORK
+        // so the pooled branch runs too.
+        for (trial, &(num_sets, universe)) in
+            [(300, 60), (400, 60), (600, 60), (800, 60), (60_000, 40)].iter().enumerate()
+        {
+            let instance: Vec<Vec<NodeId>> = (0..num_sets)
+                .map(|_| {
+                    let len = 1 + (next() % 7) as usize;
+                    let mut set: Vec<u32> = (0..len).map(|_| next() % universe).collect();
+                    set.sort_unstable();
+                    set.dedup();
+                    set
+                })
+                .collect();
+            let sequential = greedy_max_cover(&instance, 25);
+            assert_eq!(sequential, greedy_max_cover_naive(&instance, 25), "trial {trial}");
+            for threads in [2usize, 4, 8] {
+                let parallel = greedy_max_cover_with(&instance, 25, &ExecPool::new(Some(threads)));
+                assert_eq!(sequential, parallel, "trial {trial} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! to `opt_tolerance` with enough covered mass, or after `opt_max_rounds`.
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover;
+use crate::maxcover::greedy_max_cover_with;
 use crate::theta::SamplingConfig;
+use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
-use kbtim_propagation::{RrSampler, TriggeringModel};
+use kbtim_propagation::{sample_batch, TriggeringModel};
 use rand::RngCore;
 
 /// Outcome of an OPT estimation run.
@@ -38,38 +39,40 @@ pub struct OptEstimate {
 /// weights sum to `total_mass`.
 ///
 /// Returns a zero estimate when `total_mass` is 0 (no relevant user).
+/// The caller RNG only seeds each doubling round's deterministic batch
+/// (one `next_u64` per round), so the estimate is identical for every
+/// `pool` thread count.
 pub fn estimate_opt<M: TriggeringModel + ?Sized>(
     model: &M,
     roots: &RootSampler,
     total_mass: f64,
     k: u32,
     config: &SamplingConfig,
+    pool: &ExecPool,
     rng: &mut dyn RngCore,
 ) -> OptEstimate {
     if total_mass <= 0.0 {
         return OptEstimate { value: 0.0, samples_used: 0, rounds: 0 };
     }
-    let graph = model.graph();
-    let mut rr = RrSampler::new(graph.num_nodes());
     let mut sets: Vec<Vec<NodeId>> = Vec::new();
     let mut target = config.opt_initial_samples.max(16);
     let mut prev = f64::NAN;
     let mut last = OptEstimate { value: 0.0, samples_used: 0, rounds: 0 };
 
     for round in 1..=config.opt_max_rounds {
-        while (sets.len() as u64) < target {
-            let root = roots.sample(rng);
-            let mut set = Vec::new();
-            rr.sample_into(model, root, rng, &mut set);
-            sets.push(set);
+        if (sets.len() as u64) < target {
+            let missing = (target - sets.len() as u64) as usize;
+            let round_seed = rng.next_u64();
+            sets.extend(sample_batch(model, missing, round_seed, pool, |rng| roots.sample(rng)));
         }
-        let cover = greedy_max_cover(&sets, k);
+        let cover = greedy_max_cover_with(&sets, k, pool);
         let est = cover.covered as f64 / sets.len() as f64 * total_mass;
         last = OptEstimate { value: est, samples_used: sets.len() as u64, rounds: round };
 
         // Converged: stable relative to the previous round and supported by
         // enough covered sets that the binomial noise is small.
-        let stable = prev.is_finite() && (est - prev).abs() <= config.opt_tolerance * est.max(1e-12);
+        let stable =
+            prev.is_finite() && (est - prev).abs() <= config.opt_tolerance * est.max(1e-12);
         if stable && cover.covered >= 32 {
             return last;
         }
@@ -94,7 +97,15 @@ mod tests {
         let model = IcModel::uniform(&g, 0.5);
         let roots = RootSampler::from_dense(&[1.0, 1.0, 1.0]).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        let est = estimate_opt(&model, &roots, 0.0, 2, &SamplingConfig::fast(), &mut rng);
+        let est = estimate_opt(
+            &model,
+            &roots,
+            0.0,
+            2,
+            &SamplingConfig::fast(),
+            &ExecPool::sequential(),
+            &mut rng,
+        );
         assert_eq!(est.value, 0.0);
         assert_eq!(est.samples_used, 0);
     }
@@ -104,16 +115,20 @@ mod tests {
         // Star 0 → {1..9} with p = 1: OPT_1 = 10 (seed the hub).
         let g = gen::star(10);
         let model = IcModel::uniform(&g, 1.0);
-        let roots = RootSampler::from_dense(&vec![1.0; 10]).unwrap();
+        let roots = RootSampler::from_dense(&[1.0; 10]).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
-        let est = estimate_opt(&model, &roots, 10.0, 1, &SamplingConfig::fast(), &mut rng);
+        let est = estimate_opt(
+            &model,
+            &roots,
+            10.0,
+            1,
+            &SamplingConfig::fast(),
+            &ExecPool::sequential(),
+            &mut rng,
+        );
         let true_opt = exact_spread(&model, &[0]);
         assert_eq!(true_opt, 10.0);
-        assert!(
-            (est.value - true_opt).abs() < 1.5,
-            "estimate {} vs true {true_opt}",
-            est.value
-        );
+        assert!((est.value - true_opt).abs() < 1.5, "estimate {} vs true {true_opt}", est.value);
     }
 
     #[test]
@@ -121,14 +136,14 @@ mod tests {
         // Line 0→1→2→3 with p = 0.5: OPT_1 = E[I({0})] = 1.875.
         let g = gen::line(4);
         let model = IcModel::uniform(&g, 0.5);
-        let roots = RootSampler::from_dense(&vec![1.0; 4]).unwrap();
+        let roots = RootSampler::from_dense(&[1.0; 4]).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let config = SamplingConfig {
             opt_initial_samples: 2048,
             opt_max_rounds: 8,
             ..SamplingConfig::fast()
         };
-        let est = estimate_opt(&model, &roots, 4.0, 1, &config, &mut rng);
+        let est = estimate_opt(&model, &roots, 4.0, 1, &config, &ExecPool::sequential(), &mut rng);
         let true_opt = exact_spread(&model, &[0]);
         assert!((true_opt - 1.875).abs() < 1e-12);
         // Greedy singleton coverage estimates E[I(best node)] ≈ OPT_1; must
@@ -145,7 +160,15 @@ mod tests {
         let model = IcModel::uniform(&g, 0.5);
         let roots = RootSampler::from_dense(&[0.0, 0.0, 0.0, 1.0]).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
-        let est = estimate_opt(&model, &roots, 8.0, 1, &SamplingConfig::fast(), &mut rng);
+        let est = estimate_opt(
+            &model,
+            &roots,
+            8.0,
+            1,
+            &SamplingConfig::fast(),
+            &ExecPool::sequential(),
+            &mut rng,
+        );
         // Every RR set contains root 3, so greedy covers 100 % → est = 8.
         assert_eq!(est.value, 8.0);
     }
@@ -154,7 +177,7 @@ mod tests {
     fn respects_max_rounds() {
         let g = gen::cycle(6);
         let model = IcModel::uniform(&g, 0.5);
-        let roots = RootSampler::from_dense(&vec![1.0; 6]).unwrap();
+        let roots = RootSampler::from_dense(&[1.0; 6]).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let config = SamplingConfig {
             opt_initial_samples: 16,
@@ -162,7 +185,7 @@ mod tests {
             opt_tolerance: 0.0, // never "stable"
             ..SamplingConfig::fast()
         };
-        let est = estimate_opt(&model, &roots, 6.0, 2, &config, &mut rng);
+        let est = estimate_opt(&model, &roots, 6.0, 2, &config, &ExecPool::sequential(), &mut rng);
         assert_eq!(est.rounds, 3);
         assert_eq!(est.samples_used, 64);
     }

@@ -135,15 +135,7 @@ mod tests {
         // The individual activation probabilities behind the 4.8125 total.
         let g = graph();
         let model = ic_model(&g);
-        let expect = [
-            (A, 1.0),
-            (B, 0.75),
-            (C, 0.6875),
-            (D, 0.375),
-            (E, 1.0),
-            (F, 0.0),
-            (G, 1.0),
-        ];
+        let expect = [(A, 1.0), (B, 0.75), (C, 0.6875), (D, 0.375), (E, 1.0), (F, 0.0), (G, 1.0)];
         for (node, p) in expect {
             let actual = exact_activation_probability(&model, &[E, G], node);
             assert!((actual - p).abs() < 1e-12, "node {node}: {actual} vs {p}");

@@ -6,19 +6,20 @@
 //! top seed users and query keywords"), which KB-TIM fixes.
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover;
+use crate::maxcover::greedy_max_cover_with;
 use crate::opt::estimate_opt;
 use crate::theta::{ris_theta, SamplingConfig};
 use crate::wris::WrisResult;
-use kbtim_graph::NodeId;
-use kbtim_propagation::{RrSampler, TriggeringModel};
+use kbtim_propagation::{sample_batch, TriggeringModel};
 use rand::RngCore;
 
 /// Answer a plain influence-maximization query (Definition 1) with uniform
 /// RIS sampling.
 ///
 /// The result reuses [`WrisResult`]; `estimated_influence` is in *users*
-/// (the weight function is identically 1).
+/// (the weight function is identically 1). Like
+/// [`wris_query`](crate::wris::wris_query), sampling runs on
+/// `config.threads` workers with thread-count-independent results.
 pub fn ris_query<M: TriggeringModel + ?Sized>(
     model: &M,
     k: u32,
@@ -38,23 +39,15 @@ pub fn ris_query<M: TriggeringModel + ?Sized>(
         };
     }
     let roots = RootSampler::from_dense(&vec![1.0; n as usize]).expect("uniform weights");
-    let opt = estimate_opt(model, &roots, n as f64, k, config, rng);
+    let pool = config.pool();
+    let opt = estimate_opt(model, &roots, n as f64, k, config, &pool, rng);
     let theta = ris_theta(n as u64, k, opt.value, config);
 
-    let mut sampler = RrSampler::new(n);
-    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta as usize);
-    for _ in 0..theta {
-        let root = roots.sample(rng);
-        let mut set = Vec::new();
-        sampler.sample_into(model, root, rng, &mut set);
-        sets.push(set);
-    }
-    let cover = greedy_max_cover(&sets, k);
-    let estimated_influence = if theta == 0 {
-        0.0
-    } else {
-        cover.covered as f64 / theta as f64 * n as f64
-    };
+    let batch_seed = rng.next_u64();
+    let sets = sample_batch(model, theta as usize, batch_seed, &pool, |rng| roots.sample(rng));
+    let cover = greedy_max_cover_with(&sets, k, &pool);
+    let estimated_influence =
+        if theta == 0 { 0.0 } else { cover.covered as f64 / theta as f64 * n as f64 };
     WrisResult {
         seeds: cover.seeds,
         marginal_gains: cover.marginal_gains,

@@ -38,6 +38,12 @@ pub struct SamplingConfig {
     /// Relative-change threshold at which the OPT estimate is considered
     /// converged.
     pub opt_tolerance: f64,
+    /// Worker threads for the parallel sampling/coverage paths; `None`
+    /// uses the machine's available parallelism. Results are **identical
+    /// for every value** — work is sharded deterministically with
+    /// per-shard RNG streams (see `kbtim-exec`), so this knob trades
+    /// wall-clock time only, never reproducibility.
+    pub threads: Option<usize>,
 }
 
 impl Default for SamplingConfig {
@@ -56,6 +62,7 @@ impl SamplingConfig {
             opt_initial_samples: 512,
             opt_max_rounds: 16,
             opt_tolerance: 0.1,
+            threads: None,
         }
     }
 
@@ -70,7 +77,13 @@ impl SamplingConfig {
             opt_initial_samples: 256,
             opt_max_rounds: 12,
             opt_tolerance: 0.15,
+            threads: None,
         }
+    }
+
+    /// Executor for this configuration's `threads` setting.
+    pub fn pool(&self) -> kbtim_exec::ExecPool {
+        kbtim_exec::ExecPool::new(self.threads)
     }
 
     /// Apply the configured cap and rounding to a raw θ bound.
@@ -156,19 +169,14 @@ pub fn wris_theta(num_nodes: u64, k: u32, phi_q: f64, opt: f64, config: &Samplin
 /// `OPT^w_1` for the conservative `θ̂_w` (Eqn 8) or `OPT^w_K` for the
 /// compact `θ_w` (Eqn 10); both are measured in raw-tf units (the idf
 /// factor cancels, see the Lemma 3 proof).
-pub fn keyword_theta(
-    num_nodes: u64,
-    tf_sum: f64,
-    opt_w: f64,
-    config: &SamplingConfig,
-) -> u64 {
+pub fn keyword_theta(num_nodes: u64, tf_sum: f64, opt_w: f64, config: &SamplingConfig) -> u64 {
     if tf_sum <= 0.0 {
         return 0;
     }
     assert!(opt_w > 0.0, "OPT^w estimate must be positive when tf_sum > 0");
     let eps = config.eps;
-    let raw = (8.0 + 2.0 * eps) * tf_sum * log_term(num_nodes, config.k_max as u64)
-        / (opt_w * eps * eps);
+    let raw =
+        (8.0 + 2.0 * eps) * tf_sum * log_term(num_nodes, config.k_max as u64) / (opt_w * eps * eps);
     config.finalize_theta(raw)
 }
 
@@ -255,10 +263,7 @@ mod tests {
     #[test]
     fn ris_theta_is_wris_with_node_mass() {
         let config = SamplingConfig { theta_cap: None, ..SamplingConfig::fast() };
-        assert_eq!(
-            ris_theta(5000, 10, 42.0, &config),
-            wris_theta(5000, 10, 5000.0, 42.0, &config)
-        );
+        assert_eq!(ris_theta(5000, 10, 42.0, &config), wris_theta(5000, 10, 5000.0, 42.0, &config));
     }
 
     #[test]

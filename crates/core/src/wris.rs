@@ -13,11 +13,11 @@
 //! RIS [21, 2], adapted to targeting).
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover;
+use crate::maxcover::greedy_max_cover_with;
 use crate::opt::estimate_opt;
 use crate::theta::{wris_theta, SamplingConfig};
 use kbtim_graph::NodeId;
-use kbtim_propagation::{RrSampler, TriggeringModel};
+use kbtim_propagation::{sample_batch, TriggeringModel};
 use kbtim_topics::{Query, UserProfiles};
 use rand::RngCore;
 
@@ -71,6 +71,11 @@ pub fn query_weights(profiles: &UserProfiles, query: &Query) -> Vec<f64> {
 ///
 /// Returns an empty result when no user is relevant to the query
 /// (`φ_Q = 0`) — there is nothing to maximize.
+///
+/// Sampling and coverage run on `config.threads` workers; the caller RNG
+/// is consumed identically for every thread count (one draw per batch
+/// seed), so results are reproducible given `(query, config, rng seed)`
+/// no matter the parallelism.
 pub fn wris_query<M: TriggeringModel + ?Sized>(
     model: &M,
     profiles: &UserProfiles,
@@ -79,35 +84,23 @@ pub fn wris_query<M: TriggeringModel + ?Sized>(
     rng: &mut dyn RngCore,
 ) -> WrisResult {
     let graph = model.graph();
-    assert_eq!(
-        graph.num_nodes(),
-        profiles.num_users(),
-        "graph and profiles disagree on |V|"
-    );
+    assert_eq!(graph.num_nodes(), profiles.num_users(), "graph and profiles disagree on |V|");
     let phi_q = profiles.phi_q(query);
     let weights = query_weights(profiles, query);
     let Some(roots) = RootSampler::from_dense(&weights) else {
         return WrisResult::empty();
     };
 
-    let opt = estimate_opt(model, &roots, phi_q, query.k(), config, rng);
+    let pool = config.pool();
+    let opt = estimate_opt(model, &roots, phi_q, query.k(), config, &pool, rng);
     let theta = wris_theta(graph.num_nodes() as u64, query.k(), phi_q, opt.value, config);
 
-    let mut sampler = RrSampler::new(graph.num_nodes());
-    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta as usize);
-    for _ in 0..theta {
-        let root = roots.sample(rng);
-        let mut set = Vec::new();
-        sampler.sample_into(model, root, rng, &mut set);
-        sets.push(set);
-    }
+    let batch_seed = rng.next_u64();
+    let sets = sample_batch(model, theta as usize, batch_seed, &pool, |rng| roots.sample(rng));
 
-    let cover = greedy_max_cover(&sets, query.k());
-    let estimated_influence = if theta == 0 {
-        0.0
-    } else {
-        cover.covered as f64 / theta as f64 * phi_q
-    };
+    let cover = greedy_max_cover_with(&sets, query.k(), &pool);
+    let estimated_influence =
+        if theta == 0 { 0.0 } else { cover.covered as f64 / theta as f64 * phi_q };
     WrisResult {
         seeds: cover.seeds,
         marginal_gains: cover.marginal_gains,
@@ -183,21 +176,13 @@ mod tests {
         assert!(!result.seeds.is_empty());
         let mc = monte_carlo_targeted(&model, &profiles, &query, &result.seeds, 40_000, &mut rng);
         let rel = (result.estimated_influence - mc).abs() / mc;
-        assert!(
-            rel < 0.1,
-            "WRIS estimate {} vs MC {} (rel {rel})",
-            result.estimated_influence,
-            mc
-        );
+        assert!(rel < 0.1, "WRIS estimate {} vs MC {} (rel {rel})", result.estimated_influence, mc);
     }
 
     #[test]
     fn query_weights_sum_to_phi_q() {
-        let profiles = UserProfiles::from_entries(
-            4,
-            3,
-            &[(0, 0, 0.3), (1, 0, 0.7), (1, 2, 0.3), (3, 2, 1.0)],
-        );
+        let profiles =
+            UserProfiles::from_entries(4, 3, &[(0, 0, 0.3), (1, 0, 0.7), (1, 2, 0.3), (3, 2, 1.0)]);
         let query = Query::new([0, 2], 2);
         let weights = query_weights(&profiles, &query);
         let total: f64 = weights.iter().sum();

@@ -91,10 +91,8 @@ mod tests {
     use crate::gen;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kbtim-graph-io-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("kbtim-graph-io-{}-{name}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("graph.txt")
     }
@@ -149,10 +147,7 @@ mod tests {
     fn extra_columns_rejected() {
         let path = temp_path("cols");
         std::fs::write(&path, "0 1 2\n").unwrap();
-        assert!(matches!(
-            read_edge_list(&path, None).unwrap_err(),
-            EdgeListError::Parse(1, _)
-        ));
+        assert!(matches!(read_edge_list(&path, None).unwrap_err(), EdgeListError::Parse(1, _)));
         std::fs::remove_file(&path).ok();
     }
 

@@ -137,9 +137,7 @@ impl Graph {
 
     /// Iterator over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.num_nodes).flat_map(move |u| {
-            self.out_neighbors(u).iter().map(move |&v| (u, v))
-        })
+        (0..self.num_nodes).flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Average degree `|E| / |V|` (in- and out-averages coincide).

@@ -3,7 +3,10 @@
 use kbtim_graph::{Graph, NodeId};
 use proptest::prelude::*;
 
-fn edge_list(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(NodeId, NodeId)>)> {
+fn edge_list(
+    max_nodes: u32,
+    max_edges: usize,
+) -> impl Strategy<Value = (u32, Vec<(NodeId, NodeId)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
         let edges = proptest::collection::vec((0..n, 0..n), 0..max_edges);
         (Just(n), edges)

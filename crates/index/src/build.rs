@@ -23,16 +23,15 @@ use kbtim_codec::Codec;
 use kbtim_core::alias::RootSampler;
 use kbtim_core::opt::estimate_opt;
 use kbtim_core::theta::{keyword_theta, SamplingConfig};
+use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
-use kbtim_propagation::{RrSampler, TriggeringModel};
+use kbtim_propagation::{sample_batch, TriggeringModel};
 use kbtim_storage::segment::SegmentWriter;
 use kbtim_topics::{TopicId, UserProfiles};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which θ bound sizes each keyword's RR pool.
@@ -122,11 +121,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         profiles: &'a UserProfiles,
         config: IndexBuildConfig,
     ) -> IndexBuilder<'a, M> {
-        assert_eq!(
-            model.graph().num_nodes(),
-            profiles.num_users(),
-            "graph/profiles size mismatch"
-        );
+        assert_eq!(model.graph().num_nodes(), profiles.num_users(), "graph/profiles size mismatch");
         assert!(config.threads >= 1, "need at least one build thread");
         if let IndexVariant::Irr { partition_size } = config.variant {
             assert!(partition_size >= 1, "partition size must be >= 1");
@@ -142,44 +137,48 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         let start = Instant::now();
         let num_topics = self.profiles.num_topics();
 
-        let next_topic = AtomicU32::new(0);
-        let results: Mutex<Vec<Option<(KeywordMeta, KeywordBuildStats)>>> =
-            Mutex::new(vec![None; num_topics as usize]);
-        let errors: Mutex<Vec<IndexError>> = Mutex::new(Vec::new());
-
-        crossbeam::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|_| loop {
-                    let topic = next_topic.fetch_add(1, Ordering::Relaxed);
-                    if topic >= num_topics {
-                        break;
-                    }
-                    match self.build_keyword(dir, topic) {
-                        Ok(entry) => {
-                            results.lock()[topic as usize] = Some(entry);
-                        }
-                        Err(e) => {
-                            errors.lock().push(e);
-                            break;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("build worker panicked");
-
-        if let Some(e) = errors.into_inner().into_iter().next() {
-            return Err(e);
-        }
+        // One shard per keyword on the deterministic pool; per-keyword RNG
+        // streams derive from (build seed, topic), so segment bytes are
+        // independent of scheduling. The failure flag makes workers skip
+        // keywords not yet started once any keyword errors (fail-fast, as
+        // the pre-pool worker loop did) — it can never affect a
+        // successful build.
+        let pool = ExecPool::new(Some(self.config.threads));
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        type KeywordEntry = (KeywordMeta, KeywordBuildStats);
+        let results: Vec<Option<Result<KeywordEntry, IndexError>>> =
+            pool.map_shards(num_topics as usize, |topic| {
+                if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                    return None;
+                }
+                let entry = self.build_keyword(dir, topic as TopicId);
+                if entry.is_err() {
+                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                Some(entry)
+            });
 
         let mut keywords_meta = Vec::with_capacity(num_topics as usize);
         let mut stats = Vec::new();
-        for entry in results.into_inner() {
-            let (meta, stat) = entry.expect("every topic processed");
+        for entry in results {
+            let (meta, stat) = match entry {
+                Some(Ok(pair)) => pair,
+                Some(Err(e)) => return Err(e),
+                // Shards are claimed in index order, so a skip can only
+                // follow the failing entry — which the arm above already
+                // returned. Unreachable in practice; tolerated here so the
+                // guard below (not a panic) reports any logic rot.
+                None => continue,
+            };
             if meta.theta > 0 {
                 stats.push(stat);
             }
             keywords_meta.push(meta);
+        }
+        if failed.into_inner() {
+            return Err(IndexError::Corrupt(
+                "keyword build failed without a reported error".into(),
+            ));
         }
 
         // Catalog.
@@ -252,9 +251,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
 
         // Deterministic per-keyword RNG stream, independent of scheduling.
         let mut rng = SmallRng::seed_from_u64(
-            self.config
-                .seed
-                .wrapping_add((topic as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            self.config.seed.wrapping_add((topic as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
 
         // OPT^w_1 (Eqn 8) or OPT^w_K (Eqn 10), in raw-tf units.
@@ -262,25 +259,35 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             ThetaMode::Conservative => 1,
             ThetaMode::Compact => self.config.sampling.k_max,
         };
-        let opt =
-            estimate_opt(self.model, &roots, tf_sum, opt_k, &self.config.sampling, &mut rng);
-        let theta =
-            keyword_theta(self.model.graph().num_nodes() as u64, tf_sum, opt.value.max(1e-12), &self.config.sampling);
+        // Keywords already build in parallel, so the intra-keyword batch
+        // sampler runs sequentially (still sharded + re-seeded, keeping
+        // segment bytes a pure function of the build seed).
+        let keyword_pool = ExecPool::sequential();
+        let opt = estimate_opt(
+            self.model,
+            &roots,
+            tf_sum,
+            opt_k,
+            &self.config.sampling,
+            &keyword_pool,
+            &mut rng,
+        );
+        let theta = keyword_theta(
+            self.model.graph().num_nodes() as u64,
+            tf_sum,
+            opt.value.max(1e-12),
+            &self.config.sampling,
+        );
         if theta == 0 {
             return Ok(empty(topic));
         }
 
         // Sample R_w.
-        let mut sampler = RrSampler::new(self.model.graph().num_nodes());
-        let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta as usize);
-        let mut total_members = 0u64;
-        for _ in 0..theta {
-            let root = roots.sample(&mut rng);
-            let mut set = Vec::new();
-            sampler.sample_into(self.model, root, &mut rng, &mut set);
-            total_members += set.len() as u64;
-            sets.push(set);
-        }
+        let batch_seed = rng.next_u64();
+        let sets = sample_batch(self.model, theta as usize, batch_seed, &keyword_pool, |rng| {
+            roots.sample(rng)
+        });
+        let total_members: u64 = sets.iter().map(|s| s.len() as u64).sum();
 
         // Invert into L_w (rr ids ascend per user by construction).
         let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
@@ -291,8 +298,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         }
         let mut il_entries: Vec<IlEntry> = inverted.into_iter().collect();
         il_entries.sort_unstable_by_key(|(user, _)| *user);
-        let max_list_len =
-            il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
+        let max_list_len = il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
 
         // Write the segment.
         let codec = self.config.codec;
@@ -419,11 +425,7 @@ mod tests {
     use kbtim_storage::{IoStats, TempDir};
 
     fn small_dataset() -> kbtim_datagen::Dataset {
-        DatasetConfig::family(DatasetFamily::News)
-            .num_users(400)
-            .num_topics(6)
-            .seed(11)
-            .build()
+        DatasetConfig::family(DatasetFamily::News).num_users(400).num_topics(6).seed(11).build()
     }
 
     fn small_config() -> IndexBuildConfig {
@@ -447,9 +449,8 @@ mod tests {
         let data = small_dataset();
         let model = IcModel::weighted_cascade(&data.graph);
         let dir = TempDir::new("idx-build").unwrap();
-        let report = IndexBuilder::new(&model, &data.profiles, small_config())
-            .build(dir.path())
-            .unwrap();
+        let report =
+            IndexBuilder::new(&model, &data.profiles, small_config()).build(dir.path()).unwrap();
         assert!(report.total_theta > 0);
         assert!(report.total_bytes > 0);
         assert!(!report.keywords.is_empty());
@@ -476,9 +477,9 @@ mod tests {
             for entry in std::fs::read_dir(dir.path()).unwrap() {
                 let path = entry.unwrap().path();
                 let bytes = std::fs::read(&path).unwrap();
-                let sum = bytes.iter().fold(0u64, |acc, &b| {
-                    acc.wrapping_mul(1_000_003).wrapping_add(b as u64)
-                });
+                let sum = bytes
+                    .iter()
+                    .fold(0u64, |acc, &b| acc.wrapping_mul(1_000_003).wrapping_add(b as u64));
                 digest.push((path.file_name().unwrap().to_string_lossy().into_owned(), sum));
             }
             digest.sort();
@@ -535,12 +536,10 @@ mod tests {
         use kbtim_topics::UserProfiles;
         let g = gen::cycle(3);
         let model = IcModel::weighted_cascade(&g);
-        let profiles =
-            UserProfiles::from_entries(3, 3, &[(0, 0, 1.0), (1, 1, 0.5), (2, 1, 0.5)]);
+        let profiles = UserProfiles::from_entries(3, 3, &[(0, 0, 1.0), (1, 1, 0.5), (2, 1, 0.5)]);
         let dir = TempDir::new("idx-zero").unwrap();
-        let report = IndexBuilder::new(&model, &profiles, small_config())
-            .build(dir.path())
-            .unwrap();
+        let report =
+            IndexBuilder::new(&model, &profiles, small_config()).build(dir.path()).unwrap();
         assert_eq!(report.keywords.len(), 2, "only held topics get segments");
         let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
         assert_eq!(index.meta().keywords[2].theta, 0);

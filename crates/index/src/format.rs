@@ -345,11 +345,7 @@ pub type IrEntry = (u32, Vec<NodeId>);
 /// byte ranges whose boundaries always fall on entry boundaries, so the
 /// decoder simply consumes the buffer. Returns the sparse offset samples
 /// for [`PartitionMeta::ir_samples`].
-pub fn encode_ir_entries(
-    entries: &[IrEntry],
-    codec: Codec,
-    out: &mut Vec<u8>,
-) -> Vec<(u32, u64)> {
+pub fn encode_ir_entries(entries: &[IrEntry], codec: Codec, out: &mut Vec<u8>) -> Vec<(u32, u64)> {
     let base = out.len() as u64;
     let mut samples = Vec::with_capacity(entries.len() / IR_SAMPLE_EVERY + 1);
     for (i, (id, members)) in entries.iter().enumerate() {
@@ -539,11 +535,7 @@ mod tests {
 
     #[test]
     fn il_entries_roundtrip() {
-        let entries: Vec<IlEntry> = vec![
-            (3, vec![0, 5, 9, 200]),
-            (7, vec![]),
-            (900, vec![1]),
-        ];
+        let entries: Vec<IlEntry> = vec![(3, vec![0, 5, 9, 200]), (7, vec![]), (900, vec![1])];
         for codec in [Codec::Raw, Codec::Packed] {
             let mut buf = Vec::new();
             encode_il_entries(&entries, codec, &mut buf);

@@ -26,6 +26,7 @@
 use crate::format::{self, PartitionMeta};
 use crate::rr_query::empty_outcome;
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
 use kbtim_topics::Query;
 use std::cmp::Reverse;
@@ -131,46 +132,88 @@ impl KbtimIndex {
             (total, complete)
         };
 
-        // Load the next partition of every query keyword; push fresh
-        // candidates. Returns false when everything is exhausted.
-        let mut load_more = |states: &mut [KwState<'_>],
-                             pq: &mut BinaryHeap<(u64, Reverse<NodeId>)>,
-                             covered: &[bool],
-                             selected: &HashSet<NodeId>|
+        // Load the next partition of every query keyword — reads and
+        // decodes fan out one shard per keyword on the pool, then results
+        // apply to the NRA state in keyword order (deterministic for any
+        // thread count). Pushes fresh candidates; returns false when
+        // everything is exhausted.
+        let pool = self.pool();
+        let load_more = |states: &mut [KwState<'_>],
+                         pq: &mut BinaryHeap<(u64, Reverse<NodeId>)>,
+                         covered: &[bool],
+                         selected: &HashSet<NodeId>,
+                         rr_sets_loaded: &mut u64,
+                         partitions_loaded: &mut u64|
          -> Result<bool, IndexError> {
+            // Fan out only when this round moves enough bytes to dwarf the
+            // pool's fork/join cost; small rounds (the common case for
+            // tight partitions) read inline. The partition catalog gives
+            // the sizes before any I/O, and both paths produce identical
+            // loads, so the choice cannot affect the answer.
+            const PARALLEL_LOAD_MIN_BYTES: u64 = 256 * 1024;
+            let pending_bytes: u64 = states
+                .iter()
+                .filter(|st| st.loaded < st.partitions.len())
+                .map(|st| {
+                    let part = &st.partitions[st.loaded];
+                    (part.il_end - part.il_start) + part.ir_prefix_len(st.share)
+                })
+                .sum();
+            let round_pool =
+                if pending_bytes < PARALLEL_LOAD_MIN_BYTES { ExecPool::sequential() } else { pool };
+
+            // Decoded partition of one keyword: inverted-list entries
+            // (already truncated to the share) and the loaded RR-set count.
+            type PartitionLoad = Option<(Vec<(NodeId, Vec<u32>)>, u64, u64)>;
+            let loads: Vec<Result<PartitionLoad, IndexError>> =
+                round_pool.map_shards(states.len(), |i| {
+                    let st = &states[i];
+                    if st.loaded >= st.partitions.len() {
+                        return Ok(None);
+                    }
+                    let part = st.partitions[st.loaded].clone();
+                    let il = st.reader.read_range(
+                        format::ILP_BLOCK,
+                        part.il_start,
+                        part.il_end - part.il_start,
+                    )?;
+                    let entries = format::decode_il_entries(&il, codec)?;
+                    // Only the byte range holding ids < θ^Q_w is read —
+                    // sets beyond the query's prefix never touch memory
+                    // (the sparse ir_samples table bounds the range).
+                    let ir_len = part.ir_prefix_len(st.share);
+                    let ir = st.reader.read_range(format::IRP_BLOCK, part.ir_start, ir_len)?;
+                    // RR-set payloads are decoded (and counted) exactly as
+                    // the paper's loader does; the lazy NRA only needs ids.
+                    let ir_entries = format::decode_ir_entries(&ir, codec, st.share as u32)?;
+                    let truncated: Vec<(NodeId, Vec<u32>)> = entries
+                        .into_iter()
+                        .map(|(user, list)| {
+                            let cut = list.partition_point(|&id| (id as u64) < st.share);
+                            (user, list[..cut].to_vec())
+                        })
+                        .collect();
+                    let new_kb = (part.max_len_after as u64).min(st.share);
+                    Ok(Some((truncated, ir_entries.len() as u64, new_kb)))
+                });
+
             let mut any = false;
             let mut fresh: Vec<NodeId> = Vec::new();
-            for st in states.iter_mut() {
-                if st.loaded >= st.partitions.len() {
+            for (st, load) in states.iter_mut().zip(loads) {
+                let Some((entries, ir_count, new_kb)) = load? else {
                     st.kb = 0;
                     continue;
-                }
-                let part = st.partitions[st.loaded].clone();
-                let il = st.reader.read_range(
-                    format::ILP_BLOCK,
-                    part.il_start,
-                    part.il_end - part.il_start,
-                )?;
-                let entries = format::decode_il_entries(&il, codec)?;
-                // Only the byte range holding ids < θ^Q_w is read — sets
-                // beyond the query's prefix never touch memory (the sparse
-                // ir_samples table bounds the range).
-                let ir_len = part.ir_prefix_len(st.share);
-                let ir = st.reader.read_range(format::IRP_BLOCK, part.ir_start, ir_len)?;
-                // RR-set payloads are decoded (and counted) exactly as the
-                // paper's loader does; the lazy NRA itself only needs ids.
-                let ir_entries = format::decode_ir_entries(&ir, codec, st.share as u32)?;
-                rr_sets_loaded += ir_entries.len() as u64;
-                partitions_loaded += 1;
+                };
+                *rr_sets_loaded += ir_count;
+                *partitions_loaded += 1;
                 for (user, list) in entries {
-                    let cut = list.partition_point(|&id| (id as u64) < st.share);
-                    st.lists.insert(user, list[..cut].to_vec());
+                    st.lists.insert(user, list);
                     if !selected.contains(&user) {
                         fresh.push(user);
                     }
                 }
                 st.loaded += 1;
-                st.kb = (part.max_len_after as u64).min(st.share);
+                st.kb = new_kb;
                 any = true;
             }
             // Push fresh candidates with bounds computed against the *new*
@@ -218,7 +261,14 @@ impl KbtimIndex {
                         // Cannot separate from unseen users yet: reinsert
                         // and deepen the index scan.
                         pq.push((s, Reverse(v)));
-                        if !load_more(&mut states, &mut pq, &covered, &selected)? && total_kb == 0
+                        if !load_more(
+                            &mut states,
+                            &mut pq,
+                            &covered,
+                            &selected,
+                            &mut rr_sets_loaded,
+                            &mut partitions_loaded,
+                        )? && total_kb == 0
                         {
                             // Exhausted and still not separable — only
                             // possible transiently; with kb = 0 the accept
@@ -233,18 +283,24 @@ impl KbtimIndex {
                 _ => {
                     // No positive candidate in the queue: either deepen the
                     // scan or finish.
-                    if total_kb == 0 || !load_more(&mut states, &mut pq, &covered, &selected)? {
+                    if total_kb == 0
+                        || !load_more(
+                            &mut states,
+                            &mut pq,
+                            &covered,
+                            &selected,
+                            &mut rr_sets_loaded,
+                            &mut partitions_loaded,
+                        )?
+                    {
                         break;
                     }
                 }
             }
         }
 
-        let estimated_influence = if theta_q == 0 {
-            0.0
-        } else {
-            coverage as f64 / theta_q as f64 * phi_q
-        };
+        let estimated_influence =
+            if theta_q == 0 { 0.0 } else { coverage as f64 / theta_q as f64 * phi_q };
         Ok(QueryOutcome {
             seeds,
             marginal_gains,

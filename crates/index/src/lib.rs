@@ -133,6 +133,10 @@ pub struct KbtimIndex {
     /// user holds them, so their `θ_w = 0`).
     readers: Vec<Option<SegmentReader>>,
     stats: IoStats,
+    /// Worker threads for per-keyword load/decode fan-out (`None` = the
+    /// machine's available parallelism). Query answers are identical for
+    /// every value; only wall-clock time changes.
+    threads: Option<usize>,
 }
 
 impl KbtimIndex {
@@ -155,7 +159,30 @@ impl KbtimIndex {
                 readers.push(Some(SegmentReader::open(path, stats.clone())?));
             }
         }
-        Ok(KbtimIndex { dir, meta, readers, stats })
+        Ok(KbtimIndex { dir, meta, readers, stats, threads: None })
+    }
+
+    /// Set the worker-thread count used by the query paths (`None` = the
+    /// machine's available parallelism). Answers are bit-identical for
+    /// every setting — keyword decode work is merged in a deterministic
+    /// order — so this only trades latency.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// Builder-style [`KbtimIndex::set_threads`].
+    pub fn with_threads(mut self, threads: Option<usize>) -> KbtimIndex {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    pub(crate) fn pool(&self) -> kbtim_exec::ExecPool {
+        kbtim_exec::ExecPool::new(self.threads)
     }
 
     /// The index catalog (sizes, θ_w table, codec, variant).
@@ -175,9 +202,8 @@ impl KbtimIndex {
 
     /// Total on-disk footprint in bytes (catalog + keyword segments).
     pub fn disk_bytes(&self) -> Result<u64, IndexError> {
-        let mut total = std::fs::metadata(self.dir.join(format::META_FILE))
-            .map(|m| m.len())
-            .unwrap_or(0);
+        let mut total =
+            std::fs::metadata(self.dir.join(format::META_FILE)).map(|m| m.len()).unwrap_or(0);
         for reader in self.readers.iter().flatten() {
             total += reader.file_len()?;
         }

@@ -58,12 +58,7 @@ impl MemoryIndex {
         self.keywords
             .iter()
             .flatten()
-            .map(|kw| {
-                kw.il
-                    .iter()
-                    .map(|(_, list)| 8 + 4 * list.len() as u64)
-                    .sum::<u64>()
-            })
+            .map(|kw| kw.il.iter().map(|(_, list)| 8 + 4 * list.len() as u64).sum::<u64>())
             .sum()
     }
 
@@ -102,11 +97,8 @@ impl MemoryIndex {
         }
         let theta_q = base;
         let cover = greedy_max_cover_inverted(&inverted, theta_q, query.k());
-        let estimated_influence = if theta_q == 0 {
-            0.0
-        } else {
-            cover.covered as f64 / theta_q as f64 * phi_q
-        };
+        let estimated_influence =
+            if theta_q == 0 { 0.0 } else { cover.covered as f64 / theta_q as f64 * phi_q };
         QueryOutcome {
             seeds: cover.seeds,
             marginal_gains: cover.marginal_gains,
@@ -125,10 +117,7 @@ impl MemoryIndex {
 
 /// The Eqn-11 budget computed from a catalog alone (shared with
 /// [`KbtimIndex::query_budget`], which delegates here).
-pub(crate) fn query_budget_from_meta(
-    meta: &IndexMeta,
-    query: &Query,
-) -> (f64, Vec<(u32, u64)>) {
+pub(crate) fn query_budget_from_meta(meta: &IndexMeta, query: &Query) -> (f64, Vec<(u32, u64)>) {
     let masses: Vec<(u32, f64)> = query
         .topics()
         .iter()
@@ -153,9 +142,8 @@ pub(crate) fn query_budget_from_meta(
         .iter()
         .map(|&(w, mass)| {
             let p_w = mass / phi_q;
-            let share = ((theta_q * p_w).floor() as u64)
-                .min(meta.keywords[w as usize].theta)
-                .max(1);
+            let share =
+                ((theta_q * p_w).floor() as u64).min(meta.keywords[w as usize].theta).max(1);
             (w, share)
         })
         .collect();
@@ -199,11 +187,7 @@ mod tests {
         build_index(dir.path());
         let disk = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
         let mem = MemoryIndex::load(&disk).unwrap();
-        for q in [
-            Query::new([0], 5),
-            Query::new([0, 1, 2], 12),
-            Query::new([3, 4, 5], 20),
-        ] {
+        for q in [Query::new([0], 5), Query::new([0, 1, 2], 12), Query::new([3, 4, 5], 20)] {
             let a = disk.query_rr(&q).unwrap();
             let b = mem.query(&q);
             assert_eq!(a.seeds, b.seeds, "query {q:?}");

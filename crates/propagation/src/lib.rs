@@ -29,5 +29,5 @@ pub mod spread;
 pub mod triggering;
 
 pub use model::{IcModel, LtModel, TriggeringModel};
-pub use rr::RrSampler;
+pub use rr::{sample_batch, RrSampler};
 pub use triggering::TableTriggeringModel;

@@ -263,10 +263,7 @@ impl TriggeringModel for LtModel<'_> {
         if neighbors.is_empty() {
             return vec![(Vec::new(), 1.0)];
         }
-        neighbors
-            .iter()
-            .map(|&u| (vec![u], self.edge_weight(u, v)))
-            .collect()
+        neighbors.iter().map(|&u| (vec![u], self.edge_weight(u, v))).collect()
     }
 
     fn name(&self) -> &'static str {

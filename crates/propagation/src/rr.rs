@@ -5,10 +5,21 @@
 //! abstraction the live in-edges of a node are exactly its sampled trigger
 //! set, so a reverse BFS that samples trigger sets on demand generates RR
 //! sets for *any* model — the key to the paper's model-generality claim.
+//!
+//! Two entry points:
+//!
+//! * [`RrSampler`] — one set at a time against a caller-owned RNG (used
+//!   where the call pattern is inherently serial);
+//! * [`sample_batch`] — the **hot path**: θ sets at once, sharded over a
+//!   [`kbtim_exec::ExecPool`] with per-shard RNG streams. Output is
+//!   bit-identical for every thread count, so the WRIS/RIS/index layers
+//!   can parallelize freely without giving up reproducibility.
 
 use crate::model::TriggeringModel;
+use kbtim_exec::{shard_count, shard_range, shard_seed, ExecPool, DEFAULT_SHARD_SIZE};
 use kbtim_graph::NodeId;
-use rand::RngCore;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 
 /// Reusable RR-set sampler.
 ///
@@ -83,6 +94,51 @@ impl RrSampler {
         self.sample_into(model, root, rng, &mut out);
         out
     }
+}
+
+/// Sample `count` RR sets, with roots drawn by `root_of`, on the pool.
+///
+/// The batch is split into fixed-size shards ([`DEFAULT_SHARD_SIZE`]);
+/// shard `s` draws both its roots and its reverse-BFS coin flips from
+/// `SmallRng::seed_from_u64(seed ^ s)` and shard outputs concatenate in
+/// shard order, so the returned sets are a pure function of
+/// `(model, count, seed)` — **identical for any thread count**. Each
+/// worker reuses one [`RrSampler`] across its shards, keeping the
+/// zero-allocation property of the serial path.
+pub fn sample_batch<M, F>(
+    model: &M,
+    count: usize,
+    seed: u64,
+    pool: &ExecPool,
+    root_of: F,
+) -> Vec<Vec<NodeId>>
+where
+    M: TriggeringModel + ?Sized,
+    F: Fn(&mut SmallRng) -> NodeId + Sync,
+{
+    let num_nodes = model.graph().num_nodes();
+    let shards = shard_count(count, DEFAULT_SHARD_SIZE);
+    let per_shard: Vec<Vec<Vec<NodeId>>> = pool.map_shards_with(
+        shards,
+        || RrSampler::new(num_nodes),
+        |sampler, shard| {
+            let mut rng = SmallRng::seed_from_u64(shard_seed(seed, shard as u64));
+            let range = shard_range(count, DEFAULT_SHARD_SIZE, shard);
+            let mut sets = Vec::with_capacity(range.len());
+            for _ in range {
+                let root = root_of(&mut rng);
+                let mut set = Vec::new();
+                sampler.sample_into(model, root, &mut rng, &mut set);
+                sets.push(set);
+            }
+            sets
+        },
+    );
+    let mut out = Vec::with_capacity(count);
+    for shard_sets in per_shard {
+        out.extend(shard_sets);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -175,6 +231,59 @@ mod tests {
         }
         let rate = hits as f64 / rounds as f64;
         assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let mut seed_rng = SmallRng::seed_from_u64(77);
+        let g = gen::erdos_renyi(200, 900, &mut seed_rng);
+        let model = IcModel::weighted_cascade(&g);
+        let run = |threads: usize| {
+            let pool = ExecPool::new(Some(threads));
+            sample_batch(&model, 2_000, 1234, &pool, |rng| {
+                use rand::Rng;
+                rng.gen_range(0..200u32)
+            })
+        };
+        let single = run(1);
+        assert_eq!(single.len(), 2_000);
+        for threads in [2, 4, 8] {
+            assert_eq!(single, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_sets_sorted_and_rooted() {
+        let g = gen::complete(10);
+        let model = IcModel::uniform(&g, 0.5);
+        let pool = ExecPool::new(Some(4));
+        let sets = sample_batch(&model, 600, 5, &pool, |_| 3);
+        assert_eq!(sets.len(), 600);
+        for set in &sets {
+            assert!(set.contains(&3), "root missing");
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "unsorted: {set:?}");
+        }
+    }
+
+    #[test]
+    fn batch_membership_rate_matches_probability() {
+        // Same statistical contract as the serial sampler: 0→1 with
+        // p = 0.6 ⇒ P(0 ∈ RR(1)) = 0.6, regardless of sharding.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let model = IcModel::uniform(&g, 0.6);
+        let pool = ExecPool::new(Some(4));
+        let sets = sample_batch(&model, 100_000, 9, &pool, |_| 1);
+        let hits = sets.iter().filter(|s| s.contains(&0)).count();
+        let rate = hits as f64 / sets.len() as f64;
+        assert!((rate - 0.6).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = gen::line(3);
+        let model = IcModel::uniform(&g, 1.0);
+        let pool = ExecPool::sequential();
+        assert!(sample_batch(&model, 0, 1, &pool, |_| 0).is_empty());
     }
 
     #[test]

@@ -197,10 +197,7 @@ pub fn exact_weighted_spread<M: TriggeringModel + ?Sized>(
     let dists: Vec<Vec<(Vec<NodeId>, f64)>> =
         graph.nodes().map(|v| model.trigger_distribution(v)).collect();
     let combos: f64 = dists.iter().map(|d| d.len() as f64).product();
-    assert!(
-        combos <= (1 << 22) as f64,
-        "exact enumeration would need {combos} configurations"
-    );
+    assert!(combos <= (1 << 22) as f64, "exact enumeration would need {combos} configurations");
 
     let weights: Vec<f64> = (0..n).map(|v| weight(v as NodeId)).collect();
 
@@ -340,7 +337,8 @@ mod tests {
         let g = gen::line(2);
         let model = IcModel::uniform(&g, 1.0);
         let mut rng = SmallRng::seed_from_u64(15);
-        let w = monte_carlo_weighted(&model, &[0], 10, &mut rng, |v| if v == 1 { 10.0 } else { 1.0 });
+        let w =
+            monte_carlo_weighted(&model, &[0], 10, &mut rng, |v| if v == 1 { 10.0 } else { 1.0 });
         assert_eq!(w, 11.0);
         assert_eq!(exact_weighted_spread(&model, &[0], |v| if v == 1 { 10.0 } else { 1.0 }), 11.0);
     }

@@ -34,10 +34,7 @@ impl<'g> TableTriggeringModel<'g> {
     ///
     /// Panics when a table is empty, probabilities do not sum to ≈ 1, a
     /// trigger set contains a non-in-neighbour, or entries are malformed.
-    pub fn new(
-        graph: &'g Graph,
-        tables: Vec<Vec<(Vec<NodeId>, f64)>>,
-    ) -> TableTriggeringModel<'g> {
+    pub fn new(graph: &'g Graph, tables: Vec<Vec<(Vec<NodeId>, f64)>>) -> TableTriggeringModel<'g> {
         assert_eq!(tables.len(), graph.num_nodes() as usize, "one table per node");
         let mut cums = Vec::with_capacity(tables.len());
         for (v, table) in tables.iter().enumerate() {
@@ -139,11 +136,8 @@ mod tests {
         // {1}; IC with independent edges of marginal 0.5 would give
         // p(2 | {0,1}) = 0.75, while this correlated model gives 0.5.
         let g = kbtim_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]);
-        let tables = vec![
-            vec![(vec![], 1.0)],
-            vec![(vec![], 1.0)],
-            vec![(vec![0, 1], 0.5), (vec![], 0.5)],
-        ];
+        let tables =
+            vec![vec![(vec![], 1.0)], vec![(vec![], 1.0)], vec![(vec![0, 1], 0.5), (vec![], 0.5)]];
         let model = TableTriggeringModel::new(&g, tables);
         let p_single = crate::spread::exact_activation_probability(&model, &[0], 2);
         let p_both = crate::spread::exact_activation_probability(&model, &[0, 1], 2);

@@ -22,10 +22,10 @@
 
 use crate::crc32::{self, Crc32};
 use crate::IoStats;
-use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 const MAGIC: &[u8; 8] = b"KBTIMSG1";
 const VERSION: u32 = 1;
@@ -63,10 +63,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt segment: {msg}"),
             StorageError::MissingBlock(name) => write!(f, "missing block: {name}"),
             StorageError::DuplicateBlock(name) => write!(f, "duplicate block: {name}"),
-            StorageError::RangeOutOfBounds { block, offset, len, block_len } => write!(
-                f,
-                "range {offset}+{len} out of bounds for block {block} (len {block_len})"
-            ),
+            StorageError::RangeOutOfBounds { block, offset, len, block_len } => {
+                write!(f, "range {offset}+{len} out of bounds for block {block} (len {block_len})")
+            }
         }
     }
 }
@@ -304,10 +303,7 @@ impl SegmentReader {
 
     /// Names and sizes of every block.
     pub fn blocks(&self) -> Vec<BlockInfo> {
-        self.entries
-            .iter()
-            .map(|e| BlockInfo { name: e.name.clone(), len: e.len })
-            .collect()
+        self.entries.iter().map(|e| BlockInfo { name: e.name.clone(), len: e.len }).collect()
     }
 
     /// Length of a named block's payload in bytes.
@@ -319,7 +315,7 @@ impl SegmentReader {
     pub fn read_block(&self, name: &str) -> Result<Vec<u8>> {
         let entry = self.entry(name)?.clone();
         let mut buf = vec![0u8; entry.len as usize];
-        self.file.lock().read_at(entry.offset, &mut buf, &self.stats)?;
+        self.file.lock().expect("reader poisoned").read_at(entry.offset, &mut buf, &self.stats)?;
         if crc32::checksum(&buf) != entry.crc {
             return Err(StorageError::Corrupt(format!("checksum mismatch in block {name}")));
         }
@@ -342,7 +338,11 @@ impl SegmentReader {
             });
         }
         let mut buf = vec![0u8; len as usize];
-        self.file.lock().read_at(entry.offset + offset, &mut buf, &self.stats)?;
+        self.file.lock().expect("reader poisoned").read_at(
+            entry.offset + offset,
+            &mut buf,
+            &self.stats,
+        )?;
         Ok(buf)
     }
 
@@ -490,10 +490,7 @@ mod tests {
         let path = dir.path().join("demo.seg");
         write_demo(&path);
         let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
-        assert!(matches!(
-            reader.read_block("nope").unwrap_err(),
-            StorageError::MissingBlock(_)
-        ));
+        assert!(matches!(reader.read_block("nope").unwrap_err(), StorageError::MissingBlock(_)));
     }
 
     #[test]
@@ -506,10 +503,7 @@ mod tests {
         bytes[HEADER_LEN as usize] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
-        assert!(matches!(
-            reader.read_block("alpha").unwrap_err(),
-            StorageError::Corrupt(_)
-        ));
+        assert!(matches!(reader.read_block("alpha").unwrap_err(), StorageError::Corrupt(_)));
     }
 
     #[test]

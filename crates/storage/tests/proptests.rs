@@ -5,16 +5,13 @@ use kbtim_storage::{IoStats, TempDir};
 use proptest::prelude::*;
 
 fn blocks() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
-    proptest::collection::vec(
-        ("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512)),
-        0..8,
-    )
-    .prop_map(|mut blocks| {
-        // Unique names (duplicates are a writer error by design).
-        blocks.sort_by(|a, b| a.0.cmp(&b.0));
-        blocks.dedup_by(|a, b| a.0 == b.0);
-        blocks
-    })
+    proptest::collection::vec(("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512)), 0..8)
+        .prop_map(|mut blocks| {
+            // Unique names (duplicates are a writer error by design).
+            blocks.sort_by(|a, b| a.0.cmp(&b.0));
+            blocks.dedup_by(|a, b| a.0 == b.0);
+            blocks
+        })
 }
 
 proptest! {

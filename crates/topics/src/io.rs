@@ -69,7 +69,8 @@ pub fn read_profiles(path: impl AsRef<Path>) -> Result<UserProfiles, ProfileIoEr
 
     let mut header = String::new();
     reader.read_line(&mut header)?;
-    let (num_users, num_topics) = parse_header(header.trim()).ok_or(ProfileIoError::MissingHeader)?;
+    let (num_users, num_topics) =
+        parse_header(header.trim()).ok_or(ProfileIoError::MissingHeader)?;
 
     let mut entries = Vec::new();
     let mut line = String::new();
@@ -130,7 +131,12 @@ mod tests {
     fn roundtrip_generated_profiles() {
         let mut rng = SmallRng::seed_from_u64(1);
         let profiles = generate_profiles(
-            ProfileConfig { num_users: 300, num_topics: 12, max_topics_per_user: 4, topic_skew: 1.0 },
+            ProfileConfig {
+                num_users: 300,
+                num_topics: 12,
+                max_topics_per_user: 4,
+                topic_skew: 1.0,
+            },
             &mut rng,
         );
         let path = temp_path("roundtrip.tsv");

@@ -124,14 +124,14 @@ mod tests {
     fn empirical_distribution_matches() {
         let z = ZipfSampler::new(20, 1.0);
         let mut rng = SmallRng::seed_from_u64(42);
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         let draws = 200_000;
         for _ in 0..draws {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
+        for (r, &count) in counts.iter().enumerate() {
             let expected = z.probability(r);
-            let observed = counts[r] as f64 / draws as f64;
+            let observed = count as f64 / draws as f64;
             assert!(
                 (observed - expected).abs() < 0.01,
                 "rank {r}: observed {observed:.4} vs expected {expected:.4}"

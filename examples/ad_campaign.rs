@@ -22,11 +22,8 @@ fn main() {
     // The news-like family: sparse, strongly community-structured — the
     // setting where the paper observed targeted seeding paying off most
     // clearly (§6.6).
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(8_000)
-        .num_topics(24)
-        .seed(99)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(8_000).num_topics(24).seed(99).build();
     let model = IcModel::weighted_cascade(&data.graph);
     println!(
         "dataset {}: {} users, {} edges (news-like, community-structured)",
@@ -71,14 +68,8 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(17);
         let targeted_spread =
             monte_carlo_targeted(&model, &data.profiles, query, &outcome.seeds, 5_000, &mut rng);
-        let untargeted_spread = monte_carlo_targeted(
-            &model,
-            &data.profiles,
-            query,
-            &untargeted.seeds,
-            5_000,
-            &mut rng,
-        );
+        let untargeted_spread =
+            monte_carlo_targeted(&model, &data.profiles, query, &untargeted.seeds, 5_000, &mut rng);
         println!(
             "{:<20} {:>12} {:>14.2} {:>14.2} {:>7.1}%",
             name,

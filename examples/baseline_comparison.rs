@@ -42,8 +42,7 @@ fn main() {
 
     // CELF restricted to users relevant to the query (all candidates would
     // take minutes — exactly the paper's point).
-    let candidates: Vec<u32> =
-        (0..data.graph.num_nodes()).filter(|&v| weight(v) > 0.0).collect();
+    let candidates: Vec<u32> = (0..data.graph.num_nodes()).filter(|&v| weight(v) > 0.0).collect();
     println!("CELF candidate pool: {} relevant users", candidates.len());
     let mut rng = SmallRng::seed_from_u64(1);
     let t0 = Instant::now();
@@ -65,10 +64,7 @@ fn main() {
     let md = max_degree(&model, query.k());
     results.push(("max-degree", md.seeds.clone(), t0.elapsed()));
 
-    println!(
-        "\n{:<14} {:>12} {:>12} {:>22}",
-        "method", "select time", "spread", "95% CI"
-    );
+    println!("\n{:<14} {:>12} {:>12} {:>22}", "method", "select time", "spread", "95% CI");
     let mut rng = SmallRng::seed_from_u64(3);
     for (name, seeds, elapsed) in &results {
         let est = monte_carlo_weighted_ci(&model, seeds, 20_000, &mut rng, weight);

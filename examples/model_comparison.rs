@@ -70,7 +70,11 @@ fn main() {
         let sb: std::collections::HashSet<_> = b.iter().collect();
         let inter = sa.intersection(&sb).count() as f64;
         let union = sa.union(&sb).count() as f64;
-        if union == 0.0 { 1.0 } else { inter / union }
+        if union == 0.0 {
+            1.0
+        } else {
+            inter / union
+        }
     };
     let ic_a = seeds_for(&ic, &data, keywords[0].1, &sampling);
     let ic_b = seeds_for(&ic, &data, keywords[1].1, &sampling);

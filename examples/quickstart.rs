@@ -20,11 +20,8 @@ use std::time::Instant;
 
 fn main() {
     // A 3 000-user news-like network with 16 topics, deterministic seed.
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(3_000)
-        .num_topics(16)
-        .seed(7)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(3_000).num_topics(16).seed(7).build();
     println!(
         "dataset {}: {} users, {} edges (avg degree {:.1})",
         data.name,
@@ -51,10 +48,7 @@ fn main() {
     // --- Real-time path: offline index, instant queries. -----------------
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("kbtim-quickstart").expect("temp dir");
-    let build_config = IndexBuildConfig {
-        sampling: config,
-        ..IndexBuildConfig::default()
-    };
+    let build_config = IndexBuildConfig { sampling: config, ..IndexBuildConfig::default() };
     let report = IndexBuilder::new(&model, &data.profiles, build_config)
         .build(dir.path())
         .expect("index build");

@@ -25,11 +25,7 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
-fn run(
-    label: &str,
-    queries: &[Query],
-    mut exec: impl FnMut(&Query) -> QueryOutcome,
-) {
+fn run(label: &str, queries: &[Query], mut exec: impl FnMut(&Query) -> QueryOutcome) {
     let mut latencies = Vec::with_capacity(queries.len());
     let mut rr_loaded = 0u64;
     let mut reads = 0u64;

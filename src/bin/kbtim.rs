@@ -5,7 +5,8 @@
 //! kbtim stats    --graph FILE
 //! kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
 //!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
-//! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr]
+//! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
+//!                [--threads N]
 //! kbtim validate --index DIR
 //! ```
 //!
@@ -68,7 +69,8 @@ USAGE:
   kbtim stats    --graph FILE
   kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
                  [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
-  kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr]
+  kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
+                 [--threads N]
   kbtim validate --index DIR";
 
 /// `--key value` pairs, last occurrence wins.
@@ -90,7 +92,11 @@ fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str
     flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
 }
 
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse {raw:?}")),
@@ -109,11 +115,7 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = PathBuf::from(required(flags, "out")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
 
-    let data = DatasetConfig::family(family)
-        .num_users(users)
-        .num_topics(topics)
-        .seed(seed)
-        .build();
+    let data = DatasetConfig::family(family).num_users(users).num_topics(topics).seed(seed).build();
     graph_io::write_edge_list(&data.graph, out.join("graph.txt")).map_err(|e| e.to_string())?;
     topics_io::write_profiles(&data.profiles, out.join("profiles.tsv"))
         .map_err(|e| e.to_string())?;
@@ -141,10 +143,8 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn load_data(dir: &Path) -> Result<(Graph, UserProfiles), String> {
-    let graph =
-        graph_io::read_edge_list(dir.join("graph.txt"), None).map_err(|e| e.to_string())?;
-    let profiles =
-        topics_io::read_profiles(dir.join("profiles.tsv")).map_err(|e| e.to_string())?;
+    let graph = graph_io::read_edge_list(dir.join("graph.txt"), None).map_err(|e| e.to_string())?;
+    let profiles = topics_io::read_profiles(dir.join("profiles.tsv")).map_err(|e| e.to_string())?;
     // Profiles fix |V|; the edge list may omit trailing isolated users.
     let graph = if graph.num_nodes() < profiles.num_users() {
         let edges: Vec<_> = graph.edges().collect();
@@ -179,7 +179,12 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let eps: f64 = parse(flags, "eps", 0.5)?;
     let cap: u64 = parse(flags, "cap", 100_000)?;
-    let threads: usize = parse(flags, "threads", 8)?;
+    // 0 = the machine's available parallelism (same convention as
+    // `query --threads`); index bytes are identical either way.
+    let threads: usize = match parse(flags, "threads", 8)? {
+        0 => kbtim_exec::ExecPool::new(None).threads(),
+        n => n,
+    };
     let seed: u64 = parse(flags, "seed", 42)?;
     let sampling = SamplingConfig {
         eps,
@@ -229,13 +234,20 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let k: u32 = parse(flags, "k", 30)?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("irr");
+    let threads: usize = parse(flags, "threads", 0)?;
 
-    let index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    let mut index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    // 0 (the default) = use the machine's available parallelism; the
+    // answer is identical either way.
+    if threads > 0 {
+        index.set_threads(Some(threads));
+    }
     let query = Query::new(topics, k);
     let outcome = match algo {
         "rr" => index.query_rr(&query),
         "irr" => index.query_irr(&query),
-        other => return Err(format!("--algo must be rr|irr, got {other:?}")),
+        "auto" => index.query_auto(&query),
+        other => return Err(format!("--algo must be rr|irr|auto, got {other:?}")),
     }
     .map_err(|e| e.to_string())?;
 

@@ -48,10 +48,7 @@ fn full_cli_workflow() {
     assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
 
     // validate
-    let out = kbtim()
-        .args(["validate", "--index", index.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = kbtim().args(["validate", "--index", index.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success(), "validate failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok:"));
 
@@ -91,10 +88,7 @@ fn lt_model_build_via_cli() {
         .status()
         .unwrap()
         .success());
-    let out = kbtim()
-        .args(["validate", "--index", index.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = kbtim().args(["validate", "--index", index.to_str().unwrap()]).output().unwrap();
     assert!(String::from_utf8_lossy(&out.stdout).contains("model LT"));
     std::fs::remove_dir_all(&root).ok();
 }
@@ -115,10 +109,7 @@ fn bad_arguments_fail_cleanly() {
         .unwrap();
     assert!(!out.status.success());
     // Query against a missing index.
-    let out = kbtim()
-        .args(["query", "--index", "/nonexistent", "--topics", "0"])
-        .output()
-        .unwrap();
+    let out = kbtim().args(["query", "--index", "/nonexistent", "--topics", "0"]).output().unwrap();
     assert!(!out.status.success());
 }
 

@@ -33,16 +33,12 @@ fn build_config() -> IndexBuildConfig {
 
 #[test]
 fn full_pipeline_news() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(800)
-        .num_topics(10)
-        .seed(42)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(800).num_topics(10).seed(42).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("e2e-news").unwrap();
-    let report = IndexBuilder::new(&model, &data.profiles, build_config())
-        .build(dir.path())
-        .unwrap();
+    let report =
+        IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
     assert!(report.total_theta > 0);
 
     let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
@@ -62,10 +58,7 @@ fn full_pipeline_news() {
     let spread_online = engine.targeted_spread(&online.seeds, &query, 15_000, &mut rng);
     let spread_index = engine.targeted_spread(&rr.seeds, &query, 15_000, &mut rng);
     let rel = (spread_online - spread_index).abs() / spread_online.max(1e-9);
-    assert!(
-        rel < 0.1,
-        "online {spread_online} vs index {spread_index} (rel {rel})"
-    );
+    assert!(rel < 0.1, "online {spread_online} vs index {spread_index} (rel {rel})");
 
     // The index's internal estimate must track the MC ground truth.
     let est_rel = (rr.estimated_influence - spread_index).abs() / spread_index.max(1e-9);
@@ -74,11 +67,8 @@ fn full_pipeline_news() {
 
 #[test]
 fn index_persists_across_reopen() {
-    let data = DatasetConfig::family(DatasetFamily::Twitter)
-        .num_users(500)
-        .num_topics(6)
-        .seed(11)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::Twitter).num_users(500).num_topics(6).seed(11).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("e2e-reopen").unwrap();
     IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
@@ -98,11 +88,8 @@ fn index_persists_across_reopen() {
 
 #[test]
 fn corrupted_segment_is_detected() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(300)
-        .num_topics(4)
-        .seed(13)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(300).num_topics(4).seed(13).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("e2e-corrupt").unwrap();
     IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();
@@ -128,18 +115,14 @@ fn corrupted_segment_is_detected() {
     match KbtimIndex::open(dir.path(), IoStats::new()) {
         Err(_) => {}
         Ok(index) => {
-            let queries: Vec<Query> =
-                (0..4).map(|w| Query::new([w], 5)).collect();
+            let queries: Vec<Query> = (0..4).map(|w| Query::new([w], 5)).collect();
             let mut any_error = false;
             for q in &queries {
                 if index.query_rr(q).is_err() {
                     any_error = true;
                 }
             }
-            assert!(
-                any_error,
-                "corruption must surface as an error on at least one keyword query"
-            );
+            assert!(any_error, "corruption must surface as an error on at least one keyword query");
         }
     }
 }
@@ -147,11 +130,8 @@ fn corrupted_segment_is_detected() {
 #[test]
 fn lt_model_end_to_end() {
     use kbtim::propagation::model::LtModel;
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(400)
-        .num_topics(5)
-        .seed(17)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(400).num_topics(5).seed(17).build();
     let mut rng = SmallRng::seed_from_u64(23);
     let model = LtModel::random_weights(&data.graph, &mut rng);
     let dir = TempDir::new("e2e-lt").unwrap();
@@ -167,11 +147,8 @@ fn lt_model_end_to_end() {
 
 #[test]
 fn io_accounting_distinguishes_variants() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(1_500)
-        .num_topics(8)
-        .seed(29)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(1_500).num_topics(8).seed(29).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("e2e-io").unwrap();
     IndexBuilder::new(&model, &data.profiles, build_config()).build(dir.path()).unwrap();

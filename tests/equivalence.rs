@@ -115,11 +115,8 @@ proptest! {
 /// thread count (regression guard for the parallel builder).
 #[test]
 fn deterministic_builds() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(400)
-        .num_topics(6)
-        .seed(3)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(400).num_topics(6).seed(3).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let mut digests = Vec::new();
     for threads in [1usize, 8] {
@@ -141,10 +138,7 @@ fn deterministic_builds() {
             .filter_map(|e| e.ok())
             .filter(|e| e.path().extension().is_some_and(|x| x == "seg"))
             .map(|e| {
-                (
-                    e.file_name().to_string_lossy().into_owned(),
-                    std::fs::read(e.path()).unwrap(),
-                )
+                (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
             })
             .collect();
         files.sort();

@@ -19,11 +19,8 @@ use rand::SeedableRng;
 
 #[test]
 fn wris_estimate_unbiased_lemma1() {
-    let data = DatasetConfig::family(DatasetFamily::Twitter)
-        .num_users(600)
-        .num_topics(8)
-        .seed(5)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::Twitter).num_users(600).num_topics(8).seed(5).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let config = SamplingConfig { theta_cap: Some(30_000), ..SamplingConfig::fast() };
     let query = Query::new([0, 1, 2], 10);
@@ -33,11 +30,7 @@ fn wris_estimate_unbiased_lemma1() {
     assert!(!result.seeds.is_empty());
     let mc = monte_carlo_targeted(&model, &data.profiles, &query, &result.seeds, 30_000, &mut rng);
     let rel = (result.estimated_influence - mc).abs() / mc;
-    assert!(
-        rel < 0.08,
-        "WRIS estimate {} vs MC {mc} (rel {rel:.3})",
-        result.estimated_influence
-    );
+    assert!(rel < 0.08, "WRIS estimate {} vs MC {mc} (rel {rel:.3})", result.estimated_influence);
 }
 
 #[test]
@@ -45,11 +38,8 @@ fn discriminative_mixture_matches_direct_sampling_lemma2() {
     // Build an index (per-keyword pools) and compare its influence
     // estimate against both online WRIS and the MC ground truth for the
     // same query — all three must agree within sampling noise.
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(900)
-        .num_topics(8)
-        .seed(77)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(900).num_topics(8).seed(77).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let sampling = SamplingConfig {
         theta_cap: Some(8_000),
@@ -76,11 +66,7 @@ fn discriminative_mixture_matches_direct_sampling_lemma2() {
     let mut rng = SmallRng::seed_from_u64(2);
     let mc = monte_carlo_targeted(&model, &data.profiles, &query, &outcome.seeds, 30_000, &mut rng);
     let rel = (outcome.estimated_influence - mc).abs() / mc;
-    assert!(
-        rel < 0.15,
-        "index estimate {} vs MC {mc} (rel {rel:.3})",
-        outcome.estimated_influence
-    );
+    assert!(rel < 0.15, "index estimate {} vs MC {mc} (rel {rel:.3})", outcome.estimated_influence);
 
     let online = wris_query(&model, &data.profiles, &query, &sampling, &mut rng);
     let mc_online =
@@ -96,11 +82,8 @@ fn discriminative_mixture_matches_direct_sampling_lemma2() {
 fn greedy_beats_degree_heuristic() {
     // Sanity on seed *quality*: WRIS seeds must beat a naive
     // highest-out-degree heuristic on targeted spread.
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(1_200)
-        .num_topics(10)
-        .seed(31)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(1_200).num_topics(10).seed(31).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let config = SamplingConfig { theta_cap: Some(12_000), ..SamplingConfig::fast() };
     let query = Query::new([2, 3], 10);
@@ -125,11 +108,8 @@ fn greedy_beats_degree_heuristic() {
 #[test]
 fn spread_is_monotone_in_k() {
     // Influence spread grows with the seed budget (Table 7's row trend).
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(700)
-        .num_topics(6)
-        .seed(59)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(700).num_topics(6).seed(59).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let sampling = SamplingConfig { theta_cap: Some(6_000), ..SamplingConfig::fast() };
     let dir = TempDir::new("est-monotone").unwrap();
@@ -147,14 +127,8 @@ fn spread_is_monotone_in_k() {
     for k in [2u32, 8, 20] {
         let query = Query::new([0, 1], k);
         let outcome = index.query_irr(&query).unwrap();
-        let mc = monte_carlo_targeted(
-            &model,
-            &data.profiles,
-            &query,
-            &outcome.seeds,
-            15_000,
-            &mut rng,
-        );
+        let mc =
+            monte_carlo_targeted(&model, &data.profiles, &query, &outcome.seeds, 15_000, &mut rng);
         assert!(
             mc >= last - 0.02 * last.abs(),
             "spread at k={k} ({mc:.2}) dropped below previous ({last:.2})"

@@ -28,11 +28,8 @@ fn tiny_config() -> IndexBuildConfig {
 
 #[test]
 fn k_larger_than_population() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(50)
-        .num_topics(3)
-        .seed(1)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(50).num_topics(3).seed(1).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("rob-bigk").unwrap();
     IndexBuilder::new(&model, &data.profiles, tiny_config()).build(dir.path()).unwrap();
@@ -46,11 +43,8 @@ fn k_larger_than_population() {
 
 #[test]
 fn query_topic_out_of_range_is_empty_not_panic() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(100)
-        .num_topics(3)
-        .seed(2)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(100).num_topics(3).seed(2).build();
     let model = IcModel::weighted_cascade(&data.graph);
     let dir = TempDir::new("rob-oob").unwrap();
     IndexBuilder::new(&model, &data.profiles, tiny_config()).build(dir.path()).unwrap();
@@ -80,15 +74,11 @@ fn single_user_graph() {
 
 #[test]
 fn engine_rejects_mismatched_profiles() {
-    let data = DatasetConfig::family(DatasetFamily::News)
-        .num_users(60)
-        .num_topics(3)
-        .seed(3)
-        .build();
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(60).num_topics(3).seed(3).build();
     let other = UserProfiles::from_entries(10, 3, &[(0, 0, 1.0)]);
-    let result = std::panic::catch_unwind(|| {
-        KbTimEngine::new(&data.graph, &other, SamplingConfig::fast())
-    });
+    let result =
+        std::panic::catch_unwind(|| KbTimEngine::new(&data.graph, &other, SamplingConfig::fast()));
     assert!(result.is_err(), "size mismatch must panic loudly");
 }
 
@@ -104,8 +94,7 @@ fn empty_profile_dataset_builds_empty_index() {
     let profiles = UserProfiles::from_entries(20, 4, &[]);
     let model = IcModel::weighted_cascade(&graph);
     let dir = TempDir::new("rob-empty").unwrap();
-    let report =
-        IndexBuilder::new(&model, &profiles, tiny_config()).build(dir.path()).unwrap();
+    let report = IndexBuilder::new(&model, &profiles, tiny_config()).build(dir.path()).unwrap();
     assert_eq!(report.total_theta, 0);
     let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
     let outcome = index.query_rr(&Query::new([0, 1, 2, 3], 5)).unwrap();

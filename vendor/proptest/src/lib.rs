@@ -1,0 +1,508 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest 1.x its property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * range, tuple, [`Just`], boxed-union and `collection::vec` strategies;
+//! * a tiny `&str` "regex" strategy covering the `[c1-c2]{m,n}` shape;
+//! * `any::<T>()` for the primitive types and [`sample::Index`];
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!   and `prop_oneof!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (derived from the test name) so runs are reproducible, and there
+//! is **no shrinking** — a failing case panics with its inputs printed by
+//! the assertion itself.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Upstream-compat knob; this shim never shrinks, so it is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// `&str` strategies are interpreted as regexes; this shim supports the
+/// single `[c1-c2]{m,n}` shape the workspace uses (plus a bare literal
+/// fallback) and panics on anything else.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let s = *self;
+        let parse = || -> Option<(char, char, usize, usize)> {
+            let rest = s.strip_prefix('[')?;
+            let (class, rest) = rest.split_once(']')?;
+            let mut chars = class.chars();
+            let lo = chars.next()?;
+            if chars.next()? != '-' {
+                return None;
+            }
+            let hi = chars.next()?;
+            if chars.next().is_some() {
+                return None;
+            }
+            let rest = rest.strip_prefix('{')?;
+            let counts = rest.strip_suffix('}')?;
+            let (m, n) = counts.split_once(',')?;
+            Some((lo, hi, m.parse().ok()?, n.parse().ok()?))
+        };
+        match parse() {
+            Some((lo, hi, min_len, max_len)) => {
+                let len = rng.gen_range(min_len..=max_len);
+                (0..len).map(|_| rng.gen_range(lo as u32..=hi as u32)).filter_map(char::from_u32).collect()
+            }
+            None if !s.contains(['[', ']', '{', '}', '*', '+', '?', '|', '(', ')']) => {
+                s.to_string()
+            }
+            None => panic!(
+                "proptest shim: unsupported regex strategy {s:?} (only `[c1-c2]{{m,n}}` and literals)"
+            ),
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The `any::<T>()` strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Construct the strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a primitive type.
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            #[allow(clippy::redundant_closure_call)]
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                ($gen)(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim! {
+    u8 => |rng: &mut SmallRng| rng.next_u64() as u8,
+    u16 => |rng: &mut SmallRng| rng.next_u64() as u16,
+    u32 => |rng: &mut SmallRng| rng.next_u64() as u32,
+    u64 => |rng: &mut SmallRng| rng.next_u64(),
+    usize => |rng: &mut SmallRng| rng.next_u64() as usize,
+    i8 => |rng: &mut SmallRng| rng.next_u64() as i8,
+    i16 => |rng: &mut SmallRng| rng.next_u64() as i16,
+    i32 => |rng: &mut SmallRng| rng.next_u64() as i32,
+    i64 => |rng: &mut SmallRng| rng.next_u64() as i64,
+    bool => |rng: &mut SmallRng| rng.next_u64() & 1 == 1,
+}
+
+use rand::RngCore as _;
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Weighted choice between boxed strategies of one value type
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length argument of [`vec`]: a fixed length or a range.
+    pub trait IntoLenRange {
+        /// Lower/upper (exclusive) bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.min_len + 1 >= self.max_len_exclusive {
+                self.min_len
+            } else {
+                rng.gen_range(self.min_len..self.max_len_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_or_range)`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len_exclusive) = len.bounds();
+        assert!(min_len < max_len_exclusive, "empty vec length range");
+        VecStrategy { element, min_len, max_len_exclusive }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, SmallRng, Strategy};
+    use rand::RngCore;
+
+    /// An index into a collection of as-yet-unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Resolve against a concrete (non-zero) length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index requires a non-empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    /// `any::<Index>()` strategy.
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+        fn generate(&self, rng: &mut SmallRng) -> Index {
+            Index { raw: rng.next_u64() }
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+        fn arbitrary() -> Self::Strategy {
+            AnyIndex
+        }
+    }
+}
+
+/// Derive the deterministic per-test RNG seed from the test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the name: stable across runs and rustc versions.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Fresh case RNG (exposed for the `proptest!` macro expansion).
+pub fn case_rng(seed: u64, case: u32) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+    pub use crate as prop;
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when a precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::case_rng(__seed, __case);
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                // One closure call per case; `prop_assume!` skips by
+                // returning early, assertion failures panic with context.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(v in 10u32..20, w in 5i64..=9) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((5..=9).contains(&w));
+        }
+
+        #[test]
+        fn vec_and_map_compose(values in prop::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(values.len() < 10);
+        }
+
+        #[test]
+        fn tuples_and_oneof(
+            (a, b) in (0u32..5, 0u32..5),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(pick == 1u8 || pick == 2u8);
+        }
+
+        #[test]
+        fn regex_subset(name in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn sample_index(idx in any::<prop::sample::Index>()) {
+            let i = idx.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut rng_a = super::case_rng(super::seed_for("x"), 3);
+        let mut rng_b = super::case_rng(super::seed_for("x"), 3);
+        let s = 0u32..100;
+        assert_eq!(
+            super::Strategy::generate(&s, &mut rng_a),
+            super::Strategy::generate(&s, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let strat = (2u32..6).prop_flat_map(|n| super::collection::vec(0u32..n, 1..4));
+        let mut rng = super::case_rng(1, 0);
+        for _ in 0..50 {
+            let v = super::Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|&x| x < 6));
+        }
+    }
+}
