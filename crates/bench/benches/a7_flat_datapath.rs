@@ -1,0 +1,100 @@
+//! Flat-arena data-path ablation: the invert + greedy stage on the old
+//! `HashMap<NodeId, Vec<u32>>` shape vs the CSR [`InvertedIndex`] +
+//! bitset CELF, plus end-to-end index query latency on the flat path.
+//!
+//! The RR batch comes from the same 100k-node news-family graph (and the
+//! same seed) as `a6_parallel_sampler` / `BENCH_parallel.json`, so the
+//! numbers compose: a6 measures sampling throughput, a7 measures what
+//! happens to those sets afterwards. Both pipelines are asserted
+//! bit-identical up front — this bench isolates pure data-layout speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kbtim_bench::legacy;
+use kbtim_core::invindex::InvertedIndex;
+use kbtim_core::maxcover::greedy_max_cover_inverted;
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_exec::ExecPool;
+use kbtim_index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_propagation::sample_batch;
+use kbtim_storage::{IoStats, TempDir};
+use kbtim_topics::Query;
+use rand::Rng;
+use std::time::Duration;
+
+const BATCH: usize = 20_000;
+const K: u32 = 50;
+
+fn bench_invert_greedy(c: &mut Criterion) {
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(100_000)
+        .num_topics(16)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let num_nodes = data.graph.num_nodes();
+    let batch =
+        sample_batch(&model, BATCH, 42, &ExecPool::new(Some(1)), |rng| rng.gen_range(0..num_nodes));
+    let sets_vec = batch.to_vecs(); // legacy shape, materialized outside timing
+
+    // Both pipelines must agree bit-for-bit before we time anything.
+    let flat = greedy_max_cover_inverted(&InvertedIndex::from_batch(&batch), BATCH as u64, K);
+    assert_eq!(flat, legacy::invert_and_cover_hashmap(&sets_vec, K), "pipelines diverged");
+
+    let mut group = c.benchmark_group("a7_flat_datapath");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_with_input(BenchmarkId::new("invert_greedy_hashmap", BATCH), &sets_vec, |b, s| {
+        b.iter(|| legacy::invert_and_cover_hashmap(s, K))
+    });
+    group.bench_with_input(BenchmarkId::new("invert_greedy_flat", BATCH), &batch, |b, batch| {
+        b.iter(|| greedy_max_cover_inverted(&InvertedIndex::from_batch(batch), BATCH as u64, K))
+    });
+    group.finish();
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    // Smaller index so the one-off build stays cheap (the committed
+    // BENCH_flat.json numbers come from the full 100k-user build in the
+    // `flat_baseline` binary).
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(10_000).num_topics(8).seed(6).build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(4_000),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: 1,
+        seed: 42,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("a7-idx").unwrap();
+    IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().with_threads(Some(1));
+    let memory = MemoryIndex::load(&index).unwrap();
+    let query = Query::new([0, 1, 2], 10);
+
+    let mut group = c.benchmark_group("a7_flat_datapath");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function(BenchmarkId::new("query_rr", "k10_w3"), |b| {
+        b.iter(|| index.query_rr(&query).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("query_irr", "k10_w3"), |b| {
+        b.iter(|| index.query_irr(&query).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("memory_query", "k10_w3"), |b| {
+        b.iter(|| memory.query(&query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_invert_greedy, bench_query_latency);
+criterion_main!(benches);

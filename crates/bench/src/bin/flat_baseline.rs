@@ -1,0 +1,198 @@
+//! Record a machine-readable baseline for the flat arena data path.
+//!
+//! On the same 100k-node news-family graph (and seed) as
+//! `BENCH_parallel.json`, measures:
+//!
+//! 1. single-thread invert + greedy throughput of the frozen pre-arena
+//!    pipeline (`HashMap` inverted lists + `Vec<bool>`/`HashSet` CELF)
+//!    vs the flat pipeline (CSR [`InvertedIndex`] + bitset CELF), after
+//!    asserting both produce bit-identical seed sequences;
+//! 2. single-thread RR-batch sampling throughput into the [`RrBatch`]
+//!    arena (directly comparable to `BENCH_parallel.json`'s rows);
+//! 3. end-to-end query latency against a freshly built IRR index on the
+//!    full graph: Algorithm 2 (`query_rr`), Algorithm 4 (`query_irr`)
+//!    and the RAM-resident [`MemoryIndex`].
+//!
+//! Results are written as JSON (default `BENCH_flat.json`; pass a path
+//! to override).
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin flat_baseline [OUT.json]
+//! ```
+
+use kbtim_bench::legacy;
+use kbtim_core::invindex::InvertedIndex;
+use kbtim_core::maxcover::greedy_max_cover_inverted;
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_exec::ExecPool;
+use kbtim_index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_propagation::sample_batch;
+use kbtim_storage::{IoStats, TempDir};
+use kbtim_topics::Query;
+use rand::Rng;
+use std::time::Instant;
+
+const USERS: u32 = 100_000;
+const TOPICS: u32 = 16;
+const BATCH: usize = 20_000;
+const ROUNDS: usize = 5;
+const SEED: u64 = 42;
+const K: u32 = 50;
+
+fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_flat.json".to_string());
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({USERS} users, {TOPICS} topics)...");
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(USERS)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let num_nodes = data.graph.num_nodes();
+    let num_edges = data.graph.num_edges();
+
+    // --- stage 1: invert + greedy, hashmap vs flat (single thread) ------
+    let pool = ExecPool::sequential();
+    let batch = sample_batch(&model, BATCH, SEED, &pool, |rng| rng.gen_range(0..num_nodes));
+    let sets_vec = batch.to_vecs();
+
+    let flat_result =
+        greedy_max_cover_inverted(&InvertedIndex::from_batch(&batch), BATCH as u64, K);
+    let legacy_result = legacy::invert_and_cover_hashmap(&sets_vec, K);
+    assert_eq!(flat_result, legacy_result, "flat and legacy pipelines diverged");
+    eprintln!(
+        "pipelines bit-identical: {} seeds, coverage {}",
+        flat_result.seeds.len(),
+        flat_result.covered
+    );
+
+    let hashmap_secs = best_secs(ROUNDS, || {
+        std::hint::black_box(legacy::invert_and_cover_hashmap(&sets_vec, K));
+    });
+    let flat_secs = best_secs(ROUNDS, || {
+        std::hint::black_box(greedy_max_cover_inverted(
+            &InvertedIndex::from_batch(&batch),
+            BATCH as u64,
+            K,
+        ));
+    });
+    let hashmap_rate = BATCH as f64 / hashmap_secs;
+    let flat_rate = BATCH as f64 / flat_secs;
+    let speedup = flat_rate / hashmap_rate;
+    eprintln!("invert+greedy  hashmap {hashmap_rate:>12.0} sets/s");
+    eprintln!("invert+greedy  flat    {flat_rate:>12.0} sets/s  ({speedup:.2}x)");
+
+    // --- stage 2: arena sampling throughput, single thread --------------
+    let sampler_secs = best_secs(ROUNDS, || {
+        std::hint::black_box(sample_batch(&model, BATCH, SEED, &pool, |rng| {
+            rng.gen_range(0..num_nodes)
+        }));
+    });
+    let sampler_rate = BATCH as f64 / sampler_secs;
+    eprintln!("rr sampling    arena   {sampler_rate:>12.0} sets/s (1 thread)");
+
+    // --- stage 3: end-to-end query latency on a full-size index ---------
+    eprintln!("building IRR index over the full graph...");
+    let config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(4_000),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: host_threads,
+        seed: SEED,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("flat-baseline-idx").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+    eprintln!(
+        "index built: Σθ_w = {}, {:.1} MiB, {:.1}s",
+        report.total_theta,
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed.as_secs_f64()
+    );
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().with_threads(Some(1));
+    let memory = MemoryIndex::load(&index).unwrap();
+    eprintln!(
+        "memory index resident: {:.1} MiB",
+        memory.resident_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    let queries =
+        [Query::new([0, 1], 10), Query::new([2, 3, 4], 10), Query::new([0, 5, 9, 12], 25)];
+    let mean_ms = |mut run: Box<dyn FnMut(&Query)>| -> f64 {
+        for q in &queries {
+            run(q); // warm-up
+        }
+        let mut total = 0.0;
+        let rounds = 5;
+        for _ in 0..rounds {
+            for q in &queries {
+                let start = Instant::now();
+                run(q);
+                total += start.elapsed().as_secs_f64();
+            }
+        }
+        total / (rounds * queries.len()) as f64 * 1e3
+    };
+    let rr_ms = mean_ms(Box::new(|q| {
+        std::hint::black_box(index.query_rr(q).unwrap());
+    }));
+    let irr_ms = mean_ms(Box::new(|q| {
+        std::hint::black_box(index.query_irr(q).unwrap());
+    }));
+    let mem_ms = mean_ms(Box::new(|q| {
+        std::hint::black_box(memory.query(q));
+    }));
+    eprintln!("query latency  rr {rr_ms:.2} ms  irr {irr_ms:.2} ms  memory {mem_ms:.2} ms");
+
+    let json = format!(
+        r#"{{
+  "bench": "flat_datapath",
+  "graph": {{ "family": "news", "nodes": {num_nodes}, "edges": {num_edges} }},
+  "batch_size": {BATCH},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "invert_greedy_single_thread": {{
+    "k": {K},
+    "hashmap_sets_per_sec": {hashmap_rate:.1},
+    "flat_sets_per_sec": {flat_rate:.1},
+    "speedup_flat_vs_hashmap": {speedup:.3},
+    "outputs_bit_identical": true
+  }},
+  "arena_sampler_sets_per_sec_1_thread": {sampler_rate:.1},
+  "query_latency_ms": {{
+    "index": {{ "users": {USERS}, "topics": {TOPICS}, "theta_cap": 4000, "variant": "irr", "partition_size": 100, "total_theta": {total_theta}, "memory_resident_bytes": {resident} }},
+    "queries": "k=10 w=2, k=10 w=3, k=25 w=4 (mean over 5 rounds each)",
+    "query_rr_mean_ms": {rr_ms:.3},
+    "query_irr_mean_ms": {irr_ms:.3},
+    "memory_query_mean_ms": {mem_ms:.3}
+  }}
+}}
+"#,
+        total_theta = report.total_theta,
+        resident = memory.resident_bytes(),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

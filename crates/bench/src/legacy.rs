@@ -1,0 +1,105 @@
+//! Frozen copy of the pre-arena coverage data path, kept **only** as a
+//! measurement baseline.
+//!
+//! Before the flat refactor, the invert + greedy stage ran on
+//! `HashMap<NodeId, Vec<u32>>` inverted lists, a `Vec<bool>` covered
+//! array and a `HashSet` of selected nodes. The production code now uses
+//! `kbtim_core::invindex::InvertedIndex` + the bitset CELF loop; this
+//! module preserves the old shape verbatim (sequential variant) so
+//! `a7_flat_datapath` and the `flat_baseline` binary can report an
+//! honest before/after on identical instances. Do not use outside
+//! benchmarks.
+
+use kbtim_core::maxcover::MaxCoverResult;
+use kbtim_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Node → sorted set-id lists, hash-map shape (the pre-arena `invert`).
+pub fn invert_hashmap(sets: &[Vec<NodeId>]) -> HashMap<NodeId, Vec<u32>> {
+    let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        for &node in set {
+            let list = inverted.entry(node).or_default();
+            if list.last() != Some(&(i as u32)) {
+                list.push(i as u32);
+            }
+        }
+    }
+    inverted
+}
+
+/// Sequential lazy CELF over hash-map inverted lists — the pre-arena
+/// `greedy_max_cover_inverted`, byte for byte (minus the parallel-refresh
+/// arm, which never fires on a sequential pool).
+pub fn greedy_max_cover_hashmap(
+    inverted: &HashMap<NodeId, Vec<u32>>,
+    num_sets: u64,
+    k: u32,
+) -> MaxCoverResult {
+    let mut covered = vec![false; num_sets as usize];
+    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> =
+        inverted.iter().map(|(&node, list)| (list.len() as u64, Reverse(node))).collect();
+    let mut result = MaxCoverResult { seeds: Vec::new(), marginal_gains: Vec::new(), covered: 0 };
+    let mut selected: HashSet<NodeId> = HashSet::new();
+
+    let recount = |node: NodeId, covered: &[bool]| -> u64 {
+        inverted[&node].iter().filter(|&&s| !covered[s as usize]).count() as u64
+    };
+
+    while (result.seeds.len() as u32) < k {
+        let Some(&(stale_gain, Reverse(node))) = heap.peek() else { break };
+        if stale_gain == 0 {
+            break;
+        }
+        heap.pop();
+        if selected.contains(&node) {
+            continue;
+        }
+        let gain = recount(node, &covered);
+        if gain == stale_gain {
+            result.seeds.push(node);
+            result.marginal_gains.push(gain);
+            result.covered += gain;
+            selected.insert(node);
+            for &s in &inverted[&node] {
+                covered[s as usize] = true;
+            }
+        } else {
+            heap.push((gain, Reverse(node)));
+        }
+    }
+    result
+}
+
+/// The whole legacy stage: hash-map inversion + hash-map CELF.
+pub fn invert_and_cover_hashmap(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
+    greedy_max_cover_hashmap(&invert_hashmap(sets), sets.len() as u64, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbtim_core::maxcover::greedy_max_cover;
+
+    #[test]
+    fn legacy_agrees_with_flat_production_path() {
+        let mut state = 17u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let sets: Vec<Vec<NodeId>> = (0..500)
+            .map(|_| {
+                let len = 1 + (next() % 6) as usize;
+                let mut set: Vec<u32> = (0..len).map(|_| next() % 80).collect();
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect();
+        for k in [0u32, 1, 10, 40] {
+            assert_eq!(invert_and_cover_hashmap(&sets, k), greedy_max_cover(&sets, k), "k={k}");
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! configuration, so query experiments do not pay repeated build costs
 //! and build experiments report the originally measured times.
 
+pub mod legacy;
 pub mod scale;
 pub mod setup;
 pub mod table;

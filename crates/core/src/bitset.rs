@@ -1,0 +1,86 @@
+//! Minimal fixed-size bitset over `u64` words.
+//!
+//! The greedy coverage loops mark covered RR sets millions of times per
+//! query; a `Vec<bool>` spends one byte per set and one cache line per 64
+//! sets, while this bitset packs 512 sets per cache line. Only the two
+//! operations the hot loops need are provided — no iteration, no resizing.
+
+/// Fixed-capacity bitset, all bits initially clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Bitset with capacity for `len` bits, all clear.
+    pub fn new(len: usize) -> Bitset {
+        Bitset { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset addresses zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut bits = Bitset::new(130);
+        assert_eq!(bits.len(), 130);
+        assert!(!bits.is_empty());
+        for i in [0usize, 1, 63, 64, 127, 128, 129] {
+            assert!(!bits.get(i));
+            bits.set(i);
+            assert!(bits.get(i));
+        }
+        assert_eq!(bits.count_ones(), 7);
+        // Neighbours stay clear.
+        assert!(!bits.get(2));
+        assert!(!bits.get(65));
+        assert!(!bits.get(126));
+    }
+
+    #[test]
+    fn empty() {
+        let bits = Bitset::new(0);
+        assert!(bits.is_empty());
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn idempotent_set() {
+        let mut bits = Bitset::new(10);
+        bits.set(3);
+        bits.set(3);
+        assert_eq!(bits.count_ones(), 1);
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`maxcover`] — the greedy maximum-coverage solver (step 2 of RIS),
 //!   in naive and lazy (CELF-style) variants with identical, deterministic
 //!   tie-breaking.
+//! * [`invindex`] / [`bitset`] — the flat data path under the solver: a
+//!   counting-sort CSR inverted index (node → set ids, one arena) and the
+//!   word-packed coverage bitset the CELF loop marks into.
 //! * [`alias`] — O(1) weighted sampling (Vose alias method) for the
 //!   weighted root distributions `ps(v, Q)` and `ps(v, w)`.
 //! * [`theta`] — the sample-size bounds: Theorem 1 (RIS), Eqn 6 (WRIS),
@@ -24,7 +27,9 @@
 
 pub mod alias;
 pub mod baselines;
+pub mod bitset;
 pub mod engine;
+pub mod invindex;
 pub mod maxcover;
 pub mod opt;
 pub mod paper_example;
@@ -32,9 +37,12 @@ pub mod ris;
 pub mod theta;
 pub mod wris;
 
+pub use bitset::Bitset;
 pub use engine::KbTimEngine;
+pub use invindex::{InvertedIndex, InvertedIndexBuilder, InvertedIndexFiller};
 pub use maxcover::{
-    greedy_max_cover, greedy_max_cover_inverted, greedy_max_cover_naive, MaxCoverResult,
+    greedy_max_cover, greedy_max_cover_batch, greedy_max_cover_inverted, greedy_max_cover_naive,
+    MaxCoverResult,
 };
 pub use theta::SamplingConfig;
 pub use wris::{wris_query, WrisResult};

@@ -23,8 +23,11 @@
 //! id)` argmax, so the selected sequence is independent of the batch
 //! schedule — and therefore of the thread count.
 
+use crate::bitset::Bitset;
+use crate::invindex::InvertedIndex;
 use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
+use kbtim_propagation::RrBatch;
 use std::collections::HashMap;
 
 /// Result of a greedy maximum-coverage run.
@@ -51,18 +54,25 @@ pub fn greedy_max_cover(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
 ///
 /// The result is bit-identical for every thread count.
 pub fn greedy_max_cover_with(sets: &[Vec<NodeId>], k: u32, pool: &ExecPool) -> MaxCoverResult {
-    greedy_max_cover_inverted_with(&invert(sets), sets.len() as u64, k, pool)
+    greedy_max_cover_inverted_with(&InvertedIndex::from_sets(sets), sets.len() as u64, k, pool)
 }
 
-/// Lazy greedy maximum coverage over a pre-inverted instance: `inverted`
-/// maps each node to the (deduplicated) indices of the sets containing it,
-/// with set indices in `0..num_sets`.
+/// Greedy maximum coverage straight off an [`RrBatch`] arena — the entry
+/// point for the sampling paths (WRIS / RIS / OPT estimation): counting-
+/// sort inversion into a CSR [`InvertedIndex`], then the bitset CELF
+/// loop. No per-set or per-node heap allocation anywhere.
+pub fn greedy_max_cover_batch(batch: &RrBatch, k: u32, pool: &ExecPool) -> MaxCoverResult {
+    greedy_max_cover_inverted_with(&InvertedIndex::from_batch(batch), batch.len() as u64, k, pool)
+}
+
+/// Lazy greedy maximum coverage over a pre-inverted CSR instance with set
+/// indices in `0..num_sets`.
 ///
 /// This is the entry point used by the disk indexes, whose inverted lists
 /// (`L_w`) are stored explicitly; [`greedy_max_cover`] delegates here, so
 /// selection and tie-breaking are shared by construction.
 pub fn greedy_max_cover_inverted(
-    inverted: &HashMap<NodeId, Vec<u32>>,
+    inverted: &InvertedIndex,
     num_sets: u64,
     k: u32,
 ) -> MaxCoverResult {
@@ -78,8 +88,12 @@ pub fn greedy_max_cover_inverted(
 /// schedule. The parallel path merely refreshes a batch of stale keys to
 /// their exact values concurrently, so any thread count selects the same
 /// seed sequence.
+///
+/// Coverage marks live in a [`Bitset`] (one bit per set) and the
+/// selected-node marks in a dense `Vec<bool>`, so recounts are pure
+/// slice scans over the CSR arena.
 pub fn greedy_max_cover_inverted_with(
-    inverted: &HashMap<NodeId, Vec<u32>>,
+    inverted: &InvertedIndex,
     num_sets: u64,
     k: u32,
     pool: &ExecPool,
@@ -87,14 +101,17 @@ pub fn greedy_max_cover_inverted_with(
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    let mut covered = vec![false; num_sets as usize];
+    let mut covered = Bitset::new(num_sets as usize);
 
     // Heap of (gain, Reverse(node)): max gain first, then min node id.
-    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> =
-        inverted.iter().map(|(&node, list)| (list.len() as u64, Reverse(node))).collect();
+    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> = inverted
+        .present()
+        .iter()
+        .map(|&node| (inverted.list(node).len() as u64, Reverse(node)))
+        .collect();
 
     let mut result = MaxCoverResult { seeds: Vec::new(), marginal_gains: Vec::new(), covered: 0 };
-    let mut selected: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut selected = vec![false; inverted.num_nodes() as usize];
     // Entries refreshed concurrently per stale top: large enough to
     // amortize a fork/join, small enough not to waste recounts near the
     // end of a run. Constant (not thread-derived) so work sizing never
@@ -107,8 +124,8 @@ pub fn greedy_max_cover_inverted_with(
     // exact gains, so the choice cannot affect the selected seeds.
     const PARALLEL_REFRESH_MIN_WORK: usize = 1 << 18;
 
-    let recount = |node: NodeId, covered: &[bool]| -> u64 {
-        inverted[&node].iter().filter(|&&s| !covered[s as usize]).count() as u64
+    let recount = |node: NodeId, covered: &Bitset| -> u64 {
+        inverted.list(node).iter().filter(|&&s| !covered.get(s as usize)).count() as u64
     };
 
     while (result.seeds.len() as u32) < k {
@@ -117,7 +134,7 @@ pub fn greedy_max_cover_inverted_with(
             break;
         }
         heap.pop();
-        if selected.contains(&node) {
+        if selected[node as usize] {
             continue;
         }
         // Recompute the true current gain.
@@ -130,9 +147,9 @@ pub fn greedy_max_cover_inverted_with(
             result.seeds.push(node);
             result.marginal_gains.push(gain);
             result.covered += gain;
-            selected.insert(node);
-            for &s in &inverted[&node] {
-                covered[s as usize] = true;
+            selected[node as usize] = true;
+            for &s in inverted.list(node) {
+                covered.set(s as usize);
             }
         } else if pool.threads() <= 1 {
             heap.push((gain, Reverse(node)));
@@ -148,14 +165,14 @@ pub fn greedy_max_cover_inverted_with(
                 match heap.peek() {
                     Some(&(g, Reverse(n))) if g > gain => {
                         heap.pop();
-                        if !selected.contains(&n) {
+                        if !selected[n as usize] {
                             batch.push(n);
                         }
                     }
                     _ => break,
                 }
             }
-            let work: usize = batch.iter().map(|n| inverted[n].len()).sum();
+            let work: usize = batch.iter().map(|&n| inverted.list(n).len()).sum();
             let fresh: Vec<u64> = if work < PARALLEL_REFRESH_MIN_WORK {
                 batch.iter().map(|&n| recount(n, &covered)).collect()
             } else {
@@ -174,12 +191,14 @@ pub fn greedy_max_cover_inverted_with(
 pub fn greedy_max_cover_naive(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
     let inverted = invert(sets);
     let mut covered = vec![false; sets.len()];
+    let num_nodes = inverted.keys().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut picked = vec![false; num_nodes];
     let mut result = MaxCoverResult { seeds: Vec::new(), marginal_gains: Vec::new(), covered: 0 };
 
     while (result.seeds.len() as u32) < k {
         let mut best: Option<(u64, NodeId)> = None;
         for (&node, list) in &inverted {
-            if result.seeds.contains(&node) {
+            if picked[node as usize] {
                 continue;
             }
             let gain = list.iter().filter(|&&s| !covered[s as usize]).count() as u64;
@@ -196,6 +215,7 @@ pub fn greedy_max_cover_naive(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
                 result.seeds.push(node);
                 result.marginal_gains.push(gain);
                 result.covered += gain;
+                picked[node as usize] = true;
                 for &s in &inverted[&node] {
                     covered[s as usize] = true;
                 }
@@ -208,7 +228,11 @@ pub fn greedy_max_cover_naive(sets: &[Vec<NodeId>], k: u32) -> MaxCoverResult {
 
 /// Node → sorted list of set indices containing it. RR sets are sorted, so
 /// duplicate members are adjacent; each set index is recorded once per node.
-fn invert(sets: &[Vec<NodeId>]) -> HashMap<NodeId, Vec<u32>> {
+///
+/// This is the Vec-of-Vec/HashMap *oracle* the flat
+/// [`InvertedIndex`] is property-tested against; the hot paths never
+/// call it.
+pub fn invert(sets: &[Vec<NodeId>]) -> HashMap<NodeId, Vec<u32>> {
     let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
     for (i, set) in sets.iter().enumerate() {
         for &node in set {

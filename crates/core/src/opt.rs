@@ -17,11 +17,10 @@
 //! to `opt_tolerance` with enough covered mass, or after `opt_max_rounds`.
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover_with;
+use crate::maxcover::greedy_max_cover_batch;
 use crate::theta::SamplingConfig;
 use kbtim_exec::ExecPool;
-use kbtim_graph::NodeId;
-use kbtim_propagation::{sample_batch, TriggeringModel};
+use kbtim_propagation::{sample_batch, RrBatch, TriggeringModel};
 use rand::RngCore;
 
 /// Outcome of an OPT estimation run.
@@ -54,7 +53,7 @@ pub fn estimate_opt<M: TriggeringModel + ?Sized>(
     if total_mass <= 0.0 {
         return OptEstimate { value: 0.0, samples_used: 0, rounds: 0 };
     }
-    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    let mut sets = RrBatch::new();
     let mut target = config.opt_initial_samples.max(16);
     let mut prev = f64::NAN;
     let mut last = OptEstimate { value: 0.0, samples_used: 0, rounds: 0 };
@@ -63,9 +62,14 @@ pub fn estimate_opt<M: TriggeringModel + ?Sized>(
         if (sets.len() as u64) < target {
             let missing = (target - sets.len() as u64) as usize;
             let round_seed = rng.next_u64();
-            sets.extend(sample_batch(model, missing, round_seed, pool, |rng| roots.sample(rng)));
+            let batch = sample_batch(model, missing, round_seed, pool, |rng| roots.sample(rng));
+            if sets.is_empty() {
+                sets = batch; // first round: take the arena, no copy
+            } else {
+                sets.append(&batch);
+            }
         }
-        let cover = greedy_max_cover_with(&sets, k, pool);
+        let cover = greedy_max_cover_batch(&sets, k, pool);
         let est = cover.covered as f64 / sets.len() as f64 * total_mass;
         last = OptEstimate { value: est, samples_used: sets.len() as u64, rounds: round };
 

@@ -6,7 +6,7 @@
 //! top seed users and query keywords"), which KB-TIM fixes.
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover_with;
+use crate::maxcover::greedy_max_cover_batch;
 use crate::opt::estimate_opt;
 use crate::theta::{ris_theta, SamplingConfig};
 use crate::wris::WrisResult;
@@ -45,7 +45,7 @@ pub fn ris_query<M: TriggeringModel + ?Sized>(
 
     let batch_seed = rng.next_u64();
     let sets = sample_batch(model, theta as usize, batch_seed, &pool, |rng| roots.sample(rng));
-    let cover = greedy_max_cover_with(&sets, k, &pool);
+    let cover = greedy_max_cover_batch(&sets, k, &pool);
     let estimated_influence =
         if theta == 0 { 0.0 } else { cover.covered as f64 / theta as f64 * n as f64 };
     WrisResult {

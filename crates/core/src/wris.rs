@@ -13,7 +13,7 @@
 //! RIS [21, 2], adapted to targeting).
 
 use crate::alias::RootSampler;
-use crate::maxcover::greedy_max_cover_with;
+use crate::maxcover::greedy_max_cover_batch;
 use crate::opt::estimate_opt;
 use crate::theta::{wris_theta, SamplingConfig};
 use kbtim_graph::NodeId;
@@ -98,7 +98,7 @@ pub fn wris_query<M: TriggeringModel + ?Sized>(
     let batch_seed = rng.next_u64();
     let sets = sample_batch(model, theta as usize, batch_seed, &pool, |rng| roots.sample(rng));
 
-    let cover = greedy_max_cover_with(&sets, query.k(), &pool);
+    let cover = greedy_max_cover_batch(&sets, query.k(), &pool);
     let estimated_influence =
         if theta == 0 { 0.0 } else { cover.covered as f64 / theta as f64 * phi_q };
     WrisResult {

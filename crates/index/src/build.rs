@@ -21,6 +21,7 @@ use crate::format::{self, IlEntry, IndexMeta, IndexVariant, IrEntry, KeywordMeta
 use crate::IndexError;
 use kbtim_codec::Codec;
 use kbtim_core::alias::RootSampler;
+use kbtim_core::invindex::InvertedIndex;
 use kbtim_core::opt::estimate_opt;
 use kbtim_core::theta::{keyword_theta, SamplingConfig};
 use kbtim_exec::ExecPool;
@@ -30,7 +31,6 @@ use kbtim_storage::segment::SegmentWriter;
 use kbtim_topics::{TopicId, UserProfiles};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::HashMap;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -282,22 +282,19 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             return Ok(empty(topic));
         }
 
-        // Sample R_w.
+        // Sample R_w into a flat arena batch.
         let batch_seed = rng.next_u64();
         let sets = sample_batch(self.model, theta as usize, batch_seed, &keyword_pool, |rng| {
             roots.sample(rng)
         });
-        let total_members: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        let total_members = sets.total_members() as u64;
 
-        // Invert into L_w (rr ids ascend per user by construction).
-        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        for (id, set) in sets.iter().enumerate() {
-            for &node in set {
-                inverted.entry(node).or_default().push(id as u32);
-            }
-        }
-        let mut il_entries: Vec<IlEntry> = inverted.into_iter().collect();
-        il_entries.sort_unstable_by_key(|(user, _)| *user);
+        // Invert into L_w by counting sort over the arena (rr ids ascend
+        // per user by construction, users ascend in `present`), then
+        // materialize the per-user entries the encoder consumes.
+        let inverted = InvertedIndex::from_batch(&sets);
+        let il_entries: Vec<IlEntry> =
+            inverted.present().iter().map(|&u| (u, inverted.list(u).to_vec())).collect();
         let max_list_len = il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
 
         // Write the segment.
@@ -310,7 +307,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         let mut offsets: Vec<u64> = Vec::with_capacity(sets.len() + 1);
         let mut scratch = Vec::new();
         offsets.push(0);
-        for set in &sets {
+        for set in sets.iter() {
             scratch.clear();
             codec.encode_sorted(set, &mut scratch);
             writer.write(&scratch)?;
@@ -365,7 +362,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
                 }
                 ids.sort_unstable();
                 let ir_entries: Vec<IrEntry> =
-                    ids.iter().map(|&id| (id, sets[id as usize].clone())).collect();
+                    ids.iter().map(|&id| (id, sets.set(id as usize).to_vec())).collect();
                 let ir_start = irp_bytes.len() as u64;
                 let ir_samples = format::encode_ir_entries(&ir_entries, codec, &mut irp_bytes);
                 let ir_end = irp_bytes.len() as u64;

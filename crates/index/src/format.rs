@@ -207,6 +207,79 @@ pub fn decode_il_entries(input: &[u8], codec: Codec) -> Result<Vec<IlEntry>, Ind
     Ok(entries)
 }
 
+/// A decoded inverted-list block in flat CSR form: one `ids` arena plus
+/// per-user offsets — the hot-path twin of [`decode_il_entries`] with no
+/// per-user heap allocation. `users[i]`'s rr-id list is
+/// `ids[offsets[i]..offsets[i + 1]]`; `offsets` is always non-empty and
+/// starts at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlCsr {
+    /// Users in block order (ascending for the `il` block).
+    pub users: Vec<NodeId>,
+    /// `users.len() + 1` boundaries into `ids`.
+    pub offsets: Vec<u32>,
+    /// All rr-id lists, back to back.
+    pub ids: Vec<u32>,
+}
+
+impl Default for IlCsr {
+    /// Empty CSR with the invariant `offsets == [0]` already in place.
+    fn default() -> IlCsr {
+        IlCsr { users: Vec::new(), offsets: vec![0], ids: Vec::new() }
+    }
+}
+
+impl IlCsr {
+    /// Append one user's list boundary after pushing its ids into
+    /// [`IlCsr::ids`]. Guards the u32 offset against arena overflow.
+    pub fn close_list(&mut self, user: NodeId) {
+        self.users.push(user);
+        self.offsets.push(u32::try_from(self.ids.len()).expect("IL arena exceeds u32 offsets"));
+    }
+    /// Number of users in the block.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the block holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The rr-id list of the `i`-th user.
+    #[inline]
+    pub fn list(&self, i: usize) -> &[u32] {
+        &self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Exact heap footprint of the three arenas, in bytes.
+    pub fn arena_bytes(&self) -> u64 {
+        (self.ids.len() * 4 + self.offsets.len() * 4 + self.users.len() * 4) as u64
+    }
+}
+
+/// Decode a block written by [`encode_il_entries`] straight into a flat
+/// [`IlCsr`] (the codec appends each list to the shared `ids` arena).
+pub fn decode_il_csr(input: &[u8], codec: Codec) -> Result<IlCsr, IndexError> {
+    let mut cursor = Cursor::new(input);
+    let count = cursor.u32()? as usize;
+    let mut csr = IlCsr {
+        users: Vec::with_capacity(count),
+        offsets: Vec::with_capacity(count + 1),
+        ids: Vec::new(),
+    };
+    csr.offsets.push(0);
+    for _ in 0..count {
+        csr.users.push(cursor.u32()?);
+        cursor.list_into(codec, &mut csr.ids)?;
+        let end = u32::try_from(csr.ids.len())
+            .map_err(|_| IndexError::Corrupt("il block exceeds u32 arena offsets".into()))?;
+        csr.offsets.push(end);
+    }
+    cursor.expect_end()?;
+    Ok(csr)
+}
+
 /// Encode the `ip` block: users ascending, plus their first-occurrence RR
 /// ids (parallel, unsorted → plain varints).
 pub fn encode_ip(users: &[NodeId], firsts: &[u32], codec: Codec, out: &mut Vec<u8>) {
@@ -358,6 +431,30 @@ pub fn encode_ir_entries(entries: &[IrEntry], codec: Codec, out: &mut Vec<u8>) -
     samples
 }
 
+/// Count (and fully decode, for faithful query-time cost) the entries of
+/// an `irp` byte range, without materializing per-set `Vec`s: every
+/// member list decodes into the reused `scratch` buffer. `limit`
+/// truncates at the first id `>= limit`, like [`decode_ir_entries`].
+pub fn count_ir_entries(
+    input: &[u8],
+    codec: Codec,
+    limit: u32,
+    scratch: &mut Vec<u32>,
+) -> Result<u64, IndexError> {
+    let mut cursor = Cursor::new(input);
+    let mut count = 0u64;
+    while !cursor.at_end() {
+        let id = cursor.u32()?;
+        if id >= limit {
+            break;
+        }
+        scratch.clear();
+        cursor.list_into(codec, scratch)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
 /// Decode an `irp` byte range written by [`encode_ir_entries`], consuming
 /// the whole buffer. `limit` truncates decoding at the first id `>= limit`
 /// (`u32::MAX` decodes everything).
@@ -443,9 +540,15 @@ impl<'a> Cursor<'a> {
 
     fn list(&mut self, codec: Codec) -> Result<Vec<u32>, IndexError> {
         let mut out = Vec::new();
-        let used = codec.decode_sorted(&self.input[self.pos..], &mut out)?;
-        self.pos += used;
+        self.list_into(codec, &mut out)?;
         Ok(out)
+    }
+
+    /// Decode one codec list, *appending* to `out` (arena-friendly).
+    fn list_into(&mut self, codec: Codec, out: &mut Vec<u32>) -> Result<(), IndexError> {
+        let used = codec.decode_sorted(&self.input[self.pos..], out)?;
+        self.pos += used;
+        Ok(())
     }
 
     fn at_end(&self) -> bool {
@@ -540,6 +643,47 @@ mod tests {
             let mut buf = Vec::new();
             encode_il_entries(&entries, codec, &mut buf);
             assert_eq!(decode_il_entries(&buf, codec).unwrap(), entries);
+        }
+    }
+
+    #[test]
+    fn il_csr_matches_entries_decoder() {
+        let entries: Vec<IlEntry> =
+            vec![(3, vec![0, 5, 9, 200]), (7, vec![]), (11, vec![4]), (900, vec![1, 2])];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            encode_il_entries(&entries, codec, &mut buf);
+            let csr = decode_il_csr(&buf, codec).unwrap();
+            assert_eq!(csr.len(), entries.len());
+            for (i, (user, list)) in entries.iter().enumerate() {
+                assert_eq!(csr.users[i], *user);
+                assert_eq!(csr.list(i), list.as_slice());
+            }
+            assert_eq!(csr.arena_bytes(), ((7 + 5 + 4) * 4) as u64);
+        }
+    }
+
+    #[test]
+    fn il_csr_rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_il_entries(&[(1, vec![2])], Codec::Raw, &mut buf);
+        buf.push(0xff);
+        assert!(decode_il_csr(&buf, Codec::Raw).is_err());
+    }
+
+    #[test]
+    fn count_ir_entries_matches_decode() {
+        let entries: Vec<IrEntry> =
+            vec![(0, vec![1]), (5, vec![2, 3]), (9, vec![]), (12, vec![7, 8, 9])];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            encode_ir_entries(&entries, codec, &mut buf);
+            let mut scratch = Vec::new();
+            for limit in [0u32, 1, 6, 10, u32::MAX] {
+                let counted = count_ir_entries(&buf, codec, limit, &mut scratch).unwrap();
+                let decoded = decode_ir_entries(&buf, codec, limit).unwrap();
+                assert_eq!(counted, decoded.len() as u64, "limit {limit}");
+            }
         }
     }
 

@@ -23,50 +23,86 @@
 //! the greedy used by `query_rr`, so the *seed sequences* are identical —
 //! property-tested in `tests/`.
 
-use crate::format::{self, PartitionMeta};
+use crate::format::{self, IlCsr, PartitionMeta};
 use crate::rr_query::empty_outcome;
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_core::bitset::Bitset;
 use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
 use kbtim_topics::Query;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
+/// Sentinel for "no value" in the dense per-user tables below.
+const ABSENT: u32 = u32::MAX;
+
 /// Per-keyword NRA state.
+///
+/// Per-user lookups go through a *compact slot table*: `users` holds the
+/// keyword's `IP_w` keys (every user occurring in at least one stored RR
+/// set, ascending), and all per-slot arrays are sized by that occupancy —
+/// not by |V| — so query memory scales with the keyword's pool, exactly
+/// like the old hash maps, but flat: a slot is one branch-free binary
+/// search away and loaded inverted lists live in one append-only `arena`
+/// (each user's list arrives with exactly one partition, so a
+/// `(start, len)` span per slot suffices).
 struct KwState<'a> {
     /// `θ^Q_w` — only RR ids below this participate.
     share: u64,
-    /// Base offset of this keyword's ids in the global covered bitmap.
+    /// Base offset of this keyword's ids in the global covered bitset.
     base: u64,
-    /// First-occurrence table (`IP_w`).
-    ip: HashMap<NodeId, u32>,
+    /// `IP_w` keys: users with at least one occurrence, ascending.
+    users: Vec<NodeId>,
+    /// First-occurrence ids, parallel to `users`.
+    firsts: Vec<u32>,
     /// Partition catalog.
     partitions: Vec<PartitionMeta>,
     /// How many partitions have been loaded.
     loaded: usize,
-    /// Loaded inverted lists, truncated to ids `< share` (local ids).
-    lists: HashMap<NodeId, Vec<u32>>,
+    /// Arena start of each slot's truncated list (`ABSENT` = not loaded
+    /// yet), parallel to `users`.
+    list_start: Vec<u32>,
+    /// Truncated list length per slot.
+    list_len: Vec<u32>,
+    /// Loaded inverted lists, truncated to ids `< share` (local ids),
+    /// back to back in load order.
+    arena: Vec<u32>,
     /// Current unseen-user bound for this keyword.
     kb: u64,
     reader: &'a kbtim_storage::segment::SegmentReader,
 }
 
 impl KwState<'_> {
-    /// Exact uncovered count for a loaded user.
-    fn exact_count(&self, list: &[u32], covered: &[bool]) -> u64 {
-        list.iter().filter(|&&id| !covered[(self.base + id as u64) as usize]).count() as u64
+    /// Slot of `v`, if it occurs in this keyword's pool at all.
+    #[inline]
+    fn slot(&self, v: NodeId) -> Option<usize> {
+        self.users.binary_search(&v).ok()
+    }
+
+    /// The loaded, truncated list of slot `s` (must be loaded).
+    fn list_at(&self, s: usize) -> &[u32] {
+        let start = self.list_start[s] as usize;
+        &self.arena[start..start + self.list_len[s] as usize]
+    }
+
+    /// Exact uncovered count for a loaded list.
+    fn exact_count(&self, list: &[u32], covered: &Bitset) -> u64 {
+        list.iter().filter(|&&id| !covered.get((self.base + id as u64) as usize)).count() as u64
     }
 
     /// Partial score of `v` on this keyword: `(bound, is_exact)`.
-    fn partial(&self, v: NodeId, covered: &[bool]) -> (u64, bool) {
-        if let Some(list) = self.lists.get(&v) {
-            return (self.exact_count(list, covered), true);
+    fn partial(&self, v: NodeId, covered: &Bitset) -> (u64, bool) {
+        // Never occurs → exact zero without loading anything.
+        let Some(s) = self.slot(v) else { return (0, true) };
+        if self.list_start[s] != ABSENT {
+            return (self.exact_count(self.list_at(s), covered), true);
         }
-        match self.ip.get(&v) {
+        if (self.firsts[s] as u64) < self.share {
+            (self.kb, false)
+        } else {
             // First occurrence beyond the prefix → exact zero (§5.2).
-            Some(&first) if (first as u64) < self.share => (self.kb, false),
-            _ => (0, true),
+            (0, true)
         }
     }
 }
@@ -86,24 +122,30 @@ impl KbtimIndex {
         let codec = self.meta().codec;
 
         // Initialize per-keyword state; IP and the partition catalog are
-        // read up front (one small read each, as in the paper).
+        // read up front (one small read each, as in the paper). Per-slot
+        // tables are sized by the keyword's occupancy, never by |V|.
+        let num_users = self.meta().num_users as usize;
         let mut states: Vec<KwState<'_>> = Vec::with_capacity(budget.len());
         let mut base = 0u64;
         for &(topic, share) in &budget {
             let reader = self.reader(topic)?;
             let ip_bytes = reader.read_block(format::IP_BLOCK)?;
             let (users, firsts) = format::decode_ip(&ip_bytes, codec)?;
-            let ip: HashMap<NodeId, u32> = users.into_iter().zip(firsts).collect();
+            debug_assert!(users.windows(2).all(|w| w[0] < w[1]), "IP_w users must ascend");
             let pmeta_bytes = reader.read_block(format::PMETA_BLOCK)?;
             let partitions = format::decode_partition_meta(&pmeta_bytes)?;
             let max_len = self.meta().keywords[topic as usize].max_list_len as u64;
+            let slots = users.len();
             states.push(KwState {
                 share,
                 base,
-                ip,
+                users,
+                firsts,
                 partitions,
                 loaded: 0,
-                lists: HashMap::new(),
+                list_start: vec![ABSENT; slots],
+                list_len: vec![0; slots],
+                arena: Vec::new(),
                 kb: max_len.min(share),
                 reader,
             });
@@ -111,9 +153,9 @@ impl KbtimIndex {
         }
         let theta_q = base;
 
-        let mut covered = vec![false; theta_q as usize];
+        let mut covered = Bitset::new(theta_q as usize);
         let mut pq: BinaryHeap<(u64, Reverse<NodeId>)> = BinaryHeap::new();
-        let mut selected: HashSet<NodeId> = HashSet::new();
+        let mut selected = vec![false; num_users];
         let mut seeds: Vec<NodeId> = Vec::new();
         let mut marginal_gains: Vec<u64> = Vec::new();
         let mut coverage = 0u64;
@@ -121,7 +163,7 @@ impl KbtimIndex {
         let mut partitions_loaded = 0u64;
 
         // Aggregate upper-bound score of a candidate.
-        let score = |v: NodeId, covered: &[bool], states: &[KwState<'_>]| -> (u64, bool) {
+        let score = |v: NodeId, covered: &Bitset, states: &[KwState<'_>]| -> (u64, bool) {
             let mut total = 0u64;
             let mut complete = true;
             for st in states {
@@ -140,8 +182,8 @@ impl KbtimIndex {
         let pool = self.pool();
         let load_more = |states: &mut [KwState<'_>],
                          pq: &mut BinaryHeap<(u64, Reverse<NodeId>)>,
-                         covered: &[bool],
-                         selected: &HashSet<NodeId>,
+                         covered: &Bitset,
+                         selected: &[bool],
                          rr_sets_loaded: &mut u64,
                          partitions_loaded: &mut u64|
          -> Result<bool, IndexError> {
@@ -162,9 +204,10 @@ impl KbtimIndex {
             let round_pool =
                 if pending_bytes < PARALLEL_LOAD_MIN_BYTES { ExecPool::sequential() } else { pool };
 
-            // Decoded partition of one keyword: inverted-list entries
-            // (already truncated to the share) and the loaded RR-set count.
-            type PartitionLoad = Option<(Vec<(NodeId, Vec<u32>)>, u64, u64)>;
+            // Decoded partition of one keyword: inverted lists in CSR
+            // form (already truncated to the share) and the loaded RR-set
+            // count.
+            type PartitionLoad = Option<(IlCsr, u64, u64)>;
             let loads: Vec<Result<PartitionLoad, IndexError>> =
                 round_pool.map_shards(states.len(), |i| {
                     let st = &states[i];
@@ -177,38 +220,51 @@ impl KbtimIndex {
                         part.il_start,
                         part.il_end - part.il_start,
                     )?;
-                    let entries = format::decode_il_entries(&il, codec)?;
+                    let full = format::decode_il_csr(&il, codec)?;
                     // Only the byte range holding ids < θ^Q_w is read —
                     // sets beyond the query's prefix never touch memory
                     // (the sparse ir_samples table bounds the range).
                     let ir_len = part.ir_prefix_len(st.share);
                     let ir = st.reader.read_range(format::IRP_BLOCK, part.ir_start, ir_len)?;
                     // RR-set payloads are decoded (and counted) exactly as
-                    // the paper's loader does; the lazy NRA only needs ids.
-                    let ir_entries = format::decode_ir_entries(&ir, codec, st.share as u32)?;
-                    let truncated: Vec<(NodeId, Vec<u32>)> = entries
-                        .into_iter()
-                        .map(|(user, list)| {
-                            let cut = list.partition_point(|&id| (id as u64) < st.share);
-                            (user, list[..cut].to_vec())
-                        })
-                        .collect();
+                    // the paper's loader does; the lazy NRA only needs ids,
+                    // so the members decode into one reused scratch buffer.
+                    let mut scratch = Vec::new();
+                    let ir_count =
+                        format::count_ir_entries(&ir, codec, st.share as u32, &mut scratch)?;
+                    // Truncate each list to the share, still CSR.
+                    let mut truncated = IlCsr::default();
+                    for j in 0..full.len() {
+                        let list = full.list(j);
+                        let cut = list.partition_point(|&id| (id as u64) < st.share);
+                        truncated.ids.extend_from_slice(&list[..cut]);
+                        truncated.close_list(full.users[j]);
+                    }
                     let new_kb = (part.max_len_after as u64).min(st.share);
-                    Ok(Some((truncated, ir_entries.len() as u64, new_kb)))
+                    Ok(Some((truncated, ir_count, new_kb)))
                 });
 
             let mut any = false;
             let mut fresh: Vec<NodeId> = Vec::new();
             for (st, load) in states.iter_mut().zip(loads) {
-                let Some((entries, ir_count, new_kb)) = load? else {
+                let Some((truncated, ir_count, new_kb)) = load? else {
                     st.kb = 0;
                     continue;
                 };
                 *rr_sets_loaded += ir_count;
                 *partitions_loaded += 1;
-                for (user, list) in entries {
-                    st.lists.insert(user, list);
-                    if !selected.contains(&user) {
+                for j in 0..truncated.len() {
+                    let user = truncated.users[j];
+                    let list = truncated.list(j);
+                    let start = st.arena.len();
+                    assert!(start < ABSENT as usize, "IRR list arena exceeds u32 spans");
+                    // Every partitioned user has a first occurrence, so a
+                    // slot always exists.
+                    let s = st.slot(user).expect("partition user missing from IP_w");
+                    st.list_start[s] = start as u32;
+                    st.list_len[s] = list.len() as u32;
+                    st.arena.extend_from_slice(list);
+                    if !selected[user as usize] {
                         fresh.push(user);
                     }
                 }
@@ -233,7 +289,7 @@ impl KbtimIndex {
             match pq.peek().copied() {
                 Some((s, Reverse(v))) if s > 0 => {
                     pq.pop();
-                    if selected.contains(&v) {
+                    if selected[v as usize] {
                         continue;
                     }
                     let (s2, complete) = score(v, &covered, &states);
@@ -246,14 +302,16 @@ impl KbtimIndex {
                     }
                     if complete && s >= total_kb {
                         // New seed confirmed.
-                        selected.insert(v);
+                        selected[v as usize] = true;
                         seeds.push(v);
                         marginal_gains.push(s);
                         coverage += s;
                         for st in &states {
-                            if let Some(list) = st.lists.get(&v) {
-                                for &id in list {
-                                    covered[(st.base + id as u64) as usize] = true;
+                            if let Some(s) = st.slot(v) {
+                                if st.list_start[s] != ABSENT {
+                                    for &id in st.list_at(s) {
+                                        covered.set((st.base + id as u64) as usize);
+                                    }
                                 }
                             }
                         }

@@ -9,18 +9,18 @@
 //! to [`KbtimIndex::query_rr`] because both share the budget computation
 //! and the greedy implementation.
 
-use crate::format::{self, IlEntry};
+use crate::format::{self, IlCsr};
 use crate::{IndexError, IndexMeta, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_core::invindex::InvertedIndexBuilder;
 use kbtim_core::maxcover::greedy_max_cover_inverted;
-use kbtim_graph::NodeId;
 use kbtim_topics::Query;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// One keyword's resident pool.
 struct MemKeyword {
-    /// Inverted lists, users ascending, rr ids ascending.
-    il: Vec<IlEntry>,
+    /// Inverted lists in flat CSR form: users ascending, rr ids ascending
+    /// within each user's slice of the shared arena.
+    il: IlCsr,
 }
 
 /// RAM-resident index answering KB-TIM queries without I/O.
@@ -42,7 +42,9 @@ impl MemoryIndex {
             }
             let reader = index.reader(kw.topic)?;
             let il_bytes = reader.read_block(format::IL_BLOCK)?;
-            let il = format::decode_il_entries(&il_bytes, codec)?;
+            // Decode straight into the CSR arena — the resident form *is*
+            // the serving form, no per-user Vec headers.
+            let il = format::decode_il_csr(&il_bytes, codec)?;
             keywords.push(Some(MemKeyword { il }));
         }
         Ok(MemoryIndex { meta, keywords })
@@ -53,13 +55,12 @@ impl MemoryIndex {
         &self.meta
     }
 
-    /// Resident footprint estimate in bytes (inverted lists only).
+    /// Exact resident footprint of the inverted-list arenas in bytes:
+    /// `ids.len()·4 + offsets.len()·4 + users.len()·4` per keyword — the
+    /// true allocation of the CSR, not a per-entry estimate, so capacity
+    /// planning numbers are honest.
     pub fn resident_bytes(&self) -> u64 {
-        self.keywords
-            .iter()
-            .flatten()
-            .map(|kw| kw.il.iter().map(|(_, list)| 8 + 4 * list.len() as u64).sum::<u64>())
-            .sum()
+        self.keywords.iter().flatten().map(|kw| kw.il.arena_bytes()).sum()
     }
 
     /// Answer a query with Algorithm 2 semantics, entirely from RAM.
@@ -79,23 +80,36 @@ impl MemoryIndex {
             };
         }
 
-        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        // Two flat passes over the resident CSRs: count each user's
+        // truncated contribution, then fill the dense merged instance.
+        // Keyword order makes per-user global ids ascend, as in the disk
+        // path.
+        let mut builder = InvertedIndexBuilder::new(self.meta.num_users);
+        let mut theta_q = 0u64;
+        for &(topic, share) in &budget {
+            let kw = self.keywords[topic as usize].as_ref().expect("budgeted keyword loaded");
+            for j in 0..kw.il.len() {
+                let cut = kw.il.list(j).partition_point(|&id| (id as u64) < share);
+                builder.count(kw.il.users[j], cut as u32);
+            }
+            theta_q += share;
+        }
+        let mut filler = builder.fill();
         let mut base = 0u64;
         for &(topic, share) in &budget {
             let kw = self.keywords[topic as usize].as_ref().expect("budgeted keyword loaded");
-            for (user, list) in &kw.il {
+            for j in 0..kw.il.len() {
+                let list = kw.il.list(j);
                 let cut = list.partition_point(|&id| (id as u64) < share);
-                if cut == 0 {
-                    continue;
-                }
-                inverted
-                    .entry(*user)
-                    .or_default()
-                    .extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
+                filler.push_list(
+                    kw.il.users[j],
+                    list[..cut].iter().map(|&id| (base + id as u64) as u32),
+                );
             }
             base += share;
         }
-        let theta_q = base;
+        debug_assert_eq!(base, theta_q);
+        let inverted = filler.finish();
         let cover = greedy_max_cover_inverted(&inverted, theta_q, query.k());
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { cover.covered as f64 / theta_q as f64 * phi_q };
@@ -219,6 +233,28 @@ mod tests {
         let mem = MemoryIndex::load(&disk).unwrap();
         assert!(mem.resident_bytes() > 0);
         assert_eq!(mem.meta().num_users, 500);
+    }
+
+    #[test]
+    fn resident_bytes_is_exact_arena_footprint() {
+        // Recompute the CSR footprint independently from the per-entry
+        // decoder: ids + offsets (entries + 1) + users, 4 bytes each.
+        let dir = TempDir::new("mem-exact-bytes").unwrap();
+        build_index(dir.path());
+        let disk = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let mem = MemoryIndex::load(&disk).unwrap();
+        let mut expected = 0u64;
+        for kw in &disk.meta().keywords {
+            if kw.theta == 0 {
+                continue;
+            }
+            let reader = disk.reader(kw.topic).unwrap();
+            let il_bytes = reader.read_block(format::IL_BLOCK).unwrap();
+            let entries = format::decode_il_entries(&il_bytes, disk.meta().codec).unwrap();
+            let ids: usize = entries.iter().map(|(_, l)| l.len()).sum();
+            expected += 4 * (ids as u64 + entries.len() as u64 + 1 + entries.len() as u64);
+        }
+        assert_eq!(mem.resident_bytes(), expected);
     }
 
     #[test]

@@ -12,13 +12,18 @@
 //! global id bases and merge in keyword order, so the assembled coverage
 //! instance — and therefore the answer — is identical for every thread
 //! count.
+//!
+//! The whole data path is flat: each keyword's `L_w` decodes straight
+//! into an [`format::IlCsr`] arena, the truncated/remapped per-keyword
+//! lists stay CSR, and the merged instance is a dense
+//! [`InvertedIndex`] built by one counting pass and one fill pass —
+//! no per-user allocation, no hash probes in the greedy loop.
 
-use crate::format;
+use crate::format::{self, IlCsr};
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use kbtim_core::invindex::{InvertedIndex, InvertedIndexBuilder};
 use kbtim_core::maxcover::greedy_max_cover_inverted_with;
-use kbtim_graph::NodeId;
 use kbtim_topics::Query;
-use std::collections::HashMap;
 use std::time::Instant;
 
 impl KbtimIndex {
@@ -43,7 +48,7 @@ impl KbtimIndex {
         let theta_q = base;
 
         let pool = self.pool();
-        type KeywordScan = (Vec<(NodeId, Vec<u32>)>, u64);
+        type KeywordScan = (IlCsr, u64);
         let scans: Vec<Result<KeywordScan, IndexError>> = pool.map_shards(budget.len(), |i| {
             let (topic, share) = budget[i];
             let base = bases[i];
@@ -59,32 +64,47 @@ impl KbtimIndex {
             let sets = format::decode_rr_prefix(&rr_bytes, share, codec)?;
             debug_assert_eq!(sets.len() as u64, share);
 
-            // Whole L_w, truncated to the prefix and remapped to
-            // global ids.
+            // Whole L_w decoded into one CSR arena, then truncated to the
+            // prefix and remapped to global ids — still flat.
             let il_bytes = reader.read_block(format::IL_BLOCK)?;
-            let entries = format::decode_il_entries(&il_bytes, codec)?;
-            let mut remapped: Vec<(NodeId, Vec<u32>)> = Vec::with_capacity(entries.len());
-            for (user, list) in entries {
+            let full = format::decode_il_csr(&il_bytes, codec)?;
+            let mut remapped = IlCsr::default();
+            for j in 0..full.len() {
+                let list = full.list(j);
                 let cut = list.partition_point(|&id| (id as u64) < share);
                 if cut == 0 {
                     continue;
                 }
-                let ids: Vec<u32> =
-                    list[..cut].iter().map(|&id| (base + id as u64) as u32).collect();
-                remapped.push((user, ids));
+                remapped.ids.extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
+                remapped.close_list(full.users[j]);
             }
             Ok((remapped, share))
         });
 
-        let mut inverted: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        let mut keyword_csrs = Vec::with_capacity(scans.len());
         let mut rr_sets_loaded = 0u64;
         for scan in scans {
             let (remapped, share) = scan?;
             rr_sets_loaded += share;
-            for (user, ids) in remapped {
-                inverted.entry(user).or_default().extend(ids);
+            keyword_csrs.push(remapped);
+        }
+
+        // Merge in keyword order: per-user lists concatenate with
+        // ascending global ids, exactly as the old hash-map merge did —
+        // but via one counting pass and one fill pass over dense arrays.
+        let mut builder = InvertedIndexBuilder::new(self.meta().num_users);
+        for csr in &keyword_csrs {
+            for j in 0..csr.len() {
+                builder.count(csr.users[j], csr.list(j).len() as u32);
             }
         }
+        let mut filler = builder.fill();
+        for csr in &keyword_csrs {
+            for j in 0..csr.len() {
+                filler.push_list(csr.users[j], csr.list(j).iter().copied());
+            }
+        }
+        let inverted: InvertedIndex = filler.finish();
 
         let cover = greedy_max_cover_inverted_with(&inverted, theta_q, query.k(), &pool);
         let estimated_influence =

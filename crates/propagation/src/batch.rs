@@ -1,0 +1,162 @@
+//! Flat arena storage for batches of RR sets.
+//!
+//! The hot stages of the system (sampling → inversion → greedy coverage)
+//! move *batches* of RR sets around, and a `Vec<Vec<NodeId>>` pays one
+//! heap allocation and one pointer chase per set. [`RrBatch`] stores the
+//! whole batch CSR-style instead: every member of every set lives in one
+//! contiguous `members` arena, and `offsets[i]..offsets[i + 1]` delimits
+//! set `i`. Iteration is a pair of slice reads, batches merge by pure
+//! concatenation (which is exactly how the deterministic sharded sampler
+//! combines per-shard output), and the memory footprint is
+//! `4·(members + sets + 1)` bytes, no per-set headers.
+//!
+//! The Vec-of-Vec shape survives only as an adapter
+//! ([`RrBatch::from_sets`] / [`RrBatch::to_vecs`]) for test oracles.
+
+use kbtim_graph::NodeId;
+
+/// A batch of RR sets in one flat CSR arena.
+///
+/// Invariants: `offsets` is non-empty, starts at 0, is non-decreasing,
+/// and its last element equals `members.len()`. Individual sets keep
+/// whatever order the producer wrote (the samplers emit sorted, unique
+/// members).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RrBatch {
+    /// Every set's members, back to back.
+    members: Vec<NodeId>,
+    /// `sets + 1` boundaries into `members` (CSR offsets).
+    offsets: Vec<u32>,
+}
+
+impl Default for RrBatch {
+    fn default() -> RrBatch {
+        RrBatch::new()
+    }
+}
+
+impl RrBatch {
+    /// Empty batch.
+    pub fn new() -> RrBatch {
+        RrBatch { members: Vec::new(), offsets: vec![0] }
+    }
+
+    /// Empty batch with room for `sets` sets and `members` total members.
+    pub fn with_capacity(sets: usize, members: usize) -> RrBatch {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        RrBatch { members: Vec::with_capacity(members), offsets }
+    }
+
+    /// Number of sets in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the batch holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total members across all sets (the arena length).
+    pub fn total_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Set `i` as a slice of the arena.
+    pub fn set(&self, i: usize) -> &[NodeId] {
+        &self.members[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate over all sets in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[NodeId]> + '_ {
+        self.offsets.windows(2).map(|w| &self.members[w[0] as usize..w[1] as usize])
+    }
+
+    /// The raw member arena (all sets concatenated).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Append one set (copied into the arena).
+    pub fn push(&mut self, set: &[NodeId]) {
+        self.members.extend_from_slice(set);
+        let end = u32::try_from(self.members.len()).expect("RR arena exceeds u32 offsets");
+        self.offsets.push(end);
+    }
+
+    /// Append every set of `other`, preserving order — the shard-merge
+    /// primitive: concatenating per-shard batches in shard order is
+    /// bit-identical to sampling the whole batch serially.
+    pub fn append(&mut self, other: &RrBatch) {
+        let base = self.members.len() as u64;
+        self.members.extend_from_slice(&other.members);
+        u32::try_from(self.members.len()).expect("RR arena exceeds u32 offsets");
+        self.offsets.extend(other.offsets.iter().skip(1).map(|&o| (base + o as u64) as u32));
+    }
+
+    /// Adapter from the Vec-of-Vec shape (test oracles).
+    pub fn from_sets(sets: &[Vec<NodeId>]) -> RrBatch {
+        let total = sets.iter().map(Vec::len).sum();
+        let mut batch = RrBatch::with_capacity(sets.len(), total);
+        for set in sets {
+            batch.push(set);
+        }
+        batch
+    }
+
+    /// Adapter to the Vec-of-Vec shape (test oracles).
+    pub fn to_vecs(&self) -> Vec<Vec<NodeId>> {
+        self.iter().map(|s| s.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_slice() {
+        let mut batch = RrBatch::new();
+        assert!(batch.is_empty());
+        batch.push(&[1, 2, 3]);
+        batch.push(&[]);
+        batch.push(&[7]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.total_members(), 4);
+        assert_eq!(batch.set(0), &[1, 2, 3]);
+        assert_eq!(batch.set(1), &[] as &[NodeId]);
+        assert_eq!(batch.set(2), &[7]);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let sets = vec![vec![0u32, 4], vec![], vec![2, 2, 9], vec![1]];
+        let batch = RrBatch::from_sets(&sets);
+        assert_eq!(batch.to_vecs(), sets);
+        assert_eq!(batch.iter().len(), sets.len());
+        for (a, b) in batch.iter().zip(&sets) {
+            assert_eq!(a, b.as_slice());
+        }
+    }
+
+    #[test]
+    fn append_equals_concatenation() {
+        let a = RrBatch::from_sets(&[vec![1, 2], vec![3]]);
+        let b = RrBatch::from_sets(&[vec![], vec![4, 5]]);
+        let mut merged = RrBatch::new();
+        merged.append(&a);
+        merged.append(&b);
+        assert_eq!(merged, RrBatch::from_sets(&[vec![1, 2], vec![3], vec![], vec![4, 5]]));
+    }
+
+    #[test]
+    fn append_to_empty_and_of_empty() {
+        let mut batch = RrBatch::new();
+        batch.append(&RrBatch::new());
+        assert!(batch.is_empty());
+        let other = RrBatch::from_sets(&[vec![9]]);
+        batch.append(&other);
+        assert_eq!(batch, other);
+    }
+}

@@ -23,11 +23,13 @@
 //! targeted `E[I^Q(S)]`, plus *exact* enumeration for tiny graphs used to
 //! pin down the paper's worked examples in tests.
 
+pub mod batch;
 pub mod model;
 pub mod rr;
 pub mod spread;
 pub mod triggering;
 
+pub use batch::RrBatch;
 pub use model::{IcModel, LtModel, TriggeringModel};
 pub use rr::{sample_batch, RrSampler};
 pub use triggering::TableTriggeringModel;

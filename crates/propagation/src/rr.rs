@@ -15,6 +15,7 @@
 //!   bit-identical for every thread count, so the WRIS/RIS/index layers
 //!   can parallelize freely without giving up reproducibility.
 
+use crate::batch::RrBatch;
 use crate::model::TriggeringModel;
 use kbtim_exec::{shard_count, shard_range, shard_seed, ExecPool, DEFAULT_SHARD_SIZE};
 use kbtim_graph::NodeId;
@@ -103,40 +104,47 @@ impl RrSampler {
 /// `SmallRng::seed_from_u64(seed ^ s)` and shard outputs concatenate in
 /// shard order, so the returned sets are a pure function of
 /// `(model, count, seed)` — **identical for any thread count**. Each
-/// worker reuses one [`RrSampler`] across its shards, keeping the
-/// zero-allocation property of the serial path.
+/// worker samples into a local [`RrBatch`] arena through one reused
+/// [`RrSampler`] and scratch buffer, so the only per-set cost is one
+/// `memcpy` into the arena; the merged batch is a pure concatenation in
+/// shard order.
 pub fn sample_batch<M, F>(
     model: &M,
     count: usize,
     seed: u64,
     pool: &ExecPool,
     root_of: F,
-) -> Vec<Vec<NodeId>>
+) -> RrBatch
 where
     M: TriggeringModel + ?Sized,
     F: Fn(&mut SmallRng) -> NodeId + Sync,
 {
     let num_nodes = model.graph().num_nodes();
     let shards = shard_count(count, DEFAULT_SHARD_SIZE);
-    let per_shard: Vec<Vec<Vec<NodeId>>> = pool.map_shards_with(
+    let mut per_shard: Vec<RrBatch> = pool.map_shards_with(
         shards,
-        || RrSampler::new(num_nodes),
-        |sampler, shard| {
+        || (RrSampler::new(num_nodes), Vec::new()),
+        |(sampler, scratch), shard| {
             let mut rng = SmallRng::seed_from_u64(shard_seed(seed, shard as u64));
             let range = shard_range(count, DEFAULT_SHARD_SIZE, shard);
-            let mut sets = Vec::with_capacity(range.len());
+            let mut batch = RrBatch::with_capacity(range.len(), 0);
             for _ in range {
                 let root = root_of(&mut rng);
-                let mut set = Vec::new();
-                sampler.sample_into(model, root, &mut rng, &mut set);
-                sets.push(set);
+                sampler.sample_into(model, root, &mut rng, scratch);
+                batch.push(scratch);
             }
-            sets
+            batch
         },
     );
-    let mut out = Vec::with_capacity(count);
-    for shard_sets in per_shard {
-        out.extend(shard_sets);
+    if per_shard.len() == 1 {
+        // Lone shard (small batches, sequential pools): move the arena
+        // out instead of re-copying it.
+        return per_shard.pop().expect("one shard");
+    }
+    let total: usize = per_shard.iter().map(RrBatch::total_members).sum();
+    let mut out = RrBatch::with_capacity(count, total);
+    for shard_batch in &per_shard {
+        out.append(shard_batch);
     }
     out
 }
@@ -259,10 +267,28 @@ mod tests {
         let pool = ExecPool::new(Some(4));
         let sets = sample_batch(&model, 600, 5, &pool, |_| 3);
         assert_eq!(sets.len(), 600);
-        for set in &sets {
+        for set in sets.iter() {
             assert!(set.contains(&3), "root missing");
             assert!(set.windows(2).all(|w| w[0] < w[1]), "unsorted: {set:?}");
         }
+    }
+
+    #[test]
+    fn batch_matches_serial_sampler_exactly() {
+        // The arena batch must hold exactly the sets a serial sampler with
+        // the same per-shard RNG streams would produce (one shard here, so
+        // a single stream covers the whole batch).
+        let g = gen::complete(9);
+        let model = IcModel::uniform(&g, 0.4);
+        let pool = ExecPool::sequential();
+        let batch = sample_batch(&model, 100, 11, &pool, |_| 2);
+        let mut sampler = RrSampler::new(9);
+        let mut rng = SmallRng::seed_from_u64(shard_seed(11, 0));
+        let mut expected = Vec::new();
+        for _ in 0..100 {
+            expected.push(sampler.sample(&model, 2, &mut rng));
+        }
+        assert_eq!(batch.to_vecs(), expected);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property tests for the flat arena data path.
+//!
+//! The hot stages (sampling → inversion → greedy coverage → index
+//! serving) now run on CSR arenas ([`RrBatch`], [`InvertedIndex`]) and a
+//! word-packed coverage bitset. These tests pin the two contracts the
+//! refactor rests on:
+//!
+//! 1. the arena representations are *lossless* — they round-trip through
+//!    the Vec-of-Vec / HashMap oracles (`RrBatch::to_vecs`,
+//!    `maxcover::invert`) on arbitrary instances;
+//! 2. the bitset CELF loop is *bit-identical* to the naive full-recount
+//!    oracle for every thread count.
+
+use kbtim::core::invindex::InvertedIndex;
+use kbtim::core::maxcover::{
+    greedy_max_cover_batch, greedy_max_cover_naive, greedy_max_cover_with, invert,
+};
+use kbtim::propagation::RrBatch;
+use kbtim_exec::ExecPool;
+use proptest::prelude::*;
+
+/// Random RR-set-shaped instances: sorted, deduplicated member lists.
+fn rr_instances() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..120, 0..10), 0..150).prop_map(
+        |mut sets| {
+            for set in &mut sets {
+                set.sort_unstable();
+                set.dedup();
+            }
+            sets
+        },
+    )
+}
+
+/// Arbitrary instances: unsorted, possibly with duplicate members.
+fn messy_instances() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..60, 0..8), 0..80)
+}
+
+proptest! {
+    #[test]
+    fn rr_batch_roundtrips_vec_of_vec(sets in rr_instances()) {
+        let batch = RrBatch::from_sets(&sets);
+        prop_assert_eq!(batch.len(), sets.len());
+        prop_assert_eq!(batch.total_members(), sets.iter().map(Vec::len).sum::<usize>());
+        prop_assert_eq!(batch.to_vecs(), sets);
+    }
+
+    #[test]
+    fn rr_batch_append_is_concatenation(
+        a in rr_instances(),
+        b in rr_instances(),
+    ) {
+        let mut merged = RrBatch::from_sets(&a);
+        merged.append(&RrBatch::from_sets(&b));
+        let mut both = a;
+        both.extend(b);
+        prop_assert_eq!(merged, RrBatch::from_sets(&both));
+    }
+
+    #[test]
+    fn inverted_index_matches_hashmap_oracle(sets in messy_instances()) {
+        let inv = InvertedIndex::from_sets(&sets);
+        let oracle = invert(&sets);
+        prop_assert_eq!(inv.present().len(), oracle.len());
+        prop_assert_eq!(
+            inv.total_entries(),
+            oracle.values().map(Vec::len).sum::<usize>()
+        );
+        for (&node, list) in &oracle {
+            prop_assert_eq!(inv.list(node), list.as_slice(), "node {}", node);
+        }
+    }
+
+    #[test]
+    fn inverted_from_batch_matches_from_sets(sets in rr_instances()) {
+        let batch = RrBatch::from_sets(&sets);
+        prop_assert_eq!(InvertedIndex::from_batch(&batch), InvertedIndex::from_sets(&sets));
+    }
+
+    #[test]
+    fn flat_celf_bit_identical_to_naive(sets in messy_instances(), k in 0u32..20) {
+        let naive = greedy_max_cover_naive(&sets, k);
+        for threads in [1usize, 2, 8] {
+            let flat = greedy_max_cover_with(&sets, k, &ExecPool::new(Some(threads)));
+            prop_assert_eq!(&flat, &naive, "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn batch_celf_bit_identical_to_naive(sets in rr_instances(), k in 0u32..20) {
+        let batch = RrBatch::from_sets(&sets);
+        let naive = greedy_max_cover_naive(&sets, k);
+        for threads in [1usize, 4] {
+            let flat = greedy_max_cover_batch(&batch, k, &ExecPool::new(Some(threads)));
+            prop_assert_eq!(&flat, &naive, "threads {}", threads);
+        }
+    }
+}

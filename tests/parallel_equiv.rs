@@ -6,15 +6,18 @@
 //! merge order depend only on the problem size and the seed — never on
 //! the thread count.
 
+use kbtim::core::maxcover::{greedy_max_cover_batch, greedy_max_cover_naive};
 use kbtim::core::ris::ris_query;
 use kbtim::core::wris::wris_query;
 use kbtim::core::SamplingConfig;
 use kbtim::datagen::{Dataset, DatasetConfig, DatasetFamily};
 use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
 use kbtim::propagation::model::IcModel;
+use kbtim::propagation::sample_batch;
 use kbtim::storage::{IoStats, TempDir};
 use kbtim::topics::Query;
 use kbtim_codec::Codec;
+use kbtim_exec::ExecPool;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -155,6 +158,35 @@ fn index_build_identical_for_1_vs_8_threads_with_batched_sampler() {
     for (a, b) in digests[0].iter().zip(digests[1].iter()) {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1, "file {} differs between 1- and 8-thread builds", a.0);
+    }
+}
+
+#[test]
+fn flat_celf_identical_to_naive_oracle_across_thread_counts() {
+    // The flat data path end to end: a sharded arena batch sampled from a
+    // real graph, inverted by counting sort, solved by the bitset CELF —
+    // must equal the Vec-of-Vec naive oracle bit-for-bit at every thread
+    // count (and the batch itself must be thread-count invariant).
+    let data = dataset();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let num_nodes = data.graph.num_nodes();
+    let batch = sample_batch(&model, 5_000, 99, &ExecPool::new(Some(1)), |rng| {
+        use rand::Rng;
+        rng.gen_range(0..num_nodes)
+    });
+    for threads in [2usize, 8] {
+        let check = sample_batch(&model, 5_000, 99, &ExecPool::new(Some(threads)), |rng| {
+            use rand::Rng;
+            rng.gen_range(0..num_nodes)
+        });
+        assert_eq!(batch, check, "arena batch diverged at {threads} threads");
+    }
+
+    let oracle = greedy_max_cover_naive(&batch.to_vecs(), 25);
+    assert!(!oracle.seeds.is_empty());
+    for threads in [1usize, 2, 8] {
+        let flat = greedy_max_cover_batch(&batch, 25, &ExecPool::new(Some(threads)));
+        assert_eq!(flat, oracle, "flat CELF diverged from naive at {threads} threads");
     }
 }
 

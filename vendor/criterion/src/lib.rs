@@ -15,6 +15,11 @@
 //! ```text
 //! group/name/param        time: 1.234 µs/iter  (median of 20 samples)
 //! ```
+//!
+//! Like real criterion, passing `--test` (e.g.
+//! `cargo bench --bench foo -- --test`) runs every benchmark body exactly
+//! once without timing — the CI smoke mode that keeps bench code
+//! compiling and executing without paying measurement time.
 
 use std::fmt;
 use std::hint;
@@ -81,6 +86,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
     /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
     median_ns: f64,
     samples: usize,
@@ -89,6 +95,13 @@ pub struct Bencher {
 impl Bencher {
     /// Run `f` repeatedly and record the median per-iteration time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            // `--test`: execute once, measure nothing.
+            black_box(f());
+            self.median_ns = 0.0;
+            self.samples = 1;
+            return;
+        }
         // Warm-up: find a batch size that runs ≥ ~1 ms, capped by time.
         let warmup_deadline = Instant::now() + self.measurement_time / 4;
         let mut batch: u64 = 1;
@@ -137,7 +150,17 @@ fn human_time(ns: f64) -> String {
     }
 }
 
-fn report(full_id: &str, median_ns: f64, samples: usize, throughput: Option<Throughput>) {
+fn report(
+    full_id: &str,
+    median_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+) {
+    if test_mode {
+        println!("{full_id:<48} test: ran 1 iteration (--test mode, untimed)");
+        return;
+    }
     let mut line = format!(
         "{full_id:<48} time: {:>12}/iter  (median of {samples} samples)",
         human_time(median_ns)
@@ -164,6 +187,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -195,11 +219,12 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
             median_ns: 0.0,
             samples: 0,
         };
         f(&mut bencher);
-        report(&full_id, bencher.median_ns, bencher.samples, self.throughput);
+        report(&full_id, bencher.median_ns, bencher.samples, self.throughput, self.test_mode);
         self
     }
 
@@ -221,8 +246,17 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the harness CLI: `--test` switches every benchmark to a
+    /// single untimed iteration.
+    fn default() -> Criterion {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
 
 impl Criterion {
     /// Open a named group of benchmarks.
@@ -232,6 +266,7 @@ impl Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(3),
             throughput: None,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -260,13 +295,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups (ignores harness CLI flags).
+/// Emit `main` running the given groups.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes flags like `--bench`; none affect this
-            // minimal harness.
+            // `cargo bench` passes flags like `--bench`; the only one this
+            // minimal harness honours is `--test` (read by
+            // `Criterion::default` inside each group runner).
             $( $group(); )+
         }
     };
@@ -288,6 +324,18 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim-test-mode");
+        let mut calls = 0u32;
+        group.bench_function("once", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 1, "--test mode must run the body exactly once");
     }
 
     #[test]
