@@ -1,0 +1,70 @@
+//! Serving-tier ablation: the same queries against the same on-disk
+//! index served through each [`ServingMode`] backend.
+//!
+//! `file` pays a positioned read + copy + allocation per block;
+//! `resident` and `mmap` hand out borrowed views of already-resident
+//! pages (verified once), so the difference isolates the serving tier —
+//! decode work and answers are identical by construction (asserted up
+//! front, and property-tested in `tests/serving_equiv.rs`). The
+//! committed `BENCH_serving.json` numbers come from the full 100k-user
+//! build in the `serving_baseline` binary; this bench keeps a smaller
+//! index so CI's `--test` smoke stays cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex, ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use kbtim_topics::Query;
+use std::time::Duration;
+
+fn bench_serving_modes(c: &mut Criterion) {
+    let data =
+        DatasetConfig::family(DatasetFamily::News).num_users(10_000).num_topics(8).seed(6).build();
+    let model = IcModel::weighted_cascade(&data.graph);
+    let config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(4_000),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: 1,
+        seed: 42,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("a8-idx").unwrap();
+    IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+    let query = Query::new([0, 1, 2], 10);
+
+    let baseline = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().with_threads(Some(1));
+    let expected = baseline.query_rr(&query).unwrap();
+
+    let mut group = c.benchmark_group("a8_serving");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for mode in [ServingMode::File, ServingMode::Resident, ServingMode::Mmap] {
+        let index =
+            KbtimIndex::open_with(dir.path(), IoStats::new(), mode).unwrap().with_threads(Some(1));
+        // Backends must be unobservable in answers before we time them.
+        assert_eq!(index.query_rr(&query).unwrap().seeds, expected.seeds, "{mode} diverged");
+
+        group.bench_function(BenchmarkId::new("query_rr", mode.name()), |b| {
+            b.iter(|| index.query_rr(&query).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("query_irr", mode.name()), |b| {
+            b.iter(|| index.query_irr(&query).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("memory_load", mode.name()), |b| {
+            b.iter(|| MemoryIndex::load(&index).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_modes);
+criterion_main!(benches);

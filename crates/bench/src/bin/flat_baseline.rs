@@ -7,7 +7,7 @@
 //!    pipeline (`HashMap` inverted lists + `Vec<bool>`/`HashSet` CELF)
 //!    vs the flat pipeline (CSR [`InvertedIndex`] + bitset CELF), after
 //!    asserting both produce bit-identical seed sequences;
-//! 2. single-thread RR-batch sampling throughput into the [`RrBatch`]
+//! 2. single-thread RR-batch sampling throughput into the `RrBatch`
 //!    arena (directly comparable to `BENCH_parallel.json`'s rows);
 //! 3. end-to-end query latency against a freshly built IRR index on the
 //!    full graph: Algorithm 2 (`query_rr`), Algorithm 4 (`query_irr`)

@@ -1,0 +1,206 @@
+//! Record a machine-readable baseline for the zero-copy serving tier.
+//!
+//! Same 100k-node news-family graph, index configuration, query mix and
+//! measurement protocol as `flat_baseline` / `BENCH_flat.json`, so the
+//! numbers compose: `BENCH_flat.json` froze the PR 2 flat-arena query
+//! latencies on the `file` backend; this baseline re-measures
+//! `query_rr` / `query_irr` / `MemoryIndex::query` through each
+//! [`ServingMode`] backend and additionally counts **heap allocations
+//! per query** via a counting global allocator — the scratch-pool claim
+//! ("steady-state queries allocate ~zero") is a number here, not prose.
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin serving_baseline [OUT.json]
+//! ```
+
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex, ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use kbtim_topics::Query;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper counting every allocation call.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const USERS: u32 = 100_000;
+const TOPICS: u32 = 16;
+const SEED: u64 = 42;
+const ROUNDS: usize = 5;
+
+struct Measured {
+    mean_ms: f64,
+    allocs_per_query: f64,
+}
+
+/// Mean wall-clock and allocation count per query over the warm query
+/// mix (warm-up pass excluded, so scratch pools are primed — the steady
+/// state a serving tier lives in).
+fn measure(queries: &[Query], mut run: impl FnMut(&Query)) -> Measured {
+    for q in queries {
+        run(q); // warm-up: prime caches and scratch pools
+    }
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for q in queries {
+            run(q);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+    let n = (ROUNDS * queries.len()) as f64;
+    Measured { mean_ms: elapsed / n * 1e3, allocs_per_query: allocs as f64 / n }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({USERS} users, {TOPICS} topics)...");
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(USERS)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    eprintln!("building IRR index over the full graph...");
+    let config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(4_000),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: host_threads,
+        seed: SEED,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("serving-baseline-idx").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+    eprintln!(
+        "index built: Σθ_w = {}, {:.1} MiB, {:.1}s",
+        report.total_theta,
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed.as_secs_f64()
+    );
+
+    let queries =
+        [Query::new([0, 1], 10), Query::new([2, 3, 4], 10), Query::new([0, 5, 9, 12], 25)];
+
+    // Cross-backend answers must agree before anything is timed.
+    let baseline = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().with_threads(Some(1));
+    let expected: Vec<_> = queries.iter().map(|q| baseline.query_rr(q).unwrap().seeds).collect();
+
+    let mut rows = Vec::new();
+    for mode in [ServingMode::File, ServingMode::Resident, ServingMode::Mmap] {
+        let index =
+            KbtimIndex::open_with(dir.path(), IoStats::new(), mode).unwrap().with_threads(Some(1));
+        for (q, want) in queries.iter().zip(&expected) {
+            assert_eq!(&index.query_rr(q).unwrap().seeds, want, "{mode} diverged");
+            assert_eq!(&index.query_irr(q).unwrap().seeds, want, "{mode} irr diverged");
+        }
+        let memory = MemoryIndex::load(&index).unwrap();
+
+        let rr = measure(&queries, |q| {
+            std::hint::black_box(index.query_rr(q).unwrap());
+        });
+        let irr = measure(&queries, |q| {
+            std::hint::black_box(index.query_irr(q).unwrap());
+        });
+        let mem = measure(&queries, |q| {
+            std::hint::black_box(memory.query(q));
+        });
+        let sample = index.query_rr(&queries[0]).unwrap();
+        eprintln!(
+            "{mode:>9}: rr {:.3} ms ({:.0} allocs)  irr {:.3} ms ({:.0} allocs)  \
+             memory {:.3} ms ({:.0} allocs)  resident {:.1} MiB",
+            rr.mean_ms,
+            rr.allocs_per_query,
+            irr.mean_ms,
+            irr.allocs_per_query,
+            mem.mean_ms,
+            mem.allocs_per_query,
+            index.resident_bytes() as f64 / (1024.0 * 1024.0),
+        );
+        rows.push(format!(
+            r#"    "{mode}": {{
+      "query_rr_mean_ms": {:.3},
+      "query_rr_allocs_per_query": {:.1},
+      "query_irr_mean_ms": {:.3},
+      "query_irr_allocs_per_query": {:.1},
+      "memory_query_mean_ms": {:.3},
+      "memory_query_allocs_per_query": {:.1},
+      "per_query_read_ops": {},
+      "per_query_cache_hits": {},
+      "resident_bytes": {}
+    }}"#,
+            rr.mean_ms,
+            rr.allocs_per_query,
+            irr.mean_ms,
+            irr.allocs_per_query,
+            mem.mean_ms,
+            mem.allocs_per_query,
+            sample.stats.io.read_ops,
+            sample.stats.io.cache_hits,
+            index.resident_bytes(),
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "serving_tier",
+  "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "index": {{ "users": {USERS}, "topics": {TOPICS}, "theta_cap": 4000, "variant": "irr", "partition_size": 100, "total_theta": {total_theta} }},
+  "queries": "k=10 w=2, k=10 w=3, k=25 w=4 (mean over {ROUNDS} rounds each, warm scratch pools)",
+  "comparable_to": "BENCH_flat.json query_latency_ms (same graph, index config, query mix; file backend)",
+  "outputs_bit_identical_across_backends": true,
+  "modes": {{
+{modes}
+  }}
+}}
+"#,
+        nodes = data.graph.num_nodes(),
+        edges = data.graph.num_edges(),
+        total_theta = report.total_theta,
+        modes = rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

@@ -34,6 +34,32 @@ pub fn undelta_in_place(values: &mut [u32]) -> Result<(), CodecError> {
     Ok(())
 }
 
+/// Bulk-decode a gap sequence straight into a caller-owned arena:
+/// appends the prefix-summed absolute values of `gaps` to `out` without
+/// mutating the input or allocating beyond `out`'s growth.
+///
+/// Fails with [`CodecError::NonMonotonic`] if a prefix sum overflows
+/// `u32` (corrupted input); `out` keeps the values appended so far in
+/// that case, so callers treating errors as fatal need no cleanup.
+pub fn decode_deltas_into(gaps: &[u32], out: &mut Vec<u32>) -> Result<(), CodecError> {
+    out.reserve(gaps.len());
+    let mut acc: u32 = 0;
+    for &g in gaps {
+        acc = acc.checked_add(g).ok_or(CodecError::NonMonotonic)?;
+        out.push(acc);
+    }
+    Ok(())
+}
+
+/// Allocating twin of [`decode_deltas_into`] — test/validation oracle
+/// only; hot paths must decode into reused arenas.
+#[doc(hidden)]
+pub fn decode_deltas(gaps: &[u32]) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::new();
+    decode_deltas_into(gaps, &mut out)?;
+    Ok(out)
+}
+
 /// Copy `values` (sorted) into `out` as gaps, without mutating the input.
 pub fn delta_to(values: &[u32], out: &mut Vec<u32>) {
     debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
@@ -91,6 +117,26 @@ mod tests {
     fn overflow_on_corrupt_gaps() {
         let mut bad = vec![u32::MAX, 1];
         assert_eq!(undelta_in_place(&mut bad).unwrap_err(), CodecError::NonMonotonic);
+    }
+
+    #[test]
+    fn decode_deltas_into_matches_in_place() {
+        let original = vec![3u32, 7, 7, 20, 100];
+        let mut gaps = original.clone();
+        delta_in_place(&mut gaps);
+        let mut out = vec![999u32]; // appends, never clears
+        decode_deltas_into(&gaps, &mut out).unwrap();
+        assert_eq!(out, [vec![999], original.clone()].concat());
+        assert_eq!(decode_deltas(&gaps).unwrap(), original);
+    }
+
+    #[test]
+    fn decode_deltas_into_rejects_overflow() {
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_deltas_into(&[u32::MAX, 1], &mut out).unwrap_err(),
+            CodecError::NonMonotonic
+        );
     }
 
     #[test]

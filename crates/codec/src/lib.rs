@@ -85,6 +85,32 @@ impl Codec {
         }
     }
 
+    /// Bulk-decode `count` back-to-back lists straight into one
+    /// caller-owned CSR arena: values append to `ids`, and after each
+    /// list its end boundary (`ids.len()`) is pushed to `offsets`.
+    /// Callers seed `offsets` with the current arena length to get a
+    /// leading boundary. Returns the input bytes consumed.
+    ///
+    /// This is the hot-path decode of `RR_BLOCK`/`IL_BLOCK` payloads:
+    /// no per-list `Vec`, no intermediate gap buffer — one pass from the
+    /// (possibly memory-mapped) block bytes into the query arena.
+    pub fn decode_lists_into(
+        &self,
+        input: &[u8],
+        count: usize,
+        ids: &mut Vec<u32>,
+        offsets: &mut Vec<u32>,
+    ) -> Result<usize, CodecError> {
+        let mut pos = 0usize;
+        offsets.reserve(count);
+        for _ in 0..count {
+            pos += self.decode_sorted(&input[pos..], ids)?;
+            let end = u32::try_from(ids.len()).map_err(|_| CodecError::NonMonotonic)?;
+            offsets.push(end);
+        }
+        Ok(pos)
+    }
+
     /// Stable on-disk tag for this codec.
     pub fn tag(&self) -> u8 {
         match self {
@@ -141,6 +167,29 @@ mod tests {
             packed.len(),
             raw.len()
         );
+    }
+
+    #[test]
+    fn decode_lists_into_matches_sequential_decode() {
+        let lists: Vec<Vec<u32>> = vec![vec![1, 5, 9], vec![], vec![2, 2, 100_000], vec![7]];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            for list in &lists {
+                codec.encode_sorted(list, &mut buf);
+            }
+            let mut ids = Vec::new();
+            let mut offsets = vec![0u32];
+            let used = codec.decode_lists_into(&buf, lists.len(), &mut ids, &mut offsets).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(offsets.len(), lists.len() + 1);
+            for (i, list) in lists.iter().enumerate() {
+                assert_eq!(
+                    &ids[offsets[i] as usize..offsets[i + 1] as usize],
+                    list.as_slice(),
+                    "list {i}"
+                );
+            }
+        }
     }
 
     #[test]

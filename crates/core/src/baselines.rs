@@ -2,14 +2,14 @@
 //!
 //! The paper positions RIS/WRIS against the earlier line of work:
 //!
-//! * **Greedy with Monte-Carlo estimation** (Kempe et al. [15]) — the
+//! * **Greedy with Monte-Carlo estimation** (Kempe et al. \[15\]) — the
 //!   original `(1 − 1/e − ε)` algorithm, accelerated with the **CELF**
-//!   lazy-evaluation trick of Leskovec et al. [17]: marginal gains are
+//!   lazy-evaluation trick of Leskovec et al. \[17\]: marginal gains are
 //!   submodular, so a stale heap entry that recomputes to the top value
 //!   is safe to take. Still `O(k · n · R)` in the worst case — the paper's
 //!   "prohibitively long" baseline, included here both as a correctness
 //!   oracle and to let benchmarks reproduce *why* RIS won.
-//! * **Degree heuristics** (Chen et al. [6]) — `max-degree` and the
+//! * **Degree heuristics** (Chen et al. \[6\]) — `max-degree` and the
 //!   smarter `degree-discount` (exact for IC with uniform `p`), fast but
 //!   guarantee-free.
 //!

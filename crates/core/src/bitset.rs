@@ -6,7 +6,7 @@
 //! operations the hot loops need are provided — no iteration, no resizing.
 
 /// Fixed-capacity bitset, all bits initially clear.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Bitset {
     words: Vec<u64>,
     len: usize,
@@ -45,6 +45,14 @@ impl Bitset {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Resize to `len` bits, all clear, reusing the word arena — the
+    /// scratch-pool reset between queries.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
     }
 }
 

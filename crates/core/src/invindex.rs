@@ -117,18 +117,39 @@ impl InvertedIndex {
     pub fn arena_bytes(&self) -> u64 {
         (self.set_ids.len() * 4 + self.offsets.len() * 4 + self.present.len() * 4) as u64
     }
+
+    /// Tear the index down into its raw arenas so a later build can
+    /// reuse the allocations via [`InvertedIndexBuilder::recycled`].
+    /// Contents are unspecified; only the capacities matter.
+    pub fn into_arenas(self) -> Vec<Vec<u32>> {
+        vec![self.offsets, self.set_ids, self.present]
+    }
 }
 
 /// Counting pass of the two-pass CSR build: declare how many set ids
 /// each node will receive, then [`InvertedIndexBuilder::fill`].
 pub struct InvertedIndexBuilder {
     counts: Vec<u32>,
+    /// Recycled arenas waiting to back `offsets`/`set_ids` in the fill
+    /// pass (empty for a fresh builder).
+    spare: Vec<Vec<u32>>,
 }
 
 impl InvertedIndexBuilder {
     /// Builder over the dense node-id space `0..num_nodes`.
     pub fn new(num_nodes: u32) -> InvertedIndexBuilder {
-        InvertedIndexBuilder { counts: vec![0; num_nodes as usize] }
+        InvertedIndexBuilder::recycled(num_nodes, Vec::new())
+    }
+
+    /// [`InvertedIndexBuilder::new`] reusing the arenas of a previously
+    /// finished index (see [`InvertedIndex::into_arenas`]). With three
+    /// recycled arenas the whole count→fill→finish cycle allocates
+    /// nothing in steady state: three arenas go in, three come out.
+    pub fn recycled(num_nodes: u32, mut arenas: Vec<Vec<u32>>) -> InvertedIndexBuilder {
+        let mut counts = arenas.pop().unwrap_or_default();
+        counts.clear();
+        counts.resize(num_nodes as usize, 0);
+        InvertedIndexBuilder { counts, spare: arenas }
     }
 
     /// Announce `n` further entries for `node`.
@@ -139,17 +160,24 @@ impl InvertedIndexBuilder {
 
     /// Freeze the counts into CSR offsets and start the fill pass. The
     /// fill pass must push exactly the announced entries per node.
-    pub fn fill(self) -> InvertedIndexFiller {
+    pub fn fill(mut self) -> InvertedIndexFiller {
         let num_nodes = self.counts.len();
-        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut offsets = self.spare.pop().unwrap_or_default();
+        offsets.clear();
+        offsets.reserve(num_nodes + 1);
         offsets.push(0u32);
         let mut total = 0u64;
         for &c in &self.counts {
             total += c as u64;
             offsets.push(u32::try_from(total).expect("inverted arena exceeds u32 offsets"));
         }
-        let cursor = offsets[..num_nodes].to_vec();
-        InvertedIndexFiller { offsets, cursor, set_ids: vec![0; total as usize] }
+        // The counts arena becomes the fill cursor in place.
+        let mut cursor = self.counts;
+        cursor.copy_from_slice(&offsets[..num_nodes]);
+        let mut set_ids = self.spare.pop().unwrap_or_default();
+        set_ids.clear();
+        set_ids.resize(total as usize, 0);
+        InvertedIndexFiller { offsets, cursor, set_ids }
     }
 }
 
@@ -183,10 +211,18 @@ impl InvertedIndexFiller {
             self.cursor.iter().enumerate().all(|(i, &c)| c == self.offsets[i + 1]),
             "fill pass did not match the counting pass"
         );
-        let present = (0..self.cursor.len() as u32)
-            .filter(|&v| self.offsets[v as usize + 1] > self.offsets[v as usize])
-            .collect();
-        InvertedIndex { offsets: self.offsets, set_ids: self.set_ids, present }
+        let InvertedIndexFiller { offsets, cursor, set_ids } = self;
+        // The spent cursor arena is reborn as the present list, keeping
+        // the recycled cycle allocation-free.
+        let num_nodes = cursor.len();
+        let mut present = cursor;
+        present.clear();
+        for v in 0..num_nodes {
+            if offsets[v + 1] > offsets[v] {
+                present.push(v as u32);
+            }
+        }
+        InvertedIndex { offsets, set_ids, present }
     }
 }
 
@@ -269,6 +305,56 @@ mod tests {
         assert_eq!(inv.total_entries(), 0);
         let inv = InvertedIndex::from_batch(&RrBatch::new());
         assert_eq!(inv.num_nodes(), 0);
+    }
+
+    #[test]
+    fn recycled_builder_matches_fresh_and_reuses_capacity() {
+        let sets: Vec<Vec<NodeId>> = vec![vec![1, 3, 5], vec![3], vec![0, 2, 5, 7]];
+        let fresh = InvertedIndex::from_sets(&sets);
+        let rebuild = |arenas: Vec<Vec<u32>>| -> InvertedIndex {
+            let mut b = InvertedIndexBuilder::recycled(8, arenas);
+            for set in &sets {
+                for &node in set {
+                    b.count(node, 1);
+                }
+            }
+            let mut f = b.fill();
+            for (i, set) in sets.iter().enumerate() {
+                for &node in set {
+                    f.push(node, i as u32);
+                }
+            }
+            f.finish()
+        };
+        // Two warm-up cycles let every arena reach the max role size
+        // (arenas rotate through counts/offsets/set_ids/present roles).
+        let warm = rebuild(rebuild(fresh.clone().into_arenas()).into_arenas());
+        assert_eq!(warm, fresh, "recycled build must be bit-identical");
+        // Steady state: a further cycle must reuse the warmed arenas
+        // without growing any of them.
+        let warm_arenas = warm.into_arenas();
+        let mut caps_in: Vec<usize> = warm_arenas.iter().map(Vec::capacity).collect();
+        let steady = rebuild(warm_arenas);
+        assert_eq!(steady, fresh);
+        let mut caps_out: Vec<usize> = steady.into_arenas().iter().map(Vec::capacity).collect();
+        caps_in.sort_unstable();
+        caps_out.sort_unstable();
+        assert_eq!(caps_out, caps_in, "steady-state rebuild must not grow any arena");
+    }
+
+    #[test]
+    fn bitset_reset_reuses_words() {
+        use crate::bitset::Bitset;
+        let mut bits = Bitset::new(100);
+        bits.set(5);
+        bits.set(99);
+        bits.reset(64);
+        assert_eq!(bits.len(), 64);
+        assert_eq!(bits.count_ones(), 0);
+        bits.set(63);
+        bits.reset(200);
+        assert_eq!(bits.len(), 200);
+        assert_eq!(bits.count_ones(), 0);
     }
 
     #[test]

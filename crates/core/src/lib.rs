@@ -15,7 +15,7 @@
 //!   Eqn 8 (`θ̂_w`) and Eqn 10 (`θ_w`), plus `ln C(n, k)` via a Lanczos
 //!   log-gamma.
 //! * [`opt`] — the iterative greedy lower-bound estimator for `OPT`
-//!   (adapting the estimation approach of TIM [21]).
+//!   (adapting the estimation approach of TIM \[21\]).
 //! * [`wris`] — the paper's online solution: weighted RIS sampling with the
 //!   `(1 − 1/e − ε)` guarantee (§3.2).
 //! * [`ris`] — the uniform-sampling RIS baseline (§2.2), which ignores the

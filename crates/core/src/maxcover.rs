@@ -2,7 +2,7 @@
 //!
 //! Given θ sampled RR sets, the seed set is built by repeatedly taking the
 //! node contained in the most not-yet-covered sets — the classic
-//! `(1 − 1/e)` greedy for maximum coverage [22]. Two implementations:
+//! `(1 − 1/e)` greedy for maximum coverage \[22\]. Two implementations:
 //!
 //! * [`greedy_max_cover_naive`] recounts every node each iteration —
 //!   obviously correct, used as the test oracle;

@@ -1,8 +1,8 @@
 //! Estimating the unknown optimum `OPT` in the θ denominators.
 //!
 //! Every θ bound divides by an optimum nobody knows (`OPT^{Q.T}_{Q.k}`,
-//! `OPT^w_1`, `OPT^w_K`). The paper "adopt[s] the weighted iterative
-//! estimation method in [21]" (TIM); this module implements that idea in
+//! `OPT^w_1`, `OPT^w_K`). The paper "adopt\[s\] the weighted iterative
+//! estimation method in \[21\]" (TIM); this module implements that idea in
 //! its refined form: iteratively double the number of weighted RR samples,
 //! run the greedy cover, and read off the unbiased coverage estimate
 //!

@@ -9,7 +9,7 @@
 //! * [`preferential_attachment`] — directed Barabási–Albert-style growth
 //!   producing power-law in/out-degree tails (Twitter-like).
 //! * [`erdos_renyi`] — uniform random digraph (light-tailed control).
-//! * Deterministic shapes ([`line`], [`cycle`], [`star`], [`complete`]) for
+//! * Deterministic shapes ([`line()`], [`cycle`], [`star`], [`complete`]) for
 //!   exact-answer tests.
 
 use crate::{Graph, NodeId};

@@ -194,6 +194,10 @@ pub fn encode_il_entries(entries: &[IlEntry], codec: Codec, out: &mut Vec<u8>) {
 }
 
 /// Decode a block written by [`encode_il_entries`].
+///
+/// Allocating oracle (one `Vec` per user) for tests and
+/// [`crate::KbtimIndex::validate`]; hot paths use [`decode_il_csr_into`].
+#[doc(hidden)]
 pub fn decode_il_entries(input: &[u8], codec: Codec) -> Result<Vec<IlEntry>, IndexError> {
     let mut cursor = Cursor::new(input);
     let count = cursor.u32()? as usize;
@@ -236,6 +240,15 @@ impl IlCsr {
         self.users.push(user);
         self.offsets.push(u32::try_from(self.ids.len()).expect("IL arena exceeds u32 offsets"));
     }
+
+    /// Reset to the empty state (`offsets == [0]`), keeping the arena
+    /// capacities — the scratch-pool reset between queries.
+    pub fn reset(&mut self) {
+        self.users.clear();
+        self.ids.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
     /// Number of users in the block.
     pub fn len(&self) -> usize {
         self.users.len()
@@ -261,14 +274,20 @@ impl IlCsr {
 /// Decode a block written by [`encode_il_entries`] straight into a flat
 /// [`IlCsr`] (the codec appends each list to the shared `ids` arena).
 pub fn decode_il_csr(input: &[u8], codec: Codec) -> Result<IlCsr, IndexError> {
+    let mut csr = IlCsr::default();
+    decode_il_csr_into(input, codec, &mut csr)?;
+    Ok(csr)
+}
+
+/// [`decode_il_csr`] into a caller-owned (scratch-pooled) CSR, reset
+/// first; steady-state decodes allocate nothing once the arenas are
+/// warm.
+pub fn decode_il_csr_into(input: &[u8], codec: Codec, csr: &mut IlCsr) -> Result<(), IndexError> {
+    csr.reset();
     let mut cursor = Cursor::new(input);
     let count = cursor.u32()? as usize;
-    let mut csr = IlCsr {
-        users: Vec::with_capacity(count),
-        offsets: Vec::with_capacity(count + 1),
-        ids: Vec::new(),
-    };
-    csr.offsets.push(0);
+    csr.users.reserve(count);
+    csr.offsets.reserve(count + 1);
     for _ in 0..count {
         csr.users.push(cursor.u32()?);
         cursor.list_into(codec, &mut csr.ids)?;
@@ -277,7 +296,7 @@ pub fn decode_il_csr(input: &[u8], codec: Codec) -> Result<IlCsr, IndexError> {
         csr.offsets.push(end);
     }
     cursor.expect_end()?;
-    Ok(csr)
+    Ok(())
 }
 
 /// Encode the `ip` block: users ascending, plus their first-occurrence RR
@@ -458,6 +477,11 @@ pub fn count_ir_entries(
 /// Decode an `irp` byte range written by [`encode_ir_entries`], consuming
 /// the whole buffer. `limit` truncates decoding at the first id `>= limit`
 /// (`u32::MAX` decodes everything).
+///
+/// Allocating oracle (one `Vec` per set) for tests and
+/// [`crate::KbtimIndex::validate`]; the query path counts through
+/// [`count_ir_entries`] with a reused scratch arena instead.
+#[doc(hidden)]
 pub fn decode_ir_entries(
     input: &[u8],
     codec: Codec,
@@ -477,6 +501,10 @@ pub fn decode_ir_entries(
 }
 
 /// Decode a prefix of the `rr` block containing `count` RR sets.
+///
+/// Allocating oracle for tests and [`crate::KbtimIndex::validate`]; the
+/// query paths bulk-decode with [`decode_rr_prefix_into`] instead.
+#[doc(hidden)]
 pub fn decode_rr_prefix(
     input: &[u8],
     count: u64,
@@ -490,6 +518,25 @@ pub fn decode_rr_prefix(
         sets.push(members);
     }
     Ok(sets)
+}
+
+/// Bulk-decode a prefix of the `rr` block containing `count` RR sets
+/// into one members arena plus per-set end boundaries (`ends[0] == 0`,
+/// set `i` is `members[ends[i]..ends[i + 1]]`). The hot twin of
+/// [`decode_rr_prefix`]: no per-set `Vec`, straight from the (possibly
+/// memory-mapped) block bytes into pooled arenas.
+pub fn decode_rr_prefix_into(
+    input: &[u8],
+    count: u64,
+    codec: Codec,
+    members: &mut Vec<u32>,
+    ends: &mut Vec<u32>,
+) -> Result<(), IndexError> {
+    members.clear();
+    ends.clear();
+    ends.push(0);
+    codec.decode_lists_into(input, count as usize, members, ends)?;
+    Ok(())
 }
 
 /// Byte cursor with varint helpers over a borrowed buffer.
@@ -788,6 +835,47 @@ mod tests {
         assert_eq!(two, &sets[..2]);
         let all = decode_rr_prefix(&buf, 3, codec).unwrap();
         assert_eq!(all, sets);
+    }
+
+    #[test]
+    fn rr_prefix_into_matches_oracle() {
+        let sets: Vec<Vec<NodeId>> = vec![vec![1, 2], vec![7], vec![0, 100, 200], vec![]];
+        for codec in [Codec::Raw, Codec::Packed] {
+            let mut buf = Vec::new();
+            for s in &sets {
+                codec.encode_sorted(s, &mut buf);
+            }
+            // Reused arenas with stale contents must be overwritten.
+            let mut members = vec![999u32; 50];
+            let mut ends = vec![7u32; 9];
+            for count in [0u64, 2, 4] {
+                decode_rr_prefix_into(&buf, count, codec, &mut members, &mut ends).unwrap();
+                let oracle = decode_rr_prefix(&buf, count, codec).unwrap();
+                assert_eq!(ends.len() as u64, count + 1);
+                for (i, set) in oracle.iter().enumerate() {
+                    assert_eq!(
+                        &members[ends[i] as usize..ends[i + 1] as usize],
+                        set.as_slice(),
+                        "{codec:?} count {count} set {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn il_csr_into_reuses_and_resets() {
+        let entries: Vec<IlEntry> = vec![(3, vec![0, 5]), (7, vec![]), (11, vec![4])];
+        let mut buf = Vec::new();
+        encode_il_entries(&entries, Codec::Packed, &mut buf);
+        let mut csr = IlCsr::default();
+        csr.ids.extend([9, 9, 9]); // stale content from a previous query
+        csr.close_list(1);
+        decode_il_csr_into(&buf, Codec::Packed, &mut csr).unwrap();
+        assert_eq!(csr, decode_il_csr(&buf, Codec::Packed).unwrap());
+        csr.reset();
+        assert!(csr.is_empty());
+        assert_eq!(csr.offsets, vec![0]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The IRR index sorts each keyword's inverted lists by length, so the
 //! most impactful users come first. Queries run an NRA-style top-k
-//! aggregation (after Fagin et al. [8]):
+//! aggregation (after Fagin et al. \[8\]):
 //!
 //! * candidates live in a max-priority-queue keyed by an **upper bound**
 //!   on their uncovered coverage count;
@@ -25,6 +25,7 @@
 
 use crate::format::{self, IlCsr, PartitionMeta};
 use crate::rr_query::empty_outcome;
+use crate::scratch::QueryScratch;
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
 use kbtim_core::bitset::Bitset;
 use kbtim_exec::ExecPool;
@@ -70,7 +71,7 @@ struct KwState<'a> {
     arena: Vec<u32>,
     /// Current unseen-user bound for this keyword.
     kb: u64,
-    reader: &'a kbtim_storage::segment::SegmentReader,
+    source: &'a kbtim_storage::BlockSource,
 }
 
 impl KwState<'_> {
@@ -128,11 +129,11 @@ impl KbtimIndex {
         let mut states: Vec<KwState<'_>> = Vec::with_capacity(budget.len());
         let mut base = 0u64;
         for &(topic, share) in &budget {
-            let reader = self.reader(topic)?;
-            let ip_bytes = reader.read_block(format::IP_BLOCK)?;
+            let source = self.source(topic)?;
+            let ip_bytes = source.read_block(format::IP_BLOCK)?;
             let (users, firsts) = format::decode_ip(&ip_bytes, codec)?;
             debug_assert!(users.windows(2).all(|w| w[0] < w[1]), "IP_w users must ascend");
-            let pmeta_bytes = reader.read_block(format::PMETA_BLOCK)?;
+            let pmeta_bytes = source.read_block(format::PMETA_BLOCK)?;
             let partitions = format::decode_partition_meta(&pmeta_bytes)?;
             let max_len = self.meta().keywords[topic as usize].max_list_len as u64;
             let slots = users.len();
@@ -147,15 +148,22 @@ impl KbtimIndex {
                 list_len: vec![0; slots],
                 arena: Vec::new(),
                 kb: max_len.min(share),
-                reader,
+                source,
             });
             base += share;
         }
         let theta_q = base;
 
-        let mut covered = Bitset::new(theta_q as usize);
+        // The covered bitset and selected flags come from the scratch
+        // pool; `reset`/refill fully overwrite them, so reuse cannot
+        // affect the answer.
+        let mut outer_scratch = self.scratch.guard();
+        let QueryScratch { covered, selected, .. } = &mut *outer_scratch;
+        covered.reset(theta_q as usize);
+        selected.clear();
+        selected.resize(num_users, false);
+        let covered: &mut Bitset = covered;
         let mut pq: BinaryHeap<(u64, Reverse<NodeId>)> = BinaryHeap::new();
-        let mut selected = vec![false; num_users];
         let mut seeds: Vec<NodeId> = Vec::new();
         let mut marginal_gains: Vec<u64> = Vec::new();
         let mut coverage = 0u64;
@@ -208,32 +216,43 @@ impl KbtimIndex {
             // form (already truncated to the share) and the loaded RR-set
             // count.
             type PartitionLoad = Option<(IlCsr, u64, u64)>;
-            let loads: Vec<Result<PartitionLoad, IndexError>> =
-                round_pool.map_shards(states.len(), |i| {
+            let loads: Vec<Result<PartitionLoad, IndexError>> = round_pool.map_shards_with(
+                states.len(),
+                || self.scratch.guard(),
+                |guard, i| {
+                    let s: &mut QueryScratch = &mut *guard;
                     let st = &states[i];
                     if st.loaded >= st.partitions.len() {
                         return Ok(None);
                     }
                     let part = st.partitions[st.loaded].clone();
-                    let il = st.reader.read_range(
+                    let il = st.source.read_range_in(
                         format::ILP_BLOCK,
                         part.il_start,
                         part.il_end - part.il_start,
+                        &mut s.bytes_a,
                     )?;
-                    let full = format::decode_il_csr(&il, codec)?;
+                    format::decode_il_csr_into(il, codec, &mut s.il)?;
+                    let full = &s.il;
                     // Only the byte range holding ids < θ^Q_w is read —
                     // sets beyond the query's prefix never touch memory
                     // (the sparse ir_samples table bounds the range).
                     let ir_len = part.ir_prefix_len(st.share);
-                    let ir = st.reader.read_range(format::IRP_BLOCK, part.ir_start, ir_len)?;
+                    let ir = st.source.read_range_in(
+                        format::IRP_BLOCK,
+                        part.ir_start,
+                        ir_len,
+                        &mut s.bytes_b,
+                    )?;
                     // RR-set payloads are decoded (and counted) exactly as
                     // the paper's loader does; the lazy NRA only needs ids,
                     // so the members decode into one reused scratch buffer.
-                    let mut scratch = Vec::new();
+                    s.ir_members.clear();
                     let ir_count =
-                        format::count_ir_entries(&ir, codec, st.share as u32, &mut scratch)?;
-                    // Truncate each list to the share, still CSR.
-                    let mut truncated = IlCsr::default();
+                        format::count_ir_entries(ir, codec, st.share as u32, &mut s.ir_members)?;
+                    // Truncate each list to the share, still CSR, into a
+                    // pooled output (returned to the pool after apply).
+                    let mut truncated = self.scratch.take_csr();
                     for j in 0..full.len() {
                         let list = full.list(j);
                         let cut = list.partition_point(|&id| (id as u64) < st.share);
@@ -242,7 +261,8 @@ impl KbtimIndex {
                     }
                     let new_kb = (part.max_len_after as u64).min(st.share);
                     Ok(Some((truncated, ir_count, new_kb)))
-                });
+                },
+            );
 
             let mut any = false;
             let mut fresh: Vec<NodeId> = Vec::new();
@@ -271,6 +291,7 @@ impl KbtimIndex {
                 st.loaded += 1;
                 st.kb = new_kb;
                 any = true;
+                self.scratch.put_csr(truncated);
             }
             // Push fresh candidates with bounds computed against the *new*
             // kb values.
@@ -292,7 +313,7 @@ impl KbtimIndex {
                     if selected[v as usize] {
                         continue;
                     }
-                    let (s2, complete) = score(v, &covered, &states);
+                    let (s2, complete) = score(v, covered, &states);
                     if s2 != s {
                         // Stale: refresh and reinsert (lazy update, §5.2).
                         if s2 > 0 {
@@ -322,8 +343,8 @@ impl KbtimIndex {
                         if !load_more(
                             &mut states,
                             &mut pq,
-                            &covered,
-                            &selected,
+                            covered,
+                            selected,
                             &mut rr_sets_loaded,
                             &mut partitions_loaded,
                         )? && total_kb == 0
@@ -345,8 +366,8 @@ impl KbtimIndex {
                         || !load_more(
                             &mut states,
                             &mut pq,
-                            &covered,
-                            &selected,
+                            covered,
+                            selected,
                             &mut rr_sets_loaded,
                             &mut partitions_loaded,
                         )?

@@ -27,27 +27,36 @@
 //! Algorithm 2's) is enforced in this crate's property tests: both query
 //! paths share tie-breaking and produce identical seed sequences.
 //!
-//! All reads go through checksummed [`kbtim_storage`] segments with
-//! counted I/O; every query returns a [`QueryStats`] with the RR-sets-
-//! loaded and I/O numbers behind the paper's Figures 5–7 and Table 6.
+//! All reads go through checksummed [`kbtim_storage`] segments served by
+//! a [`kbtim_storage::BlockSource`] — positioned file reads, a resident
+//! page arena, or an mmap mapping, selected per open via
+//! [`ServingMode`] — with counted I/O either way; every query returns a
+//! [`QueryStats`] with the RR-sets-loaded and I/O numbers behind the
+//! paper's Figures 5–7 and Table 6 (zero-copy accesses count as
+//! `cache_hits`/`bytes_served`, never as reads). Per-query allocations
+//! are pooled in [`scratch`], so a warmed index serves from reused
+//! arenas.
 
 pub mod build;
 pub mod format;
 pub mod irr_query;
 pub mod memory;
 pub mod rr_query;
+pub mod scratch;
 pub mod validate;
 
 use kbtim_graph::NodeId;
 use kbtim_storage::segment::SegmentReader;
-use kbtim_storage::{IoSnapshot, IoStats};
+use kbtim_storage::{BlockSource, IoSnapshot, IoStats};
 use kbtim_topics::{Query, TopicId};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 pub use build::{BuildReport, IndexBuildConfig, IndexBuilder, KeywordBuildStats, ThetaMode};
 pub use format::{IndexMeta, IndexVariant, KeywordMeta};
+pub use kbtim_storage::ServingMode;
 pub use memory::MemoryIndex;
+pub use scratch::QueryScratch;
 
 /// Errors from index construction and querying.
 #[derive(Debug)]
@@ -129,37 +138,73 @@ pub struct QueryOutcome {
 pub struct KbtimIndex {
     dir: PathBuf,
     meta: IndexMeta,
-    /// Per-topic segment readers (`None` for topics with no index — no
-    /// user holds them, so their `θ_w = 0`).
-    readers: Vec<Option<SegmentReader>>,
+    /// Per-topic block sources (`None` for topics with no index — no
+    /// user holds them, so their `θ_w = 0`). All query paths serve from
+    /// these, whatever backend they wrap.
+    sources: Vec<Option<BlockSource>>,
     stats: IoStats,
     /// Worker threads for per-keyword load/decode fan-out (`None` = the
     /// machine's available parallelism). Query answers are identical for
     /// every value; only wall-clock time changes.
     threads: Option<usize>,
+    mode: ServingMode,
+    /// Reusable query buffers (see [`scratch`]); shared by every query
+    /// against this index.
+    pub(crate) scratch: scratch::ScratchPool,
 }
 
 impl KbtimIndex {
-    /// Open an index directory, validating segment framing. Reads done
+    /// Open an index directory with the default positioned-read backend
+    /// ([`ServingMode::File`]), validating segment framing. Reads done
     /// during `open` are *not* charged to `stats` (the paper measures
     /// per-query I/O against a warm catalog).
     pub fn open(dir: impl AsRef<Path>, stats: IoStats) -> Result<KbtimIndex, IndexError> {
+        KbtimIndex::open_with(dir, stats, ServingMode::File)
+    }
+
+    /// [`KbtimIndex::open`] with an explicit serving backend. Query
+    /// answers are bit-identical for every mode; only where block bytes
+    /// live (and which [`IoStats`] counters record accesses) changes.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        stats: IoStats,
+        mode: ServingMode,
+    ) -> Result<KbtimIndex, IndexError> {
         let dir = dir.as_ref().to_path_buf();
         let open_stats = IoStats::new(); // discard catalog-open I/O
         let meta_reader = SegmentReader::open(dir.join(format::META_FILE), open_stats.clone())?;
         let meta_bytes = meta_reader.read_block(format::META_BLOCK)?;
         let meta = IndexMeta::decode(&meta_bytes)?;
 
-        let mut readers = Vec::with_capacity(meta.keywords.len());
+        let mut sources = Vec::with_capacity(meta.keywords.len());
         for kw in &meta.keywords {
             if kw.theta == 0 {
-                readers.push(None);
+                sources.push(None);
             } else {
                 let path = dir.join(format::keyword_file_name(kw.topic));
-                readers.push(Some(SegmentReader::open(path, stats.clone())?));
+                sources.push(Some(BlockSource::open(path, stats.clone(), mode)?));
             }
         }
-        Ok(KbtimIndex { dir, meta, readers, stats, threads: None })
+        Ok(KbtimIndex {
+            dir,
+            meta,
+            sources,
+            stats,
+            threads: None,
+            mode,
+            scratch: scratch::ScratchPool::new(),
+        })
+    }
+
+    /// The serving backend this index was opened with.
+    pub fn serving_mode(&self) -> ServingMode {
+        self.mode
+    }
+
+    /// Segment bytes held resident by the serving tier (0 for the file
+    /// backend; the page arenas/mappings otherwise).
+    pub fn resident_bytes(&self) -> u64 {
+        self.sources.iter().flatten().map(|s| s.resident_bytes()).sum()
     }
 
     /// Set the worker-thread count used by the query paths (`None` = the
@@ -204,8 +249,8 @@ impl KbtimIndex {
     pub fn disk_bytes(&self) -> Result<u64, IndexError> {
         let mut total =
             std::fs::metadata(self.dir.join(format::META_FILE)).map(|m| m.len()).unwrap_or(0);
-        for reader in self.readers.iter().flatten() {
-            total += reader.file_len()?;
+        for source in self.sources.iter().flatten() {
+            total += source.file_len()?;
         }
         Ok(total)
     }
@@ -250,8 +295,8 @@ impl KbtimIndex {
         }
     }
 
-    fn reader(&self, topic: TopicId) -> Result<&SegmentReader, IndexError> {
-        self.readers
+    fn source(&self, topic: TopicId) -> Result<&BlockSource, IndexError> {
+        self.sources
             .get(topic as usize)
             .and_then(|r| r.as_ref())
             .ok_or_else(|| IndexError::Corrupt(format!("no segment for topic {topic}")))

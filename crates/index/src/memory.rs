@@ -3,13 +3,22 @@
 //! The paper's indexes are disk-resident because their θ_w pools (tens of
 //! GB) exceed RAM. Scaled deployments — and latency-critical serving
 //! tiers in front of the disk index — fit comfortably in memory, where
-//! Algorithm 2 runs with zero I/O. [`MemoryIndex::load`] slurps every
+//! Algorithm 2 runs with zero I/O. [`MemoryIndex::load`] decodes every
 //! per-keyword block of an opened [`KbtimIndex`] once (checksum-verified)
 //! and answers queries from RAM from then on; results are bit-identical
 //! to [`KbtimIndex::query_rr`] because both share the budget computation
 //! and the greedy implementation.
+//!
+//! Loading goes through the index's [`kbtim_storage::BlockSource`], so on
+//! the resident/mmap backends the block bytes are *borrowed views of the
+//! already-resident segment pages* — the decode writes straight from
+//! shared pages into the CSR arenas with no intermediate copy of the
+//! compressed block, and mmap pages stay shared with the disk index and
+//! the kernel cache. Query-time allocations (the merged inverted index)
+//! recycle through a scratch pool, as in the disk paths.
 
 use crate::format::{self, IlCsr};
+use crate::scratch::ScratchPool;
 use crate::{IndexError, IndexMeta, KbtimIndex, QueryOutcome, QueryStats};
 use kbtim_core::invindex::InvertedIndexBuilder;
 use kbtim_core::maxcover::greedy_max_cover_inverted;
@@ -27,6 +36,8 @@ struct MemKeyword {
 pub struct MemoryIndex {
     meta: IndexMeta,
     keywords: Vec<Option<MemKeyword>>,
+    /// Recycled merged-index arenas (see [`crate::scratch`]).
+    scratch: ScratchPool,
 }
 
 impl MemoryIndex {
@@ -40,14 +51,15 @@ impl MemoryIndex {
                 keywords.push(None);
                 continue;
             }
-            let reader = index.reader(kw.topic)?;
-            let il_bytes = reader.read_block(format::IL_BLOCK)?;
+            let source = index.source(kw.topic)?;
+            let il_bytes = source.read_block(format::IL_BLOCK)?;
             // Decode straight into the CSR arena — the resident form *is*
-            // the serving form, no per-user Vec headers.
+            // the serving form, no per-user Vec headers; on zero-copy
+            // backends `il_bytes` borrows the shared segment pages.
             let il = format::decode_il_csr(&il_bytes, codec)?;
             keywords.push(Some(MemKeyword { il }));
         }
-        Ok(MemoryIndex { meta, keywords })
+        Ok(MemoryIndex { meta, keywords, scratch: ScratchPool::new() })
     }
 
     /// The catalog this index was loaded from.
@@ -83,8 +95,9 @@ impl MemoryIndex {
         // Two flat passes over the resident CSRs: count each user's
         // truncated contribution, then fill the dense merged instance.
         // Keyword order makes per-user global ids ascend, as in the disk
-        // path.
-        let mut builder = InvertedIndexBuilder::new(self.meta.num_users);
+        // path. Arenas recycle from the previous query via the pool.
+        let mut builder =
+            InvertedIndexBuilder::recycled(self.meta.num_users, self.scratch.take_arenas());
         let mut theta_q = 0u64;
         for &(topic, share) in &budget {
             let kw = self.keywords[topic as usize].as_ref().expect("budgeted keyword loaded");
@@ -111,6 +124,7 @@ impl MemoryIndex {
         debug_assert_eq!(base, theta_q);
         let inverted = filler.finish();
         let cover = greedy_max_cover_inverted(&inverted, theta_q, query.k());
+        self.scratch.put_arenas(inverted.into_arenas());
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { cover.covered as f64 / theta_q as f64 * phi_q };
         QueryOutcome {
@@ -248,8 +262,8 @@ mod tests {
             if kw.theta == 0 {
                 continue;
             }
-            let reader = disk.reader(kw.topic).unwrap();
-            let il_bytes = reader.read_block(format::IL_BLOCK).unwrap();
+            let source = disk.source(kw.topic).unwrap();
+            let il_bytes = source.read_block(format::IL_BLOCK).unwrap();
             let entries = format::decode_il_entries(&il_bytes, disk.meta().codec).unwrap();
             let ids: usize = entries.iter().map(|(_, l)| l.len()).sum();
             expected += 4 * (ids as u64 + entries.len() as u64 + 1 + entries.len() as u64);

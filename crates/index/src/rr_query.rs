@@ -13,13 +13,18 @@
 //! instance — and therefore the answer — is identical for every thread
 //! count.
 //!
-//! The whole data path is flat: each keyword's `L_w` decodes straight
-//! into an [`format::IlCsr`] arena, the truncated/remapped per-keyword
-//! lists stay CSR, and the merged instance is a dense
-//! [`InvertedIndex`] built by one counting pass and one fill pass —
-//! no per-user allocation, no hash probes in the greedy loop.
+//! The whole data path is flat and zero-copy: block bytes arrive as
+//! borrowed [`kbtim_storage::BlockSource`] views (or through pooled
+//! staging buffers on the file backend), each keyword's `L_w` decodes
+//! straight into a pooled [`format::IlCsr`] arena, the
+//! truncated/remapped per-keyword lists stay CSR, and the merged
+//! instance is a dense [`InvertedIndex`] built by one counting pass and
+//! one fill pass over recycled arenas — no per-user allocation, no hash
+//! probes in the greedy loop, and ~zero allocation once the scratch
+//! pool is warm.
 
 use crate::format::{self, IlCsr};
+use crate::scratch::QueryScratch;
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
 use kbtim_core::invindex::{InvertedIndex, InvertedIndexBuilder};
 use kbtim_core::maxcover::greedy_max_cover_inverted_with;
@@ -49,37 +54,53 @@ impl KbtimIndex {
 
         let pool = self.pool();
         type KeywordScan = (IlCsr, u64);
-        let scans: Vec<Result<KeywordScan, IndexError>> = pool.map_shards(budget.len(), |i| {
-            let (topic, share) = budget[i];
-            let base = bases[i];
-            let reader = self.reader(topic)?;
+        let scans: Vec<Result<KeywordScan, IndexError>> = pool.map_shards_with(
+            budget.len(),
+            || self.scratch.guard(),
+            |guard, i| {
+                let s: &mut QueryScratch = &mut *guard;
+                let (topic, share) = budget[i];
+                let base = bases[i];
+                let source = self.source(topic)?;
 
-            // Prefix of the offset table → byte length of the RR prefix.
-            let off_bytes = reader.read_range(format::RR_OFF_BLOCK, share * 8, 8)?;
-            let prefix_len = u64::from_le_bytes(off_bytes.as_slice().try_into().expect("8 bytes"));
+                // Prefix of the offset table → byte length of the RR prefix.
+                let off_bytes =
+                    source.read_range_in(format::RR_OFF_BLOCK, share * 8, 8, &mut s.bytes_a)?;
+                let prefix_len = u64::from_le_bytes(off_bytes.try_into().expect("8 bytes"));
 
-            // The RR-set prefix itself (decoded for faithful query-time
-            // cost; greedy itself runs off the inverted lists).
-            let rr_bytes = reader.read_range(format::RR_BLOCK, 0, prefix_len)?;
-            let sets = format::decode_rr_prefix(&rr_bytes, share, codec)?;
-            debug_assert_eq!(sets.len() as u64, share);
+                // The RR-set prefix itself (bulk-decoded into the pooled
+                // arena for faithful query-time cost; greedy itself runs
+                // off the inverted lists).
+                let rr_bytes =
+                    source.read_range_in(format::RR_BLOCK, 0, prefix_len, &mut s.bytes_a)?;
+                format::decode_rr_prefix_into(
+                    rr_bytes,
+                    share,
+                    codec,
+                    &mut s.rr_members,
+                    &mut s.rr_ends,
+                )?;
+                debug_assert_eq!(s.rr_ends.len() as u64, share + 1);
 
-            // Whole L_w decoded into one CSR arena, then truncated to the
-            // prefix and remapped to global ids — still flat.
-            let il_bytes = reader.read_block(format::IL_BLOCK)?;
-            let full = format::decode_il_csr(&il_bytes, codec)?;
-            let mut remapped = IlCsr::default();
-            for j in 0..full.len() {
-                let list = full.list(j);
-                let cut = list.partition_point(|&id| (id as u64) < share);
-                if cut == 0 {
-                    continue;
+                // Whole L_w decoded into one pooled CSR arena, then
+                // truncated to the prefix and remapped to global ids —
+                // still flat, into a pooled output CSR.
+                let il_bytes = source.read_block_in(format::IL_BLOCK, &mut s.bytes_b)?;
+                format::decode_il_csr_into(il_bytes, codec, &mut s.il)?;
+                let full = &s.il;
+                let mut remapped = self.scratch.take_csr();
+                for j in 0..full.len() {
+                    let list = full.list(j);
+                    let cut = list.partition_point(|&id| (id as u64) < share);
+                    if cut == 0 {
+                        continue;
+                    }
+                    remapped.ids.extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
+                    remapped.close_list(full.users[j]);
                 }
-                remapped.ids.extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
-                remapped.close_list(full.users[j]);
-            }
-            Ok((remapped, share))
-        });
+                Ok((remapped, share))
+            },
+        );
 
         let mut keyword_csrs = Vec::with_capacity(scans.len());
         let mut rr_sets_loaded = 0u64;
@@ -91,8 +112,10 @@ impl KbtimIndex {
 
         // Merge in keyword order: per-user lists concatenate with
         // ascending global ids, exactly as the old hash-map merge did —
-        // but via one counting pass and one fill pass over dense arrays.
-        let mut builder = InvertedIndexBuilder::new(self.meta().num_users);
+        // but via one counting pass and one fill pass over dense arrays
+        // recycled from the previous query.
+        let mut builder =
+            InvertedIndexBuilder::recycled(self.meta().num_users, self.scratch.take_arenas());
         for csr in &keyword_csrs {
             for j in 0..csr.len() {
                 builder.count(csr.users[j], csr.list(j).len() as u32);
@@ -107,6 +130,10 @@ impl KbtimIndex {
         let inverted: InvertedIndex = filler.finish();
 
         let cover = greedy_max_cover_inverted_with(&inverted, theta_q, query.k(), &pool);
+        self.scratch.put_arenas(inverted.into_arenas());
+        for csr in keyword_csrs {
+            self.scratch.put_csr(csr);
+        }
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { cover.covered as f64 / theta_q as f64 * phi_q };
         Ok(QueryOutcome {

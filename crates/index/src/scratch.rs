@@ -1,0 +1,173 @@
+//! Reusable per-query scratch state, pooled per index.
+//!
+//! The serving tier's steady state answers the same shapes of query over
+//! and over; before this pool every query re-allocated its byte staging
+//! buffers, per-keyword CSR arenas, the merged inverted index, and the
+//! covered bitset. `ScratchPool` keeps those allocations alive between
+//! queries so a warmed index allocates ~nothing per query.
+//!
+//! Why a lock-based pool and not `thread_local!`: the query paths fan
+//! out per-keyword work on [`kbtim_exec::ExecPool`], whose workers are
+//! *scoped threads spawned per call* — a worker's thread-locals die with
+//! it, so nothing would ever be reused across queries. The pool instead
+//! hands each worker a `ScratchGuard` (one mutex pop), the worker
+//! fills it, and the guard's drop pushes the block back for the next
+//! query — on any thread. Contention is one short lock op per shard
+//! batch, noise next to a block decode.
+//!
+//! Determinism: scratch contents never influence results — every buffer
+//! is cleared or fully overwritten before use, which the serving
+//! equivalence proptests (same seeds for every backend × thread count)
+//! exercise end to end.
+
+use crate::format::IlCsr;
+use kbtim_core::bitset::Bitset;
+use std::sync::Mutex;
+
+/// One worker's reusable buffers. All fields are cleared by their users
+/// before refilling; only capacities persist between queries.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Byte staging for file-backend block/range reads (zero-copy
+    /// backends never touch it).
+    pub(crate) bytes_a: Vec<u8>,
+    /// Second staging buffer for when two raw blocks are alive at once
+    /// (e.g. an IL block decoded while RR bytes are still borrowed).
+    pub(crate) bytes_b: Vec<u8>,
+    /// Bulk RR-prefix decode arena (all member lists back to back).
+    pub(crate) rr_members: Vec<u32>,
+    /// Per-set end boundaries into `rr_members`.
+    pub(crate) rr_ends: Vec<u32>,
+    /// Inverted-list block decode target.
+    pub(crate) il: IlCsr,
+    /// IR-entry member decode scratch (the NRA loop only needs counts).
+    pub(crate) ir_members: Vec<u32>,
+    /// Covered-RR-set bitset of the IRR NRA loop.
+    pub(crate) covered: Bitset,
+    /// Dense per-user selected flags (|V| bools).
+    pub(crate) selected: Vec<bool>,
+}
+
+/// Shared pool of [`QueryScratch`] blocks plus recycled CSR/index
+/// arenas. One per opened index (and one per [`crate::MemoryIndex`]).
+#[derive(Default)]
+pub(crate) struct ScratchPool {
+    scratch: Mutex<Vec<QueryScratch>>,
+    /// Spare per-keyword CSRs (the remapped/truncated lists each query
+    /// keyword produces).
+    csrs: Mutex<Vec<IlCsr>>,
+    /// Spare arena bundles for the merged `InvertedIndex`
+    /// (see `InvertedIndexBuilder::recycled`).
+    arenas: Mutex<Vec<Vec<Vec<u32>>>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Borrow a scratch block; returned to the pool when the guard
+    /// drops.
+    pub(crate) fn guard(&self) -> ScratchGuard<'_> {
+        let block = self.scratch.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        ScratchGuard { pool: self, block: Some(block) }
+    }
+
+    /// Take a spare per-keyword CSR (empty, capacity preserved).
+    pub(crate) fn take_csr(&self) -> IlCsr {
+        self.csrs.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Return a per-keyword CSR for reuse.
+    pub(crate) fn put_csr(&self, mut csr: IlCsr) {
+        csr.reset();
+        self.csrs.lock().expect("scratch pool poisoned").push(csr);
+    }
+
+    /// Take a recycled arena bundle for `InvertedIndexBuilder::recycled`
+    /// (empty on a cold pool — the builder then allocates fresh).
+    pub(crate) fn take_arenas(&self) -> Vec<Vec<u32>> {
+        self.arenas.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Return a finished index's arenas for the next query.
+    pub(crate) fn put_arenas(&self, arenas: Vec<Vec<u32>>) {
+        self.arenas.lock().expect("scratch pool poisoned").push(arenas);
+    }
+}
+
+/// RAII loan of a [`QueryScratch`]; derefs to the block and returns it
+/// to the owning pool on drop.
+pub(crate) struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    block: Option<QueryScratch>,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = QueryScratch;
+
+    fn deref(&self) -> &QueryScratch {
+        self.block.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        self.block.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        let block = self.block.take().expect("scratch present until drop");
+        self.pool.scratch.lock().expect("scratch pool poisoned").push(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_returns_block_to_pool() {
+        let pool = ScratchPool::new();
+        {
+            let mut g = pool.guard();
+            g.bytes_a.resize(1024, 0);
+        }
+        // The same (warm) block comes back.
+        let g = pool.guard();
+        assert!(g.bytes_a.capacity() >= 1024, "capacity must survive the round trip");
+        assert_eq!(pool.scratch.lock().unwrap().len(), 0, "block is out on loan");
+    }
+
+    #[test]
+    fn concurrent_guards_get_distinct_blocks() {
+        let pool = ScratchPool::new();
+        let a = pool.guard();
+        let b = pool.guard();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.scratch.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn csr_round_trip_is_reset() {
+        let pool = ScratchPool::new();
+        let mut csr = pool.take_csr();
+        csr.ids.extend([1, 2, 3]);
+        csr.close_list(7);
+        pool.put_csr(csr);
+        let csr = pool.take_csr();
+        assert!(csr.is_empty());
+        assert_eq!(csr.offsets, vec![0], "reset to the empty-CSR invariant");
+    }
+
+    #[test]
+    fn arena_bundles_round_trip() {
+        let pool = ScratchPool::new();
+        assert!(pool.take_arenas().is_empty(), "cold pool hands out nothing");
+        pool.put_arenas(vec![vec![1, 2, 3], vec![4]]);
+        assert_eq!(pool.take_arenas().len(), 2);
+    }
+}

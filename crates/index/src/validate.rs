@@ -37,7 +37,7 @@ impl KbtimIndex {
                 continue;
             }
             let topic = kw.topic;
-            let reader = self.reader(topic)?;
+            let reader = self.source(topic)?;
             report.keywords_checked += 1;
 
             // --- rr + rr_off ------------------------------------------------

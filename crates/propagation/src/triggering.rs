@@ -1,4 +1,4 @@
-//! Explicit general triggering model (Kempe et al. [15]).
+//! Explicit general triggering model (Kempe et al. \[15\]).
 //!
 //! IC and LT are the two *named* instances the paper evaluates, but the
 //! machinery (RR sampling, WRIS, the disk indexes) works for **any**

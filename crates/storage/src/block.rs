@@ -1,0 +1,510 @@
+//! The zero-copy serving tier: one [`BlockSource`] behind every query path.
+//!
+//! The paper charges every query for the bytes and positioned reads it
+//! performs (Table 6, Figures 5–7), which the positioned-file
+//! [`SegmentReader`] models faithfully — but a production serving tier
+//! wants the opposite trade: segments that are already resident should
+//! hand out **borrowed `&[u8]` views** of their pages instead of copying
+//! every block into a fresh allocation. [`BlockSource`] is that seam. It
+//! exposes the same named-block/range API as [`SegmentReader`] over three
+//! backends selected by [`ServingMode`]:
+//!
+//! * [`ServingMode::File`] — the existing positioned-read path: every
+//!   access copies into a buffer and is counted as read ops/bytes/seeks.
+//!   The faithful-measurement backend.
+//! * [`ServingMode::Resident`] — the segment is loaded **once** into a
+//!   shared page arena at open; block and range views borrow from it.
+//!   Accesses are counted as `cache_hits`/`bytes_served`, never as reads.
+//! * [`ServingMode::Mmap`] — like `Resident`, but the arena is a
+//!   read-only `mmap(2)` of the file (Linux; other platforms silently
+//!   fall back to `Resident`). Pages are shared with the kernel cache,
+//!   so a disk index and an in-memory serving copy cost the bytes once.
+//!
+//! Integrity: the `File` backend verifies a block's CRC on every
+//! `read_block`, exactly as before. The zero-copy backends verify each
+//! block's CRC **once, on first access** (block *or* range — range reads
+//! are therefore checksummed here, which the file backend cannot do), and
+//! remember the verification in an atomic flag; a flipped byte anywhere
+//! in a block's payload is rejected on every backend before any caller
+//! decodes it.
+
+use crate::segment::{parse_segment_slice, BlockEntry, BlockInfo, SegmentReader};
+use crate::segment::{Result, StorageError};
+use crate::{crc32, IoStats};
+use std::fs::File;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which backend a [`BlockSource`] serves from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServingMode {
+    /// Positioned, counted, copying file reads (the measurement backend).
+    #[default]
+    File,
+    /// Whole segment loaded once into a heap page arena; zero-copy views.
+    Resident,
+    /// Read-only memory mapping (Linux); falls back to `Resident` where
+    /// the shim is unavailable.
+    Mmap,
+}
+
+impl ServingMode {
+    /// Parse the CLI spelling (`file` / `resident` / `mmap`).
+    pub fn parse(s: &str) -> Option<ServingMode> {
+        match s {
+            "file" => Some(ServingMode::File),
+            "resident" => Some(ServingMode::Resident),
+            "mmap" => Some(ServingMode::Mmap),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (the CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServingMode::File => "file",
+            ServingMode::Resident => "resident",
+            ServingMode::Mmap => "mmap",
+        }
+    }
+}
+
+impl std::fmt::Display for ServingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A block or range view returned by [`BlockSource`]: borrowed straight
+/// from the page arena on zero-copy backends, owned on the file backend.
+///
+/// Dereferences to `[u8]`; decoders take `&[u8]` and never know which
+/// backend produced the bytes.
+#[derive(Debug)]
+pub enum BlockView<'a> {
+    /// Bytes copied out of the file by a positioned read.
+    Owned(Vec<u8>),
+    /// Bytes borrowed from the source's resident/mapped pages.
+    Borrowed(&'a [u8]),
+}
+
+impl Deref for BlockView<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            BlockView::Owned(v) => v,
+            BlockView::Borrowed(s) => s,
+        }
+    }
+}
+
+impl AsRef<[u8]> for BlockView<'_> {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// The pages a zero-copy segment serves from.
+enum Backing {
+    /// Segment bytes read once onto the heap.
+    Heap(Vec<u8>),
+    /// Read-only kernel mapping of the segment file.
+    #[cfg(target_os = "linux")]
+    Map(crate::mmap::MmapRegion),
+}
+
+impl Backing {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Heap(bytes) => bytes,
+            #[cfg(target_os = "linux")]
+            Backing::Map(region) => region.as_slice(),
+        }
+    }
+}
+
+/// Resident or mapped segment: one page arena + the parsed directory +
+/// per-block first-access CRC verification flags.
+struct ZeroCopySegment {
+    backing: Backing,
+    entries: Vec<BlockEntry>,
+    /// `verified[i]` — block `i`'s payload CRC has been checked against
+    /// the directory. Relaxed ordering suffices: re-verifying a block on
+    /// a race is correct, just redundant.
+    verified: Vec<AtomicBool>,
+    stats: IoStats,
+    path: PathBuf,
+    mode: ServingMode,
+}
+
+impl ZeroCopySegment {
+    fn open(path: &Path, stats: IoStats, mode: ServingMode) -> Result<ZeroCopySegment> {
+        let backing = match mode {
+            ServingMode::Resident => {
+                let mut file = File::open(path)?;
+                let mut bytes = Vec::new();
+                file.read_to_end(&mut bytes)?;
+                Backing::Heap(bytes)
+            }
+            ServingMode::Mmap => {
+                #[cfg(target_os = "linux")]
+                {
+                    let file = File::open(path)?;
+                    Backing::Map(crate::mmap::MmapRegion::map(&file)?)
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    let mut file = File::open(path)?;
+                    let mut bytes = Vec::new();
+                    file.read_to_end(&mut bytes)?;
+                    Backing::Heap(bytes)
+                }
+            }
+            ServingMode::File => unreachable!("file mode uses SegmentReader"),
+        };
+        let entries = parse_segment_slice(backing.as_slice())?;
+        let verified = entries.iter().map(|_| AtomicBool::new(false)).collect();
+        Ok(ZeroCopySegment { backing, entries, verified, stats, path: path.to_path_buf(), mode })
+    }
+
+    fn entry_index(&self, name: &str) -> Result<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| StorageError::MissingBlock(name.to_string()))
+    }
+
+    /// The whole payload of block `i`, CRC-verified on first access.
+    fn verified_payload(&self, i: usize) -> Result<&[u8]> {
+        let entry = &self.entries[i];
+        let payload =
+            &self.backing.as_slice()[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if !self.verified[i].load(Ordering::Relaxed) {
+            if crc32::checksum(payload) != entry.crc {
+                return Err(StorageError::Corrupt(format!(
+                    "checksum mismatch in block {}",
+                    entry.name
+                )));
+            }
+            self.verified[i].store(true, Ordering::Relaxed);
+        }
+        Ok(payload)
+    }
+
+    fn read_block(&self, name: &str) -> Result<&[u8]> {
+        let i = self.entry_index(name)?;
+        let payload = self.verified_payload(i)?;
+        self.stats.record_served(payload.len() as u64);
+        Ok(payload)
+    }
+
+    fn read_range(&self, name: &str, offset: u64, len: u64) -> Result<&[u8]> {
+        let i = self.entry_index(name)?;
+        let entry_len = self.entries[i].len;
+        if offset.checked_add(len).is_none_or(|end| end > entry_len) {
+            return Err(StorageError::RangeOutOfBounds {
+                block: name.to_string(),
+                offset,
+                len,
+                block_len: entry_len,
+            });
+        }
+        let payload = self.verified_payload(i)?;
+        self.stats.record_served(len);
+        Ok(&payload[offset as usize..(offset + len) as usize])
+    }
+}
+
+/// One segment served through a backend-neutral block/range-view API.
+///
+/// Every method mirrors [`SegmentReader`]; the only behavioral difference
+/// between backends is *where the bytes come from* and *which counters
+/// record the access* — payload bytes, checksum outcomes, and errors are
+/// identical, which the serving-equivalence proptests enforce.
+pub struct BlockSource {
+    inner: SourceInner,
+}
+
+enum SourceInner {
+    File(SegmentReader),
+    ZeroCopy(ZeroCopySegment),
+}
+
+impl BlockSource {
+    /// Open `path` with the requested backend.
+    ///
+    /// `Mmap` falls back to `Resident` on non-Linux targets (the views
+    /// and counters are identical; only the page owner differs).
+    pub fn open(path: impl AsRef<Path>, stats: IoStats, mode: ServingMode) -> Result<BlockSource> {
+        let path = path.as_ref();
+        let inner = match mode {
+            ServingMode::File => SourceInner::File(SegmentReader::open(path, stats)?),
+            ServingMode::Resident | ServingMode::Mmap => {
+                SourceInner::ZeroCopy(ZeroCopySegment::open(path, stats, mode)?)
+            }
+        };
+        Ok(BlockSource { inner })
+    }
+
+    /// Wrap an already-open positioned reader as a `File`-mode source.
+    pub fn from_reader(reader: SegmentReader) -> BlockSource {
+        BlockSource { inner: SourceInner::File(reader) }
+    }
+
+    /// The backend this source serves from.
+    pub fn mode(&self) -> ServingMode {
+        match &self.inner {
+            SourceInner::File(_) => ServingMode::File,
+            SourceInner::ZeroCopy(z) => z.mode,
+        }
+    }
+
+    /// Names and sizes of every block.
+    pub fn blocks(&self) -> Vec<BlockInfo> {
+        match &self.inner {
+            SourceInner::File(r) => r.blocks(),
+            SourceInner::ZeroCopy(z) => {
+                z.entries.iter().map(|e| BlockInfo { name: e.name.clone(), len: e.len }).collect()
+            }
+        }
+    }
+
+    /// Length of a named block's payload in bytes.
+    pub fn block_len(&self, name: &str) -> Result<u64> {
+        match &self.inner {
+            SourceInner::File(r) => r.block_len(name),
+            SourceInner::ZeroCopy(z) => Ok(z.entries[z.entry_index(name)?].len),
+        }
+    }
+
+    /// A view of a whole block, checksum-verified on every backend.
+    pub fn read_block(&self, name: &str) -> Result<BlockView<'_>> {
+        match &self.inner {
+            SourceInner::File(r) => Ok(BlockView::Owned(r.read_block(name)?)),
+            SourceInner::ZeroCopy(z) => Ok(BlockView::Borrowed(z.read_block(name)?)),
+        }
+    }
+
+    /// A view of `len` bytes starting `offset` bytes into the block.
+    ///
+    /// Zero-copy backends verify the whole containing block's CRC on its
+    /// first access; the file backend cannot verify ranges (the CRC
+    /// covers whole blocks) and reads them unchecked, as before.
+    pub fn read_range(&self, name: &str, offset: u64, len: u64) -> Result<BlockView<'_>> {
+        match &self.inner {
+            SourceInner::File(r) => Ok(BlockView::Owned(r.read_range(name, offset, len)?)),
+            SourceInner::ZeroCopy(z) => Ok(BlockView::Borrowed(z.read_range(name, offset, len)?)),
+        }
+    }
+
+    /// [`BlockSource::read_block`] through a caller-owned scratch buffer:
+    /// zero-copy backends ignore `scratch` and return a borrowed view;
+    /// the file backend reads into `scratch` (resized, no allocation in
+    /// steady state) and returns a slice of it.
+    pub fn read_block_in<'a>(&'a self, name: &str, scratch: &'a mut Vec<u8>) -> Result<&'a [u8]> {
+        match &self.inner {
+            SourceInner::File(r) => {
+                r.read_block_into(name, scratch)?;
+                Ok(scratch.as_slice())
+            }
+            SourceInner::ZeroCopy(z) => z.read_block(name),
+        }
+    }
+
+    /// [`BlockSource::read_range`] through a caller-owned scratch buffer
+    /// (see [`BlockSource::read_block_in`]).
+    pub fn read_range_in<'a>(
+        &'a self,
+        name: &str,
+        offset: u64,
+        len: u64,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8]> {
+        match &self.inner {
+            SourceInner::File(r) => {
+                r.read_range_into(name, offset, len, scratch)?;
+                Ok(scratch.as_slice())
+            }
+            SourceInner::ZeroCopy(z) => z.read_range(name, offset, len),
+        }
+    }
+
+    /// The shared I/O counters this source records into.
+    pub fn stats(&self) -> &IoStats {
+        match &self.inner {
+            SourceInner::File(r) => r.stats(),
+            SourceInner::ZeroCopy(z) => &z.stats,
+        }
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        match &self.inner {
+            SourceInner::File(r) => r.path(),
+            SourceInner::ZeroCopy(z) => &z.path,
+        }
+    }
+
+    /// Total on-disk size of the segment file.
+    pub fn file_len(&self) -> Result<u64> {
+        match &self.inner {
+            SourceInner::File(r) => r.file_len(),
+            SourceInner::ZeroCopy(z) => Ok(z.backing.as_slice().len() as u64),
+        }
+    }
+
+    /// Bytes of segment data this source keeps resident (0 for the file
+    /// backend; the arena/mapping size otherwise). Mmap pages are shared
+    /// with the kernel cache, so this is an upper bound there.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.inner {
+            SourceInner::File(_) => 0,
+            SourceInner::ZeroCopy(z) => z.backing.as_slice().len() as u64,
+        }
+    }
+}
+
+/// Every mode that is expected to work on the current platform, for
+/// tests and benches that sweep backends.
+pub fn all_modes() -> [ServingMode; 3] {
+    [ServingMode::File, ServingMode::Resident, ServingMode::Mmap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentWriter;
+    use crate::TempDir;
+
+    fn write_demo(path: &Path) {
+        let mut writer = SegmentWriter::create(path).unwrap();
+        writer.write_block("alpha", b"hello world").unwrap();
+        writer.write_block("beta", b"0123456789").unwrap();
+        writer.write_block("empty", b"").unwrap();
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn all_backends_serve_identical_bytes() {
+        let dir = TempDir::new("blocksrc").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        for mode in all_modes() {
+            let src = BlockSource::open(&path, IoStats::new(), mode).unwrap();
+            assert_eq!(&*src.read_block("alpha").unwrap(), b"hello world", "{mode}");
+            assert_eq!(&*src.read_block("empty").unwrap(), b"", "{mode}");
+            assert_eq!(&*src.read_range("beta", 3, 4).unwrap(), b"3456", "{mode}");
+            assert_eq!(src.block_len("beta").unwrap(), 10);
+            assert_eq!(src.blocks().len(), 3);
+            assert!(matches!(
+                src.read_range("beta", 8, 5).unwrap_err(),
+                StorageError::RangeOutOfBounds { .. }
+            ));
+            assert!(matches!(src.read_block("nope").unwrap_err(), StorageError::MissingBlock(_)));
+        }
+    }
+
+    #[test]
+    fn scratch_reads_match_view_reads() {
+        let dir = TempDir::new("blocksrc-scratch").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let mut scratch = Vec::new();
+        for mode in all_modes() {
+            let src = BlockSource::open(&path, IoStats::new(), mode).unwrap();
+            assert_eq!(src.read_block_in("alpha", &mut scratch).unwrap(), b"hello world");
+            assert_eq!(src.read_range_in("beta", 0, 2, &mut scratch).unwrap(), b"01");
+        }
+    }
+
+    #[test]
+    fn file_mode_counts_reads_zero_copy_counts_hits() {
+        let dir = TempDir::new("blocksrc-stats").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+
+        let stats = IoStats::new();
+        let src = BlockSource::open(&path, stats.clone(), ServingMode::File).unwrap();
+        src.read_block("alpha").unwrap();
+        src.read_range("beta", 0, 4).unwrap();
+        assert_eq!(stats.read_ops(), 2);
+        assert_eq!(stats.bytes_read(), 11 + 4);
+        assert_eq!(stats.cache_hits(), 0);
+
+        for mode in [ServingMode::Resident, ServingMode::Mmap] {
+            let stats = IoStats::new();
+            let src = BlockSource::open(&path, stats.clone(), mode).unwrap();
+            src.read_block("alpha").unwrap();
+            src.read_range("beta", 0, 4).unwrap();
+            assert_eq!(stats.read_ops(), 0, "{mode}: zero-copy must not count reads");
+            assert_eq!(stats.bytes_read(), 0, "{mode}");
+            assert_eq!(stats.cache_hits(), 2, "{mode}");
+            assert_eq!(stats.bytes_served(), 11 + 4, "{mode}");
+        }
+    }
+
+    #[test]
+    fn corruption_rejected_on_every_backend() {
+        let dir = TempDir::new("blocksrc-crc").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        // Flip one payload byte of "alpha" (first block, right after the
+        // 16-byte header).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        for mode in all_modes() {
+            let src = BlockSource::open(&path, IoStats::new(), mode).unwrap();
+            assert!(
+                matches!(src.read_block("alpha").unwrap_err(), StorageError::Corrupt(_)),
+                "{mode}: flipped byte must fail CRC"
+            );
+            // Zero-copy backends also catch it on range reads; untouched
+            // blocks still serve.
+            if mode != ServingMode::File {
+                assert!(src.read_range("alpha", 0, 2).is_err(), "{mode}");
+            }
+            assert_eq!(&*src.read_block("beta").unwrap(), b"0123456789", "{mode}");
+        }
+    }
+
+    #[test]
+    fn verification_happens_once_then_serves() {
+        let dir = TempDir::new("blocksrc-once").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let src = BlockSource::open(&path, IoStats::new(), ServingMode::Resident).unwrap();
+        // Range before block: the first access verifies, later ones reuse.
+        assert_eq!(&*src.read_range("alpha", 6, 5).unwrap(), b"world");
+        assert_eq!(&*src.read_block("alpha").unwrap(), b"hello world");
+        assert_eq!(src.stats().cache_hits(), 2);
+    }
+
+    #[test]
+    fn mode_and_resident_bytes_reported() {
+        let dir = TempDir::new("blocksrc-mode").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        let file = BlockSource::open(&path, IoStats::new(), ServingMode::File).unwrap();
+        assert_eq!(file.mode(), ServingMode::File);
+        assert_eq!(file.resident_bytes(), 0);
+        assert_eq!(file.file_len().unwrap(), file_len);
+        let res = BlockSource::open(&path, IoStats::new(), ServingMode::Resident).unwrap();
+        assert_eq!(res.mode(), ServingMode::Resident);
+        assert_eq!(res.resident_bytes(), file_len);
+        assert_eq!(res.file_len().unwrap(), file_len);
+    }
+
+    #[test]
+    fn serving_mode_parse_roundtrip() {
+        for mode in all_modes() {
+            assert_eq!(ServingMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(ServingMode::parse("disk"), None);
+        assert_eq!(ServingMode::default(), ServingMode::File);
+    }
+}

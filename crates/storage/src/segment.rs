@@ -29,8 +29,8 @@ use std::sync::Mutex;
 
 const MAGIC: &[u8; 8] = b"KBTIMSG1";
 const VERSION: u32 = 1;
-const HEADER_LEN: u64 = 16;
-const FOOTER_LEN: u64 = 8 + 8 + 4 + 8;
+pub(crate) const HEADER_LEN: u64 = 16;
+pub(crate) const FOOTER_LEN: u64 = 8 + 8 + 4 + 8;
 
 /// Errors from segment reading/writing.
 #[derive(Debug)]
@@ -89,11 +89,11 @@ impl From<std::io::Error> for StorageError {
 pub type Result<T> = std::result::Result<T, StorageError>;
 
 #[derive(Debug, Clone)]
-struct BlockEntry {
-    name: String,
-    offset: u64,
-    len: u64,
-    crc: u32,
+pub(crate) struct BlockEntry {
+    pub(crate) name: String,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) crc: u32,
 }
 
 /// Writes a segment file: header, then blocks, then directory + footer.
@@ -258,31 +258,13 @@ impl SegmentReader {
         // Header.
         let mut header = [0u8; HEADER_LEN as usize];
         file.read_exact(&mut header)?;
-        if &header[0..8] != MAGIC {
-            return Err(StorageError::Corrupt("bad header magic".into()));
-        }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
-        if version != VERSION {
-            return Err(StorageError::Corrupt(format!("unsupported version {version}")));
-        }
-        let reserved = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
-        if reserved != 0 {
-            return Err(StorageError::Corrupt("nonzero reserved header field".into()));
-        }
+        check_header(&header)?;
 
         // Footer.
         let mut footer = [0u8; FOOTER_LEN as usize];
         file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
         file.read_exact(&mut footer)?;
-        if &footer[20..28] != MAGIC {
-            return Err(StorageError::Corrupt("bad footer magic".into()));
-        }
-        let dir_offset = u64::from_le_bytes(footer[0..8].try_into().expect("fixed slice"));
-        let dir_len = u64::from_le_bytes(footer[8..16].try_into().expect("fixed slice"));
-        let dir_crc = u32::from_le_bytes(footer[16..20].try_into().expect("fixed slice"));
-        if dir_offset + dir_len + FOOTER_LEN != file_len {
-            return Err(StorageError::Corrupt("directory framing mismatch".into()));
-        }
+        let (dir_offset, dir_len, dir_crc) = check_footer(&footer, file_len)?;
 
         // Directory.
         let mut dir = vec![0u8; dir_len as usize];
@@ -313,13 +295,22 @@ impl SegmentReader {
 
     /// Read a whole block and verify its checksum.
     pub fn read_block(&self, name: &str) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.read_block_into(name, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`SegmentReader::read_block`] into a caller-owned buffer (resized
+    /// to the block length), so steady-state readers allocate nothing.
+    pub fn read_block_into(&self, name: &str, buf: &mut Vec<u8>) -> Result<()> {
         let entry = self.entry(name)?.clone();
-        let mut buf = vec![0u8; entry.len as usize];
-        self.file.lock().expect("reader poisoned").read_at(entry.offset, &mut buf, &self.stats)?;
-        if crc32::checksum(&buf) != entry.crc {
+        buf.clear();
+        buf.resize(entry.len as usize, 0);
+        self.file.lock().expect("reader poisoned").read_at(entry.offset, buf, &self.stats)?;
+        if crc32::checksum(buf) != entry.crc {
             return Err(StorageError::Corrupt(format!("checksum mismatch in block {name}")));
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Read `len` bytes starting `offset` bytes into the named block.
@@ -328,8 +319,22 @@ impl SegmentReader {
     /// block); they exist so queries can load an RR-set prefix or a single
     /// IRR partition without paying for the full block.
     pub fn read_range(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.read_range_into(name, offset, len, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`SegmentReader::read_range`] into a caller-owned buffer (resized
+    /// to `len`).
+    pub fn read_range_into(
+        &self,
+        name: &str,
+        offset: u64,
+        len: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
         let entry = self.entry(name)?.clone();
-        if offset + len > entry.len {
+        if offset.checked_add(len).is_none_or(|end| end > entry.len) {
             return Err(StorageError::RangeOutOfBounds {
                 block: name.to_string(),
                 offset,
@@ -337,13 +342,14 @@ impl SegmentReader {
                 block_len: entry.len,
             });
         }
-        let mut buf = vec![0u8; len as usize];
+        buf.clear();
+        buf.resize(len as usize, 0);
         self.file.lock().expect("reader poisoned").read_at(
             entry.offset + offset,
-            &mut buf,
+            buf,
             &self.stats,
         )?;
-        Ok(buf)
+        Ok(())
     }
 
     /// The shared I/O counters this reader records into.
@@ -369,6 +375,59 @@ impl SegmentReader {
     }
 }
 
+/// Validate the fixed 16-byte header (magic, version, reserved field).
+fn check_header(header: &[u8]) -> Result<()> {
+    if &header[0..8] != MAGIC {
+        return Err(StorageError::Corrupt("bad header magic".into()));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!("unsupported version {version}")));
+    }
+    let reserved = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
+    if reserved != 0 {
+        return Err(StorageError::Corrupt("nonzero reserved header field".into()));
+    }
+    Ok(())
+}
+
+/// Validate the fixed footer against the total file length and return
+/// `(dir_offset, dir_len, dir_crc)`. Framing arithmetic is checked, so a
+/// forged footer can never wrap into "valid" bounds.
+fn check_footer(footer: &[u8], file_len: u64) -> Result<(u64, u64, u32)> {
+    if &footer[20..28] != MAGIC {
+        return Err(StorageError::Corrupt("bad footer magic".into()));
+    }
+    let dir_offset = u64::from_le_bytes(footer[0..8].try_into().expect("fixed slice"));
+    let dir_len = u64::from_le_bytes(footer[8..16].try_into().expect("fixed slice"));
+    let dir_crc = u32::from_le_bytes(footer[16..20].try_into().expect("fixed slice"));
+    let end = dir_offset.checked_add(dir_len).and_then(|v| v.checked_add(FOOTER_LEN));
+    if end != Some(file_len) {
+        return Err(StorageError::Corrupt("directory framing mismatch".into()));
+    }
+    Ok((dir_offset, dir_len, dir_crc))
+}
+
+/// Validate the framing of a whole segment held in memory and return its
+/// directory. Shared by the resident and mmap backends of
+/// [`crate::block::BlockSource`]; runs exactly the same [`check_header`]
+/// / [`check_footer`] / directory-CRC / [`parse_directory`] chain as
+/// [`SegmentReader::open`], so the two paths cannot drift.
+pub(crate) fn parse_segment_slice(bytes: &[u8]) -> Result<Vec<BlockEntry>> {
+    let file_len = bytes.len() as u64;
+    if file_len < HEADER_LEN + FOOTER_LEN {
+        return Err(StorageError::Corrupt("file shorter than framing".into()));
+    }
+    check_header(&bytes[..HEADER_LEN as usize])?;
+    let footer = &bytes[(file_len - FOOTER_LEN) as usize..];
+    let (dir_offset, dir_len, dir_crc) = check_footer(footer, file_len)?;
+    let dir = &bytes[dir_offset as usize..(dir_offset + dir_len) as usize];
+    if crc32::checksum(dir) != dir_crc {
+        return Err(StorageError::Corrupt("directory checksum mismatch".into()));
+    }
+    parse_directory(dir, dir_offset)
+}
+
 fn parse_directory(dir: &[u8], dir_offset: u64) -> Result<Vec<BlockEntry>> {
     let corrupt = |msg: &str| StorageError::Corrupt(msg.to_string());
     let mut pos = 0usize;
@@ -390,7 +449,11 @@ fn parse_directory(dir: &[u8], dir_offset: u64) -> Result<Vec<BlockEntry>> {
         let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("fixed"));
         let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("fixed"));
         let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed"));
-        if offset < HEADER_LEN || offset + len > dir_offset {
+        // Checked: a forged entry must not wrap into "valid" bounds (the
+        // zero-copy backends slice payloads straight out of these
+        // extents, so out-of-bounds here must be an error, not a panic).
+        let end = offset.checked_add(len).ok_or_else(|| corrupt("block extent out of bounds"))?;
+        if offset < HEADER_LEN || end > dir_offset {
             return Err(corrupt("block extent out of bounds"));
         }
         entries.push(BlockEntry { name, offset, len, crc });

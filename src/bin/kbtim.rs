@@ -6,8 +6,8 @@
 //! kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
 //!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
-//!                [--threads N]
-//! kbtim validate --index DIR
+//!                [--threads N] [--serving file|resident|mmap]
+//! kbtim validate --index DIR [--serving file|resident|mmap]
 //! ```
 //!
 //! `gen` writes `graph.txt` (SNAP edge list) and `profiles.tsv` into the
@@ -17,7 +17,9 @@
 use kbtim::core::theta::SamplingConfig;
 use kbtim::datagen::{DatasetConfig, DatasetFamily};
 use kbtim::graph::{io as graph_io, stats::graph_stats, Graph};
-use kbtim::index::{IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ThetaMode};
+use kbtim::index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ServingMode, ThetaMode,
+};
 use kbtim::propagation::model::{IcModel, LtModel};
 use kbtim::storage::IoStats;
 use kbtim::topics::{io as topics_io, Query, UserProfiles};
@@ -70,8 +72,8 @@ USAGE:
   kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
                  [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
-                 [--threads N]
-  kbtim validate --index DIR";
+                 [--threads N] [--serving file|resident|mmap]
+  kbtim validate --index DIR [--serving file|resident|mmap]";
 
 /// `--key value` pairs, last occurrence wins.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -226,6 +228,12 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn serving_mode(flags: &HashMap<String, String>) -> Result<ServingMode, String> {
+    let raw = flags.get("serving").map(String::as_str).unwrap_or("file");
+    ServingMode::parse(raw)
+        .ok_or_else(|| format!("--serving must be file|resident|mmap, got {raw:?}"))
+}
+
 fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let dir = required(flags, "index")?;
     let topics: Vec<u32> = required(flags, "topics")?
@@ -235,8 +243,9 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: u32 = parse(flags, "k", 30)?;
     let algo = flags.get("algo").map(String::as_str).unwrap_or("irr");
     let threads: usize = parse(flags, "threads", 0)?;
+    let mode = serving_mode(flags)?;
 
-    let mut index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    let mut index = KbtimIndex::open_with(dir, IoStats::new(), mode).map_err(|e| e.to_string())?;
     // 0 (the default) = use the machine's available parallelism; the
     // answer is identical either way.
     if threads > 0 {
@@ -255,19 +264,24 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("marginal coverage: {:?}", outcome.marginal_gains);
     println!("estimated targeted influence: {:.2}", outcome.estimated_influence);
     println!(
-        "theta_q {}, rr sets loaded {}, reads {}, bytes {}, time {:.2?}",
+        "theta_q {}, rr sets loaded {}, reads {}, bytes {}, \
+         cache hits {}, bytes served {}, time {:.2?} (serving {})",
         outcome.stats.theta_q,
         outcome.stats.rr_sets_loaded,
         outcome.stats.io.read_ops,
         outcome.stats.io.bytes_read,
-        outcome.stats.elapsed
+        outcome.stats.io.cache_hits,
+        outcome.stats.io.bytes_served,
+        outcome.stats.elapsed,
+        index.serving_mode(),
     );
     Ok(())
 }
 
 fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     let dir = required(flags, "index")?;
-    let index = KbtimIndex::open(dir, IoStats::new()).map_err(|e| e.to_string())?;
+    let mode = serving_mode(flags)?;
+    let index = KbtimIndex::open_with(dir, IoStats::new(), mode).map_err(|e| e.to_string())?;
     let report = index.validate().map_err(|e| e.to_string())?;
     println!(
         "ok: {} keywords, {} RR sets, {} inverted entries, {} partitions (model {}, {:?})",

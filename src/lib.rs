@@ -50,7 +50,7 @@
 //! [`index::KbtimIndex::query_auto`] — see `examples/`. A zero-I/O
 //! serving copy is available as [`index::MemoryIndex`], classic IM
 //! baselines (CELF, degree heuristics) live in
-//! [`core::baselines`](kbtim_core::baselines), and the `kbtim` binary
+//! [`core::baselines`], and the `kbtim` binary
 //! drives everything from the shell.
 
 pub use kbtim_codec as codec;

@@ -68,6 +68,27 @@ fn full_cli_workflow() {
     assert!(rr_seeds.starts_with("seeds: ["), "{rr_seeds}");
     assert_eq!(rr_seeds, irr_seeds, "Theorem 3 via the CLI");
 
+    // Every serving backend answers identically (and validates).
+    for serving in ["file", "resident", "mmap"] {
+        let out = kbtim()
+            .args(["query", "--index", index.to_str().unwrap()])
+            .args(["--topics", "0,1", "--k", "8", "--algo", "rr", "--serving", serving])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "query --serving {serving} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert_eq!(
+            stdout.lines().next().unwrap_or_default(),
+            rr_seeds,
+            "serving {serving} must match the file backend"
+        );
+        let out = kbtim()
+            .args(["validate", "--index", index.to_str().unwrap(), "--serving", serving])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "validate --serving {serving} failed");
+    }
+
     std::fs::remove_dir_all(&root).ok();
 }
 
@@ -111,6 +132,13 @@ fn bad_arguments_fail_cleanly() {
     // Query against a missing index.
     let out = kbtim().args(["query", "--index", "/nonexistent", "--topics", "0"]).output().unwrap();
     assert!(!out.status.success());
+    // Bad serving backend.
+    let out = kbtim()
+        .args(["query", "--index", "/nonexistent", "--topics", "0", "--serving", "floppy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--serving"));
 }
 
 #[test]

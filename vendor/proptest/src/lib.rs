@@ -261,7 +261,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length argument of [`vec`]: a fixed length or a range.
+    /// Length argument of [`vec()`]: a fixed length or a range.
     pub trait IntoLenRange {
         /// Lower/upper (exclusive) bounds.
         fn bounds(&self) -> (usize, usize);
