@@ -1,0 +1,219 @@
+//! Record a machine-readable baseline for the concurrent serving
+//! runtime.
+//!
+//! Same 100k-node news-family graph, index configuration and query mix
+//! as `serving_baseline` / `BENCH_serving.json`, so the numbers compose:
+//! that baseline froze single-caller query latency per backend; this one
+//! measures **aggregate throughput under concurrent clients**. A
+//! closed-loop load generator runs 1 / 2 / 4 / 8 client threads against
+//! one shared [`QueryEngine`] (mmap backend through the process-wide
+//! page cache, per-query fan-out pinned to 1 so client concurrency *is*
+//! the parallelism) and compares against a serial one-thread loop over
+//! the same request sequence.
+//!
+//! Every concurrent answer is checked bit-identical to the serial
+//! oracle's — the determinism contract is enforced in the bench itself,
+//! not just in tests. On a 1-core host the scaling is flat by hardware;
+//! the equality checks still run.
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin concurrent_baseline [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks the dataset and round count for CI (and skips
+//! writing the JSON unless a path is given explicitly).
+
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    Algo, EngineRequest, IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, PageCache,
+    QueryEngine, ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const TOPICS: u32 = 16;
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    users: u32,
+    theta_cap: u64,
+    /// Closed-loop iterations of the request mix per client thread.
+    rounds_per_client: usize,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let config = if smoke {
+        Config { users: 2_000, theta_cap: 800, rounds_per_client: 5 }
+    } else {
+        Config { users: 100_000, theta_cap: 4_000, rounds_per_client: 40 }
+    };
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({} users, {TOPICS} topics)...", config.users);
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(config.users)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    eprintln!("building IRR index...");
+    let build_config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(config.theta_cap),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: host_threads,
+        seed: SEED,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("concurrent-baseline-idx").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, build_config).build(dir.path()).unwrap();
+    eprintln!(
+        "index built: Σθ_w = {}, {:.1} MiB, {:.1}s",
+        report.total_theta,
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed.as_secs_f64()
+    );
+
+    // The server configuration: mmap pages shared through the
+    // process-wide cache, per-query fan-out pinned to 1 worker so the
+    // client threads are the parallelism (the `kbtim serve` default).
+    let mut index =
+        KbtimIndex::open_shared(dir.path(), IoStats::new(), ServingMode::Mmap, PageCache::global())
+            .unwrap();
+    index.set_threads(Some(1));
+    let engine = Arc::new(QueryEngine::new(Arc::new(index)));
+
+    // Same query mix as serving_baseline, each shape through both disk
+    // algorithms.
+    let mix: Vec<EngineRequest> =
+        [(vec![0u32, 1], 10u32), (vec![2, 3, 4], 10), (vec![0, 5, 9, 12], 25)]
+            .into_iter()
+            .flat_map(|(topics, k)| {
+                [Algo::Rr, Algo::Irr].into_iter().map(move |algo| EngineRequest {
+                    topics: topics.clone(),
+                    k,
+                    algo,
+                })
+            })
+            .collect();
+
+    // Serial oracle: answers recorded once, then a timed single-thread
+    // closed loop (bypassing coalescing — the "before" this PR measures
+    // against).
+    let expected: Vec<_> =
+        mix.iter().map(|req| engine.execute(req).unwrap().seeds.clone()).collect();
+    let serial_requests = config.rounds_per_client * mix.len();
+    let started = Instant::now();
+    for round in 0..config.rounds_per_client {
+        for (req, want) in mix.iter().zip(&expected) {
+            let outcome = engine.execute(req).unwrap();
+            assert_eq!(&outcome.seeds, want, "serial loop diverged at round {round}");
+        }
+    }
+    let serial_secs = started.elapsed().as_secs_f64();
+    let serial_qps = serial_requests as f64 / serial_secs;
+    eprintln!("serial: {serial_requests} requests in {serial_secs:.2}s = {serial_qps:.0} qps");
+
+    let mut rows = Vec::new();
+    for clients in CLIENT_COUNTS {
+        let barrier = Barrier::new(clients);
+        let total_requests = clients * config.rounds_per_client * mix.len();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..clients)
+                .map(|tid| {
+                    let engine = Arc::clone(&engine);
+                    let mix = &mix;
+                    let expected = &expected;
+                    let barrier = &barrier;
+                    let rounds = config.rounds_per_client;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        for round in 0..rounds {
+                            for i in 0..mix.len() {
+                                // Rotate per thread: clients hit different
+                                // requests at any instant, as real
+                                // advertisers would.
+                                let at = (i + tid + round) % mix.len();
+                                let outcome = engine.query(&mix[at]).unwrap();
+                                assert_eq!(
+                                    outcome.seeds, expected[at],
+                                    "client {tid} diverged from serial on request {at}"
+                                );
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for join in joins {
+                join.join().expect("client thread panicked");
+            }
+        });
+        let secs = started.elapsed().as_secs_f64();
+        let qps = total_requests as f64 / secs;
+        eprintln!(
+            "{clients} client(s): {total_requests} requests in {secs:.2}s = {qps:.0} qps \
+             ({:.2}x serial)",
+            qps / serial_qps
+        );
+        rows.push(format!(
+            r#"    "{clients}": {{ "qps": {qps:.1}, "speedup_vs_serial": {:.3} }}"#,
+            qps / serial_qps
+        ));
+    }
+    eprintln!("engine totals: {} executed, {} coalesced", engine.executed(), engine.coalesced());
+
+    if smoke && out_path.is_none() {
+        eprintln!("smoke run: all answers bit-identical to serial; no JSON written");
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_concurrent.json".to_string());
+    let json = format!(
+        r#"{{
+  "bench": "concurrent_serving",
+  "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "index": {{ "users": {users}, "topics": {TOPICS}, "theta_cap": {theta_cap}, "variant": "irr", "partition_size": 100, "total_theta": {total_theta} }},
+  "serving_mode": "mmap (process-wide page cache)",
+  "per_query_threads": 1,
+  "request_mix": "k=10 w=2, k=10 w=3, k=25 w=4, each via rr and irr ({rounds} closed-loop rounds per client)",
+  "comparable_to": "BENCH_serving.json (same graph, index config, query shapes)",
+  "answers_bit_identical_to_serial": true,
+  "requests_coalesced": {coalesced},
+  "serial_qps": {serial_qps:.1},
+  "concurrent_clients": {{
+{rows}
+  }}
+}}
+"#,
+        nodes = data.graph.num_nodes(),
+        edges = data.graph.num_edges(),
+        users = config.users,
+        theta_cap = config.theta_cap,
+        total_theta = report.total_theta,
+        rounds = config.rounds_per_client,
+        coalesced = engine.coalesced(),
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

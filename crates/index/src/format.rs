@@ -312,18 +312,35 @@ pub fn encode_ip(users: &[NodeId], firsts: &[u32], codec: Codec, out: &mut Vec<u
 
 /// Decode the `ip` block into parallel `(users, firsts)`.
 pub fn decode_ip(input: &[u8], codec: Codec) -> Result<(Vec<NodeId>, Vec<u32>), IndexError> {
+    let mut users = Vec::new();
+    let mut firsts = Vec::new();
+    decode_ip_into(input, codec, &mut users, &mut firsts)?;
+    Ok((users, firsts))
+}
+
+/// [`decode_ip`] into caller-owned (scratch-pooled) buffers, cleared
+/// first; steady-state decodes allocate nothing once the buffers are
+/// warm.
+pub fn decode_ip_into(
+    input: &[u8],
+    codec: Codec,
+    users: &mut Vec<NodeId>,
+    firsts: &mut Vec<u32>,
+) -> Result<(), IndexError> {
     let mut cursor = Cursor::new(input);
     let count = cursor.u32()? as usize;
-    let users = cursor.list(codec)?;
+    users.clear();
+    cursor.list_into(codec, users)?;
     if users.len() != count {
         return Err(IndexError::Corrupt("ip user count mismatch".into()));
     }
-    let mut firsts = Vec::with_capacity(count);
+    firsts.clear();
+    firsts.reserve(count);
     for _ in 0..count {
         firsts.push(cursor.u32()?);
     }
     cursor.expect_end()?;
-    Ok((users, firsts))
+    Ok(())
 }
 
 /// Every `IR_SAMPLE_EVERY`-th IR entry gets an (id, byte-offset) sample so
@@ -394,39 +411,56 @@ pub fn encode_partition_meta(parts: &[PartitionMeta], out: &mut Vec<u8>) {
 
 /// Decode the `pmeta` block.
 pub fn decode_partition_meta(input: &[u8]) -> Result<Vec<PartitionMeta>, IndexError> {
+    let mut parts = Vec::new();
+    decode_partition_meta_into(input, &mut parts)?;
+    Ok(parts)
+}
+
+/// [`decode_partition_meta`] into a caller-owned (scratch-pooled) vec.
+/// Rows already present are overwritten in place so their `ir_samples`
+/// buffers are reused; steady-state decodes allocate nothing once the
+/// catalog shapes are warm.
+pub fn decode_partition_meta_into(
+    input: &[u8],
+    parts: &mut Vec<PartitionMeta>,
+) -> Result<(), IndexError> {
     let mut cursor = Cursor::new(input);
     let count = cursor.u32()? as usize;
-    let mut parts = Vec::with_capacity(count);
-    for _ in 0..count {
-        let il_start = cursor.u64()?;
-        let il_end = cursor.u64()?;
-        let ir_start = cursor.u64()?;
-        let ir_end = cursor.u64()?;
-        let rr_count = cursor.u32()?;
-        let user_count = cursor.u32()?;
-        let max_len_after = cursor.u32()?;
+    parts.truncate(count);
+    for i in 0..count {
+        if parts.len() <= i {
+            parts.push(PartitionMeta {
+                il_start: 0,
+                il_end: 0,
+                ir_start: 0,
+                ir_end: 0,
+                rr_count: 0,
+                user_count: 0,
+                max_len_after: 0,
+                ir_samples: Vec::new(),
+            });
+        }
+        let part = &mut parts[i];
+        part.il_start = cursor.u64()?;
+        part.il_end = cursor.u64()?;
+        part.ir_start = cursor.u64()?;
+        part.ir_end = cursor.u64()?;
+        part.rr_count = cursor.u32()?;
+        part.user_count = cursor.u32()?;
+        part.max_len_after = cursor.u32()?;
         let sample_count = cursor.u32()? as usize;
-        let mut ir_samples = Vec::with_capacity(sample_count);
+        part.ir_samples.clear();
+        part.ir_samples.reserve(sample_count);
         let mut prev_id = 0u32;
         let mut prev_off = 0u64;
         for _ in 0..sample_count {
             prev_id += cursor.u32()?;
             prev_off += cursor.u64()?;
-            ir_samples.push((prev_id, prev_off));
+            part.ir_samples.push((prev_id, prev_off));
         }
-        parts.push(PartitionMeta {
-            il_start,
-            il_end,
-            ir_start,
-            ir_end,
-            rr_count,
-            user_count,
-            max_len_after,
-            ir_samples,
-        });
     }
     cursor.expect_end()?;
-    Ok(parts)
+    Ok(())
 }
 
 /// One partitioned RR set: its per-keyword ordinal id and sorted members.

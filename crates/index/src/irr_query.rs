@@ -23,9 +23,9 @@
 //! the greedy used by `query_rr`, so the *seed sequences* are identical —
 //! property-tested in `tests/`.
 
-use crate::format::{self, IlCsr, PartitionMeta};
+use crate::format::{self, IlCsr};
 use crate::rr_query::empty_outcome;
-use crate::scratch::QueryScratch;
+use crate::scratch::{KwBufs, QueryScratch};
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
 use kbtim_core::bitset::Bitset;
 use kbtim_exec::ExecPool;
@@ -40,37 +40,28 @@ const ABSENT: u32 = u32::MAX;
 
 /// Per-keyword NRA state.
 ///
-/// Per-user lookups go through a *compact slot table*: `users` holds the
-/// keyword's `IP_w` keys (every user occurring in at least one stored RR
-/// set, ascending), and all per-slot arrays are sized by that occupancy —
-/// not by |V| — so query memory scales with the keyword's pool, exactly
-/// like the old hash maps, but flat: a slot is one branch-free binary
-/// search away and loaded inverted lists live in one append-only `arena`
-/// (each user's list arrives with exactly one partition, so a
-/// `(start, len)` span per slot suffices).
+/// Per-user lookups go through a *compact slot table*: `bufs.users` holds
+/// the keyword's `IP_w` keys (every user occurring in at least one stored
+/// RR set, ascending), and all per-slot arrays are sized by that
+/// occupancy — not by |V| — so query memory scales with the keyword's
+/// pool, exactly like the old hash maps, but flat: a slot is one
+/// branch-free binary search away and loaded inverted lists live in one
+/// append-only arena (each user's list arrives with exactly one
+/// partition, so a `(start, len)` span per slot suffices). The tables
+/// themselves ([`KwBufs`]) are leased from the index's scratch pool and
+/// returned when the query finishes, so a warmed index rebuilds no
+/// per-keyword allocation.
 struct KwState<'a> {
     /// `θ^Q_w` — only RR ids below this participate.
     share: u64,
     /// Base offset of this keyword's ids in the global covered bitset.
     base: u64,
-    /// `IP_w` keys: users with at least one occurrence, ascending.
-    users: Vec<NodeId>,
-    /// First-occurrence ids, parallel to `users`.
-    firsts: Vec<u32>,
-    /// Partition catalog.
-    partitions: Vec<PartitionMeta>,
     /// How many partitions have been loaded.
     loaded: usize,
-    /// Arena start of each slot's truncated list (`ABSENT` = not loaded
-    /// yet), parallel to `users`.
-    list_start: Vec<u32>,
-    /// Truncated list length per slot.
-    list_len: Vec<u32>,
-    /// Loaded inverted lists, truncated to ids `< share` (local ids),
-    /// back to back in load order.
-    arena: Vec<u32>,
     /// Current unseen-user bound for this keyword.
     kb: u64,
+    /// Pooled IP table, partition catalog, slot spans and list arena.
+    bufs: KwBufs,
     source: &'a kbtim_storage::BlockSource,
 }
 
@@ -78,13 +69,13 @@ impl KwState<'_> {
     /// Slot of `v`, if it occurs in this keyword's pool at all.
     #[inline]
     fn slot(&self, v: NodeId) -> Option<usize> {
-        self.users.binary_search(&v).ok()
+        self.bufs.users.binary_search(&v).ok()
     }
 
     /// The loaded, truncated list of slot `s` (must be loaded).
     fn list_at(&self, s: usize) -> &[u32] {
-        let start = self.list_start[s] as usize;
-        &self.arena[start..start + self.list_len[s] as usize]
+        let start = self.bufs.list_start[s] as usize;
+        &self.bufs.arena[start..start + self.bufs.list_len[s] as usize]
     }
 
     /// Exact uncovered count for a loaded list.
@@ -96,10 +87,10 @@ impl KwState<'_> {
     fn partial(&self, v: NodeId, covered: &Bitset) -> (u64, bool) {
         // Never occurs → exact zero without loading anything.
         let Some(s) = self.slot(v) else { return (0, true) };
-        if self.list_start[s] != ABSENT {
+        if self.bufs.list_start[s] != ABSENT {
             return (self.exact_count(self.list_at(s), covered), true);
         }
-        if (self.firsts[s] as u64) < self.share {
+        if (self.bufs.firsts[s] as u64) < self.share {
             (self.kb, false)
         } else {
             // First occurrence beyond the prefix → exact zero (§5.2).
@@ -122,48 +113,44 @@ impl KbtimIndex {
         }
         let codec = self.meta().codec;
 
+        // Every per-query table below leases from the scratch pool
+        // (cleared or fully overwritten before use, so reuse cannot
+        // affect the answer): the covered bitset, selected flags, the
+        // per-keyword KwBufs, the candidate heap's backing store and the
+        // fresh-candidate staging buffer.
+        let num_users = self.meta().num_users as usize;
+        let mut outer_scratch = self.scratch.guard();
+        let QueryScratch { covered, selected, kw_bufs, nra_heap, nra_fresh, bytes_a, .. } =
+            &mut *outer_scratch;
+
         // Initialize per-keyword state; IP and the partition catalog are
         // read up front (one small read each, as in the paper). Per-slot
         // tables are sized by the keyword's occupancy, never by |V|.
-        let num_users = self.meta().num_users as usize;
         let mut states: Vec<KwState<'_>> = Vec::with_capacity(budget.len());
         let mut base = 0u64;
         for &(topic, share) in &budget {
             let source = self.source(topic)?;
-            let ip_bytes = source.read_block(format::IP_BLOCK)?;
-            let (users, firsts) = format::decode_ip(&ip_bytes, codec)?;
-            debug_assert!(users.windows(2).all(|w| w[0] < w[1]), "IP_w users must ascend");
-            let pmeta_bytes = source.read_block(format::PMETA_BLOCK)?;
-            let partitions = format::decode_partition_meta(&pmeta_bytes)?;
+            let mut bufs = kw_bufs.pop().unwrap_or_default();
+            bufs.clear();
+            let ip_bytes = source.read_block_in(format::IP_BLOCK, bytes_a)?;
+            format::decode_ip_into(ip_bytes, codec, &mut bufs.users, &mut bufs.firsts)?;
+            debug_assert!(bufs.users.windows(2).all(|w| w[0] < w[1]), "IP_w users must ascend");
+            let pmeta_bytes = source.read_block_in(format::PMETA_BLOCK, bytes_a)?;
+            format::decode_partition_meta_into(pmeta_bytes, &mut bufs.partitions)?;
             let max_len = self.meta().keywords[topic as usize].max_list_len as u64;
-            let slots = users.len();
-            states.push(KwState {
-                share,
-                base,
-                users,
-                firsts,
-                partitions,
-                loaded: 0,
-                list_start: vec![ABSENT; slots],
-                list_len: vec![0; slots],
-                arena: Vec::new(),
-                kb: max_len.min(share),
-                source,
-            });
+            let slots = bufs.users.len();
+            bufs.list_start.resize(slots, ABSENT);
+            bufs.list_len.resize(slots, 0);
+            states.push(KwState { share, base, loaded: 0, kb: max_len.min(share), bufs, source });
             base += share;
         }
         let theta_q = base;
 
-        // The covered bitset and selected flags come from the scratch
-        // pool; `reset`/refill fully overwrite them, so reuse cannot
-        // affect the answer.
-        let mut outer_scratch = self.scratch.guard();
-        let QueryScratch { covered, selected, .. } = &mut *outer_scratch;
         covered.reset(theta_q as usize);
         selected.clear();
         selected.resize(num_users, false);
         let covered: &mut Bitset = covered;
-        let mut pq: BinaryHeap<(u64, Reverse<NodeId>)> = BinaryHeap::new();
+        let mut pq: BinaryHeap<(u64, Reverse<NodeId>)> = BinaryHeap::from(std::mem::take(nra_heap));
         let mut seeds: Vec<NodeId> = Vec::new();
         let mut marginal_gains: Vec<u64> = Vec::new();
         let mut coverage = 0u64;
@@ -192,6 +179,7 @@ impl KbtimIndex {
                          pq: &mut BinaryHeap<(u64, Reverse<NodeId>)>,
                          covered: &Bitset,
                          selected: &[bool],
+                         fresh: &mut Vec<NodeId>,
                          rr_sets_loaded: &mut u64,
                          partitions_loaded: &mut u64|
          -> Result<bool, IndexError> {
@@ -203,14 +191,14 @@ impl KbtimIndex {
             const PARALLEL_LOAD_MIN_BYTES: u64 = 256 * 1024;
             let pending_bytes: u64 = states
                 .iter()
-                .filter(|st| st.loaded < st.partitions.len())
+                .filter(|st| st.loaded < st.bufs.partitions.len())
                 .map(|st| {
-                    let part = &st.partitions[st.loaded];
+                    let part = &st.bufs.partitions[st.loaded];
                     (part.il_end - part.il_start) + part.ir_prefix_len(st.share)
                 })
                 .sum();
-            let round_pool =
-                if pending_bytes < PARALLEL_LOAD_MIN_BYTES { ExecPool::sequential() } else { pool };
+            let seq = ExecPool::sequential();
+            let round_pool = if pending_bytes < PARALLEL_LOAD_MIN_BYTES { &seq } else { pool };
 
             // Decoded partition of one keyword: inverted lists in CSR
             // form (already truncated to the share) and the loaded RR-set
@@ -222,10 +210,10 @@ impl KbtimIndex {
                 |guard, i| {
                     let s: &mut QueryScratch = &mut *guard;
                     let st = &states[i];
-                    if st.loaded >= st.partitions.len() {
+                    if st.loaded >= st.bufs.partitions.len() {
                         return Ok(None);
                     }
-                    let part = st.partitions[st.loaded].clone();
+                    let part = st.bufs.partitions[st.loaded].clone();
                     let il = st.source.read_range_in(
                         format::ILP_BLOCK,
                         part.il_start,
@@ -265,7 +253,7 @@ impl KbtimIndex {
             );
 
             let mut any = false;
-            let mut fresh: Vec<NodeId> = Vec::new();
+            fresh.clear();
             for (st, load) in states.iter_mut().zip(loads) {
                 let Some((truncated, ir_count, new_kb)) = load? else {
                     st.kb = 0;
@@ -276,14 +264,14 @@ impl KbtimIndex {
                 for j in 0..truncated.len() {
                     let user = truncated.users[j];
                     let list = truncated.list(j);
-                    let start = st.arena.len();
+                    let start = st.bufs.arena.len();
                     assert!(start < ABSENT as usize, "IRR list arena exceeds u32 spans");
                     // Every partitioned user has a first occurrence, so a
                     // slot always exists.
                     let s = st.slot(user).expect("partition user missing from IP_w");
-                    st.list_start[s] = start as u32;
-                    st.list_len[s] = list.len() as u32;
-                    st.arena.extend_from_slice(list);
+                    st.bufs.list_start[s] = start as u32;
+                    st.bufs.list_len[s] = list.len() as u32;
+                    st.bufs.arena.extend_from_slice(list);
                     if !selected[user as usize] {
                         fresh.push(user);
                     }
@@ -295,7 +283,7 @@ impl KbtimIndex {
             }
             // Push fresh candidates with bounds computed against the *new*
             // kb values.
-            for v in fresh {
+            for &v in fresh.iter() {
                 let mut total = 0u64;
                 for st in states.iter() {
                     total += st.partial(v, covered).0;
@@ -329,7 +317,7 @@ impl KbtimIndex {
                         coverage += s;
                         for st in &states {
                             if let Some(s) = st.slot(v) {
-                                if st.list_start[s] != ABSENT {
+                                if st.bufs.list_start[s] != ABSENT {
                                     for &id in st.list_at(s) {
                                         covered.set((st.base + id as u64) as usize);
                                     }
@@ -345,6 +333,7 @@ impl KbtimIndex {
                             &mut pq,
                             covered,
                             selected,
+                            nra_fresh,
                             &mut rr_sets_loaded,
                             &mut partitions_loaded,
                         )? && total_kb == 0
@@ -368,6 +357,7 @@ impl KbtimIndex {
                             &mut pq,
                             covered,
                             selected,
+                            nra_fresh,
                             &mut rr_sets_loaded,
                             &mut partitions_loaded,
                         )?
@@ -377,6 +367,17 @@ impl KbtimIndex {
                 }
             }
         }
+
+        // Return the leased tables for the next query: the keyword
+        // tables (emptied, capacities kept) and the heap's backing store.
+        for st in states {
+            let mut bufs = st.bufs;
+            bufs.clear();
+            kw_bufs.push(bufs);
+        }
+        let mut heap_store = pq.into_vec();
+        heap_store.clear();
+        *nra_heap = heap_store;
 
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { coverage as f64 / theta_q as f64 * phi_q };

@@ -36,6 +36,14 @@
 //! `cache_hits`/`bytes_served`, never as reads). Per-query allocations
 //! are pooled in [`scratch`], so a warmed index serves from reused
 //! arenas.
+//!
+//! The index is `Send + Sync` and built for *concurrent* serving: share
+//! it through an `Arc` (scratch blocks lease across client threads, the
+//! per-keyword fan-out runs on an index-owned persistent
+//! [`kbtim_exec::ExecPool`]), dedupe resident pages across opens with
+//! [`KbtimIndex::open_shared`], and front it with [`serve::QueryEngine`]
+//! to coalesce identical in-flight requests. Answers are bit-identical
+//! to serial execution for any interleaving.
 
 pub mod build;
 pub mod format;
@@ -43,6 +51,7 @@ pub mod irr_query;
 pub mod memory;
 pub mod rr_query;
 pub mod scratch;
+pub mod serve;
 pub mod validate;
 
 use kbtim_graph::NodeId;
@@ -54,9 +63,10 @@ use std::time::Duration;
 
 pub use build::{BuildReport, IndexBuildConfig, IndexBuilder, KeywordBuildStats, ThetaMode};
 pub use format::{IndexMeta, IndexVariant, KeywordMeta};
-pub use kbtim_storage::ServingMode;
+pub use kbtim_storage::{PageCache, ServingMode};
 pub use memory::MemoryIndex;
 pub use scratch::QueryScratch;
+pub use serve::{Algo, EngineError, EngineRequest, EngineResult, QueryEngine};
 
 /// Errors from index construction and querying.
 #[derive(Debug)]
@@ -143,9 +153,15 @@ pub struct KbtimIndex {
     /// these, whatever backend they wrap.
     sources: Vec<Option<BlockSource>>,
     stats: IoStats,
-    /// Worker threads for per-keyword load/decode fan-out (`None` = the
-    /// machine's available parallelism). Query answers are identical for
-    /// every value; only wall-clock time changes.
+    /// The index-owned worker pool for per-keyword load/decode fan-out.
+    /// Built once (at open or by [`KbtimIndex::set_threads`]), never per
+    /// query: a persistent [`kbtim_exec::ExecPool`] whose workers spawn
+    /// lazily on the first parallel query and then stay parked between
+    /// queries. Query answers are identical for every thread count; only
+    /// wall-clock time changes.
+    pool: kbtim_exec::ExecPool,
+    /// The `set_threads` knob as configured (`None` = the machine's
+    /// available parallelism), kept for reporting.
     threads: Option<usize>,
     mode: ServingMode,
     /// Reusable query buffers (see [`scratch`]); shared by every query
@@ -170,7 +186,32 @@ impl KbtimIndex {
         stats: IoStats,
         mode: ServingMode,
     ) -> Result<KbtimIndex, IndexError> {
-        let dir = dir.as_ref().to_path_buf();
+        KbtimIndex::open_inner(dir.as_ref(), stats, mode, None)
+    }
+
+    /// [`KbtimIndex::open_with`] through a [`kbtim_storage::PageCache`]:
+    /// keyword segments whose pages are already resident anywhere in the
+    /// process (another open of this index, a serving engine, a
+    /// validator) are shared instead of re-loaded — N open indexes, one
+    /// copy of each segment. Answers and per-index [`IoStats`] are
+    /// unaffected; pass [`kbtim_storage::PageCache::global`] for the
+    /// process-wide cache.
+    pub fn open_shared(
+        dir: impl AsRef<Path>,
+        stats: IoStats,
+        mode: ServingMode,
+        cache: &kbtim_storage::PageCache,
+    ) -> Result<KbtimIndex, IndexError> {
+        KbtimIndex::open_inner(dir.as_ref(), stats, mode, Some(cache))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        stats: IoStats,
+        mode: ServingMode,
+        cache: Option<&kbtim_storage::PageCache>,
+    ) -> Result<KbtimIndex, IndexError> {
+        let dir = dir.to_path_buf();
         let open_stats = IoStats::new(); // discard catalog-open I/O
         let meta_reader = SegmentReader::open(dir.join(format::META_FILE), open_stats.clone())?;
         let meta_bytes = meta_reader.read_block(format::META_BLOCK)?;
@@ -182,7 +223,10 @@ impl KbtimIndex {
                 sources.push(None);
             } else {
                 let path = dir.join(format::keyword_file_name(kw.topic));
-                sources.push(Some(BlockSource::open(path, stats.clone(), mode)?));
+                sources.push(Some(match cache {
+                    Some(cache) => BlockSource::open_shared(path, stats.clone(), mode, cache)?,
+                    None => BlockSource::open(path, stats.clone(), mode)?,
+                }));
             }
         }
         Ok(KbtimIndex {
@@ -190,6 +234,7 @@ impl KbtimIndex {
             meta,
             sources,
             stats,
+            pool: kbtim_exec::ExecPool::new(None),
             threads: None,
             mode,
             scratch: scratch::ScratchPool::new(),
@@ -211,8 +256,13 @@ impl KbtimIndex {
     /// machine's available parallelism). Answers are bit-identical for
     /// every setting — keyword decode work is merged in a deterministic
     /// order — so this only trades latency.
+    ///
+    /// The index *owns* the resulting pool: it is built here, once, and
+    /// every subsequent query schedules onto its long-lived workers
+    /// (previously a fresh `ExecPool` was assembled on every query).
     pub fn set_threads(&mut self, threads: Option<usize>) {
         self.threads = threads;
+        self.pool = kbtim_exec::ExecPool::new(threads);
     }
 
     /// Builder-style [`KbtimIndex::set_threads`].
@@ -226,8 +276,8 @@ impl KbtimIndex {
         self.threads
     }
 
-    pub(crate) fn pool(&self) -> kbtim_exec::ExecPool {
-        kbtim_exec::ExecPool::new(self.threads)
+    pub(crate) fn pool(&self) -> &kbtim_exec::ExecPool {
+        &self.pool
     }
 
     /// The index catalog (sizes, θ_w table, codec, variant).

@@ -129,7 +129,7 @@ impl KbtimIndex {
         }
         let inverted: InvertedIndex = filler.finish();
 
-        let cover = greedy_max_cover_inverted_with(&inverted, theta_q, query.k(), &pool);
+        let cover = greedy_max_cover_inverted_with(&inverted, theta_q, query.k(), pool);
         self.scratch.put_arenas(inverted.into_arenas());
         for csr in keyword_csrs {
             self.scratch.put_csr(csr);

@@ -6,23 +6,61 @@
 //! covered bitset. `ScratchPool` keeps those allocations alive between
 //! queries so a warmed index allocates ~nothing per query.
 //!
-//! Why a lock-based pool and not `thread_local!`: the query paths fan
-//! out per-keyword work on [`kbtim_exec::ExecPool`], whose workers are
-//! *scoped threads spawned per call* — a worker's thread-locals die with
-//! it, so nothing would ever be reused across queries. The pool instead
-//! hands each worker a `ScratchGuard` (one mutex pop), the worker
-//! fills it, and the guard's drop pushes the block back for the next
-//! query — on any thread. Contention is one short lock op per shard
-//! batch, noise next to a block decode.
+//! Why a lock-based pool and not `thread_local!`: scratch must flow
+//! across threads. [`kbtim_exec::ExecPool`] workers (persistent or
+//! scoped) pick up whichever shard comes next, and a served index takes
+//! queries from many client threads at once — a thread-local would pin
+//! each warmed buffer to one thread and leak one copy per client. The
+//! pool instead hands each worker a `ScratchGuard` (one mutex pop), the
+//! worker fills it, and the guard's drop pushes the block back for the
+//! next query — on any thread. Concurrent queries simply lease distinct
+//! blocks; the pool grows to the high-water concurrency and then stops
+//! allocating. Contention is one short lock op per shard batch, noise
+//! next to a block decode.
 //!
 //! Determinism: scratch contents never influence results — every buffer
 //! is cleared or fully overwritten before use, which the serving
 //! equivalence proptests (same seeds for every backend × thread count)
 //! exercise end to end.
 
-use crate::format::IlCsr;
+use crate::format::{IlCsr, PartitionMeta};
 use kbtim_core::bitset::Bitset;
+use kbtim_graph::NodeId;
+use std::cmp::Reverse;
 use std::sync::Mutex;
+
+/// One IRR query keyword's reusable NRA tables (the `KwState` backing
+/// store): the `decode_ip` output, the partition catalog, the per-slot
+/// loaded-list spans and the shared list arena. Before these were
+/// pooled, every `query_irr` re-allocated all six per keyword — the bulk
+/// of irr's ~400 allocations/query vs rr's ~16.
+#[derive(Default)]
+pub(crate) struct KwBufs {
+    /// `IP_w` keys: users with at least one occurrence, ascending.
+    pub(crate) users: Vec<NodeId>,
+    /// First-occurrence ids, parallel to `users`.
+    pub(crate) firsts: Vec<u32>,
+    /// Partition catalog (rows and their `ir_samples` reused in place).
+    pub(crate) partitions: Vec<PartitionMeta>,
+    /// Arena start of each slot's truncated list, parallel to `users`.
+    pub(crate) list_start: Vec<u32>,
+    /// Truncated list length per slot.
+    pub(crate) list_len: Vec<u32>,
+    /// Loaded inverted lists, back to back in load order.
+    pub(crate) arena: Vec<u32>,
+}
+
+impl KwBufs {
+    /// Empty the tables, keeping every capacity.
+    pub(crate) fn clear(&mut self) {
+        self.users.clear();
+        self.firsts.clear();
+        // Keep the rows: decode_partition_meta_into overwrites in place.
+        self.list_start.clear();
+        self.list_len.clear();
+        self.arena.clear();
+    }
+}
 
 /// One worker's reusable buffers. All fields are cleared by their users
 /// before refilling; only capacities persist between queries.
@@ -46,6 +84,14 @@ pub struct QueryScratch {
     pub(crate) covered: Bitset,
     /// Dense per-user selected flags (|V| bools).
     pub(crate) selected: Vec<bool>,
+    /// Per-keyword NRA tables, one entry per query keyword (grown to the
+    /// widest query seen).
+    pub(crate) kw_bufs: Vec<KwBufs>,
+    /// Backing store of the NRA candidate heap (capacity survives
+    /// between queries via `BinaryHeap::into_vec`).
+    pub(crate) nra_heap: Vec<(u64, Reverse<NodeId>)>,
+    /// Fresh-candidate staging of the IRR partition loader.
+    pub(crate) nra_fresh: Vec<NodeId>,
 }
 
 /// Shared pool of [`QueryScratch`] blocks plus recycled CSR/index
@@ -161,6 +207,33 @@ mod tests {
         let csr = pool.take_csr();
         assert!(csr.is_empty());
         assert_eq!(csr.offsets, vec![0], "reset to the empty-CSR invariant");
+    }
+
+    #[test]
+    fn kw_bufs_clear_keeps_capacity_and_catalog_rows() {
+        let mut bufs = KwBufs::default();
+        bufs.users.extend([1, 5, 9]);
+        bufs.firsts.extend([0, 2, 7]);
+        bufs.list_start.extend([0, 3]);
+        bufs.list_len.extend([3, 2]);
+        bufs.arena.extend([10, 11, 12, 20, 21]);
+        bufs.partitions.push(crate::format::PartitionMeta {
+            il_start: 0,
+            il_end: 8,
+            ir_start: 0,
+            ir_end: 4,
+            rr_count: 2,
+            user_count: 2,
+            max_len_after: 1,
+            ir_samples: vec![(0, 0)],
+        });
+        let arena_cap = bufs.arena.capacity();
+        bufs.clear();
+        assert!(bufs.users.is_empty() && bufs.arena.is_empty() && bufs.list_start.is_empty());
+        assert_eq!(bufs.arena.capacity(), arena_cap, "clear must keep capacities");
+        // Catalog rows stay: decode_partition_meta_into overwrites them
+        // in place so their ir_samples buffers are reused.
+        assert_eq!(bufs.partitions.len(), 1);
     }
 
     #[test]

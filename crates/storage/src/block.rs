@@ -28,6 +28,7 @@
 //! in a block's payload is rejected on every backend before any caller
 //! decodes it.
 
+use crate::cache::PageCache;
 use crate::segment::{parse_segment_slice, BlockEntry, BlockInfo, SegmentReader};
 use crate::segment::{Result, StorageError};
 use crate::{crc32, IoStats};
@@ -36,6 +37,7 @@ use std::io::Read;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which backend a [`BlockSource`] serves from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -126,22 +128,30 @@ impl Backing {
     }
 }
 
-/// Resident or mapped segment: one page arena + the parsed directory +
-/// per-block first-access CRC verification flags.
-struct ZeroCopySegment {
+/// The shareable core of a resident/mapped segment: one page arena, the
+/// parsed directory and the per-block first-access CRC verification
+/// flags.
+///
+/// This is the unit a [`PageCache`] dedupes — N handles of one segment
+/// hold `Arc`s to a single `SegmentPages`, so the bytes (and the
+/// verification work) exist once per process while per-handle state
+/// ([`IoStats`], serving mode) stays with each [`BlockSource`]. Sharing
+/// the `verified` flags is sound because they describe the bytes, not
+/// the handle: a block verified through one handle *is* verified for
+/// every other handle of the same pages.
+pub(crate) struct SegmentPages {
     backing: Backing,
     entries: Vec<BlockEntry>,
     /// `verified[i]` — block `i`'s payload CRC has been checked against
     /// the directory. Relaxed ordering suffices: re-verifying a block on
     /// a race is correct, just redundant.
     verified: Vec<AtomicBool>,
-    stats: IoStats,
-    path: PathBuf,
-    mode: ServingMode,
 }
 
-impl ZeroCopySegment {
-    fn open(path: &Path, stats: IoStats, mode: ServingMode) -> Result<ZeroCopySegment> {
+impl SegmentPages {
+    /// Load (or map) the whole segment at `path` for the given zero-copy
+    /// mode.
+    pub(crate) fn load(path: &Path, mode: ServingMode) -> Result<SegmentPages> {
         let backing = match mode {
             ServingMode::Resident => {
                 let mut file = File::open(path)?;
@@ -153,7 +163,14 @@ impl ZeroCopySegment {
                 #[cfg(target_os = "linux")]
                 {
                     let file = File::open(path)?;
-                    Backing::Map(crate::mmap::MmapRegion::map(&file)?)
+                    let region = crate::mmap::MmapRegion::map(&file)?;
+                    // Queries will touch this mapping soon (start
+                    // readahead now) and then access blocks/ranges in
+                    // effectively random order (stop speculative
+                    // readahead afterwards). Both are best-effort hints.
+                    region.advise(crate::mmap::MmapAdvice::WillNeed);
+                    region.advise(crate::mmap::MmapAdvice::Random);
+                    Backing::Map(region)
                 }
                 #[cfg(not(target_os = "linux"))]
                 {
@@ -167,7 +184,12 @@ impl ZeroCopySegment {
         };
         let entries = parse_segment_slice(backing.as_slice())?;
         let verified = entries.iter().map(|_| AtomicBool::new(false)).collect();
-        Ok(ZeroCopySegment { backing, entries, verified, stats, path: path.to_path_buf(), mode })
+        Ok(SegmentPages { backing, entries, verified })
+    }
+
+    /// Size of the resident arena / mapping in bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.backing.as_slice().len()
     }
 
     fn entry_index(&self, name: &str) -> Result<usize> {
@@ -193,17 +215,28 @@ impl ZeroCopySegment {
         }
         Ok(payload)
     }
+}
 
+/// One handle's view of a resident or mapped segment: shared pages plus
+/// the handle-private accounting.
+struct ZeroCopySegment {
+    pages: Arc<SegmentPages>,
+    stats: IoStats,
+    path: PathBuf,
+    mode: ServingMode,
+}
+
+impl ZeroCopySegment {
     fn read_block(&self, name: &str) -> Result<&[u8]> {
-        let i = self.entry_index(name)?;
-        let payload = self.verified_payload(i)?;
+        let i = self.pages.entry_index(name)?;
+        let payload = self.pages.verified_payload(i)?;
         self.stats.record_served(payload.len() as u64);
         Ok(payload)
     }
 
     fn read_range(&self, name: &str, offset: u64, len: u64) -> Result<&[u8]> {
-        let i = self.entry_index(name)?;
-        let entry_len = self.entries[i].len;
+        let i = self.pages.entry_index(name)?;
+        let entry_len = self.pages.entries[i].len;
         if offset.checked_add(len).is_none_or(|end| end > entry_len) {
             return Err(StorageError::RangeOutOfBounds {
                 block: name.to_string(),
@@ -212,7 +245,7 @@ impl ZeroCopySegment {
                 block_len: entry_len,
             });
         }
-        let payload = self.verified_payload(i)?;
+        let payload = self.pages.verified_payload(i)?;
         self.stats.record_served(len);
         Ok(&payload[offset as usize..(offset + len) as usize])
     }
@@ -234,7 +267,9 @@ enum SourceInner {
 }
 
 impl BlockSource {
-    /// Open `path` with the requested backend.
+    /// Open `path` with the requested backend, loading a private copy of
+    /// the pages (zero-copy modes). See [`BlockSource::open_shared`] for
+    /// the deduplicating variant.
     ///
     /// `Mmap` falls back to `Resident` on non-Linux targets (the views
     /// and counters are identical; only the page owner differs).
@@ -242,11 +277,53 @@ impl BlockSource {
         let path = path.as_ref();
         let inner = match mode {
             ServingMode::File => SourceInner::File(SegmentReader::open(path, stats)?),
-            ServingMode::Resident | ServingMode::Mmap => {
-                SourceInner::ZeroCopy(ZeroCopySegment::open(path, stats, mode)?)
-            }
+            ServingMode::Resident | ServingMode::Mmap => SourceInner::ZeroCopy(ZeroCopySegment {
+                pages: Arc::new(SegmentPages::load(path, mode)?),
+                stats,
+                path: path.to_path_buf(),
+                mode,
+            }),
         };
         Ok(BlockSource { inner })
+    }
+
+    /// [`BlockSource::open`] through a [`PageCache`]: if the cache
+    /// already holds live pages for this segment (same file, same
+    /// zero-copy mode), this handle shares them instead of loading its
+    /// own copy — N open handles, one resident arena/mapping.
+    ///
+    /// Sharing is invisible in behavior: payload bytes, checksum
+    /// outcomes and errors are identical, and `stats` still counts only
+    /// *this* handle's accesses. `File` mode is never cached (it keeps
+    /// nothing resident).
+    pub fn open_shared(
+        path: impl AsRef<Path>,
+        stats: IoStats,
+        mode: ServingMode,
+        cache: &PageCache,
+    ) -> Result<BlockSource> {
+        let path = path.as_ref();
+        let inner = match mode {
+            ServingMode::File => SourceInner::File(SegmentReader::open(path, stats)?),
+            ServingMode::Resident | ServingMode::Mmap => SourceInner::ZeroCopy(ZeroCopySegment {
+                pages: cache.get_or_load(path, mode)?,
+                stats,
+                path: path.to_path_buf(),
+                mode,
+            }),
+        };
+        Ok(BlockSource { inner })
+    }
+
+    /// Stable identity of the resident page arena this handle serves
+    /// from: the arena's base address, or 0 for the file backend. Two
+    /// handles deduped through one [`PageCache`] report the same value —
+    /// the observable form of "one resident copy".
+    pub fn pages_addr(&self) -> usize {
+        match &self.inner {
+            SourceInner::File(_) => 0,
+            SourceInner::ZeroCopy(z) => z.pages.backing.as_slice().as_ptr() as usize,
+        }
     }
 
     /// Wrap an already-open positioned reader as a `File`-mode source.
@@ -266,9 +343,12 @@ impl BlockSource {
     pub fn blocks(&self) -> Vec<BlockInfo> {
         match &self.inner {
             SourceInner::File(r) => r.blocks(),
-            SourceInner::ZeroCopy(z) => {
-                z.entries.iter().map(|e| BlockInfo { name: e.name.clone(), len: e.len }).collect()
-            }
+            SourceInner::ZeroCopy(z) => z
+                .pages
+                .entries
+                .iter()
+                .map(|e| BlockInfo { name: e.name.clone(), len: e.len })
+                .collect(),
         }
     }
 
@@ -276,7 +356,7 @@ impl BlockSource {
     pub fn block_len(&self, name: &str) -> Result<u64> {
         match &self.inner {
             SourceInner::File(r) => r.block_len(name),
-            SourceInner::ZeroCopy(z) => Ok(z.entries[z.entry_index(name)?].len),
+            SourceInner::ZeroCopy(z) => Ok(z.pages.entries[z.pages.entry_index(name)?].len),
         }
     }
 
@@ -352,7 +432,7 @@ impl BlockSource {
     pub fn file_len(&self) -> Result<u64> {
         match &self.inner {
             SourceInner::File(r) => r.file_len(),
-            SourceInner::ZeroCopy(z) => Ok(z.backing.as_slice().len() as u64),
+            SourceInner::ZeroCopy(z) => Ok(z.pages.len() as u64),
         }
     }
 
@@ -362,7 +442,7 @@ impl BlockSource {
     pub fn resident_bytes(&self) -> u64 {
         match &self.inner {
             SourceInner::File(_) => 0,
-            SourceInner::ZeroCopy(z) => z.backing.as_slice().len() as u64,
+            SourceInner::ZeroCopy(z) => z.pages.len() as u64,
         }
     }
 }

@@ -16,6 +16,9 @@
 //!   API over three backends (positioned file reads, a resident page
 //!   arena, and an mmap mapping on Linux), so every query path reads
 //!   through the same abstraction regardless of where the bytes live.
+//! * [`cache`] — the process-wide [`PageCache`]: N open handles of one
+//!   segment share a single resident arena/mapping
+//!   ([`BlockSource::open_shared`]), with per-handle [`IoStats`] intact.
 //! * [`TempDir`] — a scoped scratch directory for tests and benches.
 //!
 //! The format is deliberately simple (magic, version, blocks, directory,
@@ -23,12 +26,14 @@
 //! paper's C++ implementation used, with integrity checking added.
 
 pub mod block;
+pub mod cache;
 pub mod crc32;
 #[cfg(target_os = "linux")]
 pub(crate) mod mmap;
 pub mod segment;
 
 pub use block::{BlockSource, BlockView, ServingMode};
+pub use cache::PageCache;
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -22,10 +22,30 @@ extern "C" {
         offset: i64,
     ) -> *mut c_void;
     fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
 }
 
 const PROT_READ: c_int = 0x1;
 const MAP_PRIVATE: c_int = 0x02;
+const MADV_RANDOM: c_int = 1;
+const MADV_WILLNEED: c_int = 3;
+
+/// Access-pattern hints forwarded to `madvise(2)`.
+///
+/// Purely advisory: errors are swallowed (a kernel that ignores the hint
+/// serves the same bytes, just with default readahead), and on non-Linux
+/// targets this whole module is compiled out, so the hint is a no-op by
+/// construction — the same shim pattern as the mapping itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MmapAdvice {
+    /// Expect random block/range access: disable speculative readahead
+    /// so partition-at-a-time IRR queries don't drag neighbouring pages
+    /// in with every fault.
+    Random,
+    /// Expect the mapping to be used soon: start readahead now, so the
+    /// first queries after open fault on warm pages.
+    WillNeed,
+}
 
 /// A read-only, whole-file private mapping. Pages are shared with the
 /// kernel page cache, so several mappings of one segment cost its bytes
@@ -60,6 +80,22 @@ impl MmapRegion {
             return Err(std::io::Error::last_os_error());
         }
         Ok(MmapRegion { ptr, len })
+    }
+
+    /// Forward an access-pattern hint to the kernel. Best-effort: a
+    /// refused hint changes nothing about correctness, so the return
+    /// code is deliberately ignored.
+    pub(crate) fn advise(&self, advice: MmapAdvice) {
+        if self.len == 0 {
+            return;
+        }
+        let advice = match advice {
+            MmapAdvice::Random => MADV_RANDOM,
+            MmapAdvice::WillNeed => MADV_WILLNEED,
+        };
+        // SAFETY: exact ptr/len pair returned by mmap above; madvise
+        // never invalidates the mapping.
+        unsafe { madvise(self.ptr, self.len, advice) };
     }
 
     /// The mapped bytes.
@@ -106,6 +142,21 @@ mod tests {
         let file = File::open(&path).unwrap();
         let region = MmapRegion::map(&file).unwrap();
         assert!(region.as_slice().is_empty());
+    }
+
+    #[test]
+    fn advise_is_harmless_on_any_region() {
+        let dir = TempDir::new("mmap-advise").unwrap();
+        let path = dir.path().join("data.bin");
+        std::fs::write(&path, vec![3u8; 4096]).unwrap();
+        let file = File::open(&path).unwrap();
+        let region = MmapRegion::map(&file).unwrap();
+        region.advise(MmapAdvice::WillNeed);
+        region.advise(MmapAdvice::Random);
+        assert!(region.as_slice().iter().all(|&b| b == 3), "hints must not change the bytes");
+        // Empty regions take the early-out path.
+        let empty = MmapRegion { ptr: std::ptr::null_mut(), len: 0 };
+        empty.advise(MmapAdvice::Random);
     }
 
     #[test]

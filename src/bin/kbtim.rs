@@ -7,12 +7,19 @@
 //!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
 //!                [--threads N] [--serving file|resident|mmap]
+//! kbtim serve    --index DIR [--listen HOST:PORT] [--threads N]
+//!                [--serving file|resident|mmap] [--memory on|off]
 //! kbtim validate --index DIR [--serving file|resident|mmap]
 //! ```
 //!
 //! `gen` writes `graph.txt` (SNAP edge list) and `profiles.tsv` into the
 //! output directory; `build` reads that pair back, so datasets can also be
 //! assembled by other tools in the same two formats.
+//!
+//! `serve` turns the index into an always-on query service speaking
+//! line-delimited JSON (see [`kbtim::serve`]) over stdin/stdout, or over
+//! TCP with `--listen` (one thread per connection, all sharing one
+//! index through the process-wide page cache).
 
 use kbtim::core::theta::SamplingConfig;
 use kbtim::datagen::{DatasetConfig, DatasetFamily};
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
         "validate" => cmd_validate(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -73,6 +81,8 @@ USAGE:
                  [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
                  [--threads N] [--serving file|resident|mmap]
+  kbtim serve    --index DIR [--listen HOST:PORT] [--threads N]
+                 [--serving file|resident|mmap] [--memory on|off]
   kbtim validate --index DIR [--serving file|resident|mmap]";
 
 /// `--key value` pairs, last occurrence wins.
@@ -276,6 +286,111 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         index.serving_mode(),
     );
     Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use kbtim::index::{PageCache, QueryEngine};
+    use kbtim::serve::handle_line;
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::Arc;
+
+    let dir = required(flags, "index")?;
+    // A serving tier wants resident pages by default: mmap shares them
+    // with the kernel cache (and falls back to `resident` off Linux).
+    let raw_mode = flags.get("serving").map(String::as_str).unwrap_or("mmap");
+    let mode = ServingMode::parse(raw_mode)
+        .ok_or_else(|| format!("--serving must be file|resident|mmap, got {raw_mode:?}"))?;
+    // Per-query fan-out defaults to 1 under a server: client concurrency
+    // is the parallelism, and inline queries keep latency predictable.
+    // 0 = the machine's available parallelism, as elsewhere.
+    let threads: usize = parse(flags, "threads", 1)?;
+    let memory = match flags.get("memory").map(String::as_str).unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--memory must be on|off, got {other:?}")),
+    };
+
+    // Open through the process-wide page cache: every further open of
+    // the same segments in this process (another serve loop, a
+    // validator) shares the resident pages.
+    let mut index = KbtimIndex::open_shared(dir, IoStats::new(), mode, PageCache::global())
+        .map_err(|e| e.to_string())?;
+    index.set_threads(if threads == 0 { None } else { Some(threads) });
+    let index = Arc::new(index);
+    let engine = if memory {
+        QueryEngine::with_memory(index).map_err(|e| e.to_string())?
+    } else {
+        QueryEngine::new(index)
+    };
+    let engine = Arc::new(engine);
+    eprintln!(
+        "kbtim serve: index {} ({} keywords, serving {}, threads {}, memory {})",
+        dir,
+        engine.index().meta().keywords.len(),
+        engine.index().serving_mode(),
+        threads,
+        if engine.has_memory() { "on" } else { "off" },
+    );
+
+    match flags.get("listen") {
+        None => {
+            // stdin/stdout mode: one request line in, one response line
+            // out, until EOF.
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                writeln!(stdout, "{}", handle_line(&engine, line)).map_err(|e| e.to_string())?;
+                stdout.flush().map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr).map_err(|e| e.to_string())?;
+            eprintln!(
+                "kbtim serve: listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            for stream in listener.incoming() {
+                // Transient accept failures (a client resetting mid
+                // handshake, fd exhaustion) must not take down every
+                // established connection.
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("kbtim serve: accept error: {e}");
+                        continue;
+                    }
+                };
+                let engine = Arc::clone(&engine);
+                // One thread per connection; all connections share the
+                // engine (and therefore the index, its scratch pools and
+                // the request coalescing).
+                std::thread::spawn(move || {
+                    let mut writer = match stream.try_clone() {
+                        Ok(w) => w,
+                        Err(_) => return,
+                    };
+                    for line in BufReader::new(stream).lines() {
+                        let Ok(line) = line else { break };
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let response = handle_line(&engine, line);
+                        if writeln!(writer, "{response}").is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            Ok(())
+        }
+    }
 }
 
 fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -52,6 +52,17 @@
 //! baselines (CELF, degree heuristics) live in
 //! [`core::baselines`], and the `kbtim` binary
 //! drives everything from the shell.
+//!
+//! For *concurrent* serving, share one index through an
+//! `Arc<KbtimIndex>` behind [`index::QueryEngine`] (identical in-flight
+//! requests coalesce to one execution), open it with
+//! [`index::KbtimIndex::open_shared`] so resident segment pages dedupe
+//! through the process-wide [`storage::PageCache`], and speak the
+//! [`serve`] line-JSON protocol via `kbtim serve` (stdin/stdout or
+//! TCP). Concurrent answers are bit-identical to serial execution for
+//! any interleaving, backend and thread count.
+
+pub mod serve;
 
 pub use kbtim_codec as codec;
 pub use kbtim_core as core;

@@ -1,0 +1,458 @@
+//! Line-delimited JSON protocol of `kbtim serve`.
+//!
+//! One request per line in, one response per line out — over stdin/stdout
+//! or a TCP connection, the same bytes either way. The protocol is
+//! deliberately small and self-contained (the workspace vendors no JSON
+//! crate, so a subset parser lives here):
+//!
+//! ```text
+//! → {"id": 7, "topics": [0, 1], "k": 10, "algo": "irr"}
+//! ← {"id":7,"algo":"irr","seeds":[83,411],"marginal_gains":[52,40],
+//!    "coverage":92,"estimated_influence":14.25,"theta_q":1800,
+//!    "rr_sets_loaded":240,"elapsed_us":913}
+//! ```
+//!
+//! Request fields: `topics` (array of topic ids, required), `k` (seed
+//! count, default 10), `algo` (`rr` / `irr` / `auto` / `memory`, default
+//! `auto`), `id` (optional echo token for matching responses to pipelined
+//! requests). Unknown fields are rejected — a typo'd `"topcis"` should
+//! fail loudly, not select seeds for the empty query.
+//!
+//! Errors come back on the same line protocol:
+//! `{"id":7,"error":"..."}`. A malformed line never kills the
+//! connection.
+
+use kbtim_index::{Algo, EngineRequest, QueryEngine, QueryOutcome};
+
+/// A parsed JSON value (the subset the protocol needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64 (ids and counts fit exactly).
+    Num(f64),
+    /// A (de-escaped) string.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs (duplicate keys rejected at
+    /// parse time).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON value; trailing non-whitespace is an
+    /// error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), at: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer that fits `u64` exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.at))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected {:?} at offset {}", other as char, self.at)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.at) else {
+                return Err("unterminated string".to_string());
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.at) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            self.at += 4;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            // Surrogates (rare in topic queries) are
+                            // replaced rather than paired — the protocol
+                            // carries no user text where this matters.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.at - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.at = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.peek()? == b'}' {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON response.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed serve request: the engine request plus the client's echo
+/// token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Echoed back verbatim in the response, if given.
+    pub id: Option<u64>,
+    /// The query to run.
+    pub request: EngineRequest,
+}
+
+impl ServeRequest {
+    /// Parse one protocol line.
+    pub fn parse(line: &str) -> Result<ServeRequest, String> {
+        let json = Json::parse(line)?;
+        let Json::Obj(fields) = &json else {
+            return Err("request must be a JSON object".to_string());
+        };
+        for (key, _) in fields {
+            if !matches!(key.as_str(), "id" | "topics" | "k" | "algo") {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+        let id = match json.get("id") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("\"id\" must be a non-negative integer")?),
+        };
+        let topics_json = json.get("topics").ok_or("missing \"topics\"")?;
+        let Json::Arr(items) = topics_json else {
+            return Err("\"topics\" must be an array".to_string());
+        };
+        let mut topics = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item.as_u64().filter(|&t| t <= u32::MAX as u64);
+            topics.push(id.ok_or("\"topics\" entries must be topic ids")? as u32);
+        }
+        let k = match json.get("k") {
+            None => 10,
+            Some(v) => v
+                .as_u64()
+                .filter(|&k| k > 0 && k <= u32::MAX as u64)
+                .ok_or("\"k\" must be a positive integer")? as u32,
+        };
+        let algo = match json.get("algo") {
+            None => Algo::Auto,
+            Some(Json::Str(s)) => Algo::parse(s).ok_or_else(|| format!("unknown algo {s:?}"))?,
+            Some(_) => return Err("\"algo\" must be a string".to_string()),
+        };
+        Ok(ServeRequest { id, request: EngineRequest { topics, k, algo } })
+    }
+}
+
+fn push_id(out: &mut String, id: Option<u64>) {
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\":{id},"));
+    }
+}
+
+fn push_u32_array(out: &mut String, key: &str, items: impl Iterator<Item = u64>) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item.to_string());
+    }
+    out.push(']');
+}
+
+/// Render a successful outcome as one protocol line (no trailing
+/// newline).
+pub fn render_outcome(id: Option<u64>, algo: Algo, outcome: &QueryOutcome) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str(&format!("\"algo\":\"{algo}\","));
+    push_u32_array(&mut out, "seeds", outcome.seeds.iter().map(|&s| s as u64));
+    out.push(',');
+    push_u32_array(&mut out, "marginal_gains", outcome.marginal_gains.iter().copied());
+    out.push_str(&format!(
+        ",\"coverage\":{},\"estimated_influence\":{:.6},\"theta_q\":{},\
+         \"rr_sets_loaded\":{},\"elapsed_us\":{}}}",
+        outcome.coverage,
+        outcome.estimated_influence,
+        outcome.stats.theta_q,
+        outcome.stats.rr_sets_loaded,
+        outcome.stats.elapsed.as_micros(),
+    ));
+    out
+}
+
+/// Render an error as one protocol line (no trailing newline).
+pub fn render_error(id: Option<u64>, message: &str) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"error\":");
+    escape_into(message, &mut out);
+    out.push('}');
+    out
+}
+
+/// Handle one protocol line end to end: parse, query, render. Never
+/// panics on malformed input — every failure becomes an `error`
+/// response.
+pub fn handle_line(engine: &QueryEngine, line: &str) -> String {
+    let parsed = match ServeRequest::parse(line) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            // Best-effort id recovery so pipelined clients can still
+            // attribute the error line (validation failures — unknown
+            // field, bad k — happen on perfectly parseable JSON).
+            let id = Json::parse(line).ok().and_then(|json| json.get("id").and_then(Json::as_u64));
+            return render_error(id, &msg);
+        }
+    };
+    match engine.query(&parsed.request) {
+        Ok(outcome) => render_outcome(parsed.id, parsed.request.algo, &outcome),
+        Err(err) => render_error(parsed.id, &err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalar_round_trips() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(Json::parse(r#""hi\nthere""#).unwrap(), Json::Str("hi\nthere".to_string()));
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
+        assert_eq!(Json::parse(r#""héllo""#).unwrap(), Json::Str("héllo".to_string()));
+    }
+
+    #[test]
+    fn json_compound_values() {
+        let v = Json::parse(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Str("d".to_string())));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "{\"a\":1,\"a\":2}", "\"x"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn request_parsing() {
+        let req = ServeRequest::parse(r#"{"id":3,"topics":[0,5],"k":8,"algo":"irr"}"#).unwrap();
+        assert_eq!(req.id, Some(3));
+        assert_eq!(req.request.topics, vec![0, 5]);
+        assert_eq!(req.request.k, 8);
+        assert_eq!(req.request.algo, Algo::Irr);
+
+        // Defaults: k = 10, algo = auto, id omitted.
+        let req = ServeRequest::parse(r#"{"topics":[2]}"#).unwrap();
+        assert_eq!(req.id, None);
+        assert_eq!(req.request.k, 10);
+        assert_eq!(req.request.algo, Algo::Auto);
+    }
+
+    #[test]
+    fn request_rejects_bad_fields() {
+        for bad in [
+            r#"{"k":5}"#,                       // missing topics
+            r#"{"topics":[0],"k":0}"#,          // zero k
+            r#"{"topics":[0],"algo":"fast"}"#,  // unknown algo
+            r#"{"topics":"0"}"#,                // topics not an array
+            r#"{"topics":[0.5]}"#,              // fractional topic
+            r#"{"topics":[0],"frobnicate":1}"#, // unknown field
+            r#"[0,1]"#,                         // not an object
+        ] {
+            assert!(ServeRequest::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn responses_are_parseable_json() {
+        let rendered = render_error(Some(9), "no \"such\" index\n");
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.get("id").unwrap().as_u64(), Some(9));
+        assert_eq!(back.get("error"), Some(&Json::Str("no \"such\" index\n".to_string())));
+    }
+}

@@ -93,6 +93,80 @@ fn full_cli_workflow() {
 }
 
 #[test]
+fn serve_answers_line_protocol_requests() {
+    use std::io::Write;
+
+    let root = temp_dir("serve");
+    let data = root.join("data");
+    let index = root.join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+        .args(["--seed", "9", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+
+    // The serial oracle through the one-shot CLI.
+    let oracle = kbtim()
+        .args(["query", "--index", index.to_str().unwrap()])
+        .args(["--topics", "0,1", "--k", "5", "--algo", "rr"])
+        .output()
+        .unwrap();
+    assert!(oracle.status.success());
+    let oracle_seeds = String::from_utf8_lossy(&oracle.stdout)
+        .lines()
+        .next()
+        .unwrap()
+        .trim_start_matches("seeds: ")
+        .to_string();
+
+    // Same queries through `kbtim serve` on stdin (memory algo enabled).
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap(), "--memory", "on"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, r#"{{"id":1,"topics":[0,1],"k":5,"algo":"rr"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":2,"topics":[0,1],"k":5,"algo":"irr"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":3,"topics":[0,1],"k":5,"algo":"memory"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":4,"nonsense":true}}"#).unwrap();
+        writeln!(stdin, "this is not json").unwrap();
+    } // stdin drops → EOF → clean exit
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "one response per request line: {stdout}");
+
+    // rr, irr and memory all return the oracle's seeds (Theorem 3 + the
+    // memory copy's bit-equality), tagged with their request ids.
+    let want = format!("\"seeds\":{}", oracle_seeds.replace(", ", ","));
+    for (line, id) in lines[..3].iter().zip(1..) {
+        assert!(line.contains(&format!("\"id\":{id}")), "{line}");
+        assert!(line.contains(&want), "response {line} missing {want}");
+        assert!(!line.contains("error"), "{line}");
+    }
+    // Malformed requests get error responses, not dropped connections —
+    // and a parseable id is echoed even on validation failures, so
+    // pipelined clients can attribute the error line.
+    assert!(lines[3].contains("\"error\""), "{}", lines[3]);
+    assert!(lines[3].contains("\"id\":4"), "{}", lines[3]);
+    assert!(lines[4].contains("\"error\""), "{}", lines[4]);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn lt_model_build_via_cli() {
     let root = temp_dir("lt");
     let data = root.join("data");

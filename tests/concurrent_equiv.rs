@@ -1,0 +1,253 @@
+//! Concurrency gates for the serving runtime.
+//!
+//! The refactor's contract extends the serving-tier guarantees one more
+//! axis: *how many client threads fire queries, and in what
+//! interleaving, must be unobservable in the answers*. These tests pin
+//! that down:
+//!
+//! 1. N threads firing interleaved rr / irr / memory queries against one
+//!    shared `Arc<KbtimIndex>` produce answers bit-identical to the
+//!    serial order, across all three serving backends (scratch blocks
+//!    lease across threads; the persistent exec pool arbitrates or
+//!    degrades inline — neither may leak into results);
+//! 2. the [`QueryEngine`]'s request coalescing returns the same answer
+//!    to every concurrent caller of one request, and its books balance;
+//! 3. two indexes opened through one [`PageCache`] share a single
+//!    resident copy of every keyword segment while their per-index
+//!    [`IoStats`] stay separate.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{
+    Algo, EngineRequest, IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex,
+    PageCache, QueryEngine, ServingMode, ThetaMode,
+};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::block::all_modes;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::Query;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const NUM_TOPICS: u32 = 6;
+const CLIENT_THREADS: usize = 4;
+
+/// One IRR index on disk: a serial-oracle handle plus, per backend, a
+/// shared handle (2 worker threads, so client concurrency also contends
+/// the persistent exec pool) and a memory copy.
+struct Fixture {
+    _dir: TempDir,
+    serial: KbtimIndex,
+    shared: Vec<(ServingMode, Arc<KbtimIndex>, Arc<MemoryIndex>)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(500)
+            .num_topics(NUM_TOPICS)
+            .seed(117)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(1_500),
+                opt_initial_samples: 64,
+                opt_max_rounds: 5,
+                ..SamplingConfig::fast()
+            },
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 16 },
+            threads: 4,
+            seed: 29,
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("concurrent-equiv").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+
+        let serial = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().with_threads(Some(1));
+        let shared = all_modes()
+            .into_iter()
+            .map(|mode| {
+                let index = Arc::new(
+                    KbtimIndex::open_with(dir.path(), IoStats::new(), mode)
+                        .unwrap()
+                        .with_threads(Some(2)),
+                );
+                let memory = Arc::new(MemoryIndex::load(&index).unwrap());
+                (mode, index, memory)
+            })
+            .collect();
+        Fixture { _dir: dir, serial, shared }
+    })
+}
+
+/// The bit-comparable face of an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Answer {
+    seeds: Vec<u32>,
+    marginal_gains: Vec<u64>,
+    coverage: u64,
+    theta_q: u64,
+}
+
+impl Answer {
+    fn of(outcome: &kbtim::index::QueryOutcome) -> Answer {
+        Answer {
+            seeds: outcome.seeds.clone(),
+            marginal_gains: outcome.marginal_gains.clone(),
+            coverage: outcome.coverage,
+            theta_q: outcome.stats.theta_q,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+    #[test]
+    fn threads_and_interleavings_unobservable(
+        raw_queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..NUM_TOPICS, 1..4), 1u32..14),
+            2..5,
+        ),
+    ) {
+        let fx = fixture();
+        let queries: Vec<Query> = raw_queries
+            .into_iter()
+            .map(|(mut topics, k)| {
+                topics.sort_unstable();
+                topics.dedup();
+                Query::new(topics, k)
+            })
+            .collect();
+
+        // Serial order on the oracle handle. Theorem 3 plus the memory
+        // copy's bit-equality make one answer per query the reference
+        // for all three algorithms.
+        let serial: Vec<Answer> = queries
+            .iter()
+            .map(|q| {
+                let rr = fx.serial.query_rr(q).unwrap();
+                let irr = fx.serial.query_irr(q).unwrap();
+                assert_eq!(rr.seeds, irr.seeds, "Theorem 3 on the oracle");
+                Answer::of(&rr)
+            })
+            .collect();
+
+        for (mode, index, memory) in &fx.shared {
+            // CLIENT_THREADS threads, each walking every query at its
+            // own rotation and algorithm mix — maximal interleaving of
+            // rr/irr/memory against one shared index.
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = (0..CLIENT_THREADS)
+                    .map(|tid| {
+                        let index = Arc::clone(index);
+                        let memory = Arc::clone(memory);
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut answers = Vec::new();
+                            for round in 0..queries.len() {
+                                let qi = (round + tid) % queries.len();
+                                let q = &queries[qi];
+                                let outcome = match (round + tid) % 3 {
+                                    0 => index.query_rr(q).unwrap(),
+                                    1 => index.query_irr(q).unwrap(),
+                                    _ => memory.query(q),
+                                };
+                                answers.push((qi, Answer::of(&outcome)));
+                            }
+                            answers
+                        })
+                    })
+                    .collect();
+                for join in joins {
+                    for (qi, answer) in join.join().expect("client thread panicked") {
+                        assert_eq!(
+                            answer, serial[qi],
+                            "{mode}: concurrent answer for query {qi} diverged from serial"
+                        );
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn engine_coalesces_concurrent_identical_requests() {
+    let fx = fixture();
+    let (_, index, _) = &fx.shared[0];
+    let engine = Arc::new(QueryEngine::with_memory(Arc::clone(index)).unwrap());
+    let serial = Answer::of(&fx.serial.query_rr(&Query::new([0, 1], 8)).unwrap());
+
+    let issued: usize = 12;
+    let barrier = std::sync::Barrier::new(issued);
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..issued)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Mix algorithms: identical requests may coalesce,
+                    // different ones must not block each other.
+                    let algo = if i % 2 == 0 { Algo::Rr } else { Algo::Memory };
+                    engine.query(&EngineRequest::new([0, 1], 8).with_algo(algo)).unwrap()
+                })
+            })
+            .collect();
+        for join in joins {
+            assert_eq!(Answer::of(&join.join().unwrap()), serial);
+        }
+    });
+    assert_eq!(
+        engine.executed() + engine.coalesced(),
+        issued as u64,
+        "every request is either executed or coalesced"
+    );
+}
+
+#[test]
+fn page_cache_dedupes_across_whole_indexes() {
+    let fx = fixture();
+    let dir = fx._dir.path();
+    let cache = PageCache::new();
+    let stats_a = IoStats::new();
+    let stats_b = IoStats::new();
+    let a = KbtimIndex::open_shared(dir, stats_a.clone(), ServingMode::Resident, &cache).unwrap();
+    let b = KbtimIndex::open_shared(dir, stats_b.clone(), ServingMode::Resident, &cache).unwrap();
+
+    // Two open indexes, one resident copy of every keyword segment.
+    assert_eq!(a.resident_bytes(), b.resident_bytes());
+    assert_eq!(
+        cache.resident_bytes(),
+        a.resident_bytes(),
+        "the cache holds one copy, not one per index"
+    );
+    assert!(cache.segments() > 0);
+
+    // Queries agree with the serial oracle, and each handle's stats
+    // count only its own traffic.
+    let q = Query::new([0, 1, 2], 6);
+    let want = Answer::of(&fx.serial.query_rr(&q).unwrap());
+    assert_eq!(Answer::of(&a.query_rr(&q).unwrap()), want);
+    assert!(stats_a.cache_hits() > 0);
+    assert_eq!(stats_b.cache_hits(), 0, "B idle: shared pages must not blur B's stats");
+    assert_eq!(Answer::of(&b.query_irr(&q).unwrap()), want);
+    assert!(stats_b.cache_hits() > 0);
+
+    // Dropping both handles releases the pages; the cache pins nothing.
+    drop((a, b));
+    assert_eq!(cache.segments(), 0);
+    assert_eq!(cache.resident_bytes(), 0);
+}
+
+#[test]
+fn shared_index_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KbtimIndex>();
+    assert_send_sync::<MemoryIndex>();
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<Arc<KbtimIndex>>();
+}
