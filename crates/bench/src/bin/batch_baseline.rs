@@ -1,0 +1,277 @@
+//! Record a machine-readable baseline for the cross-request batch
+//! planner.
+//!
+//! Same 100k-node news-family graph and index configuration as
+//! `concurrent_baseline` / `BENCH_concurrent.json`, so the numbers
+//! compose: that baseline froze the PR-4 per-request serving path
+//! (identical-request coalescing only); this one measures what the
+//! batch planner adds on top — *different* requests with overlapping
+//! keyword sets sharing one keyword decode per batch. Methodology,
+//! caveats and regeneration commands: `docs/BENCHMARKS.md`.
+//!
+//! A closed-loop load generator runs 1 / 2 / 4 / 8 client threads over
+//! a mix of 30 **distinct** requests (5 overlapping topic sets × 3 seed
+//! counts × rr/irr) against one shared index, twice: through a plain
+//! [`QueryEngine`] (the PR-4 per-request path) and through one with a
+//! [`BATCH_WINDOW_US`]-microsecond batch admission window. Every answer on both paths is
+//! asserted bit-identical to the serial oracle — the determinism
+//! contract is enforced in the bench itself, not just in tests.
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin batch_baseline [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks the dataset and round count for CI (and skips
+//! writing the JSON unless a path is given explicitly).
+
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    Algo, EngineRequest, IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, PageCache,
+    QueryEngine, ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const TOPICS: u32 = 16;
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH_WINDOW_US: u64 = 150;
+
+struct Config {
+    users: u32,
+    theta_cap: u64,
+    /// Closed-loop iterations of the request mix per client thread.
+    rounds_per_client: usize,
+}
+
+/// Closed-loop run over `clients` threads against `engine`; client
+/// `tid` walks its own `mixes[tid]` (every request in the whole matrix
+/// is distinct, so identical-request coalescing can never help either
+/// path — only keyword overlap can). Every answer is asserted equal to
+/// its serial oracle. Returns queries/sec.
+fn drive(
+    engine: &Arc<QueryEngine>,
+    mixes: &[Vec<EngineRequest>],
+    expected: &[Vec<Vec<u32>>],
+    clients: usize,
+    rounds: usize,
+) -> f64 {
+    let barrier = Barrier::new(clients);
+    let total_requests = clients * rounds * mixes[0].len();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..clients)
+            .map(|tid| {
+                let engine = Arc::clone(engine);
+                let mix = &mixes[tid];
+                let expected = &expected[tid];
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..rounds {
+                        for i in 0..mix.len() {
+                            // Rotate each client's walk so concurrent
+                            // clients sit at *different* topic sets at
+                            // any instant — batches group partially, as
+                            // real advertiser traffic would.
+                            let at = (i + tid * 3 + round) % mix.len();
+                            let outcome = engine.query(&mix[at]).unwrap();
+                            assert_eq!(
+                                outcome.seeds, expected[at],
+                                "client {tid} diverged from serial on request {at}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for join in joins {
+            join.join().expect("client thread panicked");
+        }
+    });
+    total_requests as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let config = if smoke {
+        Config { users: 2_000, theta_cap: 800, rounds_per_client: 4 }
+    } else {
+        Config { users: 100_000, theta_cap: 4_000, rounds_per_client: 30 }
+    };
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({} users, {TOPICS} topics)...", config.users);
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(config.users)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    eprintln!("building IRR index...");
+    let build_config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(config.theta_cap),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: host_threads,
+        seed: SEED,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("batch-baseline-idx").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, build_config).build(dir.path()).unwrap();
+    eprintln!(
+        "index built: Σθ_w = {}, {:.1} MiB, {:.1}s",
+        report.total_theta,
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed.as_secs_f64()
+    );
+
+    // The server configuration (as in concurrent_baseline): mmap pages
+    // through the process-wide cache, per-query fan-out pinned to 1 so
+    // the client threads are the parallelism. One shared index, two
+    // engines: the PR-4 per-request path and the batch planner.
+    let mut index =
+        KbtimIndex::open_shared(dir.path(), IoStats::new(), ServingMode::Mmap, PageCache::global())
+            .unwrap();
+    index.set_threads(Some(1));
+    let index = Arc::new(index);
+    let plain = Arc::new(QueryEngine::new(Arc::clone(&index)));
+    let batched = Arc::new(
+        QueryEngine::new(index).with_batch_window(Some(Duration::from_micros(BATCH_WINDOW_US))),
+    );
+
+    // Per-client request mixes over 4 distinct keywords: overlapping
+    // topic sets × seed counts × both disk algorithms, with each
+    // client's seed counts offset by its id. Every request in the whole
+    // 8×30 matrix is distinct, so the per-request baseline gets nothing
+    // from identical-request coalescing — exactly the "different
+    // same-keyword queries" regime the planner targets (clients share
+    // keywords, not requests).
+    let topic_sets: [&[u32]; 5] = [&[0, 1], &[0, 1, 2], &[1, 2], &[2, 3], &[0, 3]];
+    let max_clients = *CLIENT_COUNTS.iter().max().unwrap();
+    let mixes: Vec<Vec<EngineRequest>> = (0..max_clients)
+        .map(|tid| {
+            topic_sets
+                .iter()
+                .flat_map(|&topics| {
+                    [5u32, 15, 25].into_iter().flat_map(move |k| {
+                        [Algo::Rr, Algo::Irr].into_iter().map(move |algo| EngineRequest {
+                            topics: topics.to_vec(),
+                            k: k + tid as u32,
+                            algo,
+                        })
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    // Serial oracle: answers recorded once (for the whole matrix), then
+    // a timed single-thread closed loop over the per-request path.
+    let expected: Vec<Vec<Vec<u32>>> = mixes
+        .iter()
+        .map(|mix| mix.iter().map(|req| plain.execute(req).unwrap().seeds.clone()).collect())
+        .collect();
+    let serial_requests = config.rounds_per_client * mixes[0].len();
+    let started = Instant::now();
+    for round in 0..config.rounds_per_client {
+        for (req, want) in mixes[0].iter().zip(&expected[0]) {
+            let outcome = plain.execute(req).unwrap();
+            assert_eq!(&outcome.seeds, want, "serial loop diverged at round {round}");
+        }
+    }
+    let serial_qps = serial_requests as f64 / started.elapsed().as_secs_f64();
+    eprintln!("serial oracle: {serial_qps:.0} qps");
+
+    let mut rows = Vec::new();
+    let mut speedup_8 = 0.0;
+    for clients in CLIENT_COUNTS {
+        let plain_qps = drive(&plain, &mixes, &expected, clients, config.rounds_per_client);
+        let batched_qps = drive(&batched, &mixes, &expected, clients, config.rounds_per_client);
+        let speedup = batched_qps / plain_qps;
+        if clients == 8 {
+            speedup_8 = speedup;
+        }
+        eprintln!(
+            "{clients} client(s): per-request {plain_qps:.0} qps, batched {batched_qps:.0} qps \
+             ({speedup:.2}x)"
+        );
+        rows.push(format!(
+            r#"    "{clients}": {{ "per_request_qps": {plain_qps:.1}, "batched_qps": {batched_qps:.1}, "speedup_batched_vs_per_request": {speedup:.3} }}"#,
+        ));
+    }
+    eprintln!(
+        "planner books: {} batches over {} requests, {} keyword-set merges, \
+         {} keyword decodes performed, {} shared",
+        batched.batches(),
+        batched.batched_requests(),
+        batched.merged_groups(),
+        batched.keywords_decoded(),
+        batched.keyword_decodes_shared(),
+    );
+    assert!(
+        batched.keyword_decodes_shared() > 0,
+        "overlapping closed-loop clients must share keyword decodes"
+    );
+
+    if smoke && out_path.is_none() {
+        eprintln!("smoke run: all answers bit-identical to serial; no JSON written");
+        return;
+    }
+    if !smoke && speedup_8 < 1.5 {
+        eprintln!("WARNING: 8-client batched speedup {speedup_8:.2}x below the 1.5x target");
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let json = format!(
+        r#"{{
+  "bench": "batch_planner",
+  "methodology": "docs/BENCHMARKS.md",
+  "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "index": {{ "users": {users}, "topics": {TOPICS}, "theta_cap": {theta_cap}, "variant": "irr", "partition_size": 100, "total_theta": {total_theta} }},
+  "serving_mode": "mmap (process-wide page cache)",
+  "per_query_threads": 1,
+  "batch_window_us": {BATCH_WINDOW_US},
+  "request_mix": "30 distinct requests per client: 5 overlapping topic sets x k in (5,15,25)+client_id x rr/irr ({rounds} closed-loop rounds per client; no request repeats across clients, so coalescing never helps either path)",
+  "comparable_to": "BENCH_concurrent.json (same graph, index config; per_request path = that bench's engine)",
+  "answers_bit_identical_to_serial": true,
+  "planner_books": {{ "batches": {batches}, "batched_requests": {batched_requests}, "merged_groups": {merged_groups}, "keywords_decoded": {kw_decoded}, "keyword_decodes_shared": {kw_shared} }},
+  "serial_qps": {serial_qps:.1},
+  "clients": {{
+{rows}
+  }}
+}}
+"#,
+        nodes = data.graph.num_nodes(),
+        edges = data.graph.num_edges(),
+        users = config.users,
+        theta_cap = config.theta_cap,
+        total_theta = report.total_theta,
+        rounds = config.rounds_per_client,
+        batches = batched.batches(),
+        batched_requests = batched.batched_requests(),
+        merged_groups = batched.merged_groups(),
+        kw_decoded = batched.keywords_decoded(),
+        kw_shared = batched.keyword_decodes_shared(),
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

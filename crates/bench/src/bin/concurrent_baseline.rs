@@ -189,6 +189,7 @@ fn main() {
     let json = format!(
         r#"{{
   "bench": "concurrent_serving",
+  "methodology": "docs/BENCHMARKS.md (incl. the 1-core-CI caveat: hardware scaling is flat here, coalescing is the measured effect)",
   "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
   "seed": {SEED},
   "host_available_parallelism": {host_threads},

@@ -19,6 +19,16 @@
 //! * [`InvertedIndexBuilder`] — an explicit two-pass (count, then fill)
 //!   builder for producers that stream per-node lists from several
 //!   sources, e.g. the per-keyword scans of the disk-index query paths.
+//!
+//! A finished [`InvertedIndex`] is immutable and safe for **multiple
+//! consumers**: all reads go through `&self`, so any number of greedy
+//! runs — concurrent or sequential — can share one instance. The
+//! serving tier's cross-request batch planner leans on both reuse
+//! axes: same-keyword-set requests run their own greedy over one
+//! shared merged instance (different `k`, same structure), and the
+//! arenas of a spent instance recycle into the next build via
+//! [`InvertedIndex::into_arenas`] / [`InvertedIndexBuilder::recycled`]
+//! (three arenas in, three out, zero steady-state allocation).
 
 use kbtim_graph::NodeId;
 use kbtim_propagation::RrBatch;

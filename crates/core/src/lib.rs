@@ -25,6 +25,8 @@
 //! * [`paper_example`] — the worked Figure 1 instance with its documented
 //!   expected values, used as an exact test oracle.
 
+#![deny(missing_docs)]
+
 pub mod alias;
 pub mod baselines;
 pub mod bitset;

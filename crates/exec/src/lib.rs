@@ -33,6 +33,8 @@
 //! [`ExecPool::map_shards_with`] — scratch reuse is safe precisely
 //! because shard outputs are functions of (shard index, base seed) alone.
 
+#![deny(missing_docs)]
+
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};

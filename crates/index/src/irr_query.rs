@@ -100,6 +100,35 @@ impl KwState<'_> {
 }
 
 impl KbtimIndex {
+    /// The IRR batch entry: answer `query` from a batch's shared
+    /// [`crate::scratch::KeywordArena`]. Requires the IRR variant, like
+    /// [`KbtimIndex::query_irr`].
+    ///
+    /// The NRA's whole advantage is loading *few* partitions from disk;
+    /// inside a batch the planner has already decoded every query
+    /// keyword's complete `L_w` once for the group, so incremental
+    /// partition loading has nothing left to save and the top-k
+    /// aggregation degenerates to exact greedy over the merged instance.
+    /// This entry therefore runs the shared-arena merge + greedy
+    /// directly — by Theorem 3 (strengthened to identical sequences by
+    /// the shared tie-breaking, see the module docs) the seeds, marginal
+    /// gains, coverage, and influence estimate are bit-identical to what
+    /// the incremental NRA returns, which `tests/concurrent_equiv.rs`
+    /// enforces against the serial [`KbtimIndex::query_irr`] oracle.
+    /// Stats reflect batched serving: `rr_sets_loaded` is the θ^Q
+    /// budget and `partitions_loaded` is 0 (no partition I/O happened —
+    /// the batch decode was charged once, to the group).
+    pub fn query_irr_prepared(
+        &self,
+        query: &Query,
+        arena: &crate::scratch::KeywordArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        let format::IndexVariant::Irr { .. } = self.meta().variant else {
+            return Err(IndexError::NotAnIrrIndex);
+        };
+        self.query_rr_prepared(query, arena)
+    }
+
     /// Answer `query` with Algorithm 4. Requires the IRR variant.
     pub fn query_irr(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
         let format::IndexVariant::Irr { .. } = self.meta().variant else {

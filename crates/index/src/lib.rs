@@ -65,7 +65,8 @@ pub use build::{BuildReport, IndexBuildConfig, IndexBuilder, KeywordBuildStats, 
 pub use format::{IndexMeta, IndexVariant, KeywordMeta};
 pub use kbtim_storage::{PageCache, ServingMode};
 pub use memory::MemoryIndex;
-pub use scratch::QueryScratch;
+pub use rr_query::MergedQuery;
+pub use scratch::{KeywordArena, QueryScratch};
 pub use serve::{Algo, EngineError, EngineRequest, EngineResult, QueryEngine};
 
 /// Errors from index construction and querying.

@@ -24,11 +24,11 @@
 //! pool is warm.
 
 use crate::format::{self, IlCsr};
-use crate::scratch::QueryScratch;
+use crate::scratch::{KeywordArena, QueryScratch};
 use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
 use kbtim_core::invindex::{InvertedIndex, InvertedIndexBuilder};
 use kbtim_core::maxcover::greedy_max_cover_inverted_with;
-use kbtim_topics::Query;
+use kbtim_topics::{Query, TopicId};
 use std::time::Instant;
 
 impl KbtimIndex {
@@ -149,6 +149,238 @@ impl KbtimIndex {
                 elapsed: started.elapsed(),
             },
         })
+    }
+}
+
+impl KbtimIndex {
+    /// Decode each wanted keyword **once** into a shared
+    /// [`KeywordArena`] — the batch planner's entry point.
+    ///
+    /// `wants` pairs each keyword with the widest `θ^Q_w` share any
+    /// request in the batch asks of it. Sorted, duplicate-free input is
+    /// used as-is; anything else is normalized first (sorted ascending,
+    /// duplicate topics merged at their widest share), so the arena's
+    /// lookup invariant holds for any caller. Per keyword, one fan-out
+    /// shard (on the
+    /// index-owned pool) reads and decodes the RR prefix at that widest
+    /// share plus the whole inverted list `L_w` into a pool-leased CSR.
+    /// The planner then serves any number of requests from the one
+    /// arena — [`KbtimIndex::merge_keywords`] once per distinct keyword
+    /// set, [`KbtimIndex::query_merged`] once per request
+    /// ([`KbtimIndex::query_rr_prepared`] /
+    /// [`KbtimIndex::query_irr_prepared`] are the single-request form
+    /// of the same pair); return the arena with
+    /// [`KbtimIndex::recycle_keywords`] when the batch completes.
+    ///
+    /// Decoded bytes are identical to what the per-request paths decode,
+    /// so prepared answers are bit-identical to unbatched ones.
+    pub fn decode_keywords(&self, wants: &[(TopicId, u64)]) -> Result<KeywordArena, IndexError> {
+        // KeywordArena::csr binary-searches `topics`, so the build order
+        // must be strictly ascending — normalize rather than trust the
+        // caller (a silently unsorted arena would misreport healthy
+        // keywords as missing).
+        let owned: Vec<(TopicId, u64)>;
+        let wants = if wants.windows(2).all(|w| w[0].0 < w[1].0) {
+            wants
+        } else {
+            let mut sorted = wants.to_vec();
+            sorted.sort_by_key(|&(topic, _)| topic);
+            sorted.dedup_by(|next, kept| {
+                if next.0 == kept.0 {
+                    kept.1 = kept.1.max(next.1);
+                    true
+                } else {
+                    false
+                }
+            });
+            owned = sorted;
+            &owned
+        };
+        let codec = self.meta().codec;
+        let scans: Vec<Result<IlCsr, IndexError>> = self.pool().map_shards_with(
+            wants.len(),
+            || self.scratch.guard(),
+            |guard, i| {
+                let s: &mut QueryScratch = &mut *guard;
+                let (topic, share) = wants[i];
+                let source = self.source(topic)?;
+                // RR prefix at the widest share in the batch, decoded
+                // once for every consumer (faithful query-time cost, as
+                // in `query_rr`; the answers come off the inverted
+                // lists).
+                if share > 0 {
+                    let off_bytes =
+                        source.read_range_in(format::RR_OFF_BLOCK, share * 8, 8, &mut s.bytes_a)?;
+                    let prefix_len = u64::from_le_bytes(off_bytes.try_into().expect("8 bytes"));
+                    let rr_bytes =
+                        source.read_range_in(format::RR_BLOCK, 0, prefix_len, &mut s.bytes_a)?;
+                    format::decode_rr_prefix_into(
+                        rr_bytes,
+                        share,
+                        codec,
+                        &mut s.rr_members,
+                        &mut s.rr_ends,
+                    )?;
+                }
+                // The whole L_w into a pool-leased CSR the arena keeps
+                // (truncation to each request's share happens at merge
+                // time, read-only).
+                let il_bytes = source.read_block_in(format::IL_BLOCK, &mut s.bytes_b)?;
+                let mut csr = self.scratch.take_csr();
+                format::decode_il_csr_into(il_bytes, codec, &mut csr)?;
+                Ok(csr)
+            },
+        );
+        let mut arena = KeywordArena::default();
+        for ((topic, share), scan) in wants.iter().zip(scans) {
+            arena.topics.push(*topic);
+            arena.csrs.push(scan?);
+            arena.rr_sets_decoded += share;
+        }
+        Ok(arena)
+    }
+
+    /// Return a finished batch's arena CSRs to the scratch pool.
+    pub fn recycle_keywords(&self, arena: KeywordArena) {
+        for csr in arena.csrs {
+            self.scratch.put_csr(csr);
+        }
+    }
+
+    /// Build a keyword set's merged coverage instance from a batch's
+    /// shared [`KeywordArena`] — everything of Algorithm 2 that depends
+    /// on the keyword set alone.
+    ///
+    /// The Eqn-11 budget, the per-keyword global id bases, and the
+    /// merged [`InvertedIndex`] are all functions of `query.topics()` —
+    /// `Q.k` only bounds the greedy loop — so batched requests sharing
+    /// a keyword set share one [`MergedQuery`] and differ only in their
+    /// [`KbtimIndex::query_merged`] call. The two flat passes here (the
+    /// `MemoryIndex` merge, against a per-batch arena) truncate each
+    /// keyword's full CSR to its `θ^Q_w` share and remap into the
+    /// query's global id space in keyword order, producing an instance
+    /// bit-identical to the per-request path's remapped-CSR
+    /// concatenation.
+    pub fn merge_keywords(
+        &self,
+        query: &Query,
+        arena: &KeywordArena,
+    ) -> Result<MergedQuery, IndexError> {
+        let (phi_q, budget) = self.query_budget(query);
+        self.merge_budgeted(phi_q, &budget, arena)
+    }
+
+    /// [`KbtimIndex::merge_keywords`] with the Eqn-11 budget already
+    /// computed — the batch planner derives each group's budget while
+    /// building the decode union and must not pay for it twice.
+    pub(crate) fn merge_budgeted(
+        &self,
+        phi_q: f64,
+        budget: &[(TopicId, u64)],
+        arena: &KeywordArena,
+    ) -> Result<MergedQuery, IndexError> {
+        let mut builder =
+            InvertedIndexBuilder::recycled(self.meta().num_users, self.scratch.take_arenas());
+        let mut theta_q = 0u64;
+        for &(topic, share) in budget {
+            let il = arena.csr(topic).ok_or_else(|| {
+                IndexError::Corrupt(format!("keyword {topic} missing from the batch arena"))
+            })?;
+            for j in 0..il.len() {
+                let cut = il.list(j).partition_point(|&id| (id as u64) < share);
+                builder.count(il.users[j], cut as u32);
+            }
+            theta_q += share;
+        }
+        let mut filler = builder.fill();
+        let mut base = 0u64;
+        for &(topic, share) in budget {
+            let il = arena.csr(topic).expect("presence checked in the count pass");
+            for j in 0..il.len() {
+                let list = il.list(j);
+                let cut = list.partition_point(|&id| (id as u64) < share);
+                filler.push_list(
+                    il.users[j],
+                    list[..cut].iter().map(|&id| (base + id as u64) as u32),
+                );
+            }
+            base += share;
+        }
+        debug_assert_eq!(base, theta_q);
+        Ok(MergedQuery { phi_q, theta_q, inverted: filler.finish() })
+    }
+
+    /// Run one request's own greedy over a shared [`MergedQuery`]
+    /// instance. Infallible: routing and merge errors surfaced earlier.
+    ///
+    /// Stats follow the [`MemoryIndex`](crate::MemoryIndex) convention:
+    /// `rr_sets_loaded` reports the θ^Q budget; the physical reads were
+    /// charged once to the batch when its arena was decoded.
+    pub fn query_merged(&self, merged: &MergedQuery, k: u32) -> QueryOutcome {
+        let started = Instant::now();
+        if merged.theta_q == 0 {
+            return empty_outcome(started);
+        }
+        let cover =
+            greedy_max_cover_inverted_with(&merged.inverted, merged.theta_q, k, self.pool());
+        let estimated_influence = cover.covered as f64 / merged.theta_q as f64 * merged.phi_q;
+        QueryOutcome {
+            seeds: cover.seeds,
+            marginal_gains: cover.marginal_gains,
+            coverage: cover.covered,
+            estimated_influence,
+            stats: QueryStats {
+                theta_q: merged.theta_q,
+                rr_sets_loaded: merged.theta_q,
+                partitions_loaded: 0,
+                io: Default::default(),
+                elapsed: started.elapsed(),
+            },
+        }
+    }
+
+    /// Return a finished [`MergedQuery`]'s arenas to the scratch pool.
+    pub fn recycle_merged(&self, merged: MergedQuery) {
+        self.scratch.put_arenas(merged.inverted.into_arenas());
+    }
+
+    /// Algorithm 2 served from a batch's shared [`KeywordArena`] instead
+    /// of per-request reads — the RR batch entry
+    /// ([`KbtimIndex::merge_keywords`] + [`KbtimIndex::query_merged`]
+    /// for one request; the batch planner shares the merge across
+    /// same-keyword-set requests too).
+    ///
+    /// The budget, merge order, and greedy loop are exactly
+    /// [`KbtimIndex::query_rr`]'s; only where the decoded `L_w` comes
+    /// from differs, so the answer is bit-identical to the unbatched
+    /// path (enforced by `tests/concurrent_equiv.rs` proptests).
+    pub fn query_rr_prepared(
+        &self,
+        query: &Query,
+        arena: &KeywordArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        let merged = self.merge_keywords(query, arena)?;
+        let outcome = self.query_merged(&merged, query.k());
+        self.recycle_merged(merged);
+        Ok(outcome)
+    }
+}
+
+/// A keyword set's merged coverage instance, shared by every batched
+/// request over that set (see [`KbtimIndex::merge_keywords`]).
+pub struct MergedQuery {
+    /// Total tf-idf mass of the query's held keywords (`φ_Q`).
+    phi_q: f64,
+    /// `θ^Q = Σ_w θ^Q_w` — the global id space of `inverted`.
+    theta_q: u64,
+    /// The merged, truncated, remapped coverage instance.
+    inverted: InvertedIndex,
+}
+
+impl MergedQuery {
+    /// The merged instance's total RR-set budget `θ^Q`.
+    pub fn theta_q(&self) -> u64 {
+        self.theta_q
     }
 }
 

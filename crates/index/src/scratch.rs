@@ -26,8 +26,65 @@
 use crate::format::{IlCsr, PartitionMeta};
 use kbtim_core::bitset::Bitset;
 use kbtim_graph::NodeId;
+use kbtim_topics::TopicId;
 use std::cmp::Reverse;
 use std::sync::Mutex;
+
+/// A request group's shared keyword decode: each distinct keyword of a
+/// batch decoded **once**, then consumed by any number of requests.
+///
+/// The serving tier's cross-request batch planner
+/// ([`crate::serve::QueryEngine`]) builds one arena per admitted batch
+/// via [`crate::KbtimIndex::decode_keywords`]: the full inverted-list
+/// CSR of every distinct keyword any batched request needs, plus the RR
+/// prefix decode at the *widest* share in the group (for faithful
+/// query-time cost). Consumers ([`crate::KbtimIndex::merge_keywords`]
+/// per keyword set; [`crate::KbtimIndex::query_rr_prepared`] /
+/// [`crate::KbtimIndex::query_irr_prepared`] for single requests) then
+/// truncate and remap the shared CSRs against their own Eqn-11
+/// budgets — read-only, so any number of requests consume one arena
+/// without copies.
+///
+/// Invariants: `topics` is strictly ascending and parallel to `csrs`;
+/// every CSR holds a keyword's *complete* `L_w` (truncation is
+/// per-request). The CSR arenas are leased from the index's scratch
+/// pool and must go back via
+/// [`crate::KbtimIndex::recycle_keywords`] when the batch finishes.
+#[derive(Default)]
+pub struct KeywordArena {
+    /// Distinct decoded keywords, strictly ascending.
+    pub(crate) topics: Vec<TopicId>,
+    /// Full `L_w` CSR per keyword, parallel to `topics`.
+    pub(crate) csrs: Vec<IlCsr>,
+    /// RR sets decoded across the arena (each keyword at the widest
+    /// share any batched request asked of it) — the books behind the
+    /// engine's batching counters.
+    pub(crate) rr_sets_decoded: u64,
+}
+
+impl KeywordArena {
+    /// Number of distinct keywords decoded into this arena.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Whether the arena holds no keywords (a batch of empty-budget or
+    /// memory-only requests).
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// RR sets decoded once for the whole batch (Σ per-keyword widest
+    /// share).
+    pub fn rr_sets_decoded(&self) -> u64 {
+        self.rr_sets_decoded
+    }
+
+    /// The decoded full CSR of `topic`, if the arena holds it.
+    pub(crate) fn csr(&self, topic: TopicId) -> Option<&IlCsr> {
+        self.topics.binary_search(&topic).ok().map(|i| &self.csrs[i])
+    }
+}
 
 /// One IRR query keyword's reusable NRA tables (the `KwState` backing
 /// store): the `decode_ip` output, the partition catalog, the per-slot

@@ -18,20 +18,32 @@
 //!   share the `Arc`'d outcome. Advertiser workloads are Zipfian over
 //!   keywords, so under load this shaves the hottest queries to a single
 //!   execution per arrival wave.
+//! * **Cross-request batching**: with a batch window configured
+//!   ([`QueryEngine::set_batch_window`]), a short admission window
+//!   collects concurrent in-flight requests into one batch, decodes
+//!   each *distinct* keyword's inverted lists and RR prefix **once**
+//!   into a shared [`KeywordArena`], and runs every request's own
+//!   merge + greedy over the shared structures — so N different
+//!   same-keyword queries pay the expensive per-keyword decode once
+//!   per batch, not once per request. Memory-algo requests pass
+//!   through unshared (they are already decode-free).
 //! * **Determinism**: queries are read-only and scratch contents never
-//!   influence answers, so any interleaving of concurrent clients
-//!   produces outcomes bit-identical to running the same requests
-//!   serially — the contract `tests/concurrent_equiv.rs` enforces
-//!   across every serving backend.
+//!   influence answers, so any interleaving of concurrent clients —
+//!   and any grouping the batch planner happens to admit — produces
+//!   outcomes bit-identical to running the same requests serially —
+//!   the contract `tests/concurrent_equiv.rs` enforces across every
+//!   serving backend.
 //!
 //! The line-protocol front end (`kbtim serve`) in the facade crate is a
 //! thin wrapper over this engine.
 
+use crate::scratch::KeywordArena;
 use crate::{IndexError, KbtimIndex, MemoryIndex, QueryOutcome};
 use kbtim_topics::{Query, TopicId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Which query algorithm a request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -160,6 +172,30 @@ impl Flight {
     }
 }
 
+/// The batch planner's admission state: requests queued during the
+/// current window plus whether a leader is currently collecting.
+#[derive(Default)]
+struct BatchQueue {
+    pending: Vec<(EngineRequest, Arc<Flight>)>,
+    /// True while some caller is inside the admission window; its drain
+    /// will take everything queued here. The first arrival after a
+    /// drain becomes the next leader.
+    collecting: bool,
+}
+
+/// Cross-request batch planner configuration + queue (see the module
+/// docs).
+struct Batcher {
+    /// Admission window: how long the batch leader waits for more
+    /// concurrent arrivals before executing the batch.
+    window: Duration,
+    /// Early-fire cap: a full batch executes before the window closes.
+    max_requests: usize,
+    queue: Mutex<BatchQueue>,
+    /// Signalled on every arrival so a leader can fire early at the cap.
+    arrived: Condvar,
+}
+
 /// A concurrent query engine over one shared index (see the module
 /// docs).
 ///
@@ -169,8 +205,14 @@ pub struct QueryEngine {
     index: Arc<KbtimIndex>,
     memory: Option<MemoryIndex>,
     inflight: Mutex<HashMap<EngineRequest, Arc<Flight>>>,
+    batch: Option<Batcher>,
     executed: AtomicU64,
     coalesced: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    merged_groups: AtomicU64,
+    keywords_decoded: AtomicU64,
+    keyword_decodes_shared: AtomicU64,
 }
 
 impl QueryEngine {
@@ -181,8 +223,14 @@ impl QueryEngine {
             index,
             memory: None,
             inflight: Mutex::new(HashMap::new()),
+            batch: None,
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            merged_groups: AtomicU64::new(0),
+            keywords_decoded: AtomicU64::new(0),
+            keyword_decodes_shared: AtomicU64::new(0),
         }
     }
 
@@ -213,17 +261,89 @@ impl QueryEngine {
     }
 
     /// Requests answered by joining another caller's identical in-flight
-    /// request.
+    /// request (or a duplicate within one batch).
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
     }
 
-    /// Answer `req`, sharing the computation with any identical request
-    /// currently in flight.
+    /// Enable (or disable, with `None`) the cross-request batch planner
+    /// with the given admission window.
+    ///
+    /// With a window set, [`QueryEngine::query`] collects concurrent
+    /// requests for up to `window`, decodes each distinct keyword once
+    /// into a shared [`KeywordArena`], and serves every request in the
+    /// batch from the shared decode. Answers stay bit-identical to
+    /// serial per-request execution; the window only trades a bounded
+    /// admission delay for shared decode work under load.
+    pub fn set_batch_window(&mut self, window: Option<Duration>) {
+        self.batch = window.map(|window| Batcher {
+            window,
+            max_requests: 64,
+            queue: Mutex::new(BatchQueue::default()),
+            arrived: Condvar::new(),
+        });
+    }
+
+    /// Builder-style [`QueryEngine::set_batch_window`].
+    pub fn with_batch_window(mut self, window: Option<Duration>) -> QueryEngine {
+        self.set_batch_window(window);
+        self
+    }
+
+    /// The configured batch admission window, if batching is enabled.
+    pub fn batch_window(&self) -> Option<Duration> {
+        self.batch.as_ref().map(|b| b.window)
+    }
+
+    /// Batches the planner has executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests that went through the batch planner (across all
+    /// batches, duplicates included).
+    pub fn batched_requests(&self) -> u64 {
+        self.batched_requests.load(Ordering::Relaxed)
+    }
+
+    /// Keyword-set merges the planner performed (one per distinct
+    /// keyword set per batch — requests over the same set share one
+    /// merged coverage instance and differ only in their greedy run).
+    pub fn merged_groups(&self) -> u64 {
+        self.merged_groups.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keyword decodes the planner performed (once per distinct
+    /// keyword per batch).
+    pub fn keywords_decoded(&self) -> u64 {
+        self.keywords_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Keyword decodes *avoided* by sharing: Σ over batched requests of
+    /// their budgeted keyword count, minus the distinct decodes
+    /// actually performed. The books behind the batching claim — with
+    /// batching off this stays 0.
+    pub fn keyword_decodes_shared(&self) -> u64 {
+        self.keyword_decodes_shared.load(Ordering::Relaxed)
+    }
+
+    /// Answer `req`, sharing work with concurrent requests: through the
+    /// batch planner when a window is configured
+    /// ([`QueryEngine::set_batch_window`]), otherwise by coalescing
+    /// with any identical request currently in flight.
     ///
     /// Safe to call from any number of threads; the answer is
     /// bit-identical to running the same request alone.
     pub fn query(&self, req: &EngineRequest) -> EngineResult {
+        match &self.batch {
+            Some(batcher) => self.query_batched(batcher, req),
+            None => self.query_coalesced(req),
+        }
+    }
+
+    /// The non-batched serving path: identical in-flight requests
+    /// collapse to one execution.
+    fn query_coalesced(&self, req: &EngineRequest) -> EngineResult {
         let flight = {
             let mut inflight = self.inflight.lock().expect("inflight table poisoned");
             if let Some(flight) = inflight.get(req) {
@@ -258,8 +378,247 @@ impl QueryEngine {
         result
     }
 
-    /// Run the request directly, bypassing coalescing (the serial-oracle
-    /// path benchmarks compare against).
+    /// The batch-planner serving path: queue the request, collect
+    /// concurrent arrivals for up to the admission window, execute the
+    /// whole batch over one shared keyword decode.
+    fn query_batched(&self, batcher: &Batcher, req: &EngineRequest) -> EngineResult {
+        let flight = Arc::new(Flight::new());
+        let leads = {
+            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+            queue.pending.push((req.clone(), Arc::clone(&flight)));
+            if queue.collecting {
+                // A leader is inside the admission window and will drain
+                // this entry; wake it so it can fire early at the cap.
+                batcher.arrived.notify_all();
+                false
+            } else {
+                queue.collecting = true;
+                true
+            }
+        };
+        if !leads {
+            return flight.wait();
+        }
+
+        // Leader: hold the admission window open, then drain. Entries
+        // pushed after the drain see `collecting == false` and elect the
+        // next leader, so no request is ever orphaned.
+        let deadline = Instant::now() + batcher.window;
+        let batch = {
+            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+            while queue.pending.len() < batcher.max_requests {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                queue = batcher.arrived.wait_timeout(queue, left).expect("batch queue poisoned").0;
+            }
+            queue.collecting = false;
+            std::mem::take(&mut queue.pending)
+        };
+
+        // As in the coalescing path: a panicking batch must not wedge
+        // its waiters — fail every flight, then re-throw.
+        if let Err(payload) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_batch(&batch)))
+        {
+            let err: EngineResult =
+                Err(EngineError::from(IndexError::Corrupt("batch execution panicked".to_string())));
+            for (_, flight) in &batch {
+                flight.complete(err.clone());
+            }
+            std::panic::resume_unwind(payload);
+        }
+        flight.wait()
+    }
+
+    /// Execute one drained batch: dedupe identical requests, decode the
+    /// union of distinct keywords once, serve every request from the
+    /// shared arena, complete every flight.
+    fn run_batch(&self, batch: &[(EngineRequest, Arc<Flight>)]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Identical requests in one batch execute once (the batched
+        // form of coalescing); order of first arrival is kept, though
+        // answers are order-independent anyway.
+        let mut unique: Vec<&EngineRequest> = Vec::with_capacity(batch.len());
+        let mut slot: HashMap<&EngineRequest, usize> = HashMap::with_capacity(batch.len());
+        for (req, _) in batch {
+            if !slot.contains_key(req) {
+                slot.insert(req, unique.len());
+                unique.push(req);
+            }
+        }
+
+        // Group the disk requests by keyword set: the Eqn-11 budget and
+        // the merged coverage instance depend on the topics alone, so
+        // same-keyword-set requests (different `k`, different disk
+        // algorithm) share one budget, one merge, and differ only in
+        // their greedy. Memory requests are decode-free and pass
+        // through unshared. The budget is computed once per group,
+        // right here, and threaded through to the merge.
+        struct Group<'a> {
+            lead: &'a EngineRequest,
+            members: Vec<usize>,
+            phi_q: f64,
+            budget: Vec<(TopicId, u64)>,
+        }
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        for (at, req) in unique.iter().enumerate() {
+            if req.algo == Algo::Memory {
+                continue;
+            }
+            match groups.iter_mut().find(|g| g.lead.topics == req.topics) {
+                Some(group) => group.members.push(at),
+                None => {
+                    let query = Query::new(req.topics.iter().copied(), req.k);
+                    let (phi_q, budget) = self.index.query_budget(&query);
+                    groups.push(Group { lead: req, members: vec![at], phi_q, budget });
+                }
+            }
+        }
+
+        // Union of budgeted keywords across all groups, each at the
+        // widest per-request share, decoded once for the whole batch.
+        // Every member of a group would have needed its group's whole
+        // keyword set — the `requested` side of the sharing books.
+        let mut wants: BTreeMap<TopicId, u64> = BTreeMap::new();
+        let mut requested = 0u64;
+        for group in &groups {
+            requested += (group.budget.len() * group.members.len()) as u64;
+            for &(topic, share) in &group.budget {
+                let widest = wants.entry(topic).or_insert(0);
+                *widest = (*widest).max(share);
+            }
+        }
+        let wants: Vec<(TopicId, u64)> = wants.into_iter().collect();
+
+        // Execute: memory requests directly on the leader (RAM-only,
+        // decode-free), each keyword-set group over one shared merge.
+        // `Auto` needs no cost-model pick against a merged instance —
+        // both branches serve from the same structure (Theorem 3) —
+        // and `Irr` keeps its variant check so batched error behavior
+        // matches `execute`.
+        let mut results: Vec<Option<EngineResult>> = vec![None; unique.len()];
+        for (at, req) in unique.iter().enumerate() {
+            if req.algo == Algo::Memory {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                results[at] = Some(self.execute(req));
+            }
+        }
+        let run_group = |group: &Group<'_>, arena: &KeywordArena| -> Vec<(usize, EngineResult)> {
+            self.merged_groups.fetch_add(1, Ordering::Relaxed);
+            let irr_available =
+                matches!(self.index.meta().variant, crate::format::IndexVariant::Irr { .. });
+            let merged = match self.index.merge_budgeted(group.phi_q, &group.budget, arena) {
+                Ok(merged) => merged,
+                Err(e) => {
+                    let err = EngineError::from(e);
+                    self.executed.fetch_add(group.members.len() as u64, Ordering::Relaxed);
+                    return group.members.iter().map(|&at| (at, Err(err.clone()))).collect();
+                }
+            };
+            let out = group
+                .members
+                .iter()
+                .map(|&at| {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    let req = unique[at];
+                    let result = if req.algo == Algo::Irr && !irr_available {
+                        Err(EngineError::from(IndexError::NotAnIrrIndex))
+                    } else {
+                        Ok(Arc::new(self.index.query_merged(&merged, req.k)))
+                    };
+                    (at, result)
+                })
+                .collect();
+            self.index.recycle_merged(merged);
+            out
+        };
+
+        let union_arena = if wants.is_empty() {
+            Ok(KeywordArena::default())
+        } else {
+            self.index.decode_keywords(&wants)
+        };
+        match union_arena {
+            Ok(arena) => {
+                self.keywords_decoded.fetch_add(wants.len() as u64, Ordering::Relaxed);
+                self.keyword_decodes_shared
+                    .fetch_add(requested.saturating_sub(wants.len() as u64), Ordering::Relaxed);
+                // Group answers are independent, so groups run
+                // *concurrently* (one scoped thread each beyond the
+                // first): without this, a batch of G disjoint keyword
+                // sets would serialize on the leader thread work that
+                // the per-request path ran G-wide on the client threads
+                // now parked in `Flight::wait`. Answers are unaffected —
+                // only wall-clock.
+                if groups.len() <= 1 {
+                    for group in &groups {
+                        for (at, result) in run_group(group, &arena) {
+                            results[at] = Some(result);
+                        }
+                    }
+                } else {
+                    std::thread::scope(|scope| {
+                        let joins: Vec<_> = groups
+                            .iter()
+                            .map(|group| scope.spawn(|| run_group(group, &arena)))
+                            .collect();
+                        for join in joins {
+                            for (at, result) in join.join().expect("group execution panicked") {
+                                results[at] = Some(result);
+                            }
+                        }
+                    });
+                }
+                self.index.recycle_keywords(arena);
+            }
+            Err(_) => {
+                // The union decode hit an unreadable keyword. Answers
+                // must not depend on which unrelated requests share a
+                // window, so retry *per group*: groups whose own
+                // keywords are healthy still get their serial answers;
+                // only groups referencing the failed keyword(s) see the
+                // error — exactly the per-request semantics. (Memory
+                // requests were already served above.)
+                for group in &groups {
+                    let mut group_wants: BTreeMap<TopicId, u64> = BTreeMap::new();
+                    for &(topic, share) in &group.budget {
+                        let widest = group_wants.entry(topic).or_insert(0);
+                        *widest = (*widest).max(share);
+                    }
+                    let group_wants: Vec<(TopicId, u64)> = group_wants.into_iter().collect();
+                    match self.index.decode_keywords(&group_wants) {
+                        Ok(arena) => {
+                            self.keywords_decoded
+                                .fetch_add(group_wants.len() as u64, Ordering::Relaxed);
+                            for (at, result) in run_group(group, &arena) {
+                                results[at] = Some(result);
+                            }
+                            self.index.recycle_keywords(arena);
+                        }
+                        Err(e) => {
+                            let err = EngineError::from(e);
+                            self.executed.fetch_add(group.members.len() as u64, Ordering::Relaxed);
+                            for &at in &group.members {
+                                results[at] = Some(Err(err.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.coalesced.fetch_add((batch.len() - unique.len()) as u64, Ordering::Relaxed);
+        for (req, flight) in batch {
+            let result = results[slot[req]].clone().expect("every unique request executed");
+            flight.complete(result);
+        }
+    }
+
+    /// Run the request directly, bypassing coalescing and batching (the
+    /// serial-oracle path benchmarks and proptests compare against).
     pub fn execute(&self, req: &EngineRequest) -> EngineResult {
         let query = Query::new(req.topics.iter().copied(), req.k);
         let outcome = match req.algo {
@@ -382,6 +741,243 @@ mod tests {
         assert!(!bare.has_memory());
         let err = bare.query(&EngineRequest::new([0], 3).with_algo(Algo::Memory)).unwrap_err();
         assert!(err.to_string().contains("memory serving copy"), "{err}");
+    }
+
+    #[test]
+    fn prepared_entries_match_unbatched_queries() {
+        let dir = TempDir::new("prepared-entries").unwrap();
+        let engine = build_engine(dir.path());
+        let index = engine.index();
+        for query in [Query::new([0u32, 1, 2], 9), Query::new([3u32], 4)] {
+            let mut wants: std::collections::BTreeMap<u32, u64> = Default::default();
+            for (topic, share) in index.query_budget(&query).1 {
+                let widest = wants.entry(topic).or_insert(0);
+                *widest = (*widest).max(share);
+            }
+            let wants: Vec<(u32, u64)> = wants.into_iter().collect();
+            let arena = index.decode_keywords(&wants).unwrap();
+
+            let rr = index.query_rr(&query).unwrap();
+            let rr_p = index.query_rr_prepared(&query, &arena).unwrap();
+            assert_eq!(rr_p.seeds, rr.seeds);
+            assert_eq!(rr_p.marginal_gains, rr.marginal_gains);
+            assert_eq!(rr_p.coverage, rr.coverage);
+            assert_eq!(rr_p.stats.theta_q, rr.stats.theta_q);
+            assert_eq!(rr_p.estimated_influence.to_bits(), rr.estimated_influence.to_bits());
+
+            let irr = index.query_irr(&query).unwrap();
+            let irr_p = index.query_irr_prepared(&query, &arena).unwrap();
+            assert_eq!(irr_p.seeds, irr.seeds);
+            assert_eq!(irr_p.marginal_gains, irr.marginal_gains);
+            assert_eq!(irr_p.coverage, irr.coverage);
+
+            assert_eq!(arena.len(), wants.len());
+            assert!(arena.rr_sets_decoded() > 0);
+            index.recycle_keywords(arena);
+        }
+    }
+
+    #[test]
+    fn irr_prepared_requires_the_irr_variant() {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(300)
+            .num_topics(4)
+            .seed(93)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(500),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            variant: IndexVariant::Rr,
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("prepared-rr-variant").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        let query = Query::new([0u32], 3);
+        let wants: Vec<(u32, u64)> = index.query_budget(&query).1;
+        let arena = index.decode_keywords(&wants).unwrap();
+        assert!(matches!(
+            index.query_irr_prepared(&query, &arena).unwrap_err(),
+            crate::IndexError::NotAnIrrIndex
+        ));
+        // The RR entry still serves an RR-variant index from the arena.
+        assert_eq!(
+            index.query_rr_prepared(&query, &arena).unwrap().seeds,
+            index.query_rr(&query).unwrap().seeds
+        );
+        index.recycle_keywords(arena);
+    }
+
+    #[test]
+    fn batched_engine_matches_serial_execution() {
+        let dir = TempDir::new("engine-batch").unwrap();
+        let engine = build_engine(dir.path()).with_batch_window(Some(Duration::from_micros(200)));
+        let reqs = [
+            EngineRequest::new([0, 1], 4).with_algo(Algo::Rr),
+            EngineRequest::new([0, 1], 9).with_algo(Algo::Irr),
+            EngineRequest::new([1, 2], 6).with_algo(Algo::Auto),
+            EngineRequest::new([0, 1], 4).with_algo(Algo::Memory),
+            EngineRequest::new([4], 3).with_algo(Algo::Rr),
+        ];
+        for req in &reqs {
+            let serial = engine.execute(req).unwrap();
+            let batched = engine.query(req).unwrap();
+            assert_eq!(batched.seeds, serial.seeds, "{req:?}");
+            assert_eq!(batched.marginal_gains, serial.marginal_gains, "{req:?}");
+            assert_eq!(batched.coverage, serial.coverage, "{req:?}");
+            assert_eq!(batched.stats.theta_q, serial.stats.theta_q, "{req:?}");
+            assert!(
+                (batched.estimated_influence - serial.estimated_influence).abs() < 1e-12,
+                "{req:?}"
+            );
+        }
+        // Each query() above formed its own (singleton) batch; the books
+        // must say so, and sharing never triggers with one request.
+        assert_eq!(engine.batches(), reqs.len() as u64);
+        assert_eq!(engine.batched_requests(), reqs.len() as u64);
+        assert!(engine.batch_window().is_some());
+    }
+
+    #[test]
+    fn batched_memory_requests_survive_disk_decode_failure() {
+        let dir = TempDir::new("engine-batch-corrupt").unwrap();
+        let engine =
+            Arc::new(build_engine(dir.path()).with_batch_window(Some(Duration::from_millis(300))));
+        let mem_req = EngineRequest::new([0, 1], 4).with_algo(Algo::Memory);
+        let rr_req = EngineRequest::new([0, 1], 4).with_algo(Algo::Rr);
+        let mem_serial = engine.execute(&mem_req).unwrap();
+
+        // Truncate a keyword segment the rr request needs. The memory
+        // copy was loaded at engine build, so only disk reads break.
+        std::fs::write(dir.path().join(crate::format::keyword_file_name(0)), b"x").unwrap();
+
+        // Fire both into (almost surely) one batch: the rr request must
+        // fail on the shared decode, the memory request must still be
+        // served from RAM — exactly as the per-request path would
+        // behave. (If timing splits them into two batches, the same
+        // assertions hold: a memory-only batch decodes nothing.)
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let rr = scope.spawn(|| {
+                barrier.wait();
+                engine.query(&rr_req)
+            });
+            let mem = scope.spawn(|| {
+                barrier.wait();
+                engine.query(&mem_req)
+            });
+            assert!(rr.join().unwrap().is_err(), "disk request must surface the corrupt segment");
+            let mem = mem.join().unwrap().expect("memory request must survive the batch");
+            assert_eq!(mem.seeds, mem_serial.seeds);
+            assert_eq!(mem.marginal_gains, mem_serial.marginal_gains);
+        });
+        // `execute` (the oracle) bypasses the books; the two batched
+        // clients must balance them.
+        assert_eq!(engine.executed() + engine.coalesced(), 2);
+    }
+
+    #[test]
+    fn batched_requests_fail_only_groups_touching_corrupt_keywords() {
+        let dir = TempDir::new("engine-batch-partial-corrupt").unwrap();
+        let engine =
+            Arc::new(build_engine(dir.path()).with_batch_window(Some(Duration::from_millis(300))));
+        let healthy = EngineRequest::new([0, 1], 5).with_algo(Algo::Rr);
+        let doomed = EngineRequest::new([3], 4).with_algo(Algo::Rr);
+        let healthy_serial = engine.execute(&healthy).unwrap();
+
+        // Corrupt only keyword 3's segment; [0, 1] stay readable.
+        std::fs::write(dir.path().join(crate::format::keyword_file_name(3)), b"x").unwrap();
+
+        // Both (almost surely) in one batch: the union decode fails on
+        // keyword 3, but the healthy group's answer must not depend on
+        // its batch-mates — it gets its serial result, only the group
+        // referencing the corrupt keyword errors.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let ok = scope.spawn(|| {
+                barrier.wait();
+                engine.query(&healthy)
+            });
+            let bad = scope.spawn(|| {
+                barrier.wait();
+                engine.query(&doomed)
+            });
+            assert!(bad.join().unwrap().is_err(), "corrupt-keyword group must error");
+            let got = ok.join().unwrap().expect("healthy group must survive the batch");
+            assert_eq!(got.seeds, healthy_serial.seeds);
+            assert_eq!(got.marginal_gains, healthy_serial.marginal_gains);
+        });
+        assert_eq!(engine.executed() + engine.coalesced(), 2);
+    }
+
+    #[test]
+    fn decode_keywords_normalizes_unsorted_wants() {
+        let dir = TempDir::new("engine-unsorted-wants").unwrap();
+        let engine = build_engine(dir.path());
+        let index = engine.index();
+        let query = Query::new([0u32, 1, 2], 6);
+        let oracle = index.query_rr(&query).unwrap();
+        // Reversed and with a duplicate at a smaller share: the arena
+        // must still come out strictly ascending with the widest share.
+        let sorted: Vec<(u32, u64)> = index.query_budget(&query).1;
+        let mut scrambled: Vec<(u32, u64)> = sorted.iter().rev().copied().collect();
+        scrambled.push((sorted[0].0, 1));
+        let arena = index.decode_keywords(&scrambled).unwrap();
+        assert_eq!(arena.len(), sorted.len());
+        let got = index.query_rr_prepared(&query, &arena).unwrap();
+        assert_eq!(got.seeds, oracle.seeds);
+        assert_eq!(got.coverage, oracle.coverage);
+        index.recycle_keywords(arena);
+    }
+
+    #[test]
+    fn concurrent_batch_shares_keyword_decodes() {
+        let dir = TempDir::new("engine-batch-share").unwrap();
+        let engine =
+            Arc::new(build_engine(dir.path()).with_batch_window(Some(Duration::from_millis(250))));
+        // Six *distinct* requests over the same two keywords: identical
+        // coalescing can't help, only the planner's shared decode can.
+        let reqs: Vec<EngineRequest> =
+            (0..6).map(|i| EngineRequest::new([0, 1], 3 + i as u32).with_algo(Algo::Rr)).collect();
+        let serial: Vec<_> = reqs.iter().map(|r| engine.execute(r).unwrap()).collect();
+
+        let barrier = std::sync::Barrier::new(reqs.len());
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = reqs
+                .iter()
+                .map(|req| {
+                    let engine = Arc::clone(&engine);
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        engine.query(req).unwrap()
+                    })
+                })
+                .collect();
+            for (join, want) in joins.into_iter().zip(&serial) {
+                let got = join.join().unwrap();
+                assert_eq!(got.seeds, want.seeds);
+                assert_eq!(got.marginal_gains, want.marginal_gains);
+            }
+        });
+        // All six arrived inside one 250ms window ⇒ ≤ a handful of
+        // batches; at least one batch held ≥ 2 requests, so the shared
+        // books must show decodes saved (6 requests × 2 keywords = 12
+        // requested, but only 2 per batch decoded).
+        assert_eq!(engine.batched_requests(), reqs.len() as u64);
+        assert!(
+            engine.keyword_decodes_shared() > 0,
+            "concurrent same-keyword requests must share decodes \
+             ({} batches, {} decoded)",
+            engine.batches(),
+            engine.keywords_decoded()
+        );
+        assert_eq!(engine.executed() + engine.coalesced(), reqs.len() as u64);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! footer) — a purpose-built substitute for the ad-hoc binary files the
 //! paper's C++ implementation used, with integrity checking added.
 
+#![deny(missing_docs)]
+
 pub mod block;
 pub mod cache;
 pub mod crc32;

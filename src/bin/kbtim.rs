@@ -7,8 +7,9 @@
 //!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
 //!                [--threads N] [--serving file|resident|mmap]
-//! kbtim serve    --index DIR [--listen HOST:PORT] [--threads N]
-//!                [--serving file|resident|mmap] [--memory on|off]
+//! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
+//!                [--threads N] [--serving file|resident|mmap] [--memory on|off]
+//!                [--batch USEC]
 //! kbtim validate --index DIR [--serving file|resident|mmap]
 //! ```
 //!
@@ -43,19 +44,23 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(rest) {
-        Ok(flags) => flags,
+    let pairs = match parse_flags(rest) {
+        Ok(pairs) => pairs,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
+    // Repeated flags: last occurrence wins for the scalar commands;
+    // `serve` additionally reads the ordered pairs for repeatable
+    // `--index`.
+    let flags: HashMap<String, String> = pairs.iter().cloned().collect();
     let result = match command.as_str() {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
-        "serve" => cmd_serve(&flags),
+        "serve" => cmd_serve(&flags, &pairs),
         "validate" => cmd_validate(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -81,20 +86,22 @@ USAGE:
                  [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
                  [--threads N] [--serving file|resident|mmap]
-  kbtim serve    --index DIR [--listen HOST:PORT] [--threads N]
-                 [--serving file|resident|mmap] [--memory on|off]
+  kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
+                 [--threads N] [--serving file|resident|mmap] [--memory on|off]
+                 [--batch USEC]
   kbtim validate --index DIR [--serving file|resident|mmap]";
 
-/// `--key value` pairs, last occurrence wins.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+/// `--key value` pairs in argument order (repeats preserved — `serve`
+/// accepts `--index` more than once).
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        flags.push((key.to_string(), value.clone()));
         i += 2;
     }
     Ok(flags)
@@ -288,13 +295,38 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Result<(), String> {
     use kbtim::index::{PageCache, QueryEngine};
-    use kbtim::serve::handle_line;
+    use kbtim::serve::{handle_line, Router};
     use std::io::{BufRead, BufReader, Write};
     use std::sync::Arc;
+    use std::time::Duration;
 
-    let dir = required(flags, "index")?;
+    // Repeatable routing flag: `--index name=dir` serves many indexes
+    // from one process (the first is the default route); a bare
+    // `--index dir` keeps the single-index form under the name
+    // "default". Only a *simple* name before the first '=' counts as a
+    // route name, so directory paths that happen to contain '='
+    // (`--index /data/run=3/idx`) still parse as bare directories.
+    let is_route_name = |s: &str| {
+        !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || "_-.".contains(c))
+    };
+    let indexes: Vec<(String, String)> = pairs
+        .iter()
+        .filter(|(k, _)| k == "index")
+        .map(|(_, v)| match v.split_once('=') {
+            Some((name, dir)) if is_route_name(name) && !dir.is_empty() => {
+                Ok((name.to_string(), dir.to_string()))
+            }
+            Some((name, _)) if is_route_name(name) => {
+                Err(format!("--index {v:?}: expected name=dir"))
+            }
+            _ => Ok(("default".to_string(), v.clone())),
+        })
+        .collect::<Result<_, _>>()?;
+    if indexes.is_empty() {
+        return Err("missing --index".to_string());
+    }
     // A serving tier wants resident pages by default: mmap shares them
     // with the kernel cache (and falls back to `resident` off Linux).
     let raw_mode = flags.get("serving").map(String::as_str).unwrap_or("mmap");
@@ -309,28 +341,49 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         "off" => false,
         other => return Err(format!("--memory must be on|off, got {other:?}")),
     };
+    // Cross-request batch admission window in microseconds; 0 disables
+    // the planner (identical-request coalescing still applies). The
+    // default differs by transport: TCP serving defaults to 200 µs
+    // (far below a query's own latency, and concurrent connections can
+    // actually share decode work), while the stdin/stdout loop is
+    // strictly serial — one request is read only after the previous
+    // response is written — so a window there is pure added latency
+    // and defaults to off. An explicit --batch overrides either way.
+    let batch_default: u64 = if flags.contains_key("listen") { 200 } else { 0 };
+    let batch_us: u64 = parse(flags, "batch", batch_default)?;
+    let batch_window = (batch_us > 0).then(|| Duration::from_micros(batch_us));
 
-    // Open through the process-wide page cache: every further open of
-    // the same segments in this process (another serve loop, a
-    // validator) shares the resident pages.
-    let mut index = KbtimIndex::open_shared(dir, IoStats::new(), mode, PageCache::global())
-        .map_err(|e| e.to_string())?;
-    index.set_threads(if threads == 0 { None } else { Some(threads) });
-    let index = Arc::new(index);
-    let engine = if memory {
-        QueryEngine::with_memory(index).map_err(|e| e.to_string())?
-    } else {
-        QueryEngine::new(index)
-    };
-    let engine = Arc::new(engine);
+    // Open every index through the process-wide page cache: indexes
+    // sharing segment files (and any further open in this process —
+    // another serve loop, a validator) share the resident pages.
+    let mut router = Router::new();
+    for (name, dir) in &indexes {
+        let mut index = KbtimIndex::open_shared(dir, IoStats::new(), mode, PageCache::global())
+            .map_err(|e| format!("index {name} ({dir}): {e}"))?;
+        index.set_threads(if threads == 0 { None } else { Some(threads) });
+        let index = Arc::new(index);
+        let engine = if memory {
+            QueryEngine::with_memory(index).map_err(|e| format!("index {name} ({dir}): {e}"))?
+        } else {
+            QueryEngine::new(index)
+        };
+        let engine = engine.with_batch_window(batch_window);
+        router.add(name.clone(), Arc::new(engine))?;
+    }
+    let engine = router.engine(None).expect("at least one index");
     eprintln!(
-        "kbtim serve: index {} ({} keywords, serving {}, threads {}, memory {})",
-        dir,
-        engine.index().meta().keywords.len(),
+        "kbtim serve: {} index(es) [{}] (serving {}, threads {}, memory {}, batch {})",
+        router.len(),
+        router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
         threads,
         if engine.has_memory() { "on" } else { "off" },
+        match batch_window {
+            Some(w) => format!("{}us", w.as_micros()),
+            None => "off".to_string(),
+        },
     );
+    let router = Arc::new(router);
 
     match flags.get("listen") {
         None => {
@@ -344,7 +397,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 if line.is_empty() {
                     continue;
                 }
-                writeln!(stdout, "{}", handle_line(&engine, line)).map_err(|e| e.to_string())?;
+                writeln!(stdout, "{}", handle_line(&router, line)).map_err(|e| e.to_string())?;
                 stdout.flush().map_err(|e| e.to_string())?;
             }
             Ok(())
@@ -366,10 +419,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                         continue;
                     }
                 };
-                let engine = Arc::clone(&engine);
+                let router = Arc::clone(&router);
                 // One thread per connection; all connections share the
-                // engine (and therefore the index, its scratch pools and
-                // the request coalescing).
+                // router's engines (and therefore the indexes, their
+                // scratch pools, the request coalescing and the batch
+                // planner).
                 std::thread::spawn(move || {
                     let mut writer = match stream.try_clone() {
                         Ok(w) => w,
@@ -381,7 +435,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                         if line.is_empty() {
                             continue;
                         }
-                        let response = handle_line(&engine, line);
+                        let response = handle_line(&router, line);
                         if writeln!(writer, "{response}").is_err() {
                             break;
                         }

@@ -1,4 +1,5 @@
-//! Line-delimited JSON protocol of `kbtim serve`.
+//! Line-delimited JSON protocol of `kbtim serve` — the normative
+//! specification lives in `docs/PROTOCOL.md`; this module implements it.
 //!
 //! One request per line in, one response per line out — over stdin/stdout
 //! or a TCP connection, the same bytes either way. The protocol is
@@ -6,23 +7,26 @@
 //! crate, so a subset parser lives here):
 //!
 //! ```text
-//! → {"id": 7, "topics": [0, 1], "k": 10, "algo": "irr"}
-//! ← {"id":7,"algo":"irr","seeds":[83,411],"marginal_gains":[52,40],
-//!    "coverage":92,"estimated_influence":14.25,"theta_q":1800,
-//!    "rr_sets_loaded":240,"elapsed_us":913}
+//! → {"id": 7, "index": "sports", "topics": [0, 1], "k": 10, "algo": "irr"}
+//! ← {"id":7,"index":"sports","algo":"irr","seeds":[83,411],
+//!    "marginal_gains":[52,40],"coverage":92,"estimated_influence":14.25,
+//!    "theta_q":1800,"rr_sets_loaded":240,"elapsed_us":913}
 //! ```
 //!
 //! Request fields: `topics` (array of topic ids, required), `k` (seed
 //! count, default 10), `algo` (`rr` / `irr` / `auto` / `memory`, default
-//! `auto`), `id` (optional echo token for matching responses to pipelined
-//! requests). Unknown fields are rejected — a typo'd `"topcis"` should
-//! fail loudly, not select seeds for the empty query.
+//! `auto`), `index` (which served index answers, default the server's
+//! first — see [`Router`]), `id` (optional echo token for matching
+//! responses to pipelined requests). Unknown fields are rejected — a
+//! typo'd `"indx"` must fail loudly, not route to the default index.
 //!
-//! Errors come back on the same line protocol:
-//! `{"id":7,"error":"..."}`. A malformed line never kills the
-//! connection.
+//! Errors come back on the same line protocol as structured objects:
+//! `{"id":7,"error":"...","code":"unknown_field"}` — `code` is a stable
+//! machine-readable discriminant (see [`ServeError`]), `error` the
+//! human-readable message. A malformed line never kills the connection.
 
 use kbtim_index::{Algo, EngineRequest, QueryEngine, QueryOutcome};
+use std::sync::Arc;
 
 /// A parsed JSON value (the subset the protocol needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -264,54 +268,185 @@ fn escape_into(s: &str, out: &mut String) {
     out.push('"');
 }
 
-/// A parsed serve request: the engine request plus the client's echo
-/// token.
+/// A structured protocol error: a stable machine-readable `code` plus a
+/// human-readable `message`, rendered as
+/// `{"error":"<message>","code":"<code>"}`.
+///
+/// Codes (normative list in `docs/PROTOCOL.md`):
+///
+/// * `parse_error` — the line is not valid JSON;
+/// * `unknown_field` — the request object carries a top-level key the
+///   protocol does not define (typo guard: `"indx"` fails loudly);
+/// * `bad_request` — a defined field has the wrong type or an invalid
+///   value (missing `topics`, zero `k`, unknown `algo`, …);
+/// * `unknown_index` — the `index` field names no served index;
+/// * `engine_error` — the query itself failed inside the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Stable machine-readable discriminant (`snake_case`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServeError {
+    fn parse(message: impl Into<String>) -> ServeError {
+        ServeError { code: "parse_error", message: message.into() }
+    }
+
+    fn bad(message: impl Into<String>) -> ServeError {
+        ServeError { code: "bad_request", message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.code)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A parsed serve request: the engine request plus the client's routing
+/// and echo fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeRequest {
     /// Echoed back verbatim in the response, if given.
     pub id: Option<u64>,
+    /// Which served index answers (echoed back); `None` routes to the
+    /// server's default (first) index.
+    pub index: Option<String>,
     /// The query to run.
     pub request: EngineRequest,
 }
 
 impl ServeRequest {
     /// Parse one protocol line.
-    pub fn parse(line: &str) -> Result<ServeRequest, String> {
-        let json = Json::parse(line)?;
+    pub fn parse(line: &str) -> Result<ServeRequest, ServeError> {
+        let json = Json::parse(line).map_err(ServeError::parse)?;
         let Json::Obj(fields) = &json else {
-            return Err("request must be a JSON object".to_string());
+            return Err(ServeError::bad("request must be a JSON object"));
         };
         for (key, _) in fields {
-            if !matches!(key.as_str(), "id" | "topics" | "k" | "algo") {
-                return Err(format!("unknown field {key:?}"));
+            if !matches!(key.as_str(), "id" | "index" | "topics" | "k" | "algo") {
+                return Err(ServeError {
+                    code: "unknown_field",
+                    message: format!("unknown field {key:?}"),
+                });
             }
         }
         let id = match json.get("id") {
             None => None,
-            Some(v) => Some(v.as_u64().ok_or("\"id\" must be a non-negative integer")?),
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| ServeError::bad("\"id\" must be a non-negative integer"))?,
+            ),
         };
-        let topics_json = json.get("topics").ok_or("missing \"topics\"")?;
+        let index = match json.get("index") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(ServeError::bad("\"index\" must be a string")),
+        };
+        let topics_json =
+            json.get("topics").ok_or_else(|| ServeError::bad("missing \"topics\""))?;
         let Json::Arr(items) = topics_json else {
-            return Err("\"topics\" must be an array".to_string());
+            return Err(ServeError::bad("\"topics\" must be an array"));
         };
         let mut topics = Vec::with_capacity(items.len());
         for item in items {
             let id = item.as_u64().filter(|&t| t <= u32::MAX as u64);
-            topics.push(id.ok_or("\"topics\" entries must be topic ids")? as u32);
+            topics
+                .push(id.ok_or_else(|| ServeError::bad("\"topics\" entries must be topic ids"))?
+                    as u32);
         }
         let k = match json.get("k") {
             None => 10,
             Some(v) => v
                 .as_u64()
                 .filter(|&k| k > 0 && k <= u32::MAX as u64)
-                .ok_or("\"k\" must be a positive integer")? as u32,
+                .ok_or_else(|| ServeError::bad("\"k\" must be a positive integer"))?
+                as u32,
         };
         let algo = match json.get("algo") {
             None => Algo::Auto,
-            Some(Json::Str(s)) => Algo::parse(s).ok_or_else(|| format!("unknown algo {s:?}"))?,
-            Some(_) => return Err("\"algo\" must be a string".to_string()),
+            Some(Json::Str(s)) => {
+                Algo::parse(s).ok_or_else(|| ServeError::bad(format!("unknown algo {s:?}")))?
+            }
+            Some(_) => return Err(ServeError::bad("\"algo\" must be a string")),
         };
-        Ok(ServeRequest { id, request: EngineRequest { topics, k, algo } })
+        Ok(ServeRequest { id, index, request: EngineRequest { topics, k, algo } })
+    }
+}
+
+/// Multi-index routing: one serve process, many named indexes, one
+/// engine each — all behind the process-wide
+/// [`kbtim_index::PageCache`], so indexes sharing segment files share
+/// their resident pages.
+///
+/// The first registered index is the **default route**: requests
+/// without an `"index"` field go there, which keeps single-index
+/// deployments (and PR-4-era clients) working unchanged. An `"index"`
+/// naming no registered engine gets an `unknown_index` error naming the
+/// served indexes.
+pub struct Router {
+    engines: Vec<(String, Arc<QueryEngine>)>,
+}
+
+impl Router {
+    /// A single-index router: `engine` becomes the default route under
+    /// the name `"default"`.
+    pub fn single(engine: Arc<QueryEngine>) -> Router {
+        Router { engines: vec![("default".to_string(), engine)] }
+    }
+
+    /// An empty router; add routes with [`Router::add`]. At least one
+    /// route must exist before serving.
+    pub fn new() -> Router {
+        Router { engines: Vec::new() }
+    }
+
+    /// Register `engine` under `name`. The first registration is the
+    /// default route. Duplicate names are an error.
+    pub fn add(&mut self, name: impl Into<String>, engine: Arc<QueryEngine>) -> Result<(), String> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err("index name must not be empty".to_string());
+        }
+        if self.engines.iter().any(|(n, _)| *n == name) {
+            return Err(format!("duplicate index name {name:?}"));
+        }
+        self.engines.push((name, engine));
+        Ok(())
+    }
+
+    /// Resolve a request's routing field: `None` routes to the default
+    /// (first) index, `Some(name)` to the engine of that name.
+    pub fn engine(&self, index: Option<&str>) -> Option<&Arc<QueryEngine>> {
+        match index {
+            None => self.engines.first().map(|(_, e)| e),
+            Some(name) => self.engines.iter().find(|(n, _)| n == name).map(|(_, e)| e),
+        }
+    }
+
+    /// Registered index names, in registration (routing-priority) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.engines.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of served indexes.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether no index is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl Default for Router {
+    fn default() -> Router {
+        Router::new()
     }
 }
 
@@ -335,11 +470,22 @@ fn push_u32_array(out: &mut String, key: &str, items: impl Iterator<Item = u64>)
 }
 
 /// Render a successful outcome as one protocol line (no trailing
-/// newline).
-pub fn render_outcome(id: Option<u64>, algo: Algo, outcome: &QueryOutcome) -> String {
+/// newline). `index` is the request's routing field, echoed back when
+/// present.
+pub fn render_outcome(
+    id: Option<u64>,
+    index: Option<&str>,
+    algo: Algo,
+    outcome: &QueryOutcome,
+) -> String {
     let mut out = String::with_capacity(128);
     out.push('{');
     push_id(&mut out, id);
+    if let Some(index) = index {
+        out.push_str("\"index\":");
+        escape_into(index, &mut out);
+        out.push(',');
+    }
     out.push_str(&format!("\"algo\":\"{algo}\","));
     push_u32_array(&mut out, "seeds", outcome.seeds.iter().map(|&s| s as u64));
     out.push(',');
@@ -356,34 +502,51 @@ pub fn render_outcome(id: Option<u64>, algo: Algo, outcome: &QueryOutcome) -> St
     out
 }
 
-/// Render an error as one protocol line (no trailing newline).
-pub fn render_error(id: Option<u64>, message: &str) -> String {
+/// Render a structured error as one protocol line (no trailing
+/// newline): `{"id":…,"error":"<message>","code":"<code>"}`.
+pub fn render_error(id: Option<u64>, code: &str, message: &str) -> String {
     let mut out = String::with_capacity(64);
     out.push('{');
     push_id(&mut out, id);
     out.push_str("\"error\":");
     escape_into(message, &mut out);
+    out.push_str(",\"code\":");
+    escape_into(code, &mut out);
     out.push('}');
     out
 }
 
-/// Handle one protocol line end to end: parse, query, render. Never
-/// panics on malformed input — every failure becomes an `error`
-/// response.
-pub fn handle_line(engine: &QueryEngine, line: &str) -> String {
+/// Handle one protocol line end to end: parse, route, query, render.
+/// Never panics on malformed input — every failure becomes a structured
+/// `error` response.
+pub fn handle_line(router: &Router, line: &str) -> String {
     let parsed = match ServeRequest::parse(line) {
         Ok(parsed) => parsed,
-        Err(msg) => {
+        Err(err) => {
             // Best-effort id recovery so pipelined clients can still
             // attribute the error line (validation failures — unknown
             // field, bad k — happen on perfectly parseable JSON).
             let id = Json::parse(line).ok().and_then(|json| json.get("id").and_then(Json::as_u64));
-            return render_error(id, &msg);
+            return render_error(id, err.code, &err.message);
         }
     };
+    let Some(engine) = router.engine(parsed.index.as_deref()) else {
+        let known: Vec<&str> = router.names().collect();
+        return render_error(
+            parsed.id,
+            "unknown_index",
+            &format!(
+                "unknown index {:?} (serving: {})",
+                parsed.index.as_deref().unwrap_or_default(),
+                known.join(", ")
+            ),
+        );
+    };
     match engine.query(&parsed.request) {
-        Ok(outcome) => render_outcome(parsed.id, parsed.request.algo, &outcome),
-        Err(err) => render_error(parsed.id, &err.to_string()),
+        Ok(outcome) => {
+            render_outcome(parsed.id, parsed.index.as_deref(), parsed.request.algo, &outcome)
+        }
+        Err(err) => render_error(parsed.id, "engine_error", &err.to_string()),
     }
 }
 
@@ -422,37 +585,103 @@ mod tests {
     fn request_parsing() {
         let req = ServeRequest::parse(r#"{"id":3,"topics":[0,5],"k":8,"algo":"irr"}"#).unwrap();
         assert_eq!(req.id, Some(3));
+        assert_eq!(req.index, None);
         assert_eq!(req.request.topics, vec![0, 5]);
         assert_eq!(req.request.k, 8);
         assert_eq!(req.request.algo, Algo::Irr);
 
-        // Defaults: k = 10, algo = auto, id omitted.
+        // Defaults: k = 10, algo = auto, id and index omitted.
         let req = ServeRequest::parse(r#"{"topics":[2]}"#).unwrap();
         assert_eq!(req.id, None);
+        assert_eq!(req.index, None);
         assert_eq!(req.request.k, 10);
         assert_eq!(req.request.algo, Algo::Auto);
+
+        // Routing field.
+        let req = ServeRequest::parse(r#"{"index":"sports","topics":[2]}"#).unwrap();
+        assert_eq!(req.index.as_deref(), Some("sports"));
     }
 
     #[test]
     fn request_rejects_bad_fields() {
-        for bad in [
-            r#"{"k":5}"#,                       // missing topics
-            r#"{"topics":[0],"k":0}"#,          // zero k
-            r#"{"topics":[0],"algo":"fast"}"#,  // unknown algo
-            r#"{"topics":"0"}"#,                // topics not an array
-            r#"{"topics":[0.5]}"#,              // fractional topic
-            r#"{"topics":[0],"frobnicate":1}"#, // unknown field
-            r#"[0,1]"#,                         // not an object
+        for (bad, code) in [
+            (r#"{"k":5}"#, "bad_request"),                      // missing topics
+            (r#"{"topics":[0],"k":0}"#, "bad_request"),         // zero k
+            (r#"{"topics":[0],"algo":"fast"}"#, "bad_request"), // unknown algo
+            (r#"{"topics":"0"}"#, "bad_request"),               // topics not an array
+            (r#"{"topics":[0.5]}"#, "bad_request"),             // fractional topic
+            (r#"{"topics":[0],"index":7}"#, "bad_request"),     // index not a string
+            (r#"{"topics":[0],"frobnicate":1}"#, "unknown_field"),
+            (r#"{"topics":[0],"indx":"a"}"#, "unknown_field"), // the typo guard
+            (r#"[0,1]"#, "bad_request"),                       // not an object
+            (r#"{"topics":[0}"#, "parse_error"),               // malformed JSON
         ] {
-            assert!(ServeRequest::parse(bad).is_err(), "{bad:?} must be rejected");
+            let err = ServeRequest::parse(bad).expect_err(bad);
+            assert_eq!(err.code, code, "{bad:?} → {err}");
         }
     }
 
     #[test]
     fn responses_are_parseable_json() {
-        let rendered = render_error(Some(9), "no \"such\" index\n");
+        let rendered = render_error(Some(9), "unknown_index", "no \"such\" index\n");
         let back = Json::parse(&rendered).unwrap();
         assert_eq!(back.get("id").unwrap().as_u64(), Some(9));
         assert_eq!(back.get("error"), Some(&Json::Str("no \"such\" index\n".to_string())));
+        assert_eq!(back.get("code"), Some(&Json::Str("unknown_index".to_string())));
+    }
+
+    #[test]
+    fn router_routes_by_name_with_first_as_default() {
+        use crate::core::theta::SamplingConfig;
+        use crate::datagen::{DatasetConfig, DatasetFamily};
+        use crate::index::{IndexBuildConfig, IndexBuilder, KbtimIndex};
+        use crate::propagation::model::IcModel;
+        use crate::storage::{IoStats, TempDir};
+
+        let data =
+            DatasetConfig::family(DatasetFamily::News).num_users(200).num_topics(3).seed(5).build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(300),
+                opt_initial_samples: 32,
+                opt_max_rounds: 3,
+                ..SamplingConfig::fast()
+            },
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("router-unit").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let open = || {
+            Arc::new(QueryEngine::new(Arc::new(
+                KbtimIndex::open(dir.path(), IoStats::new()).unwrap(),
+            )))
+        };
+
+        let empty = Router::new();
+        assert!(empty.is_empty());
+        assert!(empty.engine(None).is_none());
+        assert_eq!(Router::default().len(), 0);
+
+        // Routing: first registration is the default route, names
+        // select exactly their engine, unknown names miss.
+        let (a, b) = (open(), open());
+        let mut router = Router::new();
+        router.add("alpha", Arc::clone(&a)).unwrap();
+        router.add("beta", Arc::clone(&b)).unwrap();
+        assert!(Arc::ptr_eq(router.engine(None).unwrap(), &a), "first added is the default");
+        assert!(Arc::ptr_eq(router.engine(Some("alpha")).unwrap(), &a));
+        assert!(Arc::ptr_eq(router.engine(Some("beta")).unwrap(), &b));
+        assert!(router.engine(Some("gamma")).is_none());
+        assert_eq!(router.names().collect::<Vec<_>>(), ["alpha", "beta"]);
+        assert_eq!(router.len(), 2);
+        assert!(router.add("alpha", Arc::clone(&b)).unwrap_err().contains("duplicate"));
+        assert!(router.add("", Arc::clone(&b)).is_err(), "empty names rejected");
+
+        // The single-index convenience form registers under "default".
+        let single = Router::single(Arc::clone(&a));
+        assert_eq!(single.len(), 1);
+        assert!(Arc::ptr_eq(single.engine(None).unwrap(), &a));
+        assert!(Arc::ptr_eq(single.engine(Some("default")).unwrap(), &a));
     }
 }

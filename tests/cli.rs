@@ -126,9 +126,11 @@ fn serve_answers_line_protocol_requests() {
         .trim_start_matches("seeds: ")
         .to_string();
 
-    // Same queries through `kbtim serve` on stdin (memory algo enabled).
+    // Same queries through `kbtim serve` on stdin (memory algo enabled;
+    // batching forced on so the planner path is exercised through the
+    // wire — stdin serving defaults it off, see docs/PROTOCOL.md).
     let mut child = kbtim()
-        .args(["serve", "--index", index.to_str().unwrap(), "--memory", "on"])
+        .args(["serve", "--index", index.to_str().unwrap(), "--memory", "on", "--batch", "200"])
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
@@ -156,12 +158,140 @@ fn serve_answers_line_protocol_requests() {
         assert!(line.contains(&want), "response {line} missing {want}");
         assert!(!line.contains("error"), "{line}");
     }
-    // Malformed requests get error responses, not dropped connections —
-    // and a parseable id is echoed even on validation failures, so
-    // pipelined clients can attribute the error line.
+    // Malformed requests get *structured* error responses (message +
+    // machine-readable code, see docs/PROTOCOL.md §Errors), not dropped
+    // connections — and a parseable id is echoed even on validation
+    // failures, so pipelined clients can attribute the error line.
     assert!(lines[3].contains("\"error\""), "{}", lines[3]);
     assert!(lines[3].contains("\"id\":4"), "{}", lines[3]);
+    assert!(lines[3].contains("\"code\":\"unknown_field\""), "{}", lines[3]);
     assert!(lines[4].contains("\"error\""), "{}", lines[4]);
+    assert!(lines[4].contains("\"code\":\"parse_error\""), "{}", lines[4]);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A bare `--index DIR` whose path contains '=' must still parse as a
+/// directory, not be misread as a `name=dir` route (only simple names
+/// before the '=' count as route names — docs/PROTOCOL.md §Routing).
+#[test]
+fn serve_accepts_bare_index_paths_containing_equals() {
+    use std::io::Write;
+
+    let root = temp_dir("eqpath");
+    let data = root.join("data");
+    let index = root.join("run=3").join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+        .args(["--seed", "9", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    writeln!(child.stdin.as_mut().unwrap(), r#"{{"id":1,"topics":[0,1],"k":4}}"#).unwrap();
+    child.stdin.take();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"seeds\":["), "{stdout}");
+    assert!(!stdout.contains("\"error\""), "{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Multi-index routing through `kbtim serve --index name=dir` — the wire
+/// behavior documented in docs/PROTOCOL.md §Routing: the first index is
+/// the default route, `"index"` selects by name, unknown names and
+/// unknown fields come back as structured errors.
+#[test]
+fn serve_routes_between_named_indexes() {
+    use std::io::Write;
+
+    let root = temp_dir("route");
+    // Two genuinely different indexes (different graphs), so routing
+    // mistakes change answers and the assertions below catch them.
+    let mut oracle_seeds = Vec::new();
+    for (name, seed) in [("alpha", 9), ("beta", 23)] {
+        let data = root.join(format!("data-{name}"));
+        let index = root.join(format!("index-{name}"));
+        assert!(kbtim()
+            .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+            .args(["--seed", &seed.to_string(), "--out", data.to_str().unwrap()])
+            .status()
+            .unwrap()
+            .success());
+        assert!(kbtim()
+            .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+            .args(["--cap", "500", "--threads", "2"])
+            .status()
+            .unwrap()
+            .success());
+        let out = kbtim()
+            .args(["query", "--index", index.to_str().unwrap()])
+            .args(["--topics", "0,1", "--k", "5", "--algo", "rr"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let seeds = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .next()
+            .unwrap()
+            .trim_start_matches("seeds: ")
+            .replace(", ", ",");
+        oracle_seeds.push(seeds);
+    }
+    assert_ne!(oracle_seeds[0], oracle_seeds[1], "distinct indexes must answer differently");
+
+    let alpha = format!("alpha={}", root.join("index-alpha").display());
+    let beta = format!("beta={}", root.join("index-beta").display());
+    let mut child = kbtim()
+        .args(["serve", "--index", &alpha, "--index", &beta])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        // 1: no "index" → default route (alpha, the first --index).
+        writeln!(stdin, r#"{{"id":1,"topics":[0,1],"k":5,"algo":"rr"}}"#).unwrap();
+        // 2/3: explicit routing to each named index.
+        writeln!(stdin, r#"{{"id":2,"index":"alpha","topics":[0,1],"k":5,"algo":"rr"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":3,"index":"beta","topics":[0,1],"k":5,"algo":"rr"}}"#).unwrap();
+        // 4: unknown index name → structured unknown_index error.
+        writeln!(stdin, r#"{{"id":4,"index":"gamma","topics":[0]}}"#).unwrap();
+        // 5: the "indx" typo must fail loudly, never route to default.
+        writeln!(stdin, r#"{{"id":5,"indx":"beta","topics":[0]}}"#).unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "one response per request line: {stdout}");
+
+    let want_alpha = format!("\"seeds\":{}", oracle_seeds[0]);
+    let want_beta = format!("\"seeds\":{}", oracle_seeds[1]);
+    assert!(lines[0].contains(&want_alpha), "default route must hit alpha: {}", lines[0]);
+    assert!(!lines[0].contains("\"index\""), "no routing field → no echo: {}", lines[0]);
+    assert!(lines[1].contains(&want_alpha), "{}", lines[1]);
+    assert!(lines[1].contains("\"index\":\"alpha\""), "{}", lines[1]);
+    assert!(lines[2].contains(&want_beta), "{}", lines[2]);
+    assert!(lines[2].contains("\"index\":\"beta\""), "{}", lines[2]);
+    assert!(lines[3].contains("\"code\":\"unknown_index\""), "{}", lines[3]);
+    assert!(lines[3].contains("alpha, beta"), "error must name the served indexes: {}", lines[3]);
+    assert!(lines[4].contains("\"code\":\"unknown_field\""), "{}", lines[4]);
+    assert!(lines[4].contains("\"id\":5"), "{}", lines[4]);
 
     std::fs::remove_dir_all(&root).ok();
 }

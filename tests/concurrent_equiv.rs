@@ -14,7 +14,13 @@
 //!    to every concurrent caller of one request, and its books balance;
 //! 3. two indexes opened through one [`PageCache`] share a single
 //!    resident copy of every keyword segment while their per-index
-//!    [`IoStats`] stay separate.
+//!    [`IoStats`] stay separate;
+//! 4. the cross-request **batch planner** returns answers bit-identical
+//!    to serial single-query execution for any interleaving of
+//!    overlapping-keyword requests, across all three serving backends —
+//!    and its books prove the shared keyword decode actually happened
+//!    (each distinct keyword decoded once per batch, not once per
+//!    request).
 
 use kbtim::core::theta::SamplingConfig;
 use kbtim::datagen::{DatasetConfig, DatasetFamily};
@@ -172,6 +178,128 @@ proptest! {
             });
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+    #[test]
+    fn batched_overlapping_queries_match_serial(
+        raw_requests in proptest::collection::vec(
+            // Topic sets drawn from a narrow range so batches overlap
+            // heavily — the regime the planner's shared decode targets.
+            (proptest::collection::vec(0u32..NUM_TOPICS, 1..4), 1u32..14, 0usize..4),
+            2..7,
+        ),
+    ) {
+        let fx = fixture();
+        let requests: Vec<EngineRequest> = raw_requests
+            .into_iter()
+            .map(|(mut topics, k, algo)| {
+                topics.sort_unstable();
+                topics.dedup();
+                let algo = [Algo::Rr, Algo::Irr, Algo::Auto, Algo::Memory][algo];
+                EngineRequest::new(topics, k).with_algo(algo)
+            })
+            .collect();
+
+        for (mode, index, _) in &fx.shared {
+            let engine = Arc::new(
+                QueryEngine::with_memory(Arc::clone(index))
+                    .unwrap()
+                    .with_batch_window(Some(std::time::Duration::from_micros(300))),
+            );
+            // Serial oracle: the same engine's per-request path,
+            // bypassing the planner entirely.
+            let serial: Vec<Answer> =
+                requests.iter().map(|r| Answer::of(&engine.execute(r).unwrap())).collect();
+
+            // All requests fired at once through the planner; whatever
+            // batches the window happens to admit, every answer must be
+            // bit-identical to its serial oracle.
+            let barrier = std::sync::Barrier::new(requests.len());
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = requests
+                    .iter()
+                    .map(|req| {
+                        let engine = Arc::clone(&engine);
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            barrier.wait();
+                            engine.query(req).unwrap()
+                        })
+                    })
+                    .collect();
+                for (join, want) in joins.into_iter().zip(&serial) {
+                    let got = Answer::of(&join.join().expect("batched client panicked"));
+                    assert_eq!(&got, want, "{mode}: batched answer diverged from serial");
+                }
+            });
+            // Books balance: every request either executed or joined a
+            // duplicate within its batch.
+            assert_eq!(engine.executed() + engine.coalesced(), requests.len() as u64);
+            assert_eq!(engine.batched_requests(), requests.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn batch_planner_decodes_shared_keywords_once() {
+    let fx = fixture();
+    let (_, index, _) = &fx.shared[0];
+    let engine = Arc::new(
+        QueryEngine::new(Arc::clone(index))
+            .with_batch_window(Some(std::time::Duration::from_millis(250))),
+    );
+    // Eight *distinct* requests (different k / algo) over the same two
+    // keywords: identical-request coalescing can never fire, so any
+    // sharing the books report comes from the planner's keyword arena.
+    let requests: Vec<EngineRequest> = (0..8)
+        .map(|i| {
+            EngineRequest::new([0, 1], 2 + i as u32).with_algo(if i % 2 == 0 {
+                Algo::Rr
+            } else {
+                Algo::Irr
+            })
+        })
+        .collect();
+    let serial: Vec<Answer> =
+        requests.iter().map(|r| Answer::of(&engine.execute(r).unwrap())).collect();
+
+    let barrier = std::sync::Barrier::new(requests.len());
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                let engine = Arc::clone(&engine);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.query(req).unwrap()
+                })
+            })
+            .collect();
+        for (join, want) in joins.into_iter().zip(&serial) {
+            assert_eq!(&Answer::of(&join.join().unwrap()), want);
+        }
+    });
+
+    // The accounting contract: 8 requests × 2 budgeted keywords = 16
+    // keyword decodes requested, but each batch decoded each distinct
+    // keyword once — everything else is shared. (The barrier plus the
+    // 250ms window make one batch overwhelmingly likely, but the
+    // invariants below hold for any batch split.)
+    assert_eq!(engine.batched_requests(), requests.len() as u64);
+    assert_eq!(engine.executed(), requests.len() as u64, "all requests distinct");
+    assert_eq!(engine.coalesced(), 0);
+    let decoded = engine.keywords_decoded();
+    let shared = engine.keyword_decodes_shared();
+    assert_eq!(decoded + shared, 16, "requested keyword decodes are either performed or shared");
+    assert_eq!(decoded, engine.batches() * 2, "each batch decodes each distinct keyword once");
+    assert!(
+        shared > 0,
+        "concurrent overlapping requests must share decodes ({} batches)",
+        engine.batches()
+    );
 }
 
 #[test]
