@@ -205,6 +205,18 @@ fn main() {
         let plain_qps = drive(&plain, &mixes, &expected, clients, config.rounds_per_client);
         let batched_qps = drive(&batched, &mixes, &expected, clients, config.rounds_per_client);
         let speedup = batched_qps / plain_qps;
+        if clients == 1 {
+            // The adaptive admission window: a solo leader drains its
+            // singleton batch immediately instead of waiting the window
+            // out, so an unloaded server pays nothing for enabling
+            // batching. (Before the adaptive gate this ratio sat at
+            // ~0.66x — every solo request ate the full window.)
+            assert!(
+                speedup > 0.8,
+                "1-client batched/unbatched ratio {speedup:.3} — the admission window \
+                 must cost a solo client nothing"
+            );
+        }
         if clients == 8 {
             speedup_8 = speedup;
         }
@@ -216,18 +228,53 @@ fn main() {
             r#"    "{clients}": {{ "per_request_qps": {plain_qps:.1}, "batched_qps": {batched_qps:.1}, "speedup_batched_vs_per_request": {speedup:.3} }}"#,
         ));
     }
+    // Deterministic sharing gate. Under the adaptive admission window a
+    // single-CPU host can serialize the closed-loop clients completely —
+    // every request a solo leader draining a singleton batch, zero
+    // sharing — so scheduler luck must not decide whether the planner's
+    // contract is checked. Hold admission, queue six distinct
+    // same-keyword requests, then release and lead them as one batch:
+    // the shared decode (and the shared max-k greedy) must show in the
+    // books, and every answer must still match its serial oracle.
+    let shared_before = batched.keyword_decodes_shared();
+    let greedy_before = batched.greedy_shared();
+    batched.hold_admission(true);
+    std::thread::scope(|scope| {
+        let gate = &mixes[0][..6];
+        let joins: Vec<_> = gate
+            .iter()
+            .map(|req| {
+                let engine = Arc::clone(&batched);
+                scope.spawn(move || engine.query(req).unwrap())
+            })
+            .collect();
+        while batched.pending_admission() < gate.len() {
+            std::thread::yield_now();
+        }
+        batched.hold_admission(false);
+        let extra = batched.query(&gate[0]).unwrap();
+        assert_eq!(extra.seeds, expected[0][0], "held-batch leader diverged from serial");
+        for (join, want) in joins.into_iter().zip(&expected[0]) {
+            assert_eq!(&join.join().unwrap().seeds, want, "held-batch answer diverged");
+        }
+    });
+    assert!(
+        batched.keyword_decodes_shared() > shared_before,
+        "a held same-keyword batch must share keyword decodes"
+    );
+    assert!(
+        batched.greedy_shared() > greedy_before,
+        "a held same-keyword batch must share its max-k greedy run"
+    );
     eprintln!(
         "planner books: {} batches over {} requests, {} keyword-set merges, \
-         {} keyword decodes performed, {} shared",
+         {} keyword decodes performed, {} shared, {} greedy runs shared",
         batched.batches(),
         batched.batched_requests(),
         batched.merged_groups(),
         batched.keywords_decoded(),
         batched.keyword_decodes_shared(),
-    );
-    assert!(
-        batched.keyword_decodes_shared() > 0,
-        "overlapping closed-loop clients must share keyword decodes"
+        batched.greedy_shared(),
     );
 
     if smoke && out_path.is_none() {

@@ -61,8 +61,54 @@ pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u8>) {
 /// Unpack one block previously written by [`pack_block`].
 ///
 /// Appends [`BLOCK_LEN`] values to `out` and returns the number of input
-/// bytes consumed.
+/// bytes consumed. Dispatches to the fastest [`crate::simd`] kernel the
+/// CPU supports (and the `KBTIM_SIMD` knob allows); the output is
+/// bit-identical to [`unpack_block_scalar`] for every width and input.
 pub fn unpack_block(input: &[u8], width: u8, out: &mut Vec<u32>) -> Result<usize, CodecError> {
+    unpack_block_with(crate::simd::active_level(), input, width, out)
+}
+
+/// [`unpack_block`] at an explicit kernel tier — the test/bench hook
+/// behind the SIMD-vs-scalar equality proptests. Unsupported tiers are
+/// clamped to the best the CPU has.
+#[doc(hidden)]
+pub fn unpack_block_with(
+    level: crate::simd::SimdLevel,
+    input: &[u8],
+    width: u8,
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    if width > 32 {
+        return Err(CodecError::InvalidBitWidth(width));
+    }
+    if width == 0 {
+        out.resize(out.len() + BLOCK_LEN, 0);
+        return Ok(0);
+    }
+    let byte_len = width as usize * BLOCK_LEN / 8;
+    if input.len() < byte_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let level = crate::simd::clamp_supported(level);
+        if level > crate::simd::SimdLevel::Scalar {
+            crate::simd::unpack_block_simd(level, input, width, out);
+            return Ok(byte_len);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = level;
+    unpack_block_scalar(input, width, out)
+}
+
+/// The portable scalar unpack — the oracle the SIMD kernels are
+/// proptested against, and the only path on non-x86-64 targets.
+pub fn unpack_block_scalar(
+    input: &[u8],
+    width: u8,
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
     if width > 32 {
         return Err(CodecError::InvalidBitWidth(width));
     }

@@ -25,7 +25,22 @@ pub fn delta_in_place(values: &mut [u32]) {
 ///
 /// Fails with [`CodecError::NonMonotonic`] if a prefix sum overflows `u32`,
 /// which can only happen on corrupted input.
+///
+/// Valid inputs take a SIMD prefix sum where the CPU has one (a cheap
+/// read-only `u64` total first proves no step can overflow); corrupt
+/// inputs always run the scalar loop, so the error and the partially
+/// rebuilt prefix are bit-identical to [`undelta_in_place_scalar`].
 pub fn undelta_in_place(values: &mut [u32]) -> Result<(), CodecError> {
+    if crate::simd::prefix_sum_checked(values) {
+        return Ok(());
+    }
+    undelta_in_place_scalar(values)
+}
+
+/// The portable scalar prefix sum — the oracle for the SIMD path and
+/// the only code on non-x86-64 targets. On overflow, elements before the
+/// failing one keep their rebuilt (absolute) values.
+pub fn undelta_in_place_scalar(values: &mut [u32]) -> Result<(), CodecError> {
     let mut acc: u32 = 0;
     for v in values.iter_mut() {
         acc = acc.checked_add(*v).ok_or(CodecError::NonMonotonic)?;
@@ -42,6 +57,18 @@ pub fn undelta_in_place(values: &mut [u32]) -> Result<(), CodecError> {
 /// `u32` (corrupted input); `out` keeps the values appended so far in
 /// that case, so callers treating errors as fatal need no cleanup.
 pub fn decode_deltas_into(gaps: &[u32], out: &mut Vec<u32>) -> Result<(), CodecError> {
+    // Fast path: copy the gaps and prefix-sum them in place with the
+    // SIMD kernel (which first proves, read-only, that no step can
+    // overflow). Corrupt input falls through to the scalar loop below so
+    // the error and the partial output match the oracle exactly.
+    let start = out.len();
+    if crate::simd::prefix_sum_viable(gaps.len()) {
+        out.extend_from_slice(gaps);
+        if crate::simd::prefix_sum_checked(&mut out[start..]) {
+            return Ok(());
+        }
+        out.truncate(start);
+    }
     out.reserve(gaps.len());
     let mut acc: u32 = 0;
     for &g in gaps {

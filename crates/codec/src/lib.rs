@@ -15,10 +15,19 @@
 //! All codecs are pure functions over byte buffers: no I/O, no allocation
 //! beyond the output buffers, and every encoder has a matching decoder with
 //! a round-trip property test.
+//!
+//! The hot decode loops (block unpack, gap prefix sum) additionally have
+//! runtime-dispatched SSE2/AVX2 kernels in [`simd`]; the scalar paths
+//! stay as the oracle and the only code on non-x86-64 targets.
+
+// Every unsafe operation inside the SIMD kernels' `unsafe fn`s must be
+// individually justified, not blanket-covered by the fn signature.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitpack;
 pub mod delta;
 pub mod list;
+pub mod simd;
 pub mod varint;
 
 /// Errors produced while decoding compressed data.

@@ -102,13 +102,10 @@ pub fn decode_packed(input: &[u8], out: &mut Vec<u32>) -> Result<usize, CodecErr
         out.push(gap);
         pos += used;
     }
-    // Prefix-sum the gaps back into absolute values.
-    let slice = &mut out[start..];
-    let mut acc = slice[0];
-    for v in slice.iter_mut().skip(1) {
-        acc = acc.checked_add(*v).ok_or(CodecError::NonMonotonic)?;
-        *v = acc;
-    }
+    // Prefix-sum the gaps back into absolute values (the first slot
+    // already holds the absolute first value, which is exactly a gap
+    // from 0, so the shared — SIMD-dispatched — undelta applies as-is).
+    crate::delta::undelta_in_place(&mut out[start..])?;
     Ok(pos)
 }
 

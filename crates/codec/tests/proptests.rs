@@ -1,12 +1,30 @@
-//! Property-based round-trip tests for every codec layer.
+//! Property-based round-trip tests for every codec layer, including the
+//! SIMD-vs-scalar bit-equality contract: every runtime-dispatched kernel
+//! tier the host supports must reproduce the scalar oracle exactly — for
+//! every width 0..=32, every lane remainder, truncated inputs, and
+//! corrupt (overflowing) gap streams.
 
-use kbtim_codec::{bitpack, delta, list, varint, Codec};
+use kbtim_codec::{bitpack, delta, list, simd, varint, Codec};
 use proptest::prelude::*;
 
 fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(any::<u32>(), 0..max_len).prop_map(|mut v| {
         v.sort_unstable();
         v
+    })
+}
+
+/// One full block of values that fit a random width, so every width
+/// 0..=32 (and therefore every per-width kernel, the gather path, and
+/// the shift/mask fallback) gets exercised.
+fn block_for_width() -> impl Strategy<Value = (u8, Vec<u32>)> {
+    (0u8..=32).prop_flat_map(|w| {
+        let max = match w {
+            0 => 0,
+            32 => u32::MAX,
+            _ => (1u32 << w) - 1,
+        };
+        proptest::collection::vec(0..=max, bitpack::BLOCK_LEN).prop_map(move |v| (w, v))
     })
 }
 
@@ -109,5 +127,99 @@ proptest! {
         let _ = list::decode_packed(&bytes, &mut out);
         out.clear();
         let _ = list::decode_raw(&bytes, &mut out);
+    }
+
+    /// Every supported kernel tier unpacks bit-identically to the scalar
+    /// oracle for every width. `pad` varies the trailing bytes after the
+    /// block: 0 exercises the end-of-segment bounds fallbacks (gather /
+    /// unaligned-load windows that would overrun), larger values the
+    /// mid-stream fast paths.
+    #[test]
+    fn simd_unpack_matches_scalar_for_all_widths(
+        (width, values) in block_for_width(),
+        pad in 0usize..9,
+    ) {
+        let mut packed = Vec::new();
+        bitpack::pack_block(&values, width, &mut packed);
+        let byte_len = packed.len();
+        packed.resize(byte_len + pad, 0xAB);
+        let mut oracle = vec![7u32]; // decode appends, never clears
+        let used = bitpack::unpack_block_scalar(&packed, width, &mut oracle).unwrap();
+        prop_assert_eq!(used, byte_len);
+        prop_assert_eq!(&oracle[1..], values.as_slice());
+        for &level in simd::supported_levels() {
+            let mut out = vec![7u32];
+            let used = bitpack::unpack_block_with(level, &packed, width, &mut out).unwrap();
+            prop_assert_eq!(used, byte_len, "width {} level {}", width, level.name());
+            prop_assert_eq!(&out, &oracle, "width {} level {}", width, level.name());
+        }
+    }
+
+    /// Error cases agree across tiers too: truncated payloads are
+    /// `UnexpectedEof`, oversized widths `InvalidBitWidth`, and neither
+    /// appends anything.
+    #[test]
+    fn simd_unpack_error_cases_match_scalar(
+        (width, values) in block_for_width(),
+        cut in 1usize..32,
+        bad_width in 33u8..=255,
+    ) {
+        let mut packed = Vec::new();
+        bitpack::pack_block(&values, width, &mut packed);
+        for &level in simd::supported_levels() {
+            if width > 0 {
+                let cut = cut.min(packed.len());
+                let mut out = vec![7u32];
+                prop_assert_eq!(
+                    bitpack::unpack_block_with(level, &packed[..packed.len() - cut], width, &mut out)
+                        .unwrap_err(),
+                    kbtim_codec::CodecError::UnexpectedEof
+                );
+                prop_assert_eq!(&out, &vec![7u32], "EOF must not append ({})", level.name());
+            }
+            let mut out = Vec::new();
+            prop_assert_eq!(
+                bitpack::unpack_block_with(level, &packed, bad_width, &mut out).unwrap_err(),
+                kbtim_codec::CodecError::InvalidBitWidth(bad_width)
+            );
+            prop_assert!(out.is_empty());
+        }
+    }
+
+    /// The SIMD-dispatched gap decoders match the scalar oracle on
+    /// arbitrary gap streams — including corrupt (overflowing) ones,
+    /// where the error *and* the partially written output must be
+    /// bit-identical.
+    #[test]
+    fn simd_gap_decode_matches_scalar(gaps in proptest::collection::vec(any::<u32>(), 0..600)) {
+        // The oracle: the documented scalar semantics, computed by hand.
+        let mut oracle_out = vec![42u32];
+        let mut oracle_err = None;
+        let mut acc = 0u32;
+        for &g in &gaps {
+            match acc.checked_add(g) {
+                Some(next) => {
+                    acc = next;
+                    oracle_out.push(acc);
+                }
+                None => {
+                    oracle_err = Some(kbtim_codec::CodecError::NonMonotonic);
+                    break;
+                }
+            }
+        }
+
+        let mut out = vec![42u32];
+        let got = delta::decode_deltas_into(&gaps, &mut out);
+        prop_assert_eq!(got.err(), oracle_err.clone());
+        prop_assert_eq!(&out, &oracle_out);
+
+        // undelta_in_place agrees element for element with its scalar twin.
+        let mut fast = gaps.clone();
+        let mut slow = gaps.clone();
+        let fast_res = delta::undelta_in_place(&mut fast);
+        let slow_res = delta::undelta_in_place_scalar(&mut slow);
+        prop_assert_eq!(fast_res.err(), slow_res.err());
+        prop_assert_eq!(fast, slow);
     }
 }

@@ -42,6 +42,17 @@ impl Bitset {
         self.words[i >> 6] |= 1u64 << (i & 63);
     }
 
+    /// Hint that the word holding bit `i` will be probed soon.
+    ///
+    /// Advisory only (see [`crate::prefetch`]): out-of-range indices are
+    /// ignored and results never change.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if let Some(word) = self.words.get(i >> 6) {
+            crate::prefetch::prefetch_read(word);
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

@@ -35,6 +35,7 @@ pub mod invindex;
 pub mod maxcover;
 pub mod opt;
 pub mod paper_example;
+pub mod prefetch;
 pub mod ris;
 pub mod theta;
 pub mod wris;

@@ -79,8 +79,19 @@ impl KwState<'_> {
     }
 
     /// Exact uncovered count for a loaded list.
+    ///
+    /// The partition walk probes the covered bitset at data-dependent
+    /// positions; a fixed look-ahead prefetch overlaps those misses (see
+    /// [`kbtim_core::prefetch`]) without affecting the count.
     fn exact_count(&self, list: &[u32], covered: &Bitset) -> u64 {
-        list.iter().filter(|&&id| !covered.get((self.base + id as u64) as usize)).count() as u64
+        let mut count = 0u64;
+        for (i, &id) in list.iter().enumerate() {
+            if let Some(&ahead) = list.get(i + kbtim_core::prefetch::COVER_SCAN_AHEAD) {
+                covered.prefetch((self.base + ahead as u64) as usize);
+            }
+            count += u64::from(!covered.get((self.base + id as u64) as usize));
+        }
+        count
     }
 
     /// Partial score of `v` on this keyword: `(bound, is_exact)`.

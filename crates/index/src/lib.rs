@@ -165,6 +165,9 @@ pub struct KbtimIndex {
     /// available parallelism), kept for reporting.
     threads: Option<usize>,
     mode: ServingMode,
+    /// Identity of the segment generation this index was opened against
+    /// (see [`KbtimIndex::segment_fingerprint`]).
+    fingerprint: u64,
     /// Reusable query buffers (see [`scratch`]); shared by every query
     /// against this index.
     pub(crate) scratch: scratch::ScratchPool,
@@ -230,6 +233,26 @@ impl KbtimIndex {
                 }));
             }
         }
+        // Capture segment identity while opening — the same
+        // (path, length, mtime) triple the storage PageCache keys loaded
+        // pages by — so prepared-query caches can bind entries to the
+        // exact segment generation this handle serves.
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for (topic, source) in sources.iter().enumerate() {
+                let Some(source) = source.as_ref() else { continue };
+                topic.hash(&mut hasher);
+                source.path().hash(&mut hasher);
+                source.file_len().unwrap_or(0).hash(&mut hasher);
+                let mtime = std::fs::metadata(source.path())
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok());
+                mtime.hash(&mut hasher);
+            }
+            hasher.finish()
+        };
         Ok(KbtimIndex {
             dir,
             meta,
@@ -238,8 +261,20 @@ impl KbtimIndex {
             pool: kbtim_exec::ExecPool::new(None),
             threads: None,
             mode,
+            fingerprint,
             scratch: scratch::ScratchPool::new(),
         })
+    }
+
+    /// Identity of the keyword-segment generation this handle was opened
+    /// against: a hash over every segment's (path, length, mtime) at
+    /// open time — the same triple [`kbtim_storage::PageCache`] keys
+    /// loaded pages by. Two opens of the same on-disk state agree;
+    /// rebuilding any keyword segment changes the value, so caches keyed
+    /// by it (the serving tier's prepared-query cache) can never serve
+    /// an entry across index generations.
+    pub fn segment_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The serving backend this index was opened with.

@@ -382,6 +382,47 @@ impl MergedQuery {
     pub fn theta_q(&self) -> u64 {
         self.theta_q
     }
+
+    /// Heap bytes held by the merged instance's arenas — what a cached
+    /// prepared query keeps resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inverted.arena_bytes()
+    }
+
+    /// Slice a deeper greedy run over this instance down to its first
+    /// `k` seeds.
+    ///
+    /// CELF selects seeds strictly sequentially and `k` only bounds the
+    /// loop, so the `k`-seed answer over a fixed instance *is* the
+    /// `k`-prefix of any deeper run: same seeds, same marginal gains,
+    /// coverage the same running sum, and the influence estimate the
+    /// same arithmetic on those values — bit-identical to calling
+    /// [`KbtimIndex::query_merged`] with `k` directly (enforced by the
+    /// serving-tier tests). This lets the batch planner serve every
+    /// same-keyword-set request from one max-`k` greedy run.
+    pub fn prefix_outcome(&self, full: &QueryOutcome, k: u32) -> QueryOutcome {
+        let n = (k as usize).min(full.seeds.len());
+        let marginal_gains = full.marginal_gains[..n].to_vec();
+        let coverage: u64 = marginal_gains.iter().sum();
+        let estimated_influence = if self.theta_q == 0 {
+            0.0
+        } else {
+            coverage as f64 / self.theta_q as f64 * self.phi_q
+        };
+        QueryOutcome {
+            seeds: full.seeds[..n].to_vec(),
+            marginal_gains,
+            coverage,
+            estimated_influence,
+            stats: QueryStats {
+                theta_q: self.theta_q,
+                rr_sets_loaded: self.theta_q,
+                partitions_loaded: 0,
+                io: Default::default(),
+                elapsed: full.stats.elapsed,
+            },
+        }
+    }
 }
 
 pub(crate) fn empty_outcome(started: Instant) -> QueryOutcome {

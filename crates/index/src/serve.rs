@@ -25,8 +25,19 @@
 //!   into a shared [`KeywordArena`], and runs every request's own
 //!   merge + greedy over the shared structures — so N different
 //!   same-keyword queries pay the expensive per-keyword decode once
-//!   per batch, not once per request. Memory-algo requests pass
-//!   through unshared (they are already decode-free).
+//!   per batch, not once per request. Requests over the same keyword
+//!   set additionally share one greedy run: seeds are selected
+//!   sequentially and `k` only bounds the loop, so one max-`k` run
+//!   prefix-slices into every member's answer. Memory-algo requests
+//!   pass through unshared (they are already decode-free).
+//! * **Prepared-query cache**: with a capacity configured
+//!   ([`QueryEngine::set_merge_cache`]), finished keyword-set merges
+//!   are kept in a capacity-bounded LRU keyed by the sorted keyword
+//!   set and the index's segment generation
+//!   ([`KbtimIndex::segment_fingerprint`]). A later batch hitting the
+//!   same keyword set skips that set's decode *and* merge entirely —
+//!   hot advertiser keyword sets stop paying decode cost across
+//!   batches, not just within one.
 //! * **Determinism**: queries are read-only and scratch contents never
 //!   influence answers, so any interleaving of concurrent clients —
 //!   and any grouping the batch planner happens to admit — produces
@@ -37,6 +48,7 @@
 //! The line-protocol front end (`kbtim serve`) in the facade crate is a
 //! thin wrapper over this engine.
 
+use crate::rr_query::MergedQuery;
 use crate::scratch::KeywordArena;
 use crate::{IndexError, KbtimIndex, MemoryIndex, QueryOutcome};
 use kbtim_topics::{Query, TopicId};
@@ -196,6 +208,113 @@ struct Batcher {
     arrived: Condvar,
 }
 
+/// One cached prepared query: the shared merged instance plus its LRU
+/// and accounting state.
+struct MergeEntry {
+    merged: Arc<MergedQuery>,
+    /// Arena bytes this entry keeps resident (snapshotted at insert so
+    /// the books stay consistent on eviction).
+    bytes: u64,
+    /// Logical timestamp of the last hit (or the insert).
+    last_used: u64,
+}
+
+/// The cross-batch prepared-query cache: a capacity-bounded LRU of
+/// shared [`MergedQuery`] instances, keyed by (segment generation,
+/// sorted keyword set).
+///
+/// The merged coverage instance is a pure function of the sorted
+/// keyword set and the on-disk segment bytes (`Q.k` only bounds the
+/// greedy loop), so an entry may serve any request over its keyword set
+/// for as long as the segment generation matches — the fingerprint in
+/// the key ties invalidation to segment identity exactly as the storage
+/// [`kbtim_storage::PageCache`] ties loaded pages to it. Entries are
+/// `Arc`'d: eviction drops the cache's reference while in-flight
+/// batches keep theirs, so capacity changes are always safe.
+struct MergeCache {
+    /// Maximum number of entries (≥ 1; 0 disables the cache entirely,
+    /// represented as `QueryEngine::merge_cache == None`).
+    capacity: usize,
+    state: Mutex<MergeCacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct MergeCacheState {
+    entries: HashMap<(u64, Vec<TopicId>), MergeEntry>,
+    /// Monotone logical clock backing the LRU order.
+    tick: u64,
+    /// Σ `bytes` over live entries.
+    bytes: u64,
+}
+
+impl MergeCache {
+    fn new(capacity: usize) -> MergeCache {
+        MergeCache {
+            capacity,
+            state: Mutex::new(MergeCacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a keyword set under a segment generation, bumping its
+    /// recency on a hit. Books every probe as a hit or a miss.
+    fn get(&self, fingerprint: u64, topics: &[TopicId]) -> Option<Arc<MergedQuery>> {
+        let mut state = self.state.lock().expect("merge cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        match state.entries.get_mut(&(fingerprint, topics.to_vec())) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.merged))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a freshly merged instance, evicting least-recently-used
+    /// entries down to capacity. Replacing an existing key (two batches
+    /// racing the same miss) keeps the newer instance — both are
+    /// bit-identical by construction.
+    fn insert(&self, fingerprint: u64, topics: Vec<TopicId>, merged: Arc<MergedQuery>) {
+        let bytes = merged.resident_bytes();
+        let mut state = self.state.lock().expect("merge cache poisoned");
+        state.tick += 1;
+        let entry = MergeEntry { merged, bytes, last_used: state.tick };
+        if let Some(old) = state.entries.insert((fingerprint, topics), entry) {
+            state.bytes -= old.bytes;
+        }
+        state.bytes += bytes;
+        while state.entries.len() > self.capacity {
+            let victim = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("len > capacity ≥ 1 implies an entry");
+            let evicted = state.entries.remove(&victim).expect("victim just found");
+            state.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("merge cache poisoned").entries.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.state.lock().expect("merge cache poisoned").bytes
+    }
+}
+
 /// A concurrent query engine over one shared index (see the module
 /// docs).
 ///
@@ -206,6 +325,7 @@ pub struct QueryEngine {
     memory: Option<MemoryIndex>,
     inflight: Mutex<HashMap<EngineRequest, Arc<Flight>>>,
     batch: Option<Batcher>,
+    merge_cache: Option<MergeCache>,
     executed: AtomicU64,
     coalesced: AtomicU64,
     batches: AtomicU64,
@@ -213,6 +333,7 @@ pub struct QueryEngine {
     merged_groups: AtomicU64,
     keywords_decoded: AtomicU64,
     keyword_decodes_shared: AtomicU64,
+    greedy_shared: AtomicU64,
 }
 
 impl QueryEngine {
@@ -224,6 +345,7 @@ impl QueryEngine {
             memory: None,
             inflight: Mutex::new(HashMap::new()),
             batch: None,
+            merge_cache: None,
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -231,6 +353,7 @@ impl QueryEngine {
             merged_groups: AtomicU64::new(0),
             keywords_decoded: AtomicU64::new(0),
             keyword_decodes_shared: AtomicU64::new(0),
+            greedy_shared: AtomicU64::new(0),
         }
     }
 
@@ -295,6 +418,81 @@ impl QueryEngine {
         self.batch.as_ref().map(|b| b.window)
     }
 
+    /// Deterministic batch construction for tests and benches. While
+    /// held, arriving batched requests enqueue as followers instead of
+    /// electing a leader; the first arrival after release leads one
+    /// batch holding everything queued meanwhile. Release the hold
+    /// *before* issuing that final leading request — held followers
+    /// wait indefinitely on a leader that never comes. No-op when
+    /// batching is disabled.
+    #[doc(hidden)]
+    pub fn hold_admission(&self, hold: bool) {
+        if let Some(batcher) = &self.batch {
+            batcher.queue.lock().expect("batch queue poisoned").collecting = hold;
+        }
+    }
+
+    /// Requests currently queued for batch admission (companion of
+    /// [`QueryEngine::hold_admission`], for polling until a held batch
+    /// has fully assembled).
+    #[doc(hidden)]
+    pub fn pending_admission(&self) -> usize {
+        self.batch
+            .as_ref()
+            .map_or(0, |b| b.queue.lock().expect("batch queue poisoned").pending.len())
+    }
+
+    /// Enable (or disable, with 0) the cross-batch prepared-query
+    /// cache: a capacity-bounded LRU of up to `entries` keyword-set
+    /// merges, keyed by the sorted keyword set and the index's segment
+    /// generation ([`KbtimIndex::segment_fingerprint`]).
+    ///
+    /// With a capacity set, the batch planner probes the cache before
+    /// building its decode union: a hit skips that keyword set's decode
+    /// and merge entirely, so a hot set pays decode cost once across
+    /// batches rather than once per batch. Cached instances are shared
+    /// read-only; answers stay bit-identical to uncached serving.
+    pub fn set_merge_cache(&mut self, entries: usize) {
+        self.merge_cache = (entries > 0).then(|| MergeCache::new(entries));
+    }
+
+    /// Builder-style [`QueryEngine::set_merge_cache`].
+    pub fn with_merge_cache(mut self, entries: usize) -> QueryEngine {
+        self.set_merge_cache(entries);
+        self
+    }
+
+    /// The prepared-query cache's entry capacity (0 = cache off).
+    pub fn merge_cache_capacity(&self) -> usize {
+        self.merge_cache.as_ref().map_or(0, |c| c.capacity)
+    }
+
+    /// Live entries in the prepared-query cache.
+    pub fn merge_cache_len(&self) -> usize {
+        self.merge_cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Arena bytes held resident by cached prepared queries.
+    pub fn merge_cache_bytes(&self) -> u64 {
+        self.merge_cache.as_ref().map_or(0, |c| c.bytes())
+    }
+
+    /// Prepared-query cache probes that found a live entry.
+    pub fn merge_cache_hits(&self) -> u64 {
+        self.merge_cache.as_ref().map_or(0, |c| c.hits.load(Ordering::Relaxed))
+    }
+
+    /// Prepared-query cache probes that missed.
+    pub fn merge_cache_misses(&self) -> u64 {
+        self.merge_cache.as_ref().map_or(0, |c| c.misses.load(Ordering::Relaxed))
+    }
+
+    /// Entries evicted from the prepared-query cache to stay within
+    /// capacity.
+    pub fn merge_cache_evictions(&self) -> u64 {
+        self.merge_cache.as_ref().map_or(0, |c| c.evictions.load(Ordering::Relaxed))
+    }
+
     /// Batches the planner has executed.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
@@ -322,9 +520,19 @@ impl QueryEngine {
     /// Keyword decodes *avoided* by sharing: Σ over batched requests of
     /// their budgeted keyword count, minus the distinct decodes
     /// actually performed. The books behind the batching claim — with
-    /// batching off this stays 0.
+    /// batching off this stays 0. (Cache-served keyword sets count in
+    /// neither side: their sharing is booked by the cache's own
+    /// hit/miss counters.)
     pub fn keyword_decodes_shared(&self) -> u64 {
         self.keyword_decodes_shared.load(Ordering::Relaxed)
+    }
+
+    /// Batched requests answered by prefix-slicing a same-keyword-set
+    /// group's single max-`k` greedy run instead of running their own
+    /// (the first member of each group runs; the rest are counted
+    /// here).
+    pub fn greedy_shared(&self) -> u64 {
+        self.greedy_shared.load(Ordering::Relaxed)
     }
 
     /// Answer `req`, sharing work with concurrent requests: through the
@@ -403,15 +611,27 @@ impl QueryEngine {
         // Leader: hold the admission window open, then drain. Entries
         // pushed after the drain see `collecting == false` and elect the
         // next leader, so no request is ever orphaned.
+        //
+        // The window is *adaptive*: it only opens once a second request
+        // is already pending. A leader that finds itself alone drains
+        // its singleton batch immediately — a solo client pays no
+        // admission latency, so enabling batching never slows an
+        // unloaded server. Under concurrency, later requests queue while
+        // the current batch executes, so the next leader sees company
+        // and the window engages exactly when there is sharing to
+        // collect. Grouping never affects answers, only wall-clock.
         let deadline = Instant::now() + batcher.window;
         let batch = {
             let mut queue = batcher.queue.lock().expect("batch queue poisoned");
-            while queue.pending.len() < batcher.max_requests {
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    break;
+            if queue.pending.len() > 1 {
+                while queue.pending.len() < batcher.max_requests {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    queue =
+                        batcher.arrived.wait_timeout(queue, left).expect("batch queue poisoned").0;
                 }
-                queue = batcher.arrived.wait_timeout(queue, left).expect("batch queue poisoned").0;
             }
             queue.collecting = false;
             std::mem::take(&mut queue.pending)
@@ -463,6 +683,13 @@ impl QueryEngine {
             members: Vec<usize>,
             phi_q: f64,
             budget: Vec<(TopicId, u64)>,
+            /// Canonical (sorted, deduped) keyword set — the
+            /// prepared-query cache key.
+            key: Vec<TopicId>,
+            /// Cache-resolved merged instance, probed before the union
+            /// decode: a hit removes the group from the decode *and*
+            /// the merge.
+            cached: Option<Arc<MergedQuery>>,
         }
         let mut groups: Vec<Group<'_>> = Vec::new();
         for (at, req) in unique.iter().enumerate() {
@@ -474,8 +701,22 @@ impl QueryEngine {
                 None => {
                     let query = Query::new(req.topics.iter().copied(), req.k);
                     let (phi_q, budget) = self.index.query_budget(&query);
-                    groups.push(Group { lead: req, members: vec![at], phi_q, budget });
+                    let key = query.topics().to_vec();
+                    groups.push(Group {
+                        lead: req,
+                        members: vec![at],
+                        phi_q,
+                        budget,
+                        key,
+                        cached: None,
+                    });
                 }
+            }
+        }
+        let fingerprint = self.index.segment_fingerprint();
+        if let Some(cache) = &self.merge_cache {
+            for group in &mut groups {
+                group.cached = cache.get(fingerprint, &group.key);
             }
         }
 
@@ -483,9 +724,11 @@ impl QueryEngine {
         // widest per-request share, decoded once for the whole batch.
         // Every member of a group would have needed its group's whole
         // keyword set — the `requested` side of the sharing books.
+        // Cache-served groups need no decode at all, so they join
+        // neither side of the union.
         let mut wants: BTreeMap<TopicId, u64> = BTreeMap::new();
         let mut requested = 0u64;
-        for group in &groups {
+        for group in groups.iter().filter(|g| g.cached.is_none()) {
             requested += (group.budget.len() * group.members.len()) as u64;
             for &(topic, share) in &group.budget {
                 let widest = wants.entry(topic).or_insert(0);
@@ -508,18 +751,45 @@ impl QueryEngine {
             }
         }
         let run_group = |group: &Group<'_>, arena: &KeywordArena| -> Vec<(usize, EngineResult)> {
-            self.merged_groups.fetch_add(1, Ordering::Relaxed);
             let irr_available =
                 matches!(self.index.meta().variant, crate::format::IndexVariant::Irr { .. });
-            let merged = match self.index.merge_budgeted(group.phi_q, &group.budget, arena) {
-                Ok(merged) => merged,
-                Err(e) => {
-                    let err = EngineError::from(e);
-                    self.executed.fetch_add(group.members.len() as u64, Ordering::Relaxed);
-                    return group.members.iter().map(|&at| (at, Err(err.clone()))).collect();
+            // Resolve the merged instance: a cache hit reuses the shared
+            // Arc; a miss merges from the batch arena and (with a cache
+            // configured) publishes the result for later batches.
+            let merged: Arc<MergedQuery> = match &group.cached {
+                Some(merged) => Arc::clone(merged),
+                None => {
+                    self.merged_groups.fetch_add(1, Ordering::Relaxed);
+                    match self.index.merge_budgeted(group.phi_q, &group.budget, arena) {
+                        Ok(merged) => {
+                            let merged = Arc::new(merged);
+                            if let Some(cache) = &self.merge_cache {
+                                cache.insert(fingerprint, group.key.clone(), Arc::clone(&merged));
+                            }
+                            merged
+                        }
+                        Err(e) => {
+                            let err = EngineError::from(e);
+                            self.executed.fetch_add(group.members.len() as u64, Ordering::Relaxed);
+                            return group
+                                .members
+                                .iter()
+                                .map(|&at| (at, Err(err.clone())))
+                                .collect();
+                        }
+                    }
                 }
             };
-            let out = group
+            // One greedy run at the group's deepest `k` serves every
+            // member: seeds are selected sequentially, so each member's
+            // answer is exactly the `k`-prefix of the deep run (see
+            // [`MergedQuery::prefix_outcome`]).
+            let k_max = group.members.iter().map(|&at| unique[at].k).max().unwrap_or(0);
+            let full = Arc::new(self.index.query_merged(&merged, k_max));
+            if group.members.len() > 1 {
+                self.greedy_shared.fetch_add(group.members.len() as u64 - 1, Ordering::Relaxed);
+            }
+            let out: Vec<(usize, EngineResult)> = group
                 .members
                 .iter()
                 .map(|&at| {
@@ -527,13 +797,21 @@ impl QueryEngine {
                     let req = unique[at];
                     let result = if req.algo == Algo::Irr && !irr_available {
                         Err(EngineError::from(IndexError::NotAnIrrIndex))
+                    } else if group.members.len() == 1 {
+                        Ok(Arc::clone(&full))
                     } else {
-                        Ok(Arc::new(self.index.query_merged(&merged, req.k)))
+                        Ok(Arc::new(merged.prefix_outcome(&full, req.k)))
                     };
                     (at, result)
                 })
                 .collect();
-            self.index.recycle_merged(merged);
+            // Sole owner (cache off, or the entry was already evicted
+            // and nobody else holds it) → the arenas recycle as before;
+            // otherwise the cache keeps the instance alive for the next
+            // hit and the Arc simply drops.
+            if let Ok(sole) = Arc::try_unwrap(merged) {
+                self.index.recycle_merged(sole);
+            }
             out
         };
 
@@ -547,13 +825,15 @@ impl QueryEngine {
                 self.keywords_decoded.fetch_add(wants.len() as u64, Ordering::Relaxed);
                 self.keyword_decodes_shared
                     .fetch_add(requested.saturating_sub(wants.len() as u64), Ordering::Relaxed);
-                // Group answers are independent, so groups run
-                // *concurrently* (one scoped thread each beyond the
-                // first): without this, a batch of G disjoint keyword
-                // sets would serialize on the leader thread work that
-                // the per-request path ran G-wide on the client threads
-                // now parked in `Flight::wait`. Answers are unaffected —
-                // only wall-clock.
+                // Group answers are independent, so groups fan out on
+                // the index's persistent exec pool: without this, a
+                // batch of G disjoint keyword sets would serialize on
+                // the leader thread work that the per-request path ran
+                // G-wide on the client threads now parked in
+                // `Flight::wait`. Nested parallel recounts inside
+                // `query_merged` degrade to inline execution on the
+                // occupied pool, so the fan-out can never deadlock;
+                // answers are unaffected either way — only wall-clock.
                 if groups.len() <= 1 {
                     for group in &groups {
                         for (at, result) in run_group(group, &arena) {
@@ -561,17 +841,15 @@ impl QueryEngine {
                         }
                     }
                 } else {
-                    std::thread::scope(|scope| {
-                        let joins: Vec<_> = groups
-                            .iter()
-                            .map(|group| scope.spawn(|| run_group(group, &arena)))
-                            .collect();
-                        for join in joins {
-                            for (at, result) in join.join().expect("group execution panicked") {
-                                results[at] = Some(result);
-                            }
+                    let per_group = self
+                        .index
+                        .pool()
+                        .map_shards(groups.len(), |i| run_group(&groups[i], &arena));
+                    for group_results in per_group {
+                        for (at, result) in group_results {
+                            results[at] = Some(result);
                         }
-                    });
+                    }
                 }
                 self.index.recycle_keywords(arena);
             }
@@ -582,8 +860,16 @@ impl QueryEngine {
                 // keywords are healthy still get their serial answers;
                 // only groups referencing the failed keyword(s) see the
                 // error — exactly the per-request semantics. (Memory
-                // requests were already served above.)
+                // requests were already served above; cache-served
+                // groups never needed the decode, so they are served
+                // straight from their cached instance.)
                 for group in &groups {
+                    if group.cached.is_some() {
+                        for (at, result) in run_group(group, &KeywordArena::default()) {
+                            results[at] = Some(result);
+                        }
+                        continue;
+                    }
                     let mut group_wants: BTreeMap<TopicId, u64> = BTreeMap::new();
                     for &(topic, share) in &group.budget {
                         let widest = group_wants.entry(topic).or_insert(0);
@@ -946,30 +1232,42 @@ mod tests {
             (0..6).map(|i| EngineRequest::new([0, 1], 3 + i as u32).with_algo(Algo::Rr)).collect();
         let serial: Vec<_> = reqs.iter().map(|r| engine.execute(r).unwrap()).collect();
 
-        let barrier = std::sync::Barrier::new(reqs.len());
+        // Deterministically build one multi-request batch: park the
+        // planner by pretending a leader is collecting, enqueue every
+        // client as a follower, then release leadership to a final
+        // request that drains them all at once. (A plain barrier race
+        // can serialize on a single-CPU host — each solo leader drains
+        // immediately under the adaptive window — leaving no sharing
+        // to observe.)
+        engine.hold_admission(true);
         std::thread::scope(|scope| {
             let joins: Vec<_> = reqs
                 .iter()
                 .map(|req| {
                     let engine = Arc::clone(&engine);
-                    let barrier = &barrier;
-                    scope.spawn(move || {
-                        barrier.wait();
-                        engine.query(req).unwrap()
-                    })
+                    scope.spawn(move || engine.query(req).unwrap())
                 })
                 .collect();
+            while engine.pending_admission() < reqs.len() {
+                std::thread::yield_now();
+            }
+            engine.hold_admission(false);
+            // The 7th request elects itself leader, finds six pending,
+            // and collects them (plus its own duplicate of reqs[0],
+            // which coalesces in-batch) into one execution.
+            let extra = engine.query(&reqs[0]).unwrap();
+            assert_eq!(extra.seeds, serial[0].seeds);
             for (join, want) in joins.into_iter().zip(&serial) {
                 let got = join.join().unwrap();
                 assert_eq!(got.seeds, want.seeds);
                 assert_eq!(got.marginal_gains, want.marginal_gains);
             }
         });
-        // All six arrived inside one 250ms window ⇒ ≤ a handful of
-        // batches; at least one batch held ≥ 2 requests, so the shared
-        // books must show decodes saved (6 requests × 2 keywords = 12
-        // requested, but only 2 per batch decoded).
-        assert_eq!(engine.batched_requests(), reqs.len() as u64);
+        // One batch of 7 requests, 6 unique, one keyword-set group:
+        // every unique request would have decoded 2 keywords (12
+        // requested) but the planner decoded each distinct keyword
+        // once.
+        assert_eq!(engine.batched_requests(), reqs.len() as u64 + 1);
         assert!(
             engine.keyword_decodes_shared() > 0,
             "concurrent same-keyword requests must share decodes \
@@ -977,7 +1275,140 @@ mod tests {
             engine.batches(),
             engine.keywords_decoded()
         );
-        assert_eq!(engine.executed() + engine.coalesced(), reqs.len() as u64);
+        // The group's six members shared one max-k greedy run.
+        assert_eq!(engine.greedy_shared(), reqs.len() as u64 - 1);
+        assert_eq!(engine.executed() + engine.coalesced(), reqs.len() as u64 + 1);
+    }
+
+    #[test]
+    fn merge_cache_hits_skip_decode_and_match_uncached() {
+        let dir = TempDir::new("engine-merge-cache").unwrap();
+        let engine = build_engine(dir.path())
+            .with_batch_window(Some(Duration::from_micros(100)))
+            .with_merge_cache(4);
+        assert_eq!(engine.merge_cache_capacity(), 4);
+
+        // Round 1 over two keyword sets: every set misses and decodes.
+        let reqs = [EngineRequest::new([0, 1], 6).with_algo(Algo::Rr), EngineRequest::new([2], 4)];
+        let serial: Vec<_> = reqs.iter().map(|r| engine.execute(r).unwrap()).collect();
+        for (req, want) in reqs.iter().zip(&serial) {
+            let got = engine.query(req).unwrap();
+            assert_eq!(got.seeds, want.seeds);
+            assert_eq!(got.marginal_gains, want.marginal_gains);
+        }
+        let decoded_after_first = engine.keywords_decoded();
+        assert!(decoded_after_first > 0);
+        assert_eq!(engine.merge_cache_misses(), 2);
+        assert_eq!(engine.merge_cache_len(), 2);
+        assert!(engine.merge_cache_bytes() > 0);
+
+        // Hot rounds: same keyword sets (varying k — the cached instance
+        // is k-independent) hit the cache; the decode books stay flat
+        // while requests keep flowing, and every answer still matches
+        // the uncached serial oracle bit for bit.
+        for round in 0..4u32 {
+            for req in &reqs {
+                let hot = EngineRequest { k: req.k + round, ..req.clone() };
+                let want = engine.execute(&hot).unwrap();
+                let got = engine.query(&hot).unwrap();
+                assert_eq!(got.seeds, want.seeds, "{hot:?}");
+                assert_eq!(got.marginal_gains, want.marginal_gains, "{hot:?}");
+                assert_eq!(got.coverage, want.coverage, "{hot:?}");
+                assert_eq!(
+                    got.estimated_influence.to_bits(),
+                    want.estimated_influence.to_bits(),
+                    "{hot:?}"
+                );
+            }
+        }
+        assert_eq!(
+            engine.keywords_decoded(),
+            decoded_after_first,
+            "cache hits must not decode keywords"
+        );
+        assert_eq!(engine.merge_cache_hits(), 8);
+        assert_eq!(engine.merge_cache_misses(), 2);
+        assert_eq!(engine.merge_cache_evictions(), 0);
+    }
+
+    #[test]
+    fn merge_cache_evicts_lru_and_keeps_books() {
+        let dir = TempDir::new("engine-merge-evict").unwrap();
+        let engine = build_engine(dir.path())
+            .with_batch_window(Some(Duration::from_micros(100)))
+            .with_merge_cache(1);
+        let a = EngineRequest::new([0, 1], 5).with_algo(Algo::Rr);
+        let b = EngineRequest::new([2, 3], 5).with_algo(Algo::Rr);
+        let serial_a = engine.execute(&a).unwrap();
+
+        engine.query(&a).unwrap(); // miss, insert {0,1}
+        let bytes_a = engine.merge_cache_bytes();
+        assert!(bytes_a > 0);
+        engine.query(&b).unwrap(); // miss, insert {2,3} -> evicts {0,1}
+        assert_eq!(engine.merge_cache_evictions(), 1);
+        assert_eq!(engine.merge_cache_len(), 1, "capacity 1 holds one entry");
+        // The evicted set misses again — and still answers correctly.
+        let got = engine.query(&a).unwrap();
+        assert_eq!(got.seeds, serial_a.seeds);
+        assert_eq!(engine.merge_cache_misses(), 3);
+        assert_eq!(engine.merge_cache_hits(), 0);
+        assert_eq!(engine.merge_cache_evictions(), 2);
+        // Bytes track the single resident entry, not the history.
+        assert!(engine.merge_cache_bytes() > 0);
+    }
+
+    #[test]
+    fn adaptive_window_drains_solo_leaders_immediately() {
+        let dir = TempDir::new("engine-adaptive").unwrap();
+        // A window far longer than the test budget: if a solo batched
+        // request waited the window out, this test would hang for 30s.
+        let engine = build_engine(dir.path()).with_batch_window(Some(Duration::from_secs(30)));
+        let req = EngineRequest::new([0, 1], 5).with_algo(Algo::Rr);
+        let want = engine.execute(&req).unwrap();
+        let started = std::time::Instant::now();
+        let got = engine.query(&req).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "solo leader must not hold the admission window open"
+        );
+        assert_eq!(got.seeds, want.seeds);
+        assert_eq!(engine.batches(), 1);
+    }
+
+    #[test]
+    fn segment_fingerprint_tracks_index_generation() {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(300)
+            .num_topics(4)
+            .seed(97)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(400),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("engine-fingerprint").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        let first = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().segment_fingerprint();
+        let again = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().segment_fingerprint();
+        assert_eq!(first, again, "same on-disk generation must agree");
+
+        // Rebuild in place with a different sample budget: segment
+        // lengths (and mtimes) change, so the identity must too — a
+        // prepared-query cache keyed by it can never serve entries
+        // across generations.
+        let rebuilt_config = IndexBuildConfig {
+            sampling: SamplingConfig { theta_cap: Some(700), ..config.sampling },
+            ..config
+        };
+        IndexBuilder::new(&model, &data.profiles, rebuilt_config).build(dir.path()).unwrap();
+        let rebuilt = KbtimIndex::open(dir.path(), IoStats::new()).unwrap().segment_fingerprint();
+        assert_ne!(first, rebuilt, "rebuilt segments must change the fingerprint");
     }
 
     #[test]

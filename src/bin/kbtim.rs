@@ -9,7 +9,7 @@
 //!                [--threads N] [--serving file|resident|mmap]
 //! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
 //!                [--threads N] [--serving file|resident|mmap] [--memory on|off]
-//!                [--batch USEC]
+//!                [--batch USEC] [--merge-cache ENTRIES]
 //! kbtim validate --index DIR [--serving file|resident|mmap]
 //! ```
 //!
@@ -88,7 +88,7 @@ USAGE:
                  [--threads N] [--serving file|resident|mmap]
   kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
                  [--threads N] [--serving file|resident|mmap] [--memory on|off]
-                 [--batch USEC]
+                 [--batch USEC] [--merge-cache ENTRIES]
   kbtim validate --index DIR [--serving file|resident|mmap]";
 
 /// `--key value` pairs in argument order (repeats preserved — `serve`
@@ -352,6 +352,11 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     let batch_default: u64 = if flags.contains_key("listen") { 200 } else { 0 };
     let batch_us: u64 = parse(flags, "batch", batch_default)?;
     let batch_window = (batch_us > 0).then(|| Duration::from_micros(batch_us));
+    // Prepared-query cache: keep up to ENTRIES merged keyword unions
+    // resident per engine, keyed by (keyword set, segment generation).
+    // 0 (the default) disables it; each entry pins the merged RR arena
+    // in memory, so the bound is entries, sized to the hot query set.
+    let merge_cache: usize = parse(flags, "merge-cache", 0)?;
 
     // Open every index through the process-wide page cache: indexes
     // sharing segment files (and any further open in this process —
@@ -367,12 +372,13 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
         } else {
             QueryEngine::new(index)
         };
-        let engine = engine.with_batch_window(batch_window);
+        let engine = engine.with_batch_window(batch_window).with_merge_cache(merge_cache);
         router.add(name.clone(), Arc::new(engine))?;
     }
     let engine = router.engine(None).expect("at least one index");
     eprintln!(
-        "kbtim serve: {} index(es) [{}] (serving {}, threads {}, memory {}, batch {})",
+        "kbtim serve: {} index(es) [{}] (serving {}, threads {}, memory {}, batch {}, \
+         merge-cache {})",
         router.len(),
         router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
@@ -381,6 +387,10 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
         match batch_window {
             Some(w) => format!("{}us", w.as_micros()),
             None => "off".to_string(),
+        },
+        match merge_cache {
+            0 => "off".to_string(),
+            n => format!("{n} entries"),
         },
     );
     let router = Arc::new(router);

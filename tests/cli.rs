@@ -131,6 +131,7 @@ fn serve_answers_line_protocol_requests() {
     // wire — stdin serving defaults it off, see docs/PROTOCOL.md).
     let mut child = kbtim()
         .args(["serve", "--index", index.to_str().unwrap(), "--memory", "on", "--batch", "200"])
+        .args(["--merge-cache", "8"])
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
@@ -143,12 +144,20 @@ fn serve_answers_line_protocol_requests() {
         writeln!(stdin, r#"{{"id":3,"topics":[0,1],"k":5,"algo":"memory"}}"#).unwrap();
         writeln!(stdin, r#"{{"id":4,"nonsense":true}}"#).unwrap();
         writeln!(stdin, "this is not json").unwrap();
+        // A repeat of request 1: its keyword set is now resident in the
+        // prepared-query cache, and the answer must be unchanged.
+        writeln!(stdin, r#"{{"id":6,"topics":[0,1],"k":5,"algo":"rr"}}"#).unwrap();
     } // stdin drops → EOF → clean exit
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("merge-cache 8 entries"),
+        "banner must report the cache: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 5, "one response per request line: {stdout}");
+    assert_eq!(lines.len(), 6, "one response per request line: {stdout}");
 
     // rr, irr and memory all return the oracle's seeds (Theorem 3 + the
     // memory copy's bit-equality), tagged with their request ids.
@@ -158,6 +167,9 @@ fn serve_answers_line_protocol_requests() {
         assert!(line.contains(&want), "response {line} missing {want}");
         assert!(!line.contains("error"), "{line}");
     }
+    // The cache-hit replay answers bit-identically to the cold run.
+    assert!(lines[5].contains("\"id\":6"), "{}", lines[5]);
+    assert!(lines[5].contains(&want), "cached response {} missing {want}", lines[5]);
     // Malformed requests get *structured* error responses (message +
     // machine-readable code, see docs/PROTOCOL.md §Errors), not dropped
     // connections — and a parseable id is echoed even on validation

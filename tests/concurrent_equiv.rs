@@ -20,7 +20,11 @@
 //!    overlapping-keyword requests, across all three serving backends —
 //!    and its books prove the shared keyword decode actually happened
 //!    (each distinct keyword decoded once per batch, not once per
-//!    request).
+//!    request);
+//! 5. the **prepared-query cache** is unobservable in answers: with the
+//!    cache enabled, every interleaving and every round (cold and hot)
+//!    answers bit-identically to the uncached serial path, while the
+//!    hit/miss/eviction books balance.
 
 use kbtim::core::theta::SamplingConfig;
 use kbtim::datagen::{DatasetConfig, DatasetFamily};
@@ -242,6 +246,81 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+    #[test]
+    fn merge_cache_unobservable_in_answers(
+        raw_requests in proptest::collection::vec(
+            (proptest::collection::vec(0u32..NUM_TOPICS, 1..4), 1u32..14, 0usize..4),
+            2..6,
+        ),
+    ) {
+        let fx = fixture();
+        let requests: Vec<EngineRequest> = raw_requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut topics, k, algo))| {
+                topics.sort_unstable();
+                topics.dedup();
+                // At least one disk request, so the cache sees traffic
+                // (memory requests are decode-free and bypass it).
+                let algo =
+                    if i == 0 { Algo::Rr } else { [Algo::Rr, Algo::Irr, Algo::Auto, Algo::Memory][algo] };
+                EngineRequest::new(topics, k).with_algo(algo)
+            })
+            .collect();
+
+        for (mode, index, _) in &fx.shared {
+            let engine = Arc::new(
+                QueryEngine::with_memory(Arc::clone(index))
+                    .unwrap()
+                    .with_batch_window(Some(std::time::Duration::from_micros(300)))
+                    .with_merge_cache(8),
+            );
+            // Serial oracle through the same engine's unbatched,
+            // uncached per-request path.
+            let serial: Vec<Answer> =
+                requests.iter().map(|r| Answer::of(&engine.execute(r).unwrap())).collect();
+
+            // Two concurrent rounds: round one populates the prepared-
+            // query cache, round two re-presents every keyword set and
+            // is served from it. Whatever batch splits the window
+            // admits, every answer in both rounds must be bit-identical
+            // to the serial oracle.
+            for round in 0..2 {
+                let barrier = std::sync::Barrier::new(requests.len());
+                std::thread::scope(|scope| {
+                    let joins: Vec<_> = requests
+                        .iter()
+                        .map(|req| {
+                            let engine = Arc::clone(&engine);
+                            let barrier = &barrier;
+                            scope.spawn(move || {
+                                barrier.wait();
+                                engine.query(req).unwrap()
+                            })
+                        })
+                        .collect();
+                    for (join, want) in joins.into_iter().zip(&serial) {
+                        let got = Answer::of(&join.join().expect("cached client panicked"));
+                        assert_eq!(
+                            &got, want,
+                            "{mode}: round {round} answer diverged from uncached serial"
+                        );
+                    }
+                });
+            }
+            // Round two's keyword sets were all resident (capacity 8 >
+            // distinct sets, so nothing evicted): the cache must have
+            // served at least one group, and its books must balance.
+            prop_assert!(engine.merge_cache_hits() > 0, "{mode}: no cache hit in round two");
+            prop_assert_eq!(engine.merge_cache_evictions(), 0);
+            prop_assert!(engine.merge_cache_len() <= 8);
+            prop_assert!(engine.merge_cache_bytes() > 0);
+        }
+    }
+}
+
 #[test]
 fn batch_planner_decodes_shared_keywords_once() {
     let fx = fixture();
@@ -265,32 +344,40 @@ fn batch_planner_decodes_shared_keywords_once() {
     let serial: Vec<Answer> =
         requests.iter().map(|r| Answer::of(&engine.execute(r).unwrap())).collect();
 
-    let barrier = std::sync::Barrier::new(requests.len());
+    // Deterministically assemble one batch: hold admission so every
+    // client enqueues as a follower, then release and let a final
+    // request lead the whole accumulated batch. (A plain barrier race
+    // can serialize on a single-CPU host — under the adaptive window
+    // each solo leader drains immediately, leaving nothing shared.)
+    engine.hold_admission(true);
     std::thread::scope(|scope| {
         let joins: Vec<_> = requests
             .iter()
             .map(|req| {
                 let engine = Arc::clone(&engine);
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    barrier.wait();
-                    engine.query(req).unwrap()
-                })
+                scope.spawn(move || engine.query(req).unwrap())
             })
             .collect();
+        while engine.pending_admission() < requests.len() {
+            std::thread::yield_now();
+        }
+        engine.hold_admission(false);
+        let extra = engine.query(&requests[0]).unwrap();
+        assert_eq!(Answer::of(&extra), serial[0]);
         for (join, want) in joins.into_iter().zip(&serial) {
             assert_eq!(&Answer::of(&join.join().unwrap()), want);
         }
     });
 
-    // The accounting contract: 8 requests × 2 budgeted keywords = 16
+    // The accounting contract: 8 distinct requests (the trailing leader
+    // coalesces with requests[0] in-batch) × 2 budgeted keywords = 16
     // keyword decodes requested, but each batch decoded each distinct
-    // keyword once — everything else is shared. (The barrier plus the
-    // 250ms window make one batch overwhelmingly likely, but the
-    // invariants below hold for any batch split.)
-    assert_eq!(engine.batched_requests(), requests.len() as u64);
-    assert_eq!(engine.executed(), requests.len() as u64, "all requests distinct");
-    assert_eq!(engine.coalesced(), 0);
+    // keyword once — everything else is shared. (The admission hold
+    // makes one batch certain; the invariants below would hold for any
+    // batch split.)
+    assert_eq!(engine.batched_requests(), requests.len() as u64 + 1);
+    assert_eq!(engine.executed(), requests.len() as u64, "all distinct requests execute");
+    assert_eq!(engine.coalesced(), 1, "the trailing leader joins its in-batch duplicate");
     let decoded = engine.keywords_decoded();
     let shared = engine.keyword_decodes_shared();
     assert_eq!(decoded + shared, 16, "requested keyword decodes are either performed or shared");
