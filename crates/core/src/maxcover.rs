@@ -98,6 +98,27 @@ pub fn greedy_max_cover_inverted_with(
     k: u32,
     pool: &ExecPool,
 ) -> MaxCoverResult {
+    greedy_max_cover_inverted_until(inverted, num_sets, k, pool, &|| false)
+        .expect("greedy with a never-firing stop cannot abort")
+}
+
+/// [`greedy_max_cover_inverted_with`] with a cooperative stop hook for
+/// the serving tier's per-request deadlines.
+///
+/// `should_stop` is polled once per loop round (each heap pop — at least
+/// once per selected seed); when it returns `true` the run aborts and
+/// `None` comes back, leaving no partial result to mistake for an
+/// answer. The hook must be cheap (a clock read) and pure — it cannot
+/// influence the selection itself, so every *completed* run is still
+/// bit-identical to [`greedy_max_cover_inverted_with`] for any thread
+/// count.
+pub fn greedy_max_cover_inverted_until(
+    inverted: &InvertedIndex,
+    num_sets: u64,
+    k: u32,
+    pool: &ExecPool,
+    should_stop: &(dyn Fn() -> bool + Sync),
+) -> Option<MaxCoverResult> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -142,6 +163,9 @@ pub fn greedy_max_cover_inverted_with(
     };
 
     while (result.seeds.len() as u32) < k {
+        if should_stop() {
+            return None;
+        }
         let Some(&(stale_gain, Reverse(node))) = heap.peek() else { break };
         if stale_gain == 0 {
             break;
@@ -197,7 +221,7 @@ pub fn greedy_max_cover_inverted_with(
             }
         }
     }
-    result
+    Some(result)
 }
 
 /// Reference implementation: full recount every iteration.
@@ -364,6 +388,24 @@ mod tests {
         assert_eq!(greedy_max_cover(&[], 3).seeds, Vec::<NodeId>::new());
         let s = sets(&[&[1]]);
         assert_eq!(greedy_max_cover(&s, 0).seeds, Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn stop_hook_aborts_without_partial_results() {
+        let s = sets(&[&[1, 2], &[1], &[1, 3], &[4]]);
+        let inverted = InvertedIndex::from_sets(&s);
+        let pool = ExecPool::sequential();
+        // An immediately-firing stop aborts before any seed.
+        assert!(greedy_max_cover_inverted_until(&inverted, 4, 3, &pool, &|| true).is_none());
+        // A stop that fires after the first round aborts mid-run.
+        let polls = std::sync::atomic::AtomicU32::new(0);
+        let late = greedy_max_cover_inverted_until(&inverted, 4, 3, &pool, &|| {
+            polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= 1
+        });
+        assert!(late.is_none());
+        // A never-firing stop is exactly the plain run.
+        let done = greedy_max_cover_inverted_until(&inverted, 4, 3, &pool, &|| false).unwrap();
+        assert_eq!(done, greedy_max_cover_inverted_with(&inverted, 4, 3, &pool));
     }
 
     #[test]

@@ -169,6 +169,11 @@ impl ExecPool {
         if num_shards == 0 {
             return Vec::new();
         }
+        // Failpoint on the job-dispatch edge: `delay` stalls the fan-out,
+        // `panic` kills the submitting side mid-dispatch (the containment
+        // tier must survive both). `err` has no meaning here — dispatch
+        // is infallible — so an armed `err` action passes through.
+        let _ = kbtim_fault::inject("exec.dispatch");
         let workers = self.threads().min(num_shards);
         if workers <= 1 {
             let mut state = init();

@@ -26,7 +26,7 @@
 use crate::format::{self, IlCsr};
 use crate::rr_query::empty_outcome;
 use crate::scratch::{KwBufs, QueryScratch};
-use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use crate::{IndexError, KbtimIndex, QueryCtx, QueryOutcome, QueryStats};
 use kbtim_core::bitset::Bitset;
 use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
@@ -142,6 +142,14 @@ impl KbtimIndex {
 
     /// Answer `query` with Algorithm 4. Requires the IRR variant.
     pub fn query_irr(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        self.query_irr_ctx(query, &QueryCtx::default())
+    }
+
+    /// [`KbtimIndex::query_irr`] under an execution context: the
+    /// deadline (if any) is checked once per NRA round, aborting with
+    /// [`IndexError::DeadlineExceeded`] — never with partial seeds.
+    /// The `engine.decode` failpoint fires before any partition load.
+    pub fn query_irr_ctx(&self, query: &Query, ctx: &QueryCtx) -> Result<QueryOutcome, IndexError> {
         let format::IndexVariant::Irr { .. } = self.meta().variant else {
             return Err(IndexError::NotAnIrrIndex);
         };
@@ -150,6 +158,9 @@ impl KbtimIndex {
         let (phi_q, budget) = self.query_budget(query);
         if budget.is_empty() {
             return Ok(empty_outcome(started));
+        }
+        if kbtim_fault::inject("engine.decode") {
+            return Err(IndexError::Injected("engine.decode"));
         }
         let codec = self.meta().codec;
 
@@ -333,7 +344,14 @@ impl KbtimIndex {
             Ok(any)
         };
 
+        // Deadline expiry breaks (not returns) so the leased tables
+        // below still go back to the scratch pool before erroring.
+        let mut deadline_hit = false;
         while (seeds.len() as u32) < query.k() {
+            if ctx.expired() {
+                deadline_hit = true;
+                break;
+            }
             let total_kb: u64 = states.iter().map(|st| st.kb).sum();
             match pq.peek().copied() {
                 Some((s, Reverse(v))) if s > 0 => {
@@ -418,6 +436,9 @@ impl KbtimIndex {
         let mut heap_store = pq.into_vec();
         heap_store.clear();
         *nra_heap = heap_store;
+        if deadline_hit {
+            return Err(IndexError::DeadlineExceeded);
+        }
 
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { coverage as f64 / theta_q as f64 * phi_q };

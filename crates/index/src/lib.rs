@@ -81,6 +81,13 @@ pub enum IndexError {
     /// The operation requires IRR partition blocks, but the index was
     /// built as a plain RR index.
     NotAnIrrIndex,
+    /// The query ran past its caller-supplied deadline ([`QueryCtx`])
+    /// and was aborted at a stage boundary — no partial answer exists.
+    DeadlineExceeded,
+    /// A [`kbtim_fault`] failpoint fired at the named engine stage
+    /// (fault-injection builds and chaos tests only; never occurs with
+    /// the registry disarmed).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for IndexError {
@@ -90,6 +97,8 @@ impl std::fmt::Display for IndexError {
             IndexError::Codec(e) => write!(f, "codec: {e}"),
             IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
             IndexError::NotAnIrrIndex => write!(f, "index has no IRR partitions"),
+            IndexError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            IndexError::Injected(stage) => write!(f, "injected fault at {stage}"),
         }
     }
 }
@@ -105,6 +114,49 @@ impl From<kbtim_storage::segment::StorageError> for IndexError {
 impl From<kbtim_codec::CodecError> for IndexError {
     fn from(e: kbtim_codec::CodecError) -> Self {
         IndexError::Codec(e)
+    }
+}
+
+/// Per-query execution context threaded through the `_ctx`-suffixed
+/// query paths: currently an optional absolute deadline.
+///
+/// Deadlines are enforced at stage boundaries — after the keyword
+/// decode, once per greedy round, once per IRR NRA round — so an
+/// expired query aborts with [`IndexError::DeadlineExceeded`] instead
+/// of returning partial results. The default context is unbounded and
+/// is what the plain (`query_rr` / `query_irr` / `query_auto`) paths
+/// use; checking it costs one `Option` test per round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryCtx {
+    /// Absolute wall-clock point after which the query must abort.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl QueryCtx {
+    /// A context with no deadline (identical to `QueryCtx::default()`).
+    pub fn unbounded() -> QueryCtx {
+        QueryCtx::default()
+    }
+
+    /// A context that aborts query work once `deadline` passes.
+    pub fn with_deadline(deadline: std::time::Instant) -> QueryCtx {
+        QueryCtx { deadline: Some(deadline) }
+    }
+
+    /// Whether the deadline (if any) has passed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// Error out with [`IndexError::DeadlineExceeded`] if expired.
+    #[inline]
+    pub fn check(&self) -> Result<(), IndexError> {
+        if self.expired() {
+            Err(IndexError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -359,11 +411,21 @@ impl KbtimIndex {
     /// directly off that figure; tune per deployment via
     /// [`KbtimIndex::query_auto_with`].
     pub fn query_auto(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        self.query_auto_ctx(query, &QueryCtx::default())
+    }
+
+    /// [`KbtimIndex::query_auto`] under an execution context (see
+    /// [`QueryCtx`]); the cost-model pick itself is deadline-free.
+    pub fn query_auto_ctx(
+        &self,
+        query: &Query,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutcome, IndexError> {
         let irr_max_k = match self.meta.variant {
             IndexVariant::Rr => 0,
             IndexVariant::Irr { partition_size } => partition_size / 4,
         };
-        self.query_auto_with(query, irr_max_k)
+        self.query_auto_with_ctx(query, irr_max_k, ctx)
     }
 
     /// [`KbtimIndex::query_auto`] with an explicit `Q.k` threshold below
@@ -373,11 +435,21 @@ impl KbtimIndex {
         query: &Query,
         irr_max_k: u32,
     ) -> Result<QueryOutcome, IndexError> {
+        self.query_auto_with_ctx(query, irr_max_k, &QueryCtx::default())
+    }
+
+    /// [`KbtimIndex::query_auto_with`] under an execution context.
+    pub fn query_auto_with_ctx(
+        &self,
+        query: &Query,
+        irr_max_k: u32,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutcome, IndexError> {
         let irr_available = matches!(self.meta.variant, IndexVariant::Irr { .. });
         if irr_available && query.k() <= irr_max_k {
-            self.query_irr(query)
+            self.query_irr_ctx(query, ctx)
         } else {
-            self.query_rr(query)
+            self.query_rr_ctx(query, ctx)
         }
     }
 

@@ -25,20 +25,33 @@
 
 use crate::format::{self, IlCsr};
 use crate::scratch::{KeywordArena, QueryScratch};
-use crate::{IndexError, KbtimIndex, QueryOutcome, QueryStats};
+use crate::{IndexError, KbtimIndex, QueryCtx, QueryOutcome, QueryStats};
 use kbtim_core::invindex::{InvertedIndex, InvertedIndexBuilder};
-use kbtim_core::maxcover::greedy_max_cover_inverted_with;
+use kbtim_core::maxcover::greedy_max_cover_inverted_until;
 use kbtim_topics::{Query, TopicId};
 use std::time::Instant;
 
 impl KbtimIndex {
     /// Answer `query` with Algorithm 2 (works on both index variants).
     pub fn query_rr(&self, query: &Query) -> Result<QueryOutcome, IndexError> {
+        self.query_rr_ctx(query, &QueryCtx::default())
+    }
+
+    /// [`KbtimIndex::query_rr`] under an execution context: the
+    /// deadline (if any) is checked after the keyword decode and once
+    /// per greedy round, aborting with
+    /// [`IndexError::DeadlineExceeded`] — never with partial seeds.
+    /// The `engine.decode` / `engine.merge` / `engine.greedy`
+    /// failpoints fire at the matching stage boundaries.
+    pub fn query_rr_ctx(&self, query: &Query, ctx: &QueryCtx) -> Result<QueryOutcome, IndexError> {
         let started = Instant::now();
         let io_before = self.io_stats().snapshot();
         let (phi_q, budget) = self.query_budget(query);
         if budget.is_empty() {
             return Ok(empty_outcome(started));
+        }
+        if kbtim_fault::inject("engine.decode") {
+            return Err(IndexError::Injected("engine.decode"));
         }
 
         let codec = self.meta().codec;
@@ -110,6 +123,22 @@ impl KbtimIndex {
             keyword_csrs.push(remapped);
         }
 
+        // Early aborts past this point hand the leased CSRs back so the
+        // scratch books survive fault storms without regrowing.
+        let recycle = |csrs: Vec<IlCsr>| {
+            for csr in csrs {
+                self.scratch.put_csr(csr);
+            }
+        };
+        if let Err(e) = ctx.check() {
+            recycle(keyword_csrs);
+            return Err(e);
+        }
+        if kbtim_fault::inject("engine.merge") {
+            recycle(keyword_csrs);
+            return Err(IndexError::Injected("engine.merge"));
+        }
+
         // Merge in keyword order: per-user lists concatenate with
         // ascending global ids, exactly as the old hash-map merge did —
         // but via one counting pass and one fill pass over dense arrays
@@ -129,11 +158,18 @@ impl KbtimIndex {
         }
         let inverted: InvertedIndex = filler.finish();
 
-        let cover = greedy_max_cover_inverted_with(&inverted, theta_q, query.k(), pool);
-        self.scratch.put_arenas(inverted.into_arenas());
-        for csr in keyword_csrs {
-            self.scratch.put_csr(csr);
+        if kbtim_fault::inject("engine.greedy") {
+            self.scratch.put_arenas(inverted.into_arenas());
+            recycle(keyword_csrs);
+            return Err(IndexError::Injected("engine.greedy"));
         }
+        let cover =
+            greedy_max_cover_inverted_until(&inverted, theta_q, query.k(), pool, &|| ctx.expired());
+        self.scratch.put_arenas(inverted.into_arenas());
+        recycle(keyword_csrs);
+        let Some(cover) = cover else {
+            return Err(IndexError::DeadlineExceeded);
+        };
         let estimated_influence =
             if theta_q == 0 { 0.0 } else { cover.covered as f64 / theta_q as f64 * phi_q };
         Ok(QueryOutcome {
@@ -196,6 +232,9 @@ impl KbtimIndex {
             owned = sorted;
             &owned
         };
+        if kbtim_fault::inject("engine.decode") {
+            return Err(IndexError::Injected("engine.decode"));
+        }
         let codec = self.meta().codec;
         let scans: Vec<Result<IlCsr, IndexError>> = self.pool().map_shards_with(
             wants.len(),
@@ -279,6 +318,9 @@ impl KbtimIndex {
         budget: &[(TopicId, u64)],
         arena: &KeywordArena,
     ) -> Result<MergedQuery, IndexError> {
+        if kbtim_fault::inject("engine.merge") {
+            return Err(IndexError::Injected("engine.merge"));
+        }
         let mut builder =
             InvertedIndexBuilder::recycled(self.meta().num_users, self.scratch.take_arenas());
         let mut theta_q = 0u64;
@@ -317,14 +359,46 @@ impl KbtimIndex {
     /// `rr_sets_loaded` reports the θ^Q budget; the physical reads were
     /// charged once to the batch when its arena was decoded.
     pub fn query_merged(&self, merged: &MergedQuery, k: u32) -> QueryOutcome {
+        self.query_merged_inner(merged, k, &|| false)
+            .expect("greedy with a never-firing stop cannot abort")
+    }
+
+    /// [`KbtimIndex::query_merged`] under an execution context: the
+    /// deadline (if any) is checked on entry and once per greedy round
+    /// (and the `engine.greedy` failpoint fires on entry), aborting
+    /// with an error instead of partial seeds.
+    pub fn query_merged_ctx(
+        &self,
+        merged: &MergedQuery,
+        k: u32,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutcome, IndexError> {
+        if kbtim_fault::inject("engine.greedy") {
+            return Err(IndexError::Injected("engine.greedy"));
+        }
+        ctx.check()?;
+        self.query_merged_inner(merged, k, &|| ctx.expired()).ok_or(IndexError::DeadlineExceeded)
+    }
+
+    fn query_merged_inner(
+        &self,
+        merged: &MergedQuery,
+        k: u32,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<QueryOutcome> {
         let started = Instant::now();
         if merged.theta_q == 0 {
-            return empty_outcome(started);
+            return Some(empty_outcome(started));
         }
-        let cover =
-            greedy_max_cover_inverted_with(&merged.inverted, merged.theta_q, k, self.pool());
+        let cover = greedy_max_cover_inverted_until(
+            &merged.inverted,
+            merged.theta_q,
+            k,
+            self.pool(),
+            should_stop,
+        )?;
         let estimated_influence = cover.covered as f64 / merged.theta_q as f64 * merged.phi_q;
-        QueryOutcome {
+        Some(QueryOutcome {
             seeds: cover.seeds,
             marginal_gains: cover.marginal_gains,
             coverage: cover.covered,
@@ -336,7 +410,7 @@ impl KbtimIndex {
                 io: Default::default(),
                 elapsed: started.elapsed(),
             },
-        }
+        })
     }
 
     /// Return a finished [`MergedQuery`]'s arenas to the scratch pool.

@@ -172,30 +172,43 @@ impl ScratchPool {
     /// Borrow a scratch block; returned to the pool when the guard
     /// drops.
     pub(crate) fn guard(&self) -> ScratchGuard<'_> {
-        let block = self.scratch.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        let block = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
         ScratchGuard { pool: self, block: Some(block) }
     }
 
     /// Take a spare per-keyword CSR (empty, capacity preserved).
     pub(crate) fn take_csr(&self) -> IlCsr {
-        self.csrs.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+        self.csrs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
     }
 
     /// Return a per-keyword CSR for reuse.
     pub(crate) fn put_csr(&self, mut csr: IlCsr) {
         csr.reset();
-        self.csrs.lock().expect("scratch pool poisoned").push(csr);
+        self.csrs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(csr);
     }
 
     /// Take a recycled arena bundle for `InvertedIndexBuilder::recycled`
     /// (empty on a cold pool — the builder then allocates fresh).
     pub(crate) fn take_arenas(&self) -> Vec<Vec<u32>> {
-        self.arenas.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+        self.arenas
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
     }
 
     /// Return a finished index's arenas for the next query.
     pub(crate) fn put_arenas(&self, arenas: Vec<Vec<u32>>) {
-        self.arenas.lock().expect("scratch pool poisoned").push(arenas);
+        self.arenas.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(arenas);
     }
 }
 
@@ -223,7 +236,7 @@ impl std::ops::DerefMut for ScratchGuard<'_> {
 impl Drop for ScratchGuard<'_> {
     fn drop(&mut self) {
         let block = self.block.take().expect("scratch present until drop");
-        self.pool.scratch.lock().expect("scratch pool poisoned").push(block);
+        self.pool.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(block);
     }
 }
 

@@ -50,12 +50,21 @@
 
 use crate::rr_query::MergedQuery;
 use crate::scratch::KeywordArena;
-use crate::{IndexError, KbtimIndex, MemoryIndex, QueryOutcome};
+use crate::{IndexError, KbtimIndex, MemoryIndex, QueryCtx, QueryOutcome};
 use kbtim_topics::{Query, TopicId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock a serving-tier mutex, recovering from poisoning: a client
+/// thread that panicked mid-request (a contained query panic) must not
+/// wedge every later request on the shared engine state. All guarded
+/// state here is kept consistent between lock operations, so the
+/// recovered guard is always safe to use.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which query algorithm a request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -169,17 +178,17 @@ impl Flight {
     }
 
     fn complete(&self, result: EngineResult) {
-        *self.done.lock().expect("flight poisoned") = Some(result);
+        *lock_recover(&self.done) = Some(result);
         self.cv.notify_all();
     }
 
     fn wait(&self) -> EngineResult {
-        let mut done = self.done.lock().expect("flight poisoned");
+        let mut done = lock_recover(&self.done);
         loop {
             if let Some(result) = done.as_ref() {
                 return result.clone();
             }
-            done = self.cv.wait(done).expect("flight poisoned");
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -188,7 +197,7 @@ impl Flight {
 /// current window plus whether a leader is currently collecting.
 #[derive(Default)]
 struct BatchQueue {
-    pending: Vec<(EngineRequest, Arc<Flight>)>,
+    pending: Vec<(EngineRequest, Option<Instant>, Arc<Flight>)>,
     /// True while some caller is inside the admission window; its drain
     /// will take everything queued here. The first arrival after a
     /// drain becomes the next leader.
@@ -264,7 +273,7 @@ impl MergeCache {
     /// Look up a keyword set under a segment generation, bumping its
     /// recency on a hit. Books every probe as a hit or a miss.
     fn get(&self, fingerprint: u64, topics: &[TopicId]) -> Option<Arc<MergedQuery>> {
-        let mut state = self.state.lock().expect("merge cache poisoned");
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         match state.entries.get_mut(&(fingerprint, topics.to_vec())) {
@@ -286,7 +295,7 @@ impl MergeCache {
     /// bit-identical by construction.
     fn insert(&self, fingerprint: u64, topics: Vec<TopicId>, merged: Arc<MergedQuery>) {
         let bytes = merged.resident_bytes();
-        let mut state = self.state.lock().expect("merge cache poisoned");
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let entry = MergeEntry { merged, bytes, last_used: state.tick };
         if let Some(old) = state.entries.insert((fingerprint, topics), entry) {
@@ -307,11 +316,11 @@ impl MergeCache {
     }
 
     fn len(&self) -> usize {
-        self.state.lock().expect("merge cache poisoned").entries.len()
+        lock_recover(&self.state).entries.len()
     }
 
     fn bytes(&self) -> u64 {
-        self.state.lock().expect("merge cache poisoned").bytes
+        lock_recover(&self.state).bytes
     }
 }
 
@@ -428,7 +437,7 @@ impl QueryEngine {
     #[doc(hidden)]
     pub fn hold_admission(&self, hold: bool) {
         if let Some(batcher) = &self.batch {
-            batcher.queue.lock().expect("batch queue poisoned").collecting = hold;
+            lock_recover(&batcher.queue).collecting = hold;
         }
     }
 
@@ -437,9 +446,7 @@ impl QueryEngine {
     /// has fully assembled).
     #[doc(hidden)]
     pub fn pending_admission(&self) -> usize {
-        self.batch
-            .as_ref()
-            .map_or(0, |b| b.queue.lock().expect("batch queue poisoned").pending.len())
+        self.batch.as_ref().map_or(0, |b| lock_recover(&b.queue).pending.len())
     }
 
     /// Enable (or disable, with 0) the cross-batch prepared-query
@@ -543,17 +550,34 @@ impl QueryEngine {
     /// Safe to call from any number of threads; the answer is
     /// bit-identical to running the same request alone.
     pub fn query(&self, req: &EngineRequest) -> EngineResult {
+        self.query_deadline(req, None)
+    }
+
+    /// [`QueryEngine::query`] with a per-request absolute deadline: the
+    /// request aborts with [`IndexError::DeadlineExceeded`] at the next
+    /// stage boundary once `deadline` passes, never returning partial
+    /// seeds.
+    ///
+    /// Deadlines do not join the coalescing identity — a request that
+    /// coalesces onto an identical in-flight one shares the leader's
+    /// fate, including the leader's deadline error. Inside a batch,
+    /// duplicate requests execute once under the *widest* member
+    /// deadline (unbounded if any duplicate is unbounded), and a
+    /// keyword-set group's shared greedy run stops at the group's
+    /// widest member deadline — if that fires, every member has
+    /// expired.
+    pub fn query_deadline(&self, req: &EngineRequest, deadline: Option<Instant>) -> EngineResult {
         match &self.batch {
-            Some(batcher) => self.query_batched(batcher, req),
-            None => self.query_coalesced(req),
+            Some(batcher) => self.query_batched(batcher, req, deadline),
+            None => self.query_coalesced(req, deadline),
         }
     }
 
     /// The non-batched serving path: identical in-flight requests
     /// collapse to one execution.
-    fn query_coalesced(&self, req: &EngineRequest) -> EngineResult {
+    fn query_coalesced(&self, req: &EngineRequest, deadline: Option<Instant>) -> EngineResult {
         let flight = {
-            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            let mut inflight = lock_recover(&self.inflight);
             if let Some(flight) = inflight.get(req) {
                 let flight = Arc::clone(flight);
                 drop(inflight);
@@ -569,19 +593,21 @@ impl QueryEngine {
         // path) must not wedge the flight: waiters would block forever
         // and every future identical request would coalesce onto the
         // dead entry. Catch, fail the flight, re-throw.
-        let result =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(req))) {
-                Ok(result) => result,
-                Err(payload) => {
-                    self.inflight.lock().expect("inflight table poisoned").remove(req);
-                    flight.complete(Err(EngineError::from(IndexError::Corrupt(
-                        "query execution panicked".to_string(),
-                    ))));
-                    std::panic::resume_unwind(payload);
-                }
-            };
+        let ctx = QueryCtx { deadline };
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_ctx(req, &ctx)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                lock_recover(&self.inflight).remove(req);
+                flight.complete(Err(EngineError::from(IndexError::Corrupt(
+                    "query execution panicked".to_string(),
+                ))));
+                std::panic::resume_unwind(payload);
+            }
+        };
         self.executed.fetch_add(1, Ordering::Relaxed);
-        self.inflight.lock().expect("inflight table poisoned").remove(req);
+        lock_recover(&self.inflight).remove(req);
         flight.complete(result.clone());
         result
     }
@@ -589,11 +615,16 @@ impl QueryEngine {
     /// The batch-planner serving path: queue the request, collect
     /// concurrent arrivals for up to the admission window, execute the
     /// whole batch over one shared keyword decode.
-    fn query_batched(&self, batcher: &Batcher, req: &EngineRequest) -> EngineResult {
+    fn query_batched(
+        &self,
+        batcher: &Batcher,
+        req: &EngineRequest,
+        deadline: Option<Instant>,
+    ) -> EngineResult {
         let flight = Arc::new(Flight::new());
         let leads = {
-            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
-            queue.pending.push((req.clone(), Arc::clone(&flight)));
+            let mut queue = lock_recover(&batcher.queue);
+            queue.pending.push((req.clone(), deadline, Arc::clone(&flight)));
             if queue.collecting {
                 // A leader is inside the admission window and will drain
                 // this entry; wake it so it can fire early at the cap.
@@ -622,15 +653,18 @@ impl QueryEngine {
         // collect. Grouping never affects answers, only wall-clock.
         let deadline = Instant::now() + batcher.window;
         let batch = {
-            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+            let mut queue = lock_recover(&batcher.queue);
             if queue.pending.len() > 1 {
                 while queue.pending.len() < batcher.max_requests {
                     let left = deadline.saturating_duration_since(Instant::now());
                     if left.is_zero() {
                         break;
                     }
-                    queue =
-                        batcher.arrived.wait_timeout(queue, left).expect("batch queue poisoned").0;
+                    queue = batcher
+                        .arrived
+                        .wait_timeout(queue, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
                 }
             }
             queue.collecting = false;
@@ -644,7 +678,7 @@ impl QueryEngine {
         {
             let err: EngineResult =
                 Err(EngineError::from(IndexError::Corrupt("batch execution panicked".to_string())));
-            for (_, flight) in &batch {
+            for (_, _, flight) in &batch {
                 flight.complete(err.clone());
             }
             std::panic::resume_unwind(payload);
@@ -655,19 +689,32 @@ impl QueryEngine {
     /// Execute one drained batch: dedupe identical requests, decode the
     /// union of distinct keywords once, serve every request from the
     /// shared arena, complete every flight.
-    fn run_batch(&self, batch: &[(EngineRequest, Arc<Flight>)]) {
+    fn run_batch(&self, batch: &[(EngineRequest, Option<Instant>, Arc<Flight>)]) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
         // Identical requests in one batch execute once (the batched
         // form of coalescing); order of first arrival is kept, though
-        // answers are order-independent anyway.
+        // answers are order-independent anyway. Duplicates share one
+        // execution, governed by the widest member deadline (unbounded
+        // if any duplicate is unbounded) — every duplicate shares that
+        // execution's fate, as in the coalescing path.
         let mut unique: Vec<&EngineRequest> = Vec::with_capacity(batch.len());
+        let mut deadlines: Vec<Option<Instant>> = Vec::with_capacity(batch.len());
         let mut slot: HashMap<&EngineRequest, usize> = HashMap::with_capacity(batch.len());
-        for (req, _) in batch {
-            if !slot.contains_key(req) {
-                slot.insert(req, unique.len());
-                unique.push(req);
+        for (req, deadline, _) in batch {
+            match slot.get(req) {
+                Some(&at) => {
+                    deadlines[at] = match (deadlines[at], *deadline) {
+                        (None, _) | (_, None) => None,
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                    };
+                }
+                None => {
+                    slot.insert(req, unique.len());
+                    unique.push(req);
+                    deadlines.push(*deadline);
+                }
             }
         }
 
@@ -690,6 +737,10 @@ impl QueryEngine {
             /// decode: a hit removes the group from the decode *and*
             /// the merge.
             cached: Option<Arc<MergedQuery>>,
+            /// Widest member deadline (unbounded if any member is):
+            /// the stop hook of the group's shared greedy run — if it
+            /// fires, every member has expired.
+            deadline: Option<Instant>,
         }
         let mut groups: Vec<Group<'_>> = Vec::new();
         for (at, req) in unique.iter().enumerate() {
@@ -697,7 +748,13 @@ impl QueryEngine {
                 continue;
             }
             match groups.iter_mut().find(|g| g.lead.topics == req.topics) {
-                Some(group) => group.members.push(at),
+                Some(group) => {
+                    group.deadline = match (group.deadline, deadlines[at]) {
+                        (None, _) | (_, None) => None,
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                    };
+                    group.members.push(at);
+                }
                 None => {
                     let query = Query::new(req.topics.iter().copied(), req.k);
                     let (phi_q, budget) = self.index.query_budget(&query);
@@ -709,6 +766,7 @@ impl QueryEngine {
                         budget,
                         key,
                         cached: None,
+                        deadline: deadlines[at],
                     });
                 }
             }
@@ -747,7 +805,7 @@ impl QueryEngine {
         for (at, req) in unique.iter().enumerate() {
             if req.algo == Algo::Memory {
                 self.executed.fetch_add(1, Ordering::Relaxed);
-                results[at] = Some(self.execute(req));
+                results[at] = Some(self.execute_ctx(req, &QueryCtx { deadline: deadlines[at] }));
             }
         }
         let run_group = |group: &Group<'_>, arena: &KeywordArena| -> Vec<(usize, EngineResult)> {
@@ -783,9 +841,25 @@ impl QueryEngine {
             // One greedy run at the group's deepest `k` serves every
             // member: seeds are selected sequentially, so each member's
             // answer is exactly the `k`-prefix of the deep run (see
-            // [`MergedQuery::prefix_outcome`]).
+            // [`MergedQuery::prefix_outcome`]). The run stops at the
+            // group's widest member deadline; a stop means every member
+            // expired, so the whole group fails with the deadline error
+            // (no partial seeds escape).
             let k_max = group.members.iter().map(|&at| unique[at].k).max().unwrap_or(0);
-            let full = Arc::new(self.index.query_merged(&merged, k_max));
+            let group_ctx = QueryCtx { deadline: group.deadline };
+            let full = match self.index.query_merged_ctx(&merged, k_max, &group_ctx) {
+                Ok(full) => Arc::new(full),
+                Err(e) => {
+                    let err = EngineError::from(e);
+                    self.executed.fetch_add(group.members.len() as u64, Ordering::Relaxed);
+                    let out: Vec<(usize, EngineResult)> =
+                        group.members.iter().map(|&at| (at, Err(err.clone()))).collect();
+                    if let Ok(sole) = Arc::try_unwrap(merged) {
+                        self.index.recycle_merged(sole);
+                    }
+                    return out;
+                }
+            };
             if group.members.len() > 1 {
                 self.greedy_shared.fetch_add(group.members.len() as u64 - 1, Ordering::Relaxed);
             }
@@ -897,7 +971,7 @@ impl QueryEngine {
             }
         }
         self.coalesced.fetch_add((batch.len() - unique.len()) as u64, Ordering::Relaxed);
-        for (req, flight) in batch {
+        for (req, _, flight) in batch {
             let result = results[slot[req]].clone().expect("every unique request executed");
             flight.complete(result);
         }
@@ -906,13 +980,24 @@ impl QueryEngine {
     /// Run the request directly, bypassing coalescing and batching (the
     /// serial-oracle path benchmarks and proptests compare against).
     pub fn execute(&self, req: &EngineRequest) -> EngineResult {
+        self.execute_ctx(req, &QueryCtx::default())
+    }
+
+    /// [`QueryEngine::execute`] under an execution context (see
+    /// [`QueryCtx`]): the deadline is enforced at the index's stage
+    /// boundaries; memory queries check it once on entry (they are
+    /// decode-free and run in microseconds).
+    pub fn execute_ctx(&self, req: &EngineRequest, ctx: &QueryCtx) -> EngineResult {
         let query = Query::new(req.topics.iter().copied(), req.k);
         let outcome = match req.algo {
-            Algo::Rr => self.index.query_rr(&query)?,
-            Algo::Irr => self.index.query_irr(&query)?,
-            Algo::Auto => self.index.query_auto(&query)?,
+            Algo::Rr => self.index.query_rr_ctx(&query, ctx)?,
+            Algo::Irr => self.index.query_irr_ctx(&query, ctx)?,
+            Algo::Auto => self.index.query_auto_ctx(&query, ctx)?,
             Algo::Memory => match &self.memory {
-                Some(memory) => memory.query(&query),
+                Some(memory) => {
+                    ctx.check()?;
+                    memory.query(&query)
+                }
                 None => {
                     return Err(EngineError::from(IndexError::Corrupt(
                         "engine was built without a memory serving copy \

@@ -152,6 +152,9 @@ impl SegmentPages {
     /// Load (or map) the whole segment at `path` for the given zero-copy
     /// mode.
     pub(crate) fn load(path: &Path, mode: ServingMode) -> Result<SegmentPages> {
+        if kbtim_fault::inject("storage.open") {
+            return Err(crate::segment::injected_io("storage.open"));
+        }
         let backing = match mode {
             ServingMode::Resident => {
                 let mut file = File::open(path)?;
@@ -160,6 +163,9 @@ impl SegmentPages {
                 Backing::Heap(bytes)
             }
             ServingMode::Mmap => {
+                if kbtim_fault::inject("storage.map") {
+                    return Err(crate::segment::injected_io("storage.map"));
+                }
                 #[cfg(target_os = "linux")]
                 {
                     let file = File::open(path)?;
@@ -205,7 +211,7 @@ impl SegmentPages {
         let payload =
             &self.backing.as_slice()[entry.offset as usize..(entry.offset + entry.len) as usize];
         if !self.verified[i].load(Ordering::Relaxed) {
-            if crc32::checksum(payload) != entry.crc {
+            if kbtim_fault::inject("storage.crc") || crc32::checksum(payload) != entry.crc {
                 return Err(StorageError::Corrupt(format!(
                     "checksum mismatch in block {}",
                     entry.name
@@ -273,8 +279,25 @@ impl BlockSource {
     ///
     /// `Mmap` falls back to `Resident` on non-Linux targets (the views
     /// and counters are identical; only the page owner differs).
+    ///
+    /// A backend that fails to *open* with an I/O error degrades
+    /// gracefully instead of failing the caller: `Mmap` → `Resident` →
+    /// `File` (served bytes are identical on every backend, so the
+    /// answer cannot change — only the counters and residency do).
+    /// Structural errors ([`StorageError::Corrupt`]) never degrade: the
+    /// data is damaged the same way on every backend.
     pub fn open(path: impl AsRef<Path>, stats: IoStats, mode: ServingMode) -> Result<BlockSource> {
         let path = path.as_ref();
+        let mut mode = mode;
+        loop {
+            match Self::open_exact(path, stats.clone(), mode) {
+                Ok(source) => return Ok(source),
+                Err(e) => mode = degraded_mode(path, mode, e)?,
+            }
+        }
+    }
+
+    fn open_exact(path: &Path, stats: IoStats, mode: ServingMode) -> Result<BlockSource> {
         let inner = match mode {
             ServingMode::File => SourceInner::File(SegmentReader::open(path, stats)?),
             ServingMode::Resident | ServingMode::Mmap => SourceInner::ZeroCopy(ZeroCopySegment {
@@ -303,16 +326,29 @@ impl BlockSource {
         cache: &PageCache,
     ) -> Result<BlockSource> {
         let path = path.as_ref();
-        let inner = match mode {
-            ServingMode::File => SourceInner::File(SegmentReader::open(path, stats)?),
-            ServingMode::Resident | ServingMode::Mmap => SourceInner::ZeroCopy(ZeroCopySegment {
-                pages: cache.get_or_load(path, mode)?,
-                stats,
-                path: path.to_path_buf(),
-                mode,
-            }),
-        };
-        Ok(BlockSource { inner })
+        let mut mode = mode;
+        loop {
+            let attempt = (|| {
+                let inner = match mode {
+                    ServingMode::File => {
+                        SourceInner::File(SegmentReader::open(path, stats.clone())?)
+                    }
+                    ServingMode::Resident | ServingMode::Mmap => {
+                        SourceInner::ZeroCopy(ZeroCopySegment {
+                            pages: cache.get_or_load(path, mode)?,
+                            stats: stats.clone(),
+                            path: path.to_path_buf(),
+                            mode,
+                        })
+                    }
+                };
+                Ok(BlockSource { inner })
+            })();
+            match attempt {
+                Ok(source) => return Ok(source),
+                Err(e) => mode = degraded_mode(path, mode, e)?,
+            }
+        }
     }
 
     /// Stable identity of the resident page arena this handle serves
@@ -445,6 +481,33 @@ impl BlockSource {
             SourceInner::ZeroCopy(z) => z.pages.len() as u64,
         }
     }
+}
+
+/// The next backend in the degradation chain after `mode` failed to open
+/// with `error`, or the error itself when there is nothing to fall back
+/// to (or the failure is structural, not environmental).
+fn degraded_mode(path: &Path, mode: ServingMode, error: StorageError) -> Result<ServingMode> {
+    let next = match mode {
+        ServingMode::Mmap => ServingMode::Resident,
+        ServingMode::Resident => ServingMode::File,
+        ServingMode::File => return Err(error),
+    };
+    // Only environmental failures degrade. Structural damage (Corrupt)
+    // and a missing/unreadable file fail identically on every backend,
+    // so falling back would just retry the same failure.
+    match &error {
+        StorageError::Io(io)
+            if !matches!(
+                io.kind(),
+                std::io::ErrorKind::NotFound | std::io::ErrorKind::PermissionDenied
+            ) => {}
+        _ => return Err(error),
+    }
+    eprintln!(
+        "kbtim-storage: {mode} backend failed to open {} ({error}); degrading to {next}",
+        path.display()
+    );
+    Ok(next)
 }
 
 /// Every mode that is expected to work on the current platform, for

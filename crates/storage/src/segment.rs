@@ -26,6 +26,7 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"KBTIMSG1";
 const VERSION: u32 = 1;
@@ -87,6 +88,57 @@ impl From<std::io::Error> for StorageError {
 
 /// Convenience alias for fallible storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Whether an error is worth retrying: interrupted or timed-out reads
+/// come back fine on the next attempt; corruption and missing blocks
+/// never do.
+pub fn is_transient(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        )
+    )
+}
+
+/// Run `op`, retrying transient I/O failures ([`is_transient`]) up to
+/// three times with exponential backoff (50 µs, 200 µs, 800 µs) before
+/// giving up. Non-transient errors surface immediately.
+pub(crate) fn with_read_retries<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    const RETRIES: u32 = 3;
+    let mut backoff = Duration::from_micros(50);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e) if is_transient(&e) && attempt < RETRIES => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff *= 4;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// The error an armed `err`-action failpoint injects on a read path:
+/// transient by construction, so the retry tier can mask a bounded burst.
+pub(crate) fn injected_io(name: &str) -> StorageError {
+    StorageError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        format!("injected fault: {name}"),
+    ))
+}
+
+/// Lock recovering from poisoning: a panic elsewhere (e.g. an armed
+/// `panic` failpoint unwinding through a request thread) must not wedge
+/// every later reader — the guarded state is consistent between lock
+/// ops, so the data is safe to reuse.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 #[derive(Debug, Clone)]
 pub(crate) struct BlockEntry {
@@ -248,6 +300,9 @@ impl PositionedFile {
 impl SegmentReader {
     /// Open a segment, validating the footer and directory checksums.
     pub fn open(path: impl AsRef<Path>, stats: IoStats) -> Result<SegmentReader> {
+        if kbtim_fault::inject("storage.open") {
+            return Err(injected_io("storage.open"));
+        }
         let path = path.as_ref().to_path_buf();
         let mut file = File::open(&path)?;
         let file_len = file.metadata()?.len();
@@ -306,8 +361,13 @@ impl SegmentReader {
         let entry = self.entry(name)?.clone();
         buf.clear();
         buf.resize(entry.len as usize, 0);
-        self.file.lock().expect("reader poisoned").read_at(entry.offset, buf, &self.stats)?;
-        if crc32::checksum(buf) != entry.crc {
+        with_read_retries(|| {
+            if kbtim_fault::inject("storage.read") {
+                return Err(injected_io("storage.read"));
+            }
+            lock_recover(&self.file).read_at(entry.offset, buf, &self.stats)
+        })?;
+        if kbtim_fault::inject("storage.crc") || crc32::checksum(buf) != entry.crc {
             return Err(StorageError::Corrupt(format!("checksum mismatch in block {name}")));
         }
         Ok(())
@@ -344,11 +404,12 @@ impl SegmentReader {
         }
         buf.clear();
         buf.resize(len as usize, 0);
-        self.file.lock().expect("reader poisoned").read_at(
-            entry.offset + offset,
-            buf,
-            &self.stats,
-        )?;
+        with_read_retries(|| {
+            if kbtim_fault::inject("storage.read") {
+                return Err(injected_io("storage.read"));
+            }
+            lock_recover(&self.file).read_at(entry.offset + offset, buf, &self.stats)
+        })?;
         Ok(())
     }
 

@@ -9,7 +9,8 @@
 //!                [--threads N] [--serving file|resident|mmap]
 //! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
 //!                [--threads N] [--serving file|resident|mmap] [--memory on|off]
-//!                [--batch USEC] [--merge-cache ENTRIES]
+//!                [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
+//!                [--deadline-ms MS] [--max-line BYTES]
 //! kbtim validate --index DIR [--serving file|resident|mmap]
 //! ```
 //!
@@ -88,7 +89,8 @@ USAGE:
                  [--threads N] [--serving file|resident|mmap]
   kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
                  [--threads N] [--serving file|resident|mmap] [--memory on|off]
-                 [--batch USEC] [--merge-cache ENTRIES]
+                 [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
+                 [--deadline-ms MS] [--max-line BYTES]
   kbtim validate --index DIR [--serving file|resident|mmap]";
 
 /// `--key value` pairs in argument order (repeats preserved — `serve`
@@ -295,12 +297,49 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Process-wide SIGTERM/SIGINT latch for graceful drain. The handler
+/// only flips an atomic (the one async-signal-safe thing it may do);
+/// the serve loops poll it between requests / accepts.
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    /// Whether SIGTERM/SIGINT has arrived.
+    pub fn pending() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+
+    /// Install the handlers. The workspace vendors no platform crates,
+    /// so this binds `signal(2)` directly, like the storage mmap shim.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn on_term(_sig: i32) {
+            TERMINATE.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
 fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Result<(), String> {
     use kbtim::index::{PageCache, QueryEngine};
-    use kbtim::serve::{handle_line, Router};
-    use std::io::{BufRead, BufReader, Write};
+    use kbtim::serve::{
+        handle_line_ctx, read_bounded_line, render_error, LineRead, Router, ServeCtx,
+    };
+    use std::io::{BufReader, Write};
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     // Repeatable routing flag: `--index name=dir` serves many indexes
     // from one process (the first is the default route); a bare
@@ -357,6 +396,24 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     // 0 (the default) disables it; each entry pins the merged RR arena
     // in memory, so the bound is entries, sized to the hot query set.
     let merge_cache: usize = parse(flags, "merge-cache", 0)?;
+    // Overload control: at most this many requests in flight at once;
+    // excess requests are shed immediately with an `overloaded` error
+    // instead of queueing without bound. 0 sheds everything (only
+    // useful in tests).
+    let max_queue: usize = parse(flags, "max-queue", 1024)?;
+    // Default per-request deadline in milliseconds; a request's own
+    // `deadline_ms` field overrides it. 0 (the default) = no deadline.
+    let deadline_ms: u64 = parse(flags, "deadline-ms", 0)?;
+    // Per-connection request-line cap: a line longer than this is shed
+    // with `bad_request` (and the stream resynced at the next newline)
+    // instead of buffering a hostile newline-free stream without bound.
+    let max_line: usize = parse(flags, "max-line", 1 << 20)?;
+    if max_line == 0 {
+        return Err("--max-line must be positive".to_string());
+    }
+    let default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let ctx = Arc::new(ServeCtx::new(max_queue, default_deadline));
+    term_signal::install();
 
     // Open every index through the process-wide page cache: indexes
     // sharing segment files (and any further open in this process —
@@ -378,7 +435,7 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     let engine = router.engine(None).expect("at least one index");
     eprintln!(
         "kbtim serve: {} index(es) [{}] (serving {}, threads {}, memory {}, batch {}, \
-         merge-cache {})",
+         merge-cache {}, max-queue {}, deadline {}, max-line {})",
         router.len(),
         router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
@@ -392,66 +449,143 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
             0 => "off".to_string(),
             n => format!("{n} entries"),
         },
+        max_queue,
+        match deadline_ms {
+            0 => "off".to_string(),
+            ms => format!("{ms}ms"),
+        },
+        max_line,
     );
     let router = Arc::new(router);
 
+    let too_long = |max_line: usize| {
+        render_error(None, "bad_request", &format!("request line exceeds {max_line} bytes"))
+    };
     match flags.get("listen") {
         None => {
             // stdin/stdout mode: one request line in, one response line
-            // out, until EOF.
+            // out, until EOF or SIGTERM. The loop is strictly serial,
+            // so the termination latch is observed between requests.
             let stdin = std::io::stdin();
+            let mut reader = stdin.lock();
             let mut stdout = std::io::stdout().lock();
-            for line in stdin.lock().lines() {
-                let line = line.map_err(|e| e.to_string())?;
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
+            loop {
+                if term_signal::pending() {
+                    ctx.begin_shutdown();
+                    break;
                 }
-                writeln!(stdout, "{}", handle_line(&router, line)).map_err(|e| e.to_string())?;
+                let read = read_bounded_line(&mut reader, max_line).map_err(|e| e.to_string())?;
+                let response = match read {
+                    LineRead::Eof => break,
+                    LineRead::TooLong => too_long(max_line),
+                    LineRead::Line(line) => {
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        handle_line_ctx(&router, &ctx, line)
+                    }
+                };
+                writeln!(stdout, "{response}").map_err(|e| e.to_string())?;
                 stdout.flush().map_err(|e| e.to_string())?;
             }
+            ctx.begin_shutdown();
+            eprintln!("kbtim serve: drained ({})", ctx.stats_line());
             Ok(())
         }
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| e.to_string())?;
+            // Nonblocking accept so the loop can poll the shutdown
+            // latch: a blocked `accept(2)` would pin the process until
+            // one more client happened to connect.
+            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
             eprintln!(
                 "kbtim serve: listening on {}",
                 listener.local_addr().map_err(|e| e.to_string())?
             );
-            for stream in listener.incoming() {
-                // Transient accept failures (a client resetting mid
-                // handshake, fd exhaustion) must not take down every
-                // established connection.
-                let stream = match stream {
-                    Ok(stream) => stream,
+            // stdin EOF also means drain (mirrors the stdin-mode
+            // contract, and gives supervisors a portable shutdown
+            // channel besides SIGTERM).
+            {
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || {
+                    use std::io::Read;
+                    let mut sink = [0u8; 4096];
+                    let mut stdin = std::io::stdin();
+                    loop {
+                        match stdin.read(&mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                    }
+                    ctx.begin_shutdown();
+                });
+            }
+            loop {
+                if term_signal::pending() {
+                    ctx.begin_shutdown();
+                }
+                if ctx.is_shutting_down() {
+                    break;
+                }
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                    // Transient accept failures (a client resetting mid
+                    // handshake, fd exhaustion) must not take down every
+                    // established connection.
                     Err(e) => {
                         eprintln!("kbtim serve: accept error: {e}");
+                        std::thread::sleep(Duration::from_millis(10));
                         continue;
                     }
                 };
+                // The listener is nonblocking only for the poll loop;
+                // per-connection reads stay blocking.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
                 let router = Arc::clone(&router);
+                let ctx = Arc::clone(&ctx);
                 // One thread per connection; all connections share the
                 // router's engines (and therefore the indexes, their
                 // scratch pools, the request coalescing and the batch
-                // planner).
+                // planner) plus the admission/drain context.
                 std::thread::spawn(move || {
                     let mut writer = match stream.try_clone() {
                         Ok(w) => w,
                         Err(_) => return,
                     };
-                    for line in BufReader::new(stream).lines() {
-                        let Ok(line) = line else { break };
-                        let line = line.trim();
-                        if line.is_empty() {
-                            continue;
-                        }
-                        let response = handle_line(&router, line);
+                    let mut reader = BufReader::new(stream);
+                    loop {
+                        let response = match read_bounded_line(&mut reader, max_line) {
+                            Err(_) | Ok(LineRead::Eof) => break,
+                            Ok(LineRead::TooLong) => too_long(max_line),
+                            Ok(LineRead::Line(line)) => {
+                                let line = line.trim();
+                                if line.is_empty() {
+                                    continue;
+                                }
+                                handle_line_ctx(&router, &ctx, line)
+                            }
+                        };
                         if writeln!(writer, "{response}").is_err() {
                             break;
                         }
                     }
                 });
             }
+            // Drain: stop accepting (done — the loop exited), let
+            // admitted requests finish, then report and exit. The grace
+            // bound keeps a wedged query from pinning shutdown forever.
+            let grace = Instant::now() + Duration::from_secs(10);
+            while ctx.inflight() > 0 && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            eprintln!("kbtim serve: drained ({})", ctx.stats_line());
             Ok(())
         }
     }

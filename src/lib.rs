@@ -67,6 +67,7 @@ pub mod serve;
 pub use kbtim_codec as codec;
 pub use kbtim_core as core;
 pub use kbtim_datagen as datagen;
+pub use kbtim_fault as fault;
 pub use kbtim_graph as graph;
 pub use kbtim_index as index;
 pub use kbtim_propagation as propagation;

@@ -25,8 +25,17 @@
 //! machine-readable discriminant (see [`ServeError`]), `error` the
 //! human-readable message. A malformed line never kills the connection.
 
-use kbtim_index::{Algo, EngineRequest, QueryEngine, QueryOutcome};
+use kbtim_index::{Algo, EngineRequest, IndexError, QueryEngine, QueryOutcome};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum nesting depth the JSON parser accepts. Protocol values are
+/// at most two levels deep; the cap exists so a hostile line of
+/// `[[[[…` fails with a parse error instead of exhausting the thread
+/// stack (stack overflow aborts the whole process — `catch_unwind`
+/// cannot contain it).
+const MAX_JSON_DEPTH: u32 = 64;
 
 /// A parsed JSON value (the subset the protocol needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +59,7 @@ impl Json {
     /// Parse one complete JSON value; trailing non-whitespace is an
     /// error.
     pub fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: input.as_bytes(), at: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), at: 0, depth: 0 };
         let value = p.value()?;
         p.skip_ws();
         if p.at != p.bytes.len() {
@@ -79,6 +88,7 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: u32,
 }
 
 impl Parser<'_> {
@@ -121,11 +131,25 @@ impl Parser<'_> {
             b't' => self.literal("true", Json::Bool(true)),
             b'f' => self.literal("false", Json::Bool(false)),
             b'"' => Ok(Json::Str(self.string()?)),
-            b'[' => self.array(),
-            b'{' => self.object(),
+            b'[' => self.nested(Parser::array),
+            b'{' => self.nested(Parser::object),
             b'-' | b'0'..=b'9' => self.number(),
             other => Err(format!("unexpected {:?} at offset {}", other as char, self.at)),
         }
+    }
+
+    /// Run a container parse one nesting level deeper, enforcing
+    /// [`MAX_JSON_DEPTH`]. Recursion in this parser is bounded only by
+    /// input nesting, so the cap is what keeps `[[[[…` from blowing the
+    /// thread stack.
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(format!("nesting deeper than {MAX_JSON_DEPTH} at offset {}", self.at));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -137,7 +161,11 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        // The matched bytes are all ASCII, so this conversion cannot
+        // fail — but the serving loop must never panic on client
+        // bytes, so the impossible case degrades to a parse error.
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| format!("bad number bytes at offset {start}"))?;
         text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
     }
 
@@ -280,7 +308,16 @@ fn escape_into(s: &str, out: &mut String) {
 /// * `bad_request` — a defined field has the wrong type or an invalid
 ///   value (missing `topics`, zero `k`, unknown `algo`, …);
 /// * `unknown_index` — the `index` field names no served index;
-/// * `engine_error` — the query itself failed inside the engine.
+/// * `engine_error` — the query itself failed inside the engine;
+/// * `overloaded` — admission control shed the request: the in-flight
+///   count already sits at `--max-queue` (load-shed, retry later);
+/// * `deadline_exceeded` — the request's deadline (its `deadline_ms`
+///   field, or the server's `--deadline-ms` default) passed before the
+///   query finished;
+/// * `shutting_down` — the server is draining after SIGTERM/stdin-EOF
+///   and accepts no new work;
+/// * `internal_error` — the query panicked; the panic was contained
+///   and the connection survives.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeError {
     /// Stable machine-readable discriminant (`snake_case`).
@@ -316,6 +353,11 @@ pub struct ServeRequest {
     /// Which served index answers (echoed back); `None` routes to the
     /// server's default (first) index.
     pub index: Option<String>,
+    /// Per-request deadline in milliseconds from admission; `None`
+    /// falls back to the server default (`--deadline-ms`). `0` means
+    /// "already expired" and deterministically yields
+    /// `deadline_exceeded`.
+    pub deadline_ms: Option<u64>,
     /// The query to run.
     pub request: EngineRequest,
 }
@@ -328,7 +370,7 @@ impl ServeRequest {
             return Err(ServeError::bad("request must be a JSON object"));
         };
         for (key, _) in fields {
-            if !matches!(key.as_str(), "id" | "index" | "topics" | "k" | "algo") {
+            if !matches!(key.as_str(), "id" | "index" | "topics" | "k" | "algo" | "deadline_ms") {
                 return Err(ServeError {
                     code: "unknown_field",
                     message: format!("unknown field {key:?}"),
@@ -374,7 +416,13 @@ impl ServeRequest {
             }
             Some(_) => return Err(ServeError::bad("\"algo\" must be a string")),
         };
-        Ok(ServeRequest { id, index, request: EngineRequest { topics, k, algo } })
+        let deadline_ms = match json.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ServeError::bad("\"deadline_ms\" must be a non-negative integer")
+            })?),
+        };
+        Ok(ServeRequest { id, index, deadline_ms, request: EngineRequest { topics, k, algo } })
     }
 }
 
@@ -450,6 +498,128 @@ impl Default for Router {
     }
 }
 
+/// Shared serving state for overload control and graceful drain: the
+/// shutdown flag, the bounded admission count, the default deadline,
+/// and the served/shed/failed books reported at exit.
+///
+/// One `ServeCtx` spans every connection of a serve process; handlers
+/// thread `&ServeCtx` into [`handle_line_ctx`]. All state is atomic —
+/// no locks, so a panicking request cannot poison admission control.
+#[derive(Debug)]
+pub struct ServeCtx {
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    /// Admission bound: requests beyond this many in flight are shed
+    /// with `overloaded`. `0` rejects everything (useful in tests);
+    /// `usize::MAX` disables shedding.
+    max_inflight: usize,
+    /// Default deadline applied when a request carries no
+    /// `deadline_ms` field; `None` means unbounded.
+    default_deadline: Option<Duration>,
+    served: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl ServeCtx {
+    /// A context with the given admission bound and default deadline.
+    pub fn new(max_inflight: usize, default_deadline: Option<Duration>) -> ServeCtx {
+        ServeCtx {
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            max_inflight,
+            default_deadline,
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        }
+    }
+
+    /// No admission bound, no default deadline — the PR-4-era serving
+    /// behaviour.
+    pub fn unlimited() -> ServeCtx {
+        ServeCtx::new(usize::MAX, None)
+    }
+
+    /// Flip the shutdown flag: new requests get `shutting_down`,
+    /// in-flight ones run to completion. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`ServeCtx::begin_shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently admitted and not yet answered.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Try to admit one request; `None` means the queue is full and
+    /// the caller must shed. The permit releases the slot on drop —
+    /// including on panic, so containment never leaks admission slots.
+    fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        let mut cur = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.max_inflight {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(AdmissionPermit { ctx: self }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Final stats line for the operator log, rendered at drain.
+    pub fn stats_line(&self) -> String {
+        format!(
+            "served={} shed={} deadline_exceeded={} failed={} panicked={}",
+            self.served.load(Ordering::SeqCst),
+            self.shed.load(Ordering::SeqCst),
+            self.expired.load(Ordering::SeqCst),
+            self.failed.load(Ordering::SeqCst),
+            self.panicked.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Successfully answered requests.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Requests shed by admission control or the shutdown gate.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    fn count(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII admission slot: decrements the in-flight count on drop.
+struct AdmissionPermit<'a> {
+    ctx: &'a ServeCtx,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn push_id(out: &mut String, id: Option<u64>) {
     if let Some(id) = id {
         out.push_str(&format!("\"id\":{id},"));
@@ -518,8 +688,25 @@ pub fn render_error(id: Option<u64>, code: &str, message: &str) -> String {
 
 /// Handle one protocol line end to end: parse, route, query, render.
 /// Never panics on malformed input — every failure becomes a structured
-/// `error` response.
+/// `error` response. Uses an unlimited [`ServeCtx`] (no admission
+/// bound, no default deadline); servers with overload control call
+/// [`handle_line_ctx`] directly.
 pub fn handle_line(router: &Router, line: &str) -> String {
+    handle_line_ctx(router, &ServeCtx::unlimited(), line)
+}
+
+/// [`handle_line`] with shared serving state: shutdown gate, bounded
+/// admission, deadlines, and panic containment, in that order:
+///
+/// 1. parse (a malformed line costs no admission slot);
+/// 2. `shutting_down` if the context is draining;
+/// 3. `overloaded` if the in-flight count is at the bound;
+/// 4. route (`unknown_index`);
+/// 5. compute the deadline — the request's `deadline_ms`, else the
+///    context default — and reject already-expired ones;
+/// 6. run the query under `catch_unwind`: a panic becomes
+///    `internal_error` and the worker/connection survives.
+pub fn handle_line_ctx(router: &Router, ctx: &ServeCtx, line: &str) -> String {
     let parsed = match ServeRequest::parse(line) {
         Ok(parsed) => parsed,
         Err(err) => {
@@ -527,11 +714,25 @@ pub fn handle_line(router: &Router, line: &str) -> String {
             // attribute the error line (validation failures — unknown
             // field, bad k — happen on perfectly parseable JSON).
             let id = Json::parse(line).ok().and_then(|json| json.get("id").and_then(Json::as_u64));
+            ServeCtx::count(&ctx.failed);
             return render_error(id, err.code, &err.message);
         }
     };
+    if ctx.is_shutting_down() {
+        ServeCtx::count(&ctx.shed);
+        return render_error(parsed.id, "shutting_down", "server is draining; request rejected");
+    }
+    let Some(_permit) = ctx.admit() else {
+        ServeCtx::count(&ctx.shed);
+        return render_error(
+            parsed.id,
+            "overloaded",
+            &format!("admission queue full ({} in flight)", ctx.max_inflight),
+        );
+    };
     let Some(engine) = router.engine(parsed.index.as_deref()) else {
         let known: Vec<&str> = router.names().collect();
+        ServeCtx::count(&ctx.failed);
         return render_error(
             parsed.id,
             "unknown_index",
@@ -542,12 +743,118 @@ pub fn handle_line(router: &Router, line: &str) -> String {
             ),
         );
     };
-    match engine.query(&parsed.request) {
-        Ok(outcome) => {
+    let budget_ms = parsed
+        .deadline_ms
+        .or_else(|| ctx.default_deadline.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)));
+    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        ServeCtx::count(&ctx.expired);
+        return render_error(parsed.id, "deadline_exceeded", "deadline expired at admission");
+    }
+    // The engine already contains panics per flight internally, but it
+    // re-raises them to the submitting thread; this boundary is what
+    // turns them into a structured response instead of a dead
+    // connection.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.query_deadline(&parsed.request, deadline)
+    }));
+    match result {
+        Ok(Ok(outcome)) => {
+            ServeCtx::count(&ctx.served);
             render_outcome(parsed.id, parsed.index.as_deref(), parsed.request.algo, &outcome)
         }
-        Err(err) => render_error(parsed.id, "engine_error", &err.to_string()),
+        Ok(Err(err)) => {
+            if matches!(err.index_error(), IndexError::DeadlineExceeded) {
+                ServeCtx::count(&ctx.expired);
+                render_error(parsed.id, "deadline_exceeded", &err.to_string())
+            } else {
+                ServeCtx::count(&ctx.failed);
+                render_error(parsed.id, "engine_error", &err.to_string())
+            }
+        }
+        Err(_) => {
+            ServeCtx::count(&ctx.panicked);
+            render_error(
+                parsed.id,
+                "internal_error",
+                "query execution panicked; the fault was contained",
+            )
+        }
     }
+}
+
+/// One line read from a bounded reader: see [`read_bounded_line`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// Clean end of stream (no partial line pending).
+    Eof,
+    /// One complete line, newline stripped (also returned for a final
+    /// unterminated line at EOF).
+    Line(String),
+    /// The line exceeded the cap. Its bytes were consumed up to and
+    /// including the next newline (or EOF), so the stream is resynced —
+    /// answer with `bad_request` and keep reading.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than
+/// `max_len` bytes of it — the fix for the unbounded `BufRead::lines`
+/// loop a hostile client could feed gigabytes without a newline.
+/// Oversized lines are consumed (not buffered) through their
+/// terminating newline so the caller can shed one request and continue
+/// with the next. Invalid UTF-8 is replaced, to be rejected by the JSON
+/// parser downstream.
+pub fn read_bounded_line<R: std::io::BufRead>(
+    reader: &mut R,
+    max_len: usize,
+) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(finish_line(buf))
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow && buf.len() + pos > max_len {
+                    overflow = true;
+                    buf.clear();
+                } else if !overflow {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line(finish_line(buf))
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !overflow && buf.len() + len > max_len {
+                    overflow = true;
+                    buf.clear();
+                } else if !overflow {
+                    buf.extend_from_slice(chunk);
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> String {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! Chaos gate for the hardened serving runtime: concurrent clients ×
+//! randomly armed failpoints × every serving backend.
+//!
+//! The contract under injected faults:
+//!
+//! 1. every request gets exactly one response, and every response is
+//!    parseable protocol JSON;
+//! 2. nothing deadlocks or hangs (a global watchdog bounds the run);
+//! 3. the server never dies — after the storm, the same engine answers
+//!    fault-free requests bit-identically to the oracle;
+//! 4. every *successful* answer under faults is bit-identical to the
+//!    fault-free serial oracle (delays and retries may slow a query,
+//!    but can never change it).
+//!
+//! Deterministic by construction: the vendored proptest derives its
+//! case seed from the test name, and the failpoint registry draws from
+//! a seeded counter hash, so a failing run replays exactly.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, QueryEngine, ServingMode, ThetaMode,
+};
+use kbtim::propagation::model::IcModel;
+use kbtim::serve::{handle_line, handle_line_ctx, Json, Router, ServeCtx};
+use kbtim::storage::block::all_modes;
+use kbtim::storage::{IoStats, TempDir};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const NUM_CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Valid request lines the clients cycle through. All succeed
+/// fault-free (generous deadline on the one that carries one).
+const LINES: [&str; 6] = [
+    r#"{"id":1,"topics":[0,1],"k":5,"algo":"rr"}"#,
+    r#"{"id":2,"topics":[1,2],"k":3,"algo":"irr"}"#,
+    r#"{"id":3,"topics":[0,3],"k":8,"algo":"auto"}"#,
+    r#"{"id":4,"topics":[2],"k":4}"#,
+    r#"{"id":5,"topics":[0,1,2],"k":6,"deadline_ms":30000}"#,
+    r#"{"id":6,"topics":[3],"k":2,"algo":"irr"}"#,
+];
+
+/// The faults a case may arm: bounded-probability errors, panics and
+/// delays on every instrumented hot surface that can fire during a
+/// query. Probabilities are low enough that some requests succeed.
+const MENU: [(&str, &str); 7] = [
+    ("storage.read", "30%err"),
+    ("storage.crc", "10%err"),
+    ("engine.decode", "30%err"),
+    ("engine.merge", "20%err"),
+    ("engine.greedy", "20%err"),
+    ("engine.greedy", "15%panic"),
+    ("exec.dispatch", "25%delay(200)"),
+];
+
+const DOCUMENTED_CODES: [&str; 9] = [
+    "parse_error",
+    "unknown_field",
+    "bad_request",
+    "unknown_index",
+    "engine_error",
+    "overloaded",
+    "deadline_exceeded",
+    "shutting_down",
+    "internal_error",
+];
+
+fn index_dir() -> &'static TempDir {
+    static DIR: OnceLock<TempDir> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(300)
+            .num_topics(4)
+            .seed(19)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(600),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 16 },
+            threads: 2,
+            seed: 3,
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("chaos-fixture").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        dir
+    })
+}
+
+/// Fault-free serial oracle: request line → the response's *answer*
+/// fields. Answers are backend-invariant, so one map serves every mode.
+fn oracle() -> &'static HashMap<&'static str, Vec<(String, Json)>> {
+    static ORACLE: OnceLock<HashMap<&'static str, Vec<(String, Json)>>> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        // The oracle must be fault-free: drop anything the environment
+        // armed (CI runs the suite under a global delay failpoint; the
+        // storm below arms its own picks after this).
+        kbtim_fault::reset();
+        let index =
+            KbtimIndex::open_with(index_dir().path(), IoStats::new(), ServingMode::File).unwrap();
+        let router = Router::single(Arc::new(QueryEngine::new(Arc::new(index))));
+        LINES
+            .iter()
+            .map(|&line| {
+                let response = handle_line(&router, line);
+                assert!(response.contains("\"seeds\""), "oracle for {line}: {response}");
+                (line, answer_fields(&response))
+            })
+            .collect()
+    })
+}
+
+/// The deterministic answer: every response field except the
+/// wall-clock and the I/O-strategy counters (`rr_sets_loaded` depends
+/// on whether the IRR path terminated early or a batch group loaded
+/// the shared union — the *answer* must be identical either way).
+fn answer_fields(response: &str) -> Vec<(String, Json)> {
+    let Json::Obj(fields) = Json::parse(response).expect("responses are protocol JSON") else {
+        panic!("response is not an object: {response}");
+    };
+    fields
+        .into_iter()
+        .filter(|(key, _)| !matches!(key.as_str(), "elapsed_us" | "rr_sets_loaded"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_clients_survive_random_failpoints(
+        picks in proptest::collection::vec(any::<proptest::sample::Index>(), 1..4),
+        fault_seed in any::<u64>(),
+        batching in any::<bool>(),
+    ) {
+        let oracle = oracle();
+        for mode in all_modes() {
+            kbtim_fault::reset();
+
+            // Build the engine fault-free (open paths have their own
+            // dedicated tests); arm only once it serves.
+            let index = KbtimIndex::open_with(index_dir().path(), IoStats::new(), mode).unwrap();
+            let engine = QueryEngine::new(Arc::new(index))
+                .with_batch_window(batching.then(|| Duration::from_micros(100)))
+                .with_merge_cache(4);
+            let router = Arc::new(Router::single(Arc::new(engine)));
+            let ctx = Arc::new(ServeCtx::new(64, None));
+
+            kbtim_fault::set_seed(fault_seed);
+            for pick in &picks {
+                let (name, spec) = MENU[pick.index(MENU.len())];
+                kbtim_fault::arm(name, spec).unwrap();
+            }
+
+            let finished = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for client in 0..NUM_CLIENTS {
+                let router = Arc::clone(&router);
+                let ctx = Arc::clone(&ctx);
+                let finished = Arc::clone(&finished);
+                handles.push(std::thread::spawn(move || {
+                    let mut got = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let line = LINES[(client + r * 3) % LINES.len()];
+                        got.push((line, handle_line_ctx(&router, &ctx, line)));
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                    got
+                }));
+            }
+
+            // Global watchdog: a deadlock or hang fails loudly instead
+            // of pinning the suite.
+            let deadline = Instant::now() + WATCHDOG;
+            while finished.load(Ordering::SeqCst) < NUM_CLIENTS {
+                prop_assert!(
+                    Instant::now() < deadline,
+                    "watchdog: {} of {NUM_CLIENTS} clients finished on {mode} \
+                     (armed: {:?}, seed {fault_seed})",
+                    finished.load(Ordering::SeqCst),
+                    picks.iter().map(|p| MENU[p.index(MENU.len())]).collect::<Vec<_>>(),
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let mut responses = Vec::new();
+            for handle in handles {
+                let got = handle.join().expect("client threads never die");
+                // Exactly one response per request.
+                prop_assert_eq!(got.len(), REQUESTS_PER_CLIENT);
+                responses.extend(got);
+            }
+            kbtim_fault::reset();
+
+            let mut successes = 0usize;
+            for (line, response) in &responses {
+                let json = Json::parse(response);
+                prop_assert!(json.is_ok(), "{mode}: unparseable response {response:?}");
+                if response.contains("\"seeds\"") {
+                    successes += 1;
+                    prop_assert_eq!(
+                        &answer_fields(response),
+                        &oracle[line],
+                        "{}: a successful answer under faults must be \
+                         bit-identical to the fault-free oracle", mode
+                    );
+                } else {
+                    let code = match json.unwrap().get("code") {
+                        Some(Json::Str(code)) => code.clone(),
+                        other => panic!("{mode}: error without code: {other:?}"),
+                    };
+                    prop_assert!(
+                        DOCUMENTED_CODES.contains(&code.as_str()),
+                        "{mode}: undocumented error code {code}"
+                    );
+                }
+            }
+
+            // The server never dies: the same engine, disarmed, answers
+            // every line bit-identically to the oracle again.
+            for &line in &LINES {
+                prop_assert_eq!(
+                    &answer_fields(&handle_line_ctx(&router, &ctx, line)),
+                    &oracle[line],
+                    "{}: engine must serve clean answers after the storm \
+                     ({successes} of {} chaos requests had succeeded)",
+                    mode, responses.len()
+                );
+            }
+        }
+    }
+}

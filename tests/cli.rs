@@ -363,3 +363,194 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+/// Overload control, deadlines and the request-line cap over the real
+/// wire (stdin mode): `--max-queue 0` sheds deterministically with
+/// `overloaded`, `deadline_ms: 0` expires at admission, an oversized
+/// line is shed with `bad_request` and the stream resyncs, and the
+/// drain path reports final stats on stderr.
+#[test]
+fn serve_overload_deadline_and_line_cap() {
+    use std::io::Write;
+
+    let root = temp_dir("harden");
+    let data = root.join("data");
+    let index = root.join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+        .args(["--seed", "9", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+
+    // A reject-everything admission queue: every parsed request sheds.
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap(), "--max-queue", "0"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    writeln!(child.stdin.as_mut().unwrap(), r#"{{"id":1,"topics":[0,1],"k":4}}"#).unwrap();
+    child.stdin.take();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"code\":\"overloaded\""), "{stdout}");
+    assert!(stdout.contains("\"id\":1"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("max-queue 0"), "banner must report the bound: {stderr}");
+    assert!(stderr.contains("drained (served=0 shed=1"), "final stats: {stderr}");
+
+    // Deadlines and the line cap, on a serving queue that admits.
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap()])
+        .args(["--deadline-ms", "30000", "--max-line", "256"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        // 1: generous server default deadline → normal answer.
+        writeln!(stdin, r#"{{"id":1,"topics":[0,1],"k":4}}"#).unwrap();
+        // 2: the request's own deadline_ms overrides — zero is expired
+        // at admission, deterministically.
+        writeln!(stdin, r#"{{"id":2,"topics":[0,1],"k":4,"deadline_ms":0}}"#).unwrap();
+        // 3: an oversized line (no valid JSON needed) is shed…
+        writeln!(stdin, "{}", "x".repeat(4096)).unwrap();
+        // 4: …and the stream resyncs: the next request still answers.
+        writeln!(stdin, r#"{{"id":4,"topics":[0,1],"k":4}}"#).unwrap();
+    }
+    child.stdin.take();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per request line: {stdout}");
+    assert!(lines[0].contains("\"seeds\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"code\":\"deadline_exceeded\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"id\":2"), "{}", lines[1]);
+    assert!(lines[2].contains("\"code\":\"bad_request\""), "{}", lines[2]);
+    assert!(lines[2].contains("exceeds 256 bytes"), "{}", lines[2]);
+    assert!(lines[3].contains("\"seeds\""), "resync after the giant line: {}", lines[3]);
+    assert!(lines[3].contains("\"id\":4"), "{}", lines[3]);
+
+    // Environment arming end-to-end: a production process that never
+    // calls the fault API programmatically must still honor
+    // KBTIM_FAILPOINTS (regression: the inject fast path used to skip
+    // registry init, leaving env arming dead in exactly this binary).
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap()])
+        .env("KBTIM_FAILPOINTS", "engine.greedy=1*panic")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        // `rr` pins the path with the engine.greedy stage (solo IRR's
+        // NRA interleaves its greedy with loading — no separate stage).
+        writeln!(stdin, r#"{{"id":1,"topics":[0,1],"k":4,"algo":"rr"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":2,"topics":[0,1],"k":4,"algo":"rr"}}"#).unwrap();
+    }
+    child.stdin.take();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"code\":\"internal_error\""), "env-armed panic: {}", lines[0]);
+    assert!(lines[1].contains("\"seeds\""), "contained, budget spent: {}", lines[1]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drained (served=1 shed=0"), "{stderr}");
+    assert!(stderr.contains("panicked=1"), "{stderr}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// TCP serving with graceful drain: concurrent connections answer the
+/// same bytes as stdin mode, stdin-EOF flips the shutdown latch, the
+/// nonblocking accept loop stops taking new work, and the process
+/// exits cleanly with final stats.
+#[test]
+fn serve_tcp_drains_gracefully_on_stdin_eof() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let root = temp_dir("tcp");
+    let data = root.join("data");
+    let index = root.join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+        .args(["--seed", "9", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut child = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap(), "--listen", "127.0.0.1:0"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The ephemeral port is announced on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(stderr.read_line(&mut line).unwrap() > 0, "server died before listening");
+        if let Some(at) = line.find("listening on ") {
+            break line[at + "listening on ".len()..].trim().to_string();
+        }
+    };
+
+    // Two concurrent connections, a few requests each.
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(&addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut answers = Vec::new();
+                for id in 0..3 {
+                    writeln!(writer, r#"{{"id":{id},"topics":[{c},1],"k":4}}"#).unwrap();
+                    let mut response = String::new();
+                    reader.read_line(&mut response).unwrap();
+                    answers.push(response);
+                }
+                answers
+            })
+        })
+        .collect();
+    for client in clients {
+        for response in client.join().unwrap() {
+            assert!(response.contains("\"seeds\""), "{response}");
+            assert!(!response.contains("\"error\""), "{response}");
+        }
+    }
+
+    // stdin EOF → drain → clean exit with final stats.
+    child.stdin.take();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "drain must exit cleanly");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained (served=6"), "final stats after 6 requests: {rest}");
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,294 @@
+//! Failure-surface tests driven by the `kbtim-fault` failpoint
+//! registry: transient-I/O retry masking, backend degradation on open,
+//! injected engine faults, panic containment, and the table of every
+//! wire error code in `docs/PROTOCOL.md`.
+//!
+//! The failpoint registry is process-global, so every test that arms a
+//! point holds [`GATE`] for its whole body and resets the registry on
+//! entry and exit — the other integration binaries never arm anything.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, QueryEngine, ServingMode, ThetaMode,
+};
+use kbtim::propagation::model::IcModel;
+use kbtim::serve::{handle_line, handle_line_ctx, Json, Router, ServeCtx};
+use kbtim::storage::segment::{SegmentReader, SegmentWriter};
+use kbtim::storage::{BlockSource, IoStats, TempDir};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Serializes failpoint-arming tests (the registry is process-global).
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Take the gate and start from a clean registry; the guard resets
+/// again on drop so a panicking test cannot leak armed points.
+fn armed_section() -> ArmedSection {
+    let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    kbtim_fault::reset();
+    kbtim_fault::set_seed(42);
+    ArmedSection { _guard: guard }
+}
+
+struct ArmedSection {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedSection {
+    fn drop(&mut self) {
+        kbtim_fault::reset();
+    }
+}
+
+/// One small IRR index on disk, shared by every engine-level test.
+fn index_dir() -> &'static TempDir {
+    static DIR: OnceLock<TempDir> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(300)
+            .num_topics(4)
+            .seed(11)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(600),
+                opt_initial_samples: 64,
+                opt_max_rounds: 4,
+                ..SamplingConfig::fast()
+            },
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 16 },
+            threads: 2,
+            seed: 7,
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new("faults-fixture").unwrap();
+        IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+        dir
+    })
+}
+
+/// Drop the wall-clock field so responses can be compared bit-for-bit.
+fn strip_elapsed(response: &str) -> String {
+    match response.find(",\"elapsed_us\":") {
+        Some(at) => {
+            let rest = &response[at + ",\"elapsed_us\":".len()..];
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            format!("{}{}", &response[..at], &rest[end..])
+        }
+        None => response.to_string(),
+    }
+}
+
+fn open_engine(mode: ServingMode) -> Arc<QueryEngine> {
+    let index = KbtimIndex::open_with(index_dir().path(), IoStats::new(), mode).unwrap();
+    Arc::new(QueryEngine::new(Arc::new(index)))
+}
+
+fn write_segment(dir: &TempDir) -> std::path::PathBuf {
+    let path = dir.path().join("seg.bin");
+    let mut writer = SegmentWriter::create(&path).unwrap();
+    writer.write_block("a", &[1, 2, 3, 4]).unwrap();
+    writer.write_block("b", &[9; 100]).unwrap();
+    writer.finish().unwrap();
+    path
+}
+
+#[test]
+fn transient_read_bursts_are_masked_by_retries() {
+    let _section = armed_section();
+    let dir = TempDir::new("faults-retry").unwrap();
+    let path = write_segment(&dir);
+    let reader = SegmentReader::open(&path, IoStats::new()).unwrap();
+
+    // A burst of two transient failures sits inside the three-retry
+    // budget: the read succeeds and the caller never sees the fault.
+    kbtim_fault::arm("storage.read", "2*err").unwrap();
+    assert_eq!(&*reader.read_block("a").unwrap(), &[1, 2, 3, 4]);
+    assert_eq!(kbtim_fault::fires("storage.read"), 2, "both injected failures were retried");
+
+    // An unbounded failure exhausts the retries and surfaces.
+    kbtim_fault::arm("storage.read", "err").unwrap();
+    let err = reader.read_block("a").unwrap_err();
+    assert!(kbtim::storage::segment::is_transient(&err), "{err}");
+
+    // Disarmed again, the reader still works — no state was poisoned.
+    kbtim_fault::disarm("storage.read");
+    assert_eq!(&*reader.read_block("b").unwrap(), &[9; 100]);
+}
+
+#[test]
+fn open_degrades_mmap_to_resident_then_file() {
+    let _section = armed_section();
+    let dir = TempDir::new("faults-degrade").unwrap();
+    let path = write_segment(&dir);
+
+    // A failing mmap(2) setup degrades to the resident backend.
+    kbtim_fault::arm("storage.map", "err").unwrap();
+    let source = BlockSource::open(&path, IoStats::new(), ServingMode::Mmap).unwrap();
+    assert_eq!(source.mode(), ServingMode::Resident, "mmap failure → resident");
+    assert_eq!(&*source.read_block("a").unwrap(), &[1, 2, 3, 4]);
+
+    // Two page-load failures in a row walk the whole chain down to
+    // positioned file reads (whose own open is the third evaluation,
+    // past the budget).
+    kbtim_fault::arm("storage.open", "2*err").unwrap();
+    let source = BlockSource::open(&path, IoStats::new(), ServingMode::Mmap).unwrap();
+    assert_eq!(source.mode(), ServingMode::File, "mmap → resident → file");
+    assert_eq!(&*source.read_block("b").unwrap(), &[9; 100]);
+
+    // With every open failing, the error finally surfaces.
+    kbtim_fault::arm("storage.open", "err").unwrap();
+    assert!(BlockSource::open(&path, IoStats::new(), ServingMode::Mmap).is_err());
+}
+
+#[test]
+fn corruption_is_fail_fast_and_never_degrades() {
+    let _section = armed_section();
+    let dir = TempDir::new("faults-crc").unwrap();
+    let path = write_segment(&dir);
+
+    for mode in kbtim::storage::block::all_modes() {
+        kbtim_fault::reset();
+        let source = BlockSource::open(&path, IoStats::new(), mode).unwrap();
+        assert_eq!(source.mode(), mode);
+        // One injected checksum mismatch fails the read immediately —
+        // corruption is never retried and never degrades the backend.
+        kbtim_fault::arm("storage.crc", "1*err").unwrap();
+        let err = source.read_block("a").unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{mode}: {err}");
+        assert!(!kbtim::storage::segment::is_transient(&err), "{mode}: corruption ≠ transient");
+        // The failure was the injection, not real damage: with the
+        // budget spent, the same handle re-verifies and serves.
+        assert_eq!(&*source.read_block("a").unwrap(), &[1, 2, 3, 4], "{mode}");
+    }
+}
+
+#[test]
+fn injected_engine_faults_surface_and_scratch_books_survive() {
+    let _section = armed_section();
+    let engine = open_engine(ServingMode::Resident);
+    let req =
+        kbtim::index::EngineRequest { topics: vec![0, 1], k: 5, algo: kbtim::index::Algo::Auto };
+    let baseline = engine.query(&req).unwrap();
+
+    for point in ["engine.decode", "engine.merge", "engine.greedy"] {
+        kbtim_fault::arm(point, "1*err").unwrap();
+        let err = engine.query(&req).unwrap_err();
+        assert!(err.to_string().contains(point), "{point}: {err}");
+        // The early error path must have recycled every leased scratch
+        // buffer: the next query runs on the same pool and is
+        // bit-identical to the fault-free baseline.
+        let again = engine.query(&req).unwrap();
+        assert_eq!(again.seeds, baseline.seeds, "after {point}");
+        assert_eq!(again.marginal_gains, baseline.marginal_gains, "after {point}");
+        assert_eq!(again.coverage, baseline.coverage, "after {point}");
+    }
+}
+
+#[test]
+fn panicking_query_is_contained_and_engine_survives() {
+    let _section = armed_section();
+    let engine = open_engine(ServingMode::Resident);
+    let router = Router::single(Arc::clone(&engine));
+    let ctx = ServeCtx::unlimited();
+    let line = r#"{"id":1,"topics":[0,1],"k":5}"#;
+    let baseline = handle_line_ctx(&router, &ctx, line);
+    assert!(baseline.contains("\"seeds\""), "{baseline}");
+
+    // An armed `panic` action unwinds out of the greedy stage; the
+    // serve boundary contains it as a structured internal_error…
+    kbtim_fault::arm("engine.greedy", "1*panic").unwrap();
+    let contained = handle_line_ctx(&router, &ctx, line);
+    assert!(contained.contains("\"code\":\"internal_error\""), "{contained}");
+    assert!(contained.contains("\"id\":1"), "{contained}");
+
+    // …and the engine keeps serving bit-identical answers afterwards:
+    // poisoned locks recovered, scratch and cache books consistent.
+    for _ in 0..3 {
+        assert_eq!(
+            strip_elapsed(&handle_line_ctx(&router, &ctx, line)),
+            strip_elapsed(&baseline),
+            "engine must survive a panic"
+        );
+    }
+}
+
+#[test]
+fn dispatch_panic_is_contained_too() {
+    let _section = armed_section();
+    let engine = open_engine(ServingMode::File);
+    let router = Router::single(Arc::clone(&engine));
+    let ctx = ServeCtx::unlimited();
+    let line = r#"{"id":2,"topics":[0,1],"k":4,"algo":"rr"}"#;
+    let baseline = handle_line_ctx(&router, &ctx, line);
+    assert!(baseline.contains("\"seeds\""), "{baseline}");
+
+    kbtim_fault::arm("exec.dispatch", "1*panic").unwrap();
+    let contained = handle_line_ctx(&router, &ctx, line);
+    assert!(contained.contains("\"code\":\"internal_error\""), "{contained}");
+    assert_eq!(strip_elapsed(&handle_line_ctx(&router, &ctx, line)), strip_elapsed(&baseline));
+}
+
+/// Satellite: every error code documented in `docs/PROTOCOL.md` is
+/// producible over the line protocol, and each response round-trips
+/// through the protocol's own JSON parser with the expected code.
+#[test]
+fn every_documented_error_code_is_producible_and_round_trips() {
+    let _section = armed_section();
+    let engine = open_engine(ServingMode::Resident);
+    let router = Router::single(engine);
+
+    let unlimited = || ServeCtx::unlimited();
+    let rejecting = || ServeCtx::new(0, None);
+    let draining = || {
+        let ctx = ServeCtx::unlimited();
+        ctx.begin_shutdown();
+        ctx
+    };
+
+    // (code, request line, serving context, failpoint to arm)
+    type Case = (&'static str, &'static str, ServeCtx, Option<(&'static str, &'static str)>);
+    let cases: Vec<Case> = vec![
+        ("parse_error", "this is not json", unlimited(), None),
+        ("unknown_field", r#"{"topics":[0],"frobnicate":1}"#, unlimited(), None),
+        ("bad_request", r#"{"topics":"zero"}"#, unlimited(), None),
+        ("unknown_index", r#"{"index":"nope","topics":[0]}"#, unlimited(), None),
+        ("engine_error", r#"{"topics":[0]}"#, unlimited(), Some(("engine.decode", "1*err"))),
+        ("overloaded", r#"{"id":7,"topics":[0]}"#, rejecting(), None),
+        ("deadline_exceeded", r#"{"topics":[0],"deadline_ms":0}"#, unlimited(), None),
+        ("shutting_down", r#"{"topics":[0]}"#, draining(), None),
+        ("internal_error", r#"{"topics":[0]}"#, unlimited(), Some(("engine.greedy", "1*panic"))),
+    ];
+    for (code, line, ctx, failpoint) in cases {
+        kbtim_fault::reset();
+        if let Some((point, spec)) = failpoint {
+            kbtim_fault::arm(point, spec).unwrap();
+        }
+        let response = handle_line_ctx(&router, &ctx, line);
+        let json = Json::parse(&response)
+            .unwrap_or_else(|e| panic!("{code}: response {response:?} is not JSON: {e}"));
+        assert_eq!(
+            json.get("code"),
+            Some(&Json::Str(code.to_string())),
+            "{line:?} must produce {code}: {response}"
+        );
+        assert!(json.get("error").is_some(), "{code}: {response}");
+    }
+
+    // Deadline errors also surface from *inside* the engine (not just
+    // the admission check): an armed delay pushes execution past an
+    // already-tight deadline.
+    kbtim_fault::reset();
+    kbtim_fault::arm("engine.merge", "delay(20000)").unwrap();
+    let ctx = ServeCtx::new(usize::MAX, Some(Duration::from_millis(5)));
+    let response = handle_line_ctx(&router, &ctx, r#"{"id":9,"topics":[0,1],"k":5}"#);
+    assert!(response.contains("\"code\":\"deadline_exceeded\""), "{response}");
+
+    // And the success path still renders after all that.
+    kbtim_fault::reset();
+    let ok = handle_line(&router, r#"{"topics":[0,1],"k":5}"#);
+    assert!(ok.contains("\"seeds\""), "{ok}");
+}

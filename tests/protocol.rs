@@ -1,0 +1,123 @@
+//! Wire-protocol robustness: the JSON subset parser must never panic
+//! on any byte sequence, nesting is depth-capped (a hostile `[[[[…`
+//! line must fail as a parse error, not a stack overflow), oversized
+//! request lines are shed and resynced by the bounded reader, and the
+//! new admission/deadline request plumbing parses as documented.
+
+use kbtim::serve::{read_bounded_line, Json, LineRead, ServeRequest};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Arbitrary bytes (as lossy UTF-8) through the full request parser:
+    /// any outcome is fine, panicking is not.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&line);
+        let _ = ServeRequest::parse(&line);
+    }
+
+    /// Arbitrary *almost-JSON* — mutated well-formed requests — through
+    /// the parser: the adversarial neighborhood of real traffic.
+    #[test]
+    fn parser_never_panics_near_valid_requests(
+        topics in proptest::collection::vec(0u32..100, 0..4),
+        k in 0u32..20,
+        flip in any::<proptest::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut line =
+            format!("{{\"topics\":{topics:?},\"k\":{k},\"deadline_ms\":5}}").into_bytes();
+        let at = flip.index(line.len());
+        line[at] = byte;
+        let line = String::from_utf8_lossy(&line).into_owned();
+        let _ = ServeRequest::parse(&line);
+    }
+}
+
+#[test]
+fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+    // Far deeper than any stack could take recursively at one frame
+    // per byte; the depth cap must reject it gracefully.
+    for open in ["[", "{\"a\":["] {
+        let hostile = open.repeat(200_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+    }
+    // The cap leaves all realistic protocol nesting untouched.
+    let fine = format!("{}1{}", "[".repeat(60), "]".repeat(60));
+    assert!(Json::parse(&fine).is_ok());
+}
+
+#[test]
+fn deadline_ms_field_parses_and_validates() {
+    let req = ServeRequest::parse(r#"{"topics":[1],"deadline_ms":250}"#).unwrap();
+    assert_eq!(req.deadline_ms, Some(250));
+    let req = ServeRequest::parse(r#"{"topics":[1]}"#).unwrap();
+    assert_eq!(req.deadline_ms, None);
+    // Zero is legal (deterministically expired), negatives and
+    // non-numbers are not.
+    assert_eq!(
+        ServeRequest::parse(r#"{"topics":[1],"deadline_ms":0}"#).unwrap().deadline_ms,
+        Some(0)
+    );
+    for bad in [
+        r#"{"topics":[1],"deadline_ms":-5}"#,
+        r#"{"topics":[1],"deadline_ms":1.5}"#,
+        r#"{"topics":[1],"deadline_ms":"fast"}"#,
+    ] {
+        assert_eq!(ServeRequest::parse(bad).unwrap_err().code, "bad_request", "{bad}");
+    }
+}
+
+#[test]
+fn bounded_reader_sheds_oversized_lines_and_resyncs() {
+    let giant = "x".repeat(300);
+    let input = format!("short line\n{giant}\nafter\nnine char\nnine char\n");
+    let mut reader = BufReader::with_capacity(16, input.as_bytes());
+
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Line("short line".into()));
+    // The 300-byte line exceeds the cap: shed, stream resynced at the
+    // next newline — the following request is intact.
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::TooLong);
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Line("after".into()));
+    // A line of exactly the cap is allowed (the cap is inclusive), one
+    // byte over is not.
+    assert_eq!(read_bounded_line(&mut reader, 9).unwrap(), LineRead::Line("nine char".into()));
+    assert_eq!(read_bounded_line(&mut reader, 8).unwrap(), LineRead::TooLong);
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Eof);
+
+    // CRLF is stripped; a final unterminated line still arrives.
+    let mut reader = BufReader::new("a\r\ntail".as_bytes());
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Line("a".into()));
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Line("tail".into()));
+    assert_eq!(read_bounded_line(&mut reader, 100).unwrap(), LineRead::Eof);
+
+    // An oversized *unterminated* trailing chunk is also shed, without
+    // ever buffering more than the cap.
+    let mut reader = BufReader::with_capacity(16, "yyyyyyyyyyyyyyyyyyyyyyyy".as_bytes());
+    assert_eq!(read_bounded_line(&mut reader, 8).unwrap(), LineRead::TooLong);
+    assert_eq!(read_bounded_line(&mut reader, 8).unwrap(), LineRead::Eof);
+}
+
+proptest! {
+    /// The bounded reader agrees with `str::lines` whenever every line
+    /// fits the cap, for arbitrary chunking (tiny BufReader capacity).
+    #[test]
+    fn bounded_reader_matches_lines_under_the_cap(
+        lines in proptest::collection::vec("[a-z]{0,40}", 0..8),
+    ) {
+        let input = lines.iter().map(|l| format!("{l}\n")).collect::<String>();
+        let mut reader = BufReader::with_capacity(4, input.as_bytes());
+        for want in &lines {
+            assert_eq!(
+                read_bounded_line(&mut reader, 64).unwrap(),
+                LineRead::Line(want.clone()),
+            );
+        }
+        assert_eq!(read_bounded_line(&mut reader, 64).unwrap(), LineRead::Eof);
+    }
+}
