@@ -1,0 +1,181 @@
+//! Record a machine-readable baseline for the sharded scatter-gather
+//! query path.
+//!
+//! One news-family dataset is built into four index layouts — S ∈
+//! {1, 2, 4, 8} user-range shards, identical sampling otherwise — and
+//! the same query mix runs against each. Two things are measured and
+//! one is enforced:
+//!
+//! * **enforced**: every answer from every shard count is bit-identical
+//!   to the flat (S = 1) oracle — seeds, marginal gains, coverage and
+//!   θ^Q. The determinism contract runs inside the bench itself.
+//! * **measured**: closed-loop qps per shard count (the per-shard
+//!   decode fans out on the index's worker pool, so extra shards buy
+//!   wall-clock only when cores exist — flat on a 1-core CI host, see
+//!   `docs/BENCHMARKS.md`), and the on-disk footprint per layout (the
+//!   sharded layouts pay the manifest + per-shard catalogs).
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin shard_baseline [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks the dataset and round count for CI (and skips
+//! writing the JSON unless a path is given explicitly).
+
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use kbtim_topics::Query;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const TOPICS: u32 = 16;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    users: u32,
+    theta_cap: u64,
+    /// Closed-loop iterations of the query mix in the timed section.
+    rounds: usize,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let config = if smoke {
+        Config { users: 2_000, theta_cap: 800, rounds: 5 }
+    } else {
+        Config { users: 100_000, theta_cap: 4_000, rounds: 40 }
+    };
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({} users, {TOPICS} topics)...", config.users);
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(config.users)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    // Same query mix as serving_baseline, through both disk algorithms.
+    let mix: Vec<(Query, &str)> =
+        [(vec![0u32, 1], 10u32), (vec![2, 3, 4], 10), (vec![0, 5, 9, 12], 25)]
+            .into_iter()
+            .flat_map(|(topics, k)| {
+                [("rr"), ("irr")].into_iter().map(move |algo| (Query::new(topics.clone(), k), algo))
+            })
+            .collect();
+
+    let mut oracle: Option<Vec<kbtim_index::QueryOutcome>> = None;
+    let mut rows = Vec::new();
+    for shards in SHARD_COUNTS {
+        eprintln!("building index with {shards} shard(s)...");
+        let build_config = IndexBuildConfig {
+            sampling: SamplingConfig {
+                theta_cap: Some(config.theta_cap),
+                opt_initial_samples: 128,
+                opt_max_rounds: 6,
+                ..SamplingConfig::fast()
+            },
+            theta_mode: ThetaMode::Compact,
+            variant: IndexVariant::Irr { partition_size: 100 },
+            threads: host_threads,
+            seed: SEED,
+            shards,
+            ..IndexBuildConfig::default()
+        };
+        let dir = TempDir::new(&format!("shard-baseline-{shards}")).unwrap();
+        let started = Instant::now();
+        let report =
+            IndexBuilder::new(&model, &data.profiles, build_config).build(dir.path()).unwrap();
+        let build_secs = started.elapsed().as_secs_f64();
+
+        let index = KbtimIndex::open_with(dir.path(), IoStats::new(), ServingMode::Mmap)
+            .unwrap()
+            .with_threads(Some(host_threads));
+        assert_eq!(index.num_shards(), shards);
+        let disk_bytes = index.disk_bytes().unwrap();
+        assert_eq!(disk_bytes, report.total_bytes, "disk accounting must match the build report");
+
+        let run = |(query, algo): &(Query, &str)| match *algo {
+            "rr" => index.query_rr(query).unwrap(),
+            _ => index.query_irr(query).unwrap(),
+        };
+
+        // Determinism gate: every shard count answers exactly like the
+        // flat oracle before any timing happens.
+        let answers: Vec<_> = mix.iter().map(run).collect();
+        match &oracle {
+            None => oracle = Some(answers),
+            Some(want) => {
+                for (i, (got, want)) in answers.iter().zip(want).enumerate() {
+                    assert_eq!(got.seeds, want.seeds, "S={shards} diverged on request {i}");
+                    assert_eq!(got.marginal_gains, want.marginal_gains, "S={shards} req {i}");
+                    assert_eq!(got.coverage, want.coverage, "S={shards} req {i}");
+                    assert_eq!(got.stats.theta_q, want.stats.theta_q, "S={shards} req {i}");
+                }
+            }
+        }
+
+        let total = config.rounds * mix.len();
+        let started = Instant::now();
+        for _ in 0..config.rounds {
+            for req in &mix {
+                std::hint::black_box(run(req));
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let qps = total as f64 / secs;
+        eprintln!(
+            "S={shards}: {total} queries in {secs:.2}s = {qps:.0} qps \
+             ({:.1} MiB on disk, built in {build_secs:.1}s)",
+            disk_bytes as f64 / (1024.0 * 1024.0)
+        );
+        rows.push(format!(
+            r#"    "{shards}": {{ "qps": {qps:.1}, "disk_bytes": {disk_bytes}, "build_secs": {build_secs:.2} }}"#
+        ));
+    }
+
+    if smoke && out_path.is_none() {
+        eprintln!("smoke run: all shard counts bit-identical to flat; no JSON written");
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let json = format!(
+        r#"{{
+  "bench": "sharded_scatter_gather",
+  "methodology": "docs/BENCHMARKS.md (incl. the 1-core-CI caveat: per-shard decode parallelism is flat here, the equality gate is the enforced result)",
+  "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "index": {{ "users": {users}, "topics": {TOPICS}, "theta_cap": {theta_cap}, "variant": "irr", "partition_size": 100 }},
+  "serving_mode": "mmap",
+  "per_query_threads": {host_threads},
+  "request_mix": "k=10 w=2, k=10 w=3, k=25 w=4, each via rr and irr ({rounds} closed-loop rounds)",
+  "comparable_to": "BENCH_serving.json (same graph, sampling config, query shapes)",
+  "answers_bit_identical_to_flat": true,
+  "shard_counts": {{
+{rows}
+  }}
+}}
+"#,
+        nodes = data.graph.num_nodes(),
+        edges = data.graph.num_edges(),
+        users = config.users,
+        theta_cap = config.theta_cap,
+        rounds = config.rounds,
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

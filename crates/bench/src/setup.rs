@@ -123,8 +123,15 @@ impl ExpContext {
         }
 
         let model = IcModel::weighted_cascade(&data.graph);
-        let config =
-            IndexBuildConfig { sampling, codec, theta_mode, variant, threads: 8, seed: 42 };
+        let config = IndexBuildConfig {
+            sampling,
+            codec,
+            theta_mode,
+            variant,
+            threads: 8,
+            seed: 42,
+            shards: 1,
+        };
         let report = IndexBuilder::new(&model, &data.profiles, config)
             .build(&dir)
             .expect("index build failed");

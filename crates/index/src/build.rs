@@ -26,7 +26,7 @@ use kbtim_core::opt::estimate_opt;
 use kbtim_core::theta::{keyword_theta, SamplingConfig};
 use kbtim_exec::ExecPool;
 use kbtim_graph::NodeId;
-use kbtim_propagation::{sample_batch, TriggeringModel};
+use kbtim_propagation::{sample_batch, RrBatch, TriggeringModel};
 use kbtim_storage::segment::SegmentWriter;
 use kbtim_topics::{TopicId, UserProfiles};
 use rand::rngs::SmallRng;
@@ -59,6 +59,12 @@ pub struct IndexBuildConfig {
     pub threads: usize,
     /// Deterministic build seed.
     pub seed: u64,
+    /// User-universe shards. 1 (the default) writes the legacy flat
+    /// layout; S > 1 splits every keyword segment across `shard-<i>/`
+    /// subdirectories by contiguous user range (see
+    /// [`crate::format::shard_cuts`]). Sampling stays global, so query
+    /// results are bit-identical for every S.
+    pub shards: usize,
 }
 
 impl Default for IndexBuildConfig {
@@ -72,8 +78,27 @@ impl Default for IndexBuildConfig {
             variant: IndexVariant::Irr { partition_size: 100 },
             threads: 8,
             seed: 42,
+            shards: 1,
         }
     }
+}
+
+/// FNV-1a offset basis (per-shard build fingerprints; the validator
+/// recomputes the same fold to audit `shards.manifest`).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a hash.
+pub(crate) fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The members of a (sorted) RR set that fall in the user range
+/// `[lo, hi)` — shard `i`'s view of the set.
+fn restrict(set: &[NodeId], lo: NodeId, hi: NodeId) -> &[NodeId] {
+    &set[set.partition_point(|&v| v < lo)..set.partition_point(|&v| v < hi)]
 }
 
 /// Per-keyword construction statistics (rows of Tables 3–5).
@@ -106,6 +131,25 @@ pub struct BuildReport {
     pub elapsed: Duration,
 }
 
+/// Everything one keyword build produces: its global catalog row, the
+/// per-shard catalog rows with segment-content fingerprints (empty for
+/// the legacy flat layout), and the build stats.
+struct KeywordBuild {
+    meta: KeywordMeta,
+    shard_rows: Vec<(KeywordMeta, u64)>,
+    stats: KeywordBuildStats,
+}
+
+/// What [`IndexBuilder::write_segment`] measured for one
+/// (keyword × shard) segment.
+struct SegmentSummary {
+    file_bytes: u64,
+    content_fp: u64,
+    max_list_len: u32,
+    num_partitions: u32,
+    total_members: u64,
+}
+
 /// Builds an on-disk index from a propagation model and user profiles.
 pub struct IndexBuilder<'a, M: TriggeringModel> {
     model: &'a M,
@@ -123,6 +167,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
     ) -> IndexBuilder<'a, M> {
         assert_eq!(model.graph().num_nodes(), profiles.num_users(), "graph/profiles size mismatch");
         assert!(config.threads >= 1, "need at least one build thread");
+        assert!(config.shards >= 1, "need at least one shard");
         if let IndexVariant::Irr { partition_size } = config.variant {
             assert!(partition_size >= 1, "partition size must be >= 1");
         }
@@ -134,6 +179,13 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
     pub fn build(&self, dir: impl AsRef<Path>) -> Result<BuildReport, IndexError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(kbtim_storage::segment::StorageError::Io)?;
+        let shards = self.config.shards;
+        if shards > 1 {
+            for s in 0..shards {
+                std::fs::create_dir_all(dir.join(format::shard_dir_name(s)))
+                    .map_err(kbtim_storage::segment::StorageError::Io)?;
+            }
+        }
         let start = Instant::now();
         let num_topics = self.profiles.num_topics();
 
@@ -145,8 +197,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         // successful build.
         let pool = ExecPool::new(Some(self.config.threads));
         let failed = std::sync::atomic::AtomicBool::new(false);
-        type KeywordEntry = (KeywordMeta, KeywordBuildStats);
-        let results: Vec<Option<Result<KeywordEntry, IndexError>>> =
+        let results: Vec<Option<Result<KeywordBuild, IndexError>>> =
             pool.map_shards(num_topics as usize, |topic| {
                 if failed.load(std::sync::atomic::Ordering::Relaxed) {
                     return None;
@@ -159,10 +210,13 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             });
 
         let mut keywords_meta = Vec::with_capacity(num_topics as usize);
+        let mut shard_keywords: Vec<Vec<KeywordMeta>> =
+            vec![Vec::with_capacity(num_topics as usize); if shards > 1 { shards } else { 0 }];
+        let mut shard_fps: Vec<u64> = vec![FNV_OFFSET; shards];
         let mut stats = Vec::new();
         for entry in results {
-            let (meta, stat) = match entry {
-                Some(Ok(pair)) => pair,
+            let build = match entry {
+                Some(Ok(build)) => build,
                 Some(Err(e)) => return Err(e),
                 // Shards are claimed in index order, so a skip can only
                 // follow the failing entry — which the arm above already
@@ -170,10 +224,17 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
                 // guard below (not a panic) reports any logic rot.
                 None => continue,
             };
-            if meta.theta > 0 {
-                stats.push(stat);
+            if build.meta.theta > 0 {
+                stats.push(build.stats);
             }
-            keywords_meta.push(meta);
+            for (s, (row, content_fp)) in build.shard_rows.into_iter().enumerate() {
+                // Shard fingerprint: FNV-1a over every keyword's (topic,
+                // segment-content hash), folded in topic order.
+                shard_fps[s] = fnv1a(&row.topic.to_le_bytes(), shard_fps[s]);
+                shard_fps[s] = fnv1a(&content_fp.to_le_bytes(), shard_fps[s]);
+                shard_keywords[s].push(row);
+            }
+            keywords_meta.push(build.meta);
         }
         if failed.into_inner() {
             return Err(IndexError::Corrupt(
@@ -181,7 +242,8 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             ));
         }
 
-        // Catalog.
+        // Global catalog — byte-identical for every shard count, so
+        // Eqn-11 budgets and the cost model never depend on S.
         let meta = IndexMeta {
             num_users: self.profiles.num_users(),
             num_topics,
@@ -192,11 +254,40 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         };
         let mut writer = SegmentWriter::create(dir.join(format::META_FILE))?;
         writer.write_block(format::META_BLOCK, &meta.encode())?;
-        let meta_bytes = writer.finish()?;
+        let mut overhead_bytes = writer.finish()?;
+
+        // Sharded layout: one standalone catalog per shard (global θ /
+        // tf_sum / idf / opt_w rows with shard-local list statistics)
+        // plus the manifest that announces the split on open.
+        if shards > 1 {
+            for (s, keywords) in shard_keywords.into_iter().enumerate() {
+                let shard_meta = IndexMeta {
+                    num_users: self.profiles.num_users(),
+                    num_topics,
+                    codec: self.config.codec,
+                    variant: self.config.variant,
+                    model_name: self.model.name().to_string(),
+                    keywords,
+                };
+                let mut writer = SegmentWriter::create(
+                    dir.join(format::shard_dir_name(s)).join(format::META_FILE),
+                )?;
+                writer.write_block(format::META_BLOCK, &shard_meta.encode())?;
+                overhead_bytes += writer.finish()?;
+            }
+            let manifest = format::ShardManifest {
+                num_users: self.profiles.num_users(),
+                cuts: format::shard_cuts(self.profiles.num_users(), shards),
+                fingerprints: shard_fps,
+            };
+            let mut writer = SegmentWriter::create(dir.join(format::SHARD_MANIFEST_FILE))?;
+            writer.write_block(format::SHARD_MANIFEST_BLOCK, &manifest.encode())?;
+            overhead_bytes += writer.finish()?;
+        }
 
         let total_theta: u64 = meta.keywords.iter().map(|k| k.theta).sum();
         let total_members: u64 = meta.keywords.iter().map(|k| k.total_rr_members).sum();
-        let total_bytes = meta_bytes + stats.iter().map(|s| s.file_bytes).sum::<u64>();
+        let total_bytes = overhead_bytes + stats.iter().map(|s| s.file_bytes).sum::<u64>();
         Ok(BuildReport {
             keywords: stats,
             total_theta,
@@ -210,33 +301,32 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         })
     }
 
-    /// Build one keyword's segment; returns its catalog entry and stats.
-    fn build_keyword(
-        &self,
-        dir: &Path,
-        topic: TopicId,
-    ) -> Result<(KeywordMeta, KeywordBuildStats), IndexError> {
+    /// Build one keyword's segment(s); returns its catalog rows and stats.
+    fn build_keyword(&self, dir: &Path, topic: TopicId) -> Result<KeywordBuild, IndexError> {
         let started = Instant::now();
+        let shards = self.config.shards;
         let empty = |topic| {
-            (
-                KeywordMeta {
-                    topic,
-                    theta: 0,
-                    tf_sum: 0.0,
-                    idf: 0.0,
-                    opt_w: 0.0,
-                    max_list_len: 0,
-                    num_partitions: 0,
-                    total_rr_members: 0,
-                },
-                KeywordBuildStats {
+            let meta = KeywordMeta {
+                topic,
+                theta: 0,
+                tf_sum: 0.0,
+                idf: 0.0,
+                opt_w: 0.0,
+                max_list_len: 0,
+                num_partitions: 0,
+                total_rr_members: 0,
+            };
+            KeywordBuild {
+                shard_rows: if shards > 1 { vec![(meta.clone(), 0); shards] } else { Vec::new() },
+                meta,
+                stats: KeywordBuildStats {
                     topic,
                     theta: 0,
                     mean_rr_size: 0.0,
                     file_bytes: 0,
                     elapsed: started.elapsed(),
                 },
-            )
+            }
         };
 
         let (users, tfs) = self.profiles.topic_vector(topic);
@@ -297,17 +387,105 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             inverted.present().iter().map(|&u| (u, inverted.list(u).to_vec())).collect();
         let max_list_len = il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
 
-        // Write the segment.
-        let codec = self.config.codec;
-        let path = dir.join(format::keyword_file_name(topic));
-        let mut writer = SegmentWriter::create(&path)?;
+        // Global catalog row statistics — a pure function of the sampled
+        // sets, never of the shard split.
+        let num_partitions = match self.config.variant {
+            IndexVariant::Irr { partition_size } => {
+                il_entries.len().div_ceil(partition_size as usize) as u32
+            }
+            IndexVariant::Rr => 0,
+        };
 
-        // "rr" + "rr_off": sets in id order with a byte-offset table.
+        let num_users = self.profiles.num_users();
+        let mut shard_rows = Vec::new();
+        let file_bytes = if shards == 1 {
+            // Legacy flat layout: the full universe is one shard.
+            let path = dir.join(format::keyword_file_name(topic));
+            let summary = self.write_segment(&path, &sets, 0, num_users, &il_entries)?;
+            debug_assert_eq!(summary.max_list_len, max_list_len);
+            debug_assert_eq!(summary.num_partitions, num_partitions);
+            debug_assert_eq!(summary.total_members, total_members);
+            summary.file_bytes
+        } else {
+            let cuts = format::shard_cuts(num_users, shards);
+            let mut total = 0u64;
+            for s in 0..shards {
+                let path =
+                    dir.join(format::shard_dir_name(s)).join(format::keyword_file_name(topic));
+                let summary =
+                    self.write_segment(&path, &sets, cuts[s], cuts[s + 1], &il_entries)?;
+                total += summary.file_bytes;
+                shard_rows.push((
+                    KeywordMeta {
+                        topic,
+                        theta,
+                        tf_sum,
+                        idf: self.profiles.idf(topic),
+                        opt_w: opt.value,
+                        max_list_len: summary.max_list_len,
+                        num_partitions: summary.num_partitions,
+                        total_rr_members: summary.total_members,
+                    },
+                    summary.content_fp,
+                ));
+            }
+            total
+        };
+
+        let meta = KeywordMeta {
+            topic,
+            theta,
+            tf_sum,
+            idf: self.profiles.idf(topic),
+            opt_w: opt.value,
+            max_list_len,
+            num_partitions,
+            total_rr_members: total_members,
+        };
+        let stats = KeywordBuildStats {
+            topic,
+            theta,
+            mean_rr_size: total_members as f64 / theta as f64,
+            file_bytes,
+            elapsed: started.elapsed(),
+        };
+        Ok(KeywordBuild { meta, shard_rows, stats })
+    }
+
+    /// Write one keyword segment restricted to the user range `[lo, hi)`:
+    /// every RR set keeps its global id but only its in-range members
+    /// (possibly none), and the inverted list covers in-range users only
+    /// — whose rr-id lists are *unchanged* from the global build, because
+    /// each user witnesses its own RR sets. With `[0, num_users)` this is
+    /// exactly the monolithic segment, byte for byte.
+    fn write_segment(
+        &self,
+        path: &Path,
+        sets: &RrBatch,
+        lo: NodeId,
+        hi: NodeId,
+        il_entries: &[IlEntry],
+    ) -> Result<SegmentSummary, IndexError> {
+        let lo_idx = il_entries.partition_point(|(u, _)| *u < lo);
+        let hi_idx = il_entries.partition_point(|(u, _)| *u < hi);
+        let il_entries = &il_entries[lo_idx..hi_idx];
+        let max_list_len = il_entries.iter().map(|(_, l)| l.len() as u32).max().unwrap_or(0);
+
+        let codec = self.config.codec;
+        let mut writer = SegmentWriter::create(path)?;
+
+        // "rr" + "rr_off": sets in id order with a byte-offset table. The
+        // offset table always spans all θ_w ids, so shared rr-id space
+        // survives sharding (a set with no in-range members encodes
+        // empty).
         writer.begin_block(format::RR_BLOCK)?;
         let mut offsets: Vec<u64> = Vec::with_capacity(sets.len() + 1);
         let mut scratch = Vec::new();
+        let mut total_members = 0u64;
         offsets.push(0);
         for set in sets.iter() {
+            let set = restrict(set, lo, hi);
+            total_members += set.len() as u64;
             scratch.clear();
             codec.encode_sorted(set, &mut scratch);
             writer.write(&scratch)?;
@@ -322,7 +500,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
 
         // "il".
         let mut il_bytes = Vec::new();
-        format::encode_il_entries(&il_entries, codec, &mut il_bytes);
+        format::encode_il_entries(il_entries, codec, &mut il_bytes);
         writer.write_block(format::IL_BLOCK, &il_bytes)?;
 
         // IRR blocks.
@@ -336,7 +514,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             writer.write_block(format::IP_BLOCK, &ip_bytes)?;
 
             // IL sorted by (len desc, user asc), split into δ-sized chunks.
-            let mut sorted = il_entries.clone();
+            let mut sorted = il_entries.to_vec();
             sorted.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
             let chunks: Vec<&[IlEntry]> = sorted.chunks(partition_size as usize).collect();
             num_partitions = chunks.len() as u32;
@@ -361,8 +539,10 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
                     }
                 }
                 ids.sort_unstable();
-                let ir_entries: Vec<IrEntry> =
-                    ids.iter().map(|&id| (id, sets.set(id as usize).to_vec())).collect();
+                let ir_entries: Vec<IrEntry> = ids
+                    .iter()
+                    .map(|&id| (id, restrict(sets.set(id as usize), lo, hi).to_vec()))
+                    .collect();
                 let ir_start = irp_bytes.len() as u64;
                 let ir_samples = format::encode_ir_entries(&ir_entries, codec, &mut irp_bytes);
                 let ir_end = irp_bytes.len() as u64;
@@ -382,7 +562,12 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
                     ir_samples,
                 });
             }
-            debug_assert!(assigned.iter().all(|&a| a), "every RR set reaches a partition");
+            // A set reaches a partition iff it has in-range members (the
+            // monolithic range restricts to the full, never-empty set).
+            debug_assert!(
+                (0..sets.len()).all(|id| assigned[id] != restrict(sets.set(id), lo, hi).is_empty()),
+                "every RR set with in-range members reaches a partition"
+            );
 
             let mut pmeta_bytes = Vec::new();
             format::encode_partition_meta(&parts, &mut pmeta_bytes);
@@ -392,24 +577,17 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         }
 
         let file_bytes = writer.finish()?;
-        let meta = KeywordMeta {
-            topic,
-            theta,
-            tf_sum,
-            idf: self.profiles.idf(topic),
-            opt_w: opt.value,
+        // Content fingerprint for the shard manifest: hash the finished
+        // segment (checksummed framing included) so any reflush that
+        // changes a single block is visible to the manifest.
+        let content = std::fs::read(path).map_err(kbtim_storage::segment::StorageError::Io)?;
+        Ok(SegmentSummary {
+            file_bytes,
+            content_fp: fnv1a(&content, FNV_OFFSET),
             max_list_len,
             num_partitions,
-            total_rr_members: total_members,
-        };
-        let stats = KeywordBuildStats {
-            topic,
-            theta,
-            mean_rr_size: total_members as f64 / theta as f64,
-            file_bytes,
-            elapsed: started.elapsed(),
-        };
-        Ok((meta, stats))
+            total_members,
+        })
     }
 }
 
@@ -438,6 +616,7 @@ mod tests {
             variant: IndexVariant::Irr { partition_size: 16 },
             threads: 4,
             seed: 7,
+            shards: 1,
         }
     }
 
@@ -483,6 +662,75 @@ mod tests {
             bytes_by_threads.push(digest);
         }
         assert_eq!(bytes_by_threads[0], bytes_by_threads[1]);
+    }
+
+    #[test]
+    fn sharded_build_keeps_global_catalog_byte_identical() {
+        let data = small_dataset();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let flat_dir = TempDir::new("idx-flat").unwrap();
+        IndexBuilder::new(&model, &data.profiles, small_config()).build(flat_dir.path()).unwrap();
+
+        let shard_dir = TempDir::new("idx-sharded").unwrap();
+        let config = IndexBuildConfig { shards: 4, ..small_config() };
+        let report =
+            IndexBuilder::new(&model, &data.profiles, config).build(shard_dir.path()).unwrap();
+
+        // The global catalog never depends on S — Eqn-11 budgets and the
+        // cost model are split-invariant by construction.
+        assert_eq!(
+            std::fs::read(flat_dir.path().join(format::META_FILE)).unwrap(),
+            std::fs::read(shard_dir.path().join(format::META_FILE)).unwrap(),
+        );
+
+        // Sharded layout: manifest + per-shard catalogs and segments, no
+        // flat segments at the top level.
+        assert!(shard_dir.path().join(format::SHARD_MANIFEST_FILE).is_file());
+        for s in 0..4 {
+            let sub = shard_dir.path().join(format::shard_dir_name(s));
+            assert!(sub.join(format::META_FILE).is_file(), "shard {s} catalog");
+        }
+        assert!(!shard_dir.path().join(format::keyword_file_name(0)).exists());
+        assert!(report.total_bytes > 0);
+    }
+
+    #[test]
+    fn sharded_build_is_deterministic_and_tolerates_tiny_shards() {
+        // More shards than some keywords have users: empty restricted
+        // segments must build (and later validate) cleanly.
+        use kbtim_graph::gen;
+        use kbtim_topics::UserProfiles;
+        let g = gen::cycle(5);
+        let model = IcModel::weighted_cascade(&g);
+        let profiles = UserProfiles::from_entries(5, 2, &[(0, 0, 1.0), (1, 0, 0.5), (4, 1, 1.0)]);
+        let mut digests = Vec::new();
+        for threads in [1, 4] {
+            let dir = TempDir::new("idx-tiny-shard").unwrap();
+            let config = IndexBuildConfig { shards: 8, threads, ..small_config() };
+            IndexBuilder::new(&model, &profiles, config).build(dir.path()).unwrap();
+            let mut digest: Vec<(String, u64)> = Vec::new();
+            let mut stack = vec![dir.path().to_path_buf()];
+            while let Some(d) = stack.pop() {
+                for entry in std::fs::read_dir(&d).unwrap() {
+                    let path = entry.unwrap().path();
+                    if path.is_dir() {
+                        stack.push(path);
+                        continue;
+                    }
+                    let bytes = std::fs::read(&path).unwrap();
+                    let sum = bytes
+                        .iter()
+                        .fold(0u64, |acc, &b| acc.wrapping_mul(1_000_003).wrapping_add(b as u64));
+                    digest.push((
+                        path.strip_prefix(dir.path()).unwrap().to_string_lossy().into_owned(),
+                        sum,
+                    ));
+                }
+            }
+            digest.sort();
+            digests.push(digest);
+        }
+        assert_eq!(digests[0], digests[1], "sharded builds are thread-count invariant");
     }
 
     #[test]

@@ -5,6 +5,27 @@
 //! <dir>/kw_<topic>.seg    one segment per keyword with θ_w > 0
 //! ```
 //!
+//! A **sharded** index (built with `shards > 1`) keeps the same global
+//! catalog at `<dir>/index.meta` (byte-identical to the S = 1 build, so
+//! Eqn-11 budgets and the cost model never depend on S) and moves the
+//! keyword segments into per-shard subdirectories:
+//!
+//! ```text
+//! <dir>/index.meta             global catalog (identical to S = 1)
+//! <dir>/shards.manifest        universe split + per-shard fingerprints
+//! <dir>/shard-<i>/index.meta   per-shard catalog (standalone-openable)
+//! <dir>/shard-<i>/kw_<t>.seg   keyword segments restricted to the shard
+//! ```
+//!
+//! Shard `i` owns the contiguous user range `[cuts[i], cuts[i + 1])`; its
+//! keyword segments store each global RR set restricted to members in
+//! that range (same set ids, possibly empty) and the inverted lists of
+//! in-range users only. Because every user is a witness of its own RR
+//! sets, an in-range user's rr-id list is *unchanged* from the global
+//! build — concatenating shard inverted lists in shard order reproduces
+//! the S = 1 block exactly, which is what makes sharded serving
+//! bit-identical to the monolithic index.
+//!
 //! Keyword segment blocks (integer lists use the catalog's [`Codec`];
 //! framing integers are LEB128 varints):
 //!
@@ -48,6 +69,91 @@ pub const IRP_BLOCK: &str = "irp";
 /// Segment file name for a keyword.
 pub fn keyword_file_name(topic: TopicId) -> String {
     format!("kw_{topic:05}.seg")
+}
+
+/// Shard-manifest file name inside a sharded index directory. Its
+/// presence is the discriminator between the legacy flat layout (S = 1)
+/// and the sharded layout on open.
+pub const SHARD_MANIFEST_FILE: &str = "shards.manifest";
+/// Shard-manifest block name.
+pub const SHARD_MANIFEST_BLOCK: &str = "shards";
+
+/// Subdirectory name for one shard of a sharded index.
+pub fn shard_dir_name(shard: usize) -> String {
+    format!("shard-{shard}")
+}
+
+/// The contiguous user-range boundaries for `shards` shards over
+/// `num_users` users: `cuts[i] = ⌊num_users · i / shards⌋`, so shard `i`
+/// owns `[cuts[i], cuts[i + 1])`. Always `shards + 1` entries, first 0,
+/// last `num_users`; ranges may be empty when `shards > num_users`.
+pub fn shard_cuts(num_users: u32, shards: usize) -> Vec<u32> {
+    assert!(shards > 0, "an index has at least one shard");
+    (0..=shards).map(|i| (num_users as u64 * i as u64 / shards as u64) as u32).collect()
+}
+
+/// The `shards.manifest` payload: the universe split and one build
+/// fingerprint per shard, so a reflushed/replaced shard is detectable
+/// without re-reading every segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// `|V|` the split partitions; must match the global catalog.
+    pub num_users: u32,
+    /// `num_shards + 1` range boundaries (see [`shard_cuts`]).
+    pub cuts: Vec<u32>,
+    /// One FNV-1a fingerprint per shard over its (topic, segment bytes)
+    /// pairs, stamped at build time.
+    pub fingerprints: Vec<u64>,
+}
+
+impl ShardManifest {
+    /// Number of shards the manifest describes.
+    pub fn num_shards(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Serialize the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u32(self.num_users, &mut out);
+        varint::write_u32(self.cuts.len() as u32, &mut out);
+        for &cut in &self.cuts {
+            varint::write_u32(cut, &mut out);
+        }
+        varint::write_u32(self.fingerprints.len() as u32, &mut out);
+        for &fp in &self.fingerprints {
+            out.extend_from_slice(&fp.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a manifest written by [`ShardManifest::encode`].
+    pub fn decode(input: &[u8]) -> Result<ShardManifest, IndexError> {
+        let mut cursor = Cursor::new(input);
+        let num_users = cursor.u32()?;
+        let cut_count = cursor.u32()? as usize;
+        let mut cuts = Vec::with_capacity(cut_count);
+        for _ in 0..cut_count {
+            cuts.push(cursor.u32()?);
+        }
+        let fp_count = cursor.u32()? as usize;
+        let mut fingerprints = Vec::with_capacity(fp_count);
+        for _ in 0..fp_count {
+            let bytes: [u8; 8] = cursor.bytes(8)?.try_into().expect("fixed length");
+            fingerprints.push(u64::from_le_bytes(bytes));
+        }
+        cursor.expect_end()?;
+        let manifest = ShardManifest { num_users, cuts, fingerprints };
+        if manifest.cuts.len() != manifest.fingerprints.len() + 1
+            || manifest.fingerprints.is_empty()
+            || manifest.cuts.first() != Some(&0)
+            || manifest.cuts.last() != Some(&manifest.num_users)
+            || manifest.cuts.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(IndexError::Corrupt("shard manifest split is inconsistent".into()));
+        }
+        Ok(manifest)
+    }
 }
 
 /// Whether the index carries IRR partition blocks.
@@ -268,6 +374,17 @@ impl IlCsr {
     /// Exact heap footprint of the three arenas, in bytes.
     pub fn arena_bytes(&self) -> u64 {
         (self.ids.len() * 4 + self.offsets.len() * 4 + self.users.len() * 4) as u64
+    }
+
+    /// Append every list of `other` after this block's lists, rebasing
+    /// offsets. Concatenating shard IL blocks in shard order with this
+    /// reproduces the monolithic (S = 1) block byte-for-byte, because
+    /// shards own contiguous, ascending user ranges.
+    pub fn append(&mut self, other: &IlCsr) {
+        let base = u32::try_from(self.ids.len()).expect("IL arena exceeds u32 offsets");
+        self.ids.extend_from_slice(&other.ids);
+        self.users.extend_from_slice(&other.users);
+        self.offsets.extend(other.offsets[1..].iter().map(|&o| o + base));
     }
 }
 
@@ -916,6 +1033,86 @@ mod tests {
     fn keyword_file_names_are_stable() {
         assert_eq!(keyword_file_name(0), "kw_00000.seg");
         assert_eq!(keyword_file_name(42), "kw_00042.seg");
+    }
+
+    #[test]
+    fn shard_dir_names_are_stable() {
+        assert_eq!(shard_dir_name(0), "shard-0");
+        assert_eq!(shard_dir_name(7), "shard-7");
+    }
+
+    #[test]
+    fn shard_cuts_partition_the_universe() {
+        for (num_users, shards) in [(1000u32, 1usize), (1000, 4), (7, 3), (3, 8), (0, 2)] {
+            let cuts = shard_cuts(num_users, shards);
+            assert_eq!(cuts.len(), shards + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), num_users);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+            // Balanced: ranges differ by at most one user.
+            let sizes: Vec<u32> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{num_users} users / {shards} shards: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_manifest_roundtrip() {
+        let manifest = ShardManifest {
+            num_users: 1000,
+            cuts: shard_cuts(1000, 4),
+            fingerprints: vec![1, u64::MAX, 0xdead_beef, 42],
+        };
+        assert_eq!(manifest.num_shards(), 4);
+        let bytes = manifest.encode();
+        assert_eq!(ShardManifest::decode(&bytes).unwrap(), manifest);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ShardManifest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn shard_manifest_rejects_inconsistent_splits() {
+        let bad = [
+            // cuts/fingerprints length mismatch
+            ShardManifest { num_users: 10, cuts: vec![0, 10], fingerprints: vec![1, 2] },
+            // no shards at all
+            ShardManifest { num_users: 10, cuts: vec![0], fingerprints: vec![] },
+            // split does not start at 0
+            ShardManifest { num_users: 10, cuts: vec![1, 10], fingerprints: vec![1] },
+            // split does not end at num_users
+            ShardManifest { num_users: 10, cuts: vec![0, 9], fingerprints: vec![1] },
+            // non-monotone boundaries
+            ShardManifest { num_users: 10, cuts: vec![0, 7, 4, 10], fingerprints: vec![1, 2, 3] },
+        ];
+        for manifest in bad {
+            assert!(ShardManifest::decode(&manifest.encode()).is_err(), "{manifest:?}");
+        }
+    }
+
+    #[test]
+    fn il_csr_append_matches_monolithic_decode() {
+        // Users 0..4 split [0,2) / [2,4): appending the two shard blocks
+        // must reproduce the monolithic block exactly.
+        let all: Vec<IlEntry> =
+            vec![(0, vec![1, 4]), (1, vec![]), (2, vec![0, 2, 3]), (3, vec![5])];
+        let mut whole = Vec::new();
+        encode_il_entries(&all, Codec::Packed, &mut whole);
+        let mut lo = Vec::new();
+        encode_il_entries(&all[..2], Codec::Packed, &mut lo);
+        let mut hi = Vec::new();
+        encode_il_entries(&all[2..], Codec::Packed, &mut hi);
+
+        let mut joined = decode_il_csr(&lo, Codec::Packed).unwrap();
+        joined.append(&decode_il_csr(&hi, Codec::Packed).unwrap());
+        assert_eq!(joined, decode_il_csr(&whole, Codec::Packed).unwrap());
+
+        // Appending an empty shard block is a no-op.
+        let before = joined.clone();
+        let mut empty = Vec::new();
+        encode_il_entries(&[], Codec::Packed, &mut empty);
+        joined.append(&decode_il_csr(&empty, Codec::Packed).unwrap());
+        assert_eq!(joined, before);
     }
 
     #[test]

@@ -153,6 +153,20 @@ impl KbtimIndex {
         let format::IndexVariant::Irr { .. } = self.meta().variant else {
             return Err(IndexError::NotAnIrrIndex);
         };
+        // Sharded serving lowers IRR to the scatter-gather merged-greedy
+        // path, exactly as [`KbtimIndex::query_irr_prepared`] does for
+        // batches: the NRA's advantage is loading few partitions from
+        // *one* segment, while a sharded query fans per-shard decode out
+        // across the pool anyway. By Theorem 3 (strengthened to
+        // identical sequences by the shared tie-breaking) the seeds,
+        // marginal gains, coverage, and influence estimate are
+        // bit-identical to the incremental NRA; stats reflect the
+        // scatter-gather execution (`rr_sets_loaded = θ^Q`,
+        // `partitions_loaded = 0`), which `tests/shard_equiv.rs`
+        // pins against the single-shard oracle.
+        if self.num_shards() > 1 {
+            return self.query_rr_ctx(query, ctx);
+        }
         let started = Instant::now();
         let io_before = self.io_stats().snapshot();
         let (phi_q, budget) = self.query_budget(query);
@@ -492,6 +506,7 @@ mod tests {
             variant: IndexVariant::Irr { partition_size },
             threads: 4,
             seed: 13,
+            shards: 1,
         };
         IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
     }

@@ -193,18 +193,37 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
 }
 
+/// One shard of an opened index: the contiguous user range `[lo, hi)`
+/// it owns and its per-topic block sources. A legacy (flat-layout)
+/// index is exactly one shard spanning the whole universe.
+pub(crate) struct Shard {
+    /// First user id owned by this shard.
+    pub(crate) lo: NodeId,
+    /// One past the last user id owned by this shard.
+    pub(crate) hi: NodeId,
+    /// Per-topic block sources (`None` for topics with no segment — no
+    /// user holds them, so their `θ_w = 0`).
+    pub(crate) sources: Vec<Option<BlockSource>>,
+}
+
 /// An opened on-disk KB-TIM index (either variant).
 ///
 /// [`KbtimIndex::query_rr`] implements Algorithm 2 and works on both
 /// variants; [`KbtimIndex::query_irr`] implements Algorithm 4 and requires
 /// the IRR variant.
+///
+/// A sharded directory (built with `shards > 1`, detected by the
+/// presence of `shards.manifest`) opens into multiple internal shards;
+/// query paths scatter per-shard decode across the worker pool and
+/// gather in shard order, so answers stay bit-identical to the
+/// single-shard index (see [`mod@format`]'s layout notes).
 pub struct KbtimIndex {
     dir: PathBuf,
     meta: IndexMeta,
-    /// Per-topic block sources (`None` for topics with no index — no
-    /// user holds them, so their `θ_w = 0`). All query paths serve from
-    /// these, whatever backend they wrap.
-    sources: Vec<Option<BlockSource>>,
+    /// The opened shards in shard order. Every shard's sources share the
+    /// same cloned [`IoStats`] handle, so per-query I/O books aggregate
+    /// reads/cache hits/bytes across all shards automatically.
+    shards: Vec<Shard>,
     stats: IoStats,
     /// The index-owned worker pool for per-keyword load/decode fan-out.
     /// Built once (at open or by [`KbtimIndex::set_threads`]), never per
@@ -273,42 +292,74 @@ impl KbtimIndex {
         let meta_bytes = meta_reader.read_block(format::META_BLOCK)?;
         let meta = IndexMeta::decode(&meta_bytes)?;
 
-        let mut sources = Vec::with_capacity(meta.keywords.len());
-        for kw in &meta.keywords {
-            if kw.theta == 0 {
-                sources.push(None);
-            } else {
-                let path = dir.join(format::keyword_file_name(kw.topic));
-                sources.push(Some(match cache {
-                    Some(cache) => BlockSource::open_shared(path, stats.clone(), mode, cache)?,
-                    None => BlockSource::open(path, stats.clone(), mode)?,
-                }));
+        // Auto-detect the layout: a shards.manifest announces per-shard
+        // segment subdirectories; otherwise the directory is a legacy
+        // flat (single-shard) index.
+        let manifest_path = dir.join(format::SHARD_MANIFEST_FILE);
+        let splits: Vec<(NodeId, NodeId, PathBuf)> = if manifest_path.is_file() {
+            let reader = SegmentReader::open(&manifest_path, open_stats.clone())?;
+            let manifest =
+                format::ShardManifest::decode(&reader.read_block(format::SHARD_MANIFEST_BLOCK)?)?;
+            if manifest.num_users != meta.num_users {
+                return Err(IndexError::Corrupt(format!(
+                    "shard manifest covers {} users, catalog has {}",
+                    manifest.num_users, meta.num_users
+                )));
             }
+            (0..manifest.num_shards())
+                .map(|s| {
+                    (manifest.cuts[s], manifest.cuts[s + 1], dir.join(format::shard_dir_name(s)))
+                })
+                .collect()
+        } else {
+            vec![(0, meta.num_users, dir.clone())]
+        };
+
+        let mut shards = Vec::with_capacity(splits.len());
+        for (lo, hi, shard_dir) in splits {
+            let mut sources = Vec::with_capacity(meta.keywords.len());
+            for kw in &meta.keywords {
+                if kw.theta == 0 {
+                    sources.push(None);
+                } else {
+                    let path = shard_dir.join(format::keyword_file_name(kw.topic));
+                    sources.push(Some(match cache {
+                        Some(cache) => BlockSource::open_shared(path, stats.clone(), mode, cache)?,
+                        None => BlockSource::open(path, stats.clone(), mode)?,
+                    }));
+                }
+            }
+            shards.push(Shard { lo, hi, sources });
         }
         // Capture segment identity while opening — the same
         // (path, length, mtime) triple the storage PageCache keys loaded
         // pages by — so prepared-query caches can bind entries to the
-        // exact segment generation this handle serves.
+        // exact segment generation this handle serves. Every shard's
+        // segment set folds in, so a single-shard reflush changes the
+        // fingerprint of the whole index.
         let fingerprint = {
             use std::hash::{Hash, Hasher};
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            for (topic, source) in sources.iter().enumerate() {
-                let Some(source) = source.as_ref() else { continue };
-                topic.hash(&mut hasher);
-                source.path().hash(&mut hasher);
-                source.file_len().unwrap_or(0).hash(&mut hasher);
-                let mtime = std::fs::metadata(source.path())
-                    .ok()
-                    .and_then(|m| m.modified().ok())
-                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok());
-                mtime.hash(&mut hasher);
+            for (shard_idx, shard) in shards.iter().enumerate() {
+                for (topic, source) in shard.sources.iter().enumerate() {
+                    let Some(source) = source.as_ref() else { continue };
+                    shard_idx.hash(&mut hasher);
+                    topic.hash(&mut hasher);
+                    source.path().hash(&mut hasher);
+                    source.file_len().unwrap_or(0).hash(&mut hasher);
+                    let mtime = std::fs::metadata(source.path())
+                        .ok()
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok());
+                    mtime.hash(&mut hasher);
+                }
             }
             hasher.finish()
         };
         Ok(KbtimIndex {
             dir,
             meta,
-            sources,
+            shards,
             stats,
             pool: kbtim_exec::ExecPool::new(None),
             threads: None,
@@ -319,14 +370,24 @@ impl KbtimIndex {
     }
 
     /// Identity of the keyword-segment generation this handle was opened
-    /// against: a hash over every segment's (path, length, mtime) at
-    /// open time — the same triple [`kbtim_storage::PageCache`] keys
-    /// loaded pages by. Two opens of the same on-disk state agree;
-    /// rebuilding any keyword segment changes the value, so caches keyed
-    /// by it (the serving tier's prepared-query cache) can never serve
-    /// an entry across index generations.
+    /// against: a hash over every segment's (shard, path, length, mtime)
+    /// at open time — the same (path, length, mtime) triple
+    /// [`kbtim_storage::PageCache`] keys loaded pages by, extended with
+    /// the shard index so **every shard's segment set** contributes. Two
+    /// opens of the same on-disk state agree; rebuilding any keyword
+    /// segment in any shard changes the value, so caches keyed by it
+    /// (the serving tier's prepared-query cache) can never serve an
+    /// entry across index generations — not even after a single-shard
+    /// reflush that leaves every other shard untouched.
     pub fn segment_fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Number of shards this index serves from (1 for the legacy flat
+    /// layout). Answers are bit-identical for every shard count; only
+    /// the decode/merge fan-out width changes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The serving backend this index was opened with.
@@ -335,9 +396,13 @@ impl KbtimIndex {
     }
 
     /// Segment bytes held resident by the serving tier (0 for the file
-    /// backend; the page arenas/mappings otherwise).
+    /// backend; the page arenas/mappings otherwise), across all shards.
     pub fn resident_bytes(&self) -> u64 {
-        self.sources.iter().flatten().map(|s| s.resident_bytes()).sum()
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.sources.iter().flatten())
+            .map(|s| s.resident_bytes())
+            .sum()
     }
 
     /// Set the worker-thread count used by the query paths (`None` = the
@@ -383,12 +448,21 @@ impl KbtimIndex {
         &self.stats
     }
 
-    /// Total on-disk footprint in bytes (catalog + keyword segments).
+    /// Total on-disk footprint in bytes (catalog + keyword segments; for
+    /// a sharded index also the manifest and per-shard catalogs).
     pub fn disk_bytes(&self) -> Result<u64, IndexError> {
-        let mut total =
-            std::fs::metadata(self.dir.join(format::META_FILE)).map(|m| m.len()).unwrap_or(0);
-        for source in self.sources.iter().flatten() {
-            total += source.file_len()?;
+        let file_len = |path: PathBuf| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let mut total = file_len(self.dir.join(format::META_FILE));
+        if self.num_shards() > 1 {
+            total += file_len(self.dir.join(format::SHARD_MANIFEST_FILE));
+            for s in 0..self.num_shards() {
+                total += file_len(self.dir.join(format::shard_dir_name(s)).join(format::META_FILE));
+            }
+        }
+        for shard in &self.shards {
+            for source in shard.sources.iter().flatten() {
+                total += source.file_len()?;
+            }
         }
         Ok(total)
     }
@@ -453,10 +527,31 @@ impl KbtimIndex {
         }
     }
 
-    fn source(&self, topic: TopicId) -> Result<&BlockSource, IndexError> {
-        self.sources
-            .get(topic as usize)
+    /// The opened shards in shard order.
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The block source serving `topic` from shard `shard`.
+    pub(crate) fn source_in(
+        &self,
+        shard: usize,
+        topic: TopicId,
+    ) -> Result<&BlockSource, IndexError> {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.sources.get(topic as usize))
             .and_then(|r| r.as_ref())
-            .ok_or_else(|| IndexError::Corrupt(format!("no segment for topic {topic}")))
+            .ok_or_else(|| {
+                IndexError::Corrupt(format!("no segment for topic {topic} in shard {shard}"))
+            })
+    }
+
+    /// Shard-0 source — only meaningful on a single-shard index, where
+    /// shard 0 *is* the whole index (the IRR partition walk and the
+    /// resident loader's flat path assert this before calling).
+    pub(crate) fn source(&self, topic: TopicId) -> Result<&BlockSource, IndexError> {
+        debug_assert_eq!(self.num_shards(), 1, "source() reads the flat (single-shard) layout");
+        self.source_in(0, topic)
     }
 }

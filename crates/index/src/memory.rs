@@ -41,22 +41,33 @@ pub struct MemoryIndex {
 }
 
 impl MemoryIndex {
-    /// Load every keyword of `index` into memory.
+    /// Load every keyword of `index` into memory. For a sharded index
+    /// the per-shard inverted lists concatenate in shard order — users
+    /// are range-partitioned and keep their global-build rr-id lists, so
+    /// the resident CSR is identical to a single-shard load.
     pub fn load(index: &KbtimIndex) -> Result<MemoryIndex, IndexError> {
         let meta = index.meta().clone();
         let codec = meta.codec;
+        let num_shards = index.num_shards();
         let mut keywords = Vec::with_capacity(meta.keywords.len());
         for kw in &meta.keywords {
             if kw.theta == 0 {
                 keywords.push(None);
                 continue;
             }
-            let source = index.source(kw.topic)?;
-            let il_bytes = source.read_block(format::IL_BLOCK)?;
             // Decode straight into the CSR arena — the resident form *is*
             // the serving form, no per-user Vec headers; on zero-copy
             // backends `il_bytes` borrows the shared segment pages.
-            let il = format::decode_il_csr(&il_bytes, codec)?;
+            let mut il = IlCsr::default();
+            for shard in 0..num_shards {
+                let source = index.source_in(shard, kw.topic)?;
+                let il_bytes = source.read_block(format::IL_BLOCK)?;
+                if shard == 0 {
+                    il = format::decode_il_csr(&il_bytes, codec)?;
+                } else {
+                    il.append(&format::decode_il_csr(&il_bytes, codec)?);
+                }
+            }
             keywords.push(Some(MemKeyword { il }));
         }
         Ok(MemoryIndex { meta, keywords, scratch: ScratchPool::new() })

@@ -7,11 +7,14 @@
 //! guarantees the prefix mix is an unbiased WRIS sample, so Theorem 2's
 //! approximation bound carries over.
 //!
-//! Keyword segments load and decode **in parallel** (one shard per query
-//! keyword on the index's pool); per-keyword results carry precomputed
-//! global id bases and merge in keyword order, so the assembled coverage
-//! instance — and therefore the answer — is identical for every thread
-//! count.
+//! Keyword segments load and decode **in parallel** (one job per query
+//! keyword × index shard on the index's pool, keyword-major); per-job
+//! results carry precomputed global id bases and merge in job order —
+//! for each keyword, its shards in shard order — so the assembled
+//! coverage instance — and therefore the answer — is identical for
+//! every thread count *and every shard count*: users are
+//! range-partitioned across shards and keep their global-build rr-id
+//! lists, so the shard-order gather is exactly the monolithic decode.
 //!
 //! The whole data path is flat and zero-copy: block bytes arrive as
 //! borrowed [`kbtim_storage::BlockSource`] views (or through pooled
@@ -65,16 +68,23 @@ impl KbtimIndex {
         }
         let theta_q = base;
 
+        // Scatter-gather: one job per (keyword × shard), keyword-major,
+        // so gathering in job order is "for each keyword, for each shard
+        // in shard order" — the exact concatenation that reproduces the
+        // monolithic decode (each user lives in one shard and keeps its
+        // global-build rr-id list there). With one shard this is the
+        // per-keyword fan-out unchanged.
+        let num_shards = self.num_shards();
         let pool = self.pool();
         type KeywordScan = (IlCsr, u64);
         let scans: Vec<Result<KeywordScan, IndexError>> = pool.map_shards_with(
-            budget.len(),
+            budget.len() * num_shards,
             || self.scratch.guard(),
             |guard, i| {
                 let s: &mut QueryScratch = &mut *guard;
-                let (topic, share) = budget[i];
-                let base = bases[i];
-                let source = self.source(topic)?;
+                let (topic, share) = budget[i / num_shards];
+                let base = bases[i / num_shards];
+                let source = self.source_in(i % num_shards, topic)?;
 
                 // Prefix of the offset table → byte length of the RR prefix.
                 let off_bytes =
@@ -111,7 +121,10 @@ impl KbtimIndex {
                     remapped.ids.extend(list[..cut].iter().map(|&id| (base + id as u64) as u32));
                     remapped.close_list(full.users[j]);
                 }
-                Ok((remapped, share))
+                // θ^Q_w logical sets load once per keyword, fragmented
+                // across the shards — charge the count to one job so
+                // `rr_sets_loaded == θ^Q` for every shard count.
+                Ok((remapped, if i % num_shards == 0 { share } else { 0 }))
             },
         );
 
@@ -236,13 +249,17 @@ impl KbtimIndex {
             return Err(IndexError::Injected("engine.decode"));
         }
         let codec = self.meta().codec;
+        // Keyword-major (keyword × shard) fan-out, like `query_rr_ctx`:
+        // gathering appends each keyword's shard CSRs in shard order,
+        // which reproduces the monolithic `L_w` exactly.
+        let num_shards = self.num_shards();
         let scans: Vec<Result<IlCsr, IndexError>> = self.pool().map_shards_with(
-            wants.len(),
+            wants.len() * num_shards,
             || self.scratch.guard(),
             |guard, i| {
                 let s: &mut QueryScratch = &mut *guard;
-                let (topic, share) = wants[i];
-                let source = self.source(topic)?;
+                let (topic, share) = wants[i / num_shards];
+                let source = self.source_in(i % num_shards, topic)?;
                 // RR prefix at the widest share in the batch, decoded
                 // once for every consumer (faithful query-time cost, as
                 // in `query_rr`; the answers come off the inverted
@@ -271,9 +288,18 @@ impl KbtimIndex {
             },
         );
         let mut arena = KeywordArena::default();
-        for ((topic, share), scan) in wants.iter().zip(scans) {
-            arena.topics.push(*topic);
-            arena.csrs.push(scan?);
+        let mut scans = scans.into_iter();
+        for &(topic, share) in wants {
+            // Shard 0's CSR absorbs the rest in shard order; users are
+            // range-partitioned, so the result is the monolithic block.
+            let mut csr = scans.next().expect("one scan per (keyword, shard)")?;
+            for _ in 1..num_shards {
+                let extra = scans.next().expect("one scan per (keyword, shard)")?;
+                csr.append(&extra);
+                self.scratch.put_csr(extra);
+            }
+            arena.topics.push(topic);
+            arena.csrs.push(csr);
             arena.rr_sets_decoded += share;
         }
         Ok(arena)
@@ -543,6 +569,7 @@ mod tests {
             variant: IndexVariant::Irr { partition_size: 20 },
             threads: 4,
             seed: 3,
+            shards: 1,
         };
         IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
     }

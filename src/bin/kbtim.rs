@@ -5,6 +5,7 @@
 //! kbtim stats    --graph FILE
 //! kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
 //!                [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
+//!                [--shards S]
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
 //!                [--threads N] [--serving file|resident|mmap]
 //! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
@@ -85,6 +86,7 @@ USAGE:
   kbtim stats    --graph FILE
   kbtim build    --data DIR --out DIR [--model ic|lt] [--codec raw|packed]
                  [--variant rr|irr] [--delta N] [--eps F] [--cap N] [--threads N]
+                 [--shards S]
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
                  [--threads N] [--serving file|resident|mmap]
   kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
@@ -207,6 +209,13 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
         n => n,
     };
     let seed: u64 = parse(flags, "seed", 42)?;
+    // Number of user-range shards to partition the segments into.
+    // Queries over any shard count return bit-identical answers; serving
+    // auto-detects the layout, so this is purely a scale-out knob.
+    let shards: usize = parse(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
     let sampling = SamplingConfig {
         eps,
         theta_cap: if cap == 0 { None } else { Some(cap) },
@@ -219,6 +228,7 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
         variant,
         threads,
         seed,
+        shards,
     };
 
     let model_name = flags.get("model").map(String::as_str).unwrap_or("ic");
@@ -237,10 +247,12 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     println!(
-        "built index at {}: {} RR sets across {} keywords, {:.1} MiB in {:.2?}",
+        "built index at {}: {} RR sets across {} keywords in {} shard(s), \
+         {:.1} MiB in {:.2?}",
         out.display(),
         report.total_theta,
         report.keywords.len(),
+        shards,
         report.total_bytes as f64 / (1024.0 * 1024.0),
         report.elapsed
     );
@@ -434,11 +446,12 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     }
     let engine = router.engine(None).expect("at least one index");
     eprintln!(
-        "kbtim serve: {} index(es) [{}] (serving {}, threads {}, memory {}, batch {}, \
-         merge-cache {}, max-queue {}, deadline {}, max-line {})",
+        "kbtim serve: {} index(es) [{}] (serving {}, shards {}, threads {}, memory {}, \
+         batch {}, merge-cache {}, max-queue {}, deadline {}, max-line {})",
         router.len(),
         router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
+        engine.index().num_shards(),
         threads,
         if engine.has_memory() { "on" } else { "off" },
         match batch_window {
@@ -597,7 +610,9 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     let index = KbtimIndex::open_with(dir, IoStats::new(), mode).map_err(|e| e.to_string())?;
     let report = index.validate().map_err(|e| e.to_string())?;
     println!(
-        "ok: {} keywords, {} RR sets, {} inverted entries, {} partitions (model {}, {:?})",
+        "ok: {} shard(s), {} keyword segments, {} RR sets, {} inverted entries, \
+         {} partitions (model {}, {:?})",
+        report.shards_checked,
         report.keywords_checked,
         report.rr_sets_checked,
         report.il_entries_checked,

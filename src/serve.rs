@@ -10,7 +10,7 @@
 //! → {"id": 7, "index": "sports", "topics": [0, 1], "k": 10, "algo": "irr"}
 //! ← {"id":7,"index":"sports","algo":"irr","seeds":[83,411],
 //!    "marginal_gains":[52,40],"coverage":92,"estimated_influence":14.25,
-//!    "theta_q":1800,"rr_sets_loaded":240,"elapsed_us":913}
+//!    "theta_q":1800,"rr_sets_loaded":240,"shards":1,"elapsed_us":913}
 //! ```
 //!
 //! Request fields: `topics` (array of topic ids, required), `k` (seed
@@ -641,12 +641,14 @@ fn push_u32_array(out: &mut String, key: &str, items: impl Iterator<Item = u64>)
 
 /// Render a successful outcome as one protocol line (no trailing
 /// newline). `index` is the request's routing field, echoed back when
-/// present.
+/// present; `shards` is the answering index's shard count (1 for the
+/// flat layout), so clients can see when scatter-gather was in play.
 pub fn render_outcome(
     id: Option<u64>,
     index: Option<&str>,
     algo: Algo,
     outcome: &QueryOutcome,
+    shards: usize,
 ) -> String {
     let mut out = String::with_capacity(128);
     out.push('{');
@@ -662,7 +664,7 @@ pub fn render_outcome(
     push_u32_array(&mut out, "marginal_gains", outcome.marginal_gains.iter().copied());
     out.push_str(&format!(
         ",\"coverage\":{},\"estimated_influence\":{:.6},\"theta_q\":{},\
-         \"rr_sets_loaded\":{},\"elapsed_us\":{}}}",
+         \"rr_sets_loaded\":{},\"shards\":{shards},\"elapsed_us\":{}}}",
         outcome.coverage,
         outcome.estimated_influence,
         outcome.stats.theta_q,
@@ -761,7 +763,13 @@ pub fn handle_line_ctx(router: &Router, ctx: &ServeCtx, line: &str) -> String {
     match result {
         Ok(Ok(outcome)) => {
             ServeCtx::count(&ctx.served);
-            render_outcome(parsed.id, parsed.index.as_deref(), parsed.request.algo, &outcome)
+            render_outcome(
+                parsed.id,
+                parsed.index.as_deref(),
+                parsed.request.algo,
+                &outcome,
+                engine.index().num_shards(),
+            )
         }
         Ok(Err(err)) => {
             if matches!(err.index_error(), IndexError::DeadlineExceeded) {

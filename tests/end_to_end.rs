@@ -28,6 +28,7 @@ fn build_config() -> IndexBuildConfig {
         variant: IndexVariant::Irr { partition_size: 25 },
         threads: 4,
         seed: 99,
+        shards: 1,
     }
 }
 

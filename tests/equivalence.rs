@@ -36,6 +36,7 @@ fn build(
         variant: IndexVariant::Irr { partition_size },
         threads: 2,
         seed,
+        shards: 1,
     };
     IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
 }

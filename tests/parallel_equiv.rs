@@ -87,6 +87,7 @@ fn build_index(data: &Dataset, dir: &std::path::Path, build_threads: usize) {
         variant: IndexVariant::Irr { partition_size: 24 },
         threads: build_threads,
         seed: 55,
+        shards: 1,
     };
     IndexBuilder::new(&model, &data.profiles, config).build(dir).unwrap();
 }

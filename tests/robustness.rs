@@ -23,6 +23,7 @@ fn tiny_config() -> IndexBuildConfig {
         variant: IndexVariant::Irr { partition_size: 10 },
         threads: 2,
         seed: 7,
+        shards: 1,
     }
 }
 

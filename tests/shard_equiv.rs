@@ -1,0 +1,276 @@
+//! Shard-equivalence gate for the scatter-gather serving path.
+//!
+//! The sharding contract is absolute: how many user-range shards the
+//! segments are partitioned into must be *unobservable* in query
+//! answers. RR sampling is global and each in-range user keeps its
+//! unchanged rr-id list, so concatenating shard inverted lists in shard
+//! order reproduces the flat index's merged instance exactly — seeds,
+//! marginal gains, coverage, θ^Q and the influence estimate are
+//! bit-identical for every shard count × algorithm × serving backend ×
+//! thread count. These tests pin that down, and extend the chaos gate
+//! to a sharded engine: armed `storage.read` failpoints may fail
+//! requests, but every *successful* answer stays bit-identical to the
+//! fault-free oracle and the engine serves clean after disarm.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{DatasetConfig, DatasetFamily};
+use kbtim::index::{
+    IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, MemoryIndex, QueryEngine,
+    ServingMode, ThetaMode,
+};
+use kbtim::propagation::model::IcModel;
+use kbtim::serve::{handle_line_ctx, Json, Router, ServeCtx};
+use kbtim::storage::block::all_modes;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::Query;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const NUM_TOPICS: u32 = 6;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One dataset built at every shard count; the S=1 build is the oracle.
+/// Sharded builds are opened through every backend × thread count, plus
+/// a `MemoryIndex` loaded from each sharded layout.
+struct Fixture {
+    dirs: Vec<(usize, TempDir)>,
+    oracle: KbtimIndex,
+    indexes: Vec<(usize, ServingMode, usize, KbtimIndex)>,
+    memories: Vec<(usize, MemoryIndex)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let data = DatasetConfig::family(DatasetFamily::News)
+            .num_users(400)
+            .num_topics(NUM_TOPICS)
+            .seed(91)
+            .build();
+        let model = IcModel::weighted_cascade(&data.graph);
+        let mut dirs = Vec::new();
+        for shards in SHARD_COUNTS {
+            let config = IndexBuildConfig {
+                sampling: SamplingConfig {
+                    theta_cap: Some(1_000),
+                    opt_initial_samples: 64,
+                    opt_max_rounds: 5,
+                    ..SamplingConfig::fast()
+                },
+                theta_mode: ThetaMode::Compact,
+                variant: IndexVariant::Irr { partition_size: 16 },
+                threads: 4,
+                seed: 13,
+                shards,
+                ..IndexBuildConfig::default()
+            };
+            let dir = TempDir::new(&format!("shard-equiv-{shards}")).unwrap();
+            IndexBuilder::new(&model, &data.profiles, config).build(dir.path()).unwrap();
+            dirs.push((shards, dir));
+        }
+
+        let oracle = KbtimIndex::open(dirs[0].1.path(), IoStats::new()).unwrap();
+        let mut indexes = Vec::new();
+        let mut memories = Vec::new();
+        for (shards, dir) in dirs.iter().filter(|(s, _)| *s > 1) {
+            for mode in all_modes() {
+                for threads in [1usize, 8] {
+                    let index = KbtimIndex::open_with(dir.path(), IoStats::new(), mode)
+                        .unwrap()
+                        .with_threads(Some(threads));
+                    assert_eq!(index.num_shards(), *shards);
+                    indexes.push((*shards, mode, threads, index));
+                }
+            }
+            let via = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+            memories.push((*shards, MemoryIndex::load(&via).unwrap()));
+        }
+        Fixture { dirs, oracle, indexes, memories }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn any_shard_count_is_bit_identical_to_flat(
+        raw_topics in proptest::collection::vec(0u32..NUM_TOPICS, 1..4),
+        k in 1u32..16,
+    ) {
+        let fx = fixture();
+        let mut topics = raw_topics;
+        topics.sort_unstable();
+        topics.dedup();
+        let query = Query::new(topics, k);
+
+        // Flat (S = 1) oracle per algorithm. Theorem 3 makes the IRR
+        // seeds equal the RR seeds; auto picks one of the two.
+        let rr = fx.oracle.query_rr(&query).unwrap();
+        let irr = fx.oracle.query_irr(&query).unwrap();
+        let auto = fx.oracle.query_auto(&query).unwrap();
+        prop_assert_eq!(&rr.seeds, &irr.seeds, "Theorem 3 on the oracle");
+
+        for (shards, mode, threads, index) in &fx.indexes {
+            let tag = || format!("S={shards} {mode} t{threads}");
+            // Two rounds so the second runs entirely on pooled scratch.
+            for _round in 0..2 {
+                for (algo, want) in [("rr", &rr), ("irr", &irr), ("auto", &auto)] {
+                    let got = match algo {
+                        "rr" => index.query_rr(&query).unwrap(),
+                        "irr" => index.query_irr(&query).unwrap(),
+                        _ => index.query_auto(&query).unwrap(),
+                    };
+                    prop_assert_eq!(&got.seeds, &want.seeds, "{} {}", tag(), algo);
+                    prop_assert_eq!(&got.marginal_gains, &want.marginal_gains);
+                    prop_assert_eq!(got.coverage, want.coverage);
+                    prop_assert_eq!(got.stats.theta_q, want.stats.theta_q);
+                    prop_assert_eq!(
+                        got.estimated_influence.to_bits(),
+                        want.estimated_influence.to_bits(),
+                        "{} {}: influence must be bit-identical", tag(), algo
+                    );
+                }
+                // The RR accounting identity survives sharding: the
+                // shard fan-out decodes each keyword's prefix exactly
+                // once across shards.
+                let r = index.query_rr(&query).unwrap();
+                prop_assert_eq!(r.stats.rr_sets_loaded, r.stats.theta_q, "{}", tag());
+            }
+        }
+
+        for (shards, memory) in &fx.memories {
+            let m = memory.query(&query);
+            prop_assert_eq!(&m.seeds, &rr.seeds, "memory from S={}", shards);
+            prop_assert_eq!(&m.marginal_gains, &rr.marginal_gains);
+            prop_assert_eq!(m.coverage, rr.coverage);
+            prop_assert_eq!(m.stats.theta_q, rr.stats.theta_q);
+        }
+    }
+}
+
+#[test]
+fn sharded_layouts_validate_and_report_their_shard_count() {
+    let fx = fixture();
+    for (shards, dir) in &fx.dirs {
+        let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+        assert_eq!(index.num_shards(), *shards);
+        let report = index.validate().unwrap();
+        assert_eq!(report.shards_checked as usize, *shards);
+    }
+}
+
+#[test]
+fn shard_fingerprints_differ_per_layout() {
+    // Different shard counts are different segment generations: a
+    // prepared-query cache keyed by the fingerprint must never alias
+    // them (satellite of the PageCache/fingerprint contract).
+    let fx = fixture();
+    let mut fps = Vec::new();
+    for (_, dir) in &fx.dirs {
+        fps.push(KbtimIndex::open(dir.path(), IoStats::new()).unwrap().segment_fingerprint());
+    }
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), SHARD_COUNTS.len(), "layouts must not share a fingerprint");
+}
+
+/// Chaos extension: `storage.read` failpoints over a sharded engine.
+/// A shard decode that fails fails the whole request (no partial
+/// merges); whatever succeeds is bit-identical to the fault-free
+/// answer, and the engine serves clean once disarmed.
+#[test]
+fn sharded_engine_isolates_storage_faults() {
+    const LINES: [&str; 4] = [
+        r#"{"id":1,"topics":[0,1],"k":5,"algo":"rr"}"#,
+        r#"{"id":2,"topics":[1,2],"k":3,"algo":"irr"}"#,
+        r#"{"id":3,"topics":[0,3],"k":8,"algo":"auto"}"#,
+        r#"{"id":4,"topics":[2,4],"k":4}"#,
+    ];
+    let fx = fixture();
+    let (shards, dir) = &fx.dirs[2]; // S = 4
+    assert_eq!(*shards, 4);
+
+    let answer_fields = |response: &str| -> Vec<(String, Json)> {
+        let Json::Obj(fields) = Json::parse(response).expect("protocol JSON") else {
+            panic!("response is not an object: {response}");
+        };
+        fields.into_iter().filter(|(key, _)| key != "elapsed_us").collect()
+    };
+
+    for mode in all_modes() {
+        kbtim_fault::reset();
+        let index = KbtimIndex::open_with(dir.path(), IoStats::new(), mode).unwrap();
+        let router = Router::single(Arc::new(QueryEngine::new(Arc::new(index))));
+        let ctx = ServeCtx::new(64, None);
+
+        // Fault-free oracle from the very engine under test (the
+        // proptest above already pins sharded == flat).
+        let oracle: Vec<Vec<(String, Json)>> = LINES
+            .iter()
+            .map(|&line| {
+                let response = handle_line_ctx(&router, &ctx, line);
+                assert!(response.contains("\"seeds\""), "oracle for {line}: {response}");
+                assert!(
+                    response.contains("\"shards\":4"),
+                    "{mode}: response must report the shard count: {response}"
+                );
+                answer_fields(&response)
+            })
+            .collect();
+
+        kbtim_fault::set_seed(0xdead_beef);
+        kbtim_fault::arm("storage.read", "30%err").unwrap();
+        let mut successes = 0usize;
+        for round in 0..8 {
+            for (i, &line) in LINES.iter().enumerate() {
+                let response = handle_line_ctx(&router, &ctx, line);
+                Json::parse(&response).unwrap_or_else(|e| {
+                    panic!("{mode} round {round}: unparseable response {response:?}: {e}")
+                });
+                if response.contains("\"seeds\"") {
+                    successes += 1;
+                    assert_eq!(
+                        answer_fields(&response),
+                        oracle[i],
+                        "{mode}: a successful answer under faults must be \
+                         bit-identical to the fault-free answer"
+                    );
+                } else {
+                    assert!(
+                        response.contains("\"code\":\"engine_error\""),
+                        "{mode}: storage faults must surface as engine_error: {response}"
+                    );
+                }
+            }
+        }
+        kbtim_fault::reset();
+
+        // Disarmed, the same engine answers every line cleanly again.
+        for (i, &line) in LINES.iter().enumerate() {
+            assert_eq!(
+                answer_fields(&handle_line_ctx(&router, &ctx, line)),
+                oracle[i],
+                "{mode}: engine must serve clean answers after the storm \
+                 ({successes} chaos requests had succeeded)"
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_backed_serving_reports_flat_shard_count_of_its_source() {
+    // A serve response's `shards` field reflects the disk index behind
+    // the engine even when the memory tier answers.
+    let fx = fixture();
+    let (shards, dir) = &fx.dirs[1]; // S = 2
+    let index = KbtimIndex::open(dir.path(), IoStats::new()).unwrap();
+    let router = Router::single(Arc::new(QueryEngine::with_memory(Arc::new(index)).unwrap()));
+    let ctx = ServeCtx::new(16, None);
+    let response =
+        handle_line_ctx(&router, &ctx, r#"{"id":9,"topics":[0,1],"k":5,"algo":"memory"}"#);
+    assert!(response.contains("\"seeds\""), "{response}");
+    assert!(
+        response.contains(&format!("\"shards\":{shards}")),
+        "response must carry the source shard count: {response}"
+    );
+}
