@@ -573,6 +573,41 @@ impl QueryEngine {
         }
     }
 
+    /// Answer a caller-assembled batch in one shared execution — the
+    /// entry point for front ends that already hold a window of
+    /// concurrent requests (the epoll event loop's fair dequeue) and
+    /// need no admission window: the batch planner's condvar wait
+    /// exists to *collect* concurrency, and a ready queue has already
+    /// collected it.
+    ///
+    /// Results come back in request order, one per input. Sharing is
+    /// identical to the planner's internal `run_batch`:
+    /// duplicates execute once under the widest member deadline,
+    /// same-keyword-set requests share one budget/decode/merge, and
+    /// every answer is bit-identical to running its request alone. A
+    /// panicking batch fails every slot, then re-throws — callers
+    /// contain it the same way they contain
+    /// [`query_deadline`](Self::query_deadline) panics.
+    pub fn query_window(&self, requests: &[(EngineRequest, Option<Instant>)]) -> Vec<EngineResult> {
+        let batch: Vec<(EngineRequest, Option<Instant>, Arc<Flight>)> = requests
+            .iter()
+            .map(|(req, deadline)| (req.clone(), *deadline, Arc::new(Flight::new())))
+            .collect();
+        if let Err(payload) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_batch(&batch)))
+        {
+            let err: EngineResult =
+                Err(EngineError::from(IndexError::Corrupt("batch execution panicked".to_string())));
+            for (_, _, flight) in &batch {
+                flight.complete(err.clone());
+            }
+            std::panic::resume_unwind(payload);
+        }
+        // run_batch completes every flight synchronously, so these waits
+        // never block.
+        batch.iter().map(|(_, _, flight)| flight.wait()).collect()
+    }
+
     /// The non-batched serving path: identical in-flight requests
     /// collapse to one execution.
     fn query_coalesced(&self, req: &EngineRequest, deadline: Option<Instant>) -> EngineResult {

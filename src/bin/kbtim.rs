@@ -9,6 +9,8 @@
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
 //!                [--threads N] [--serving file|resident|mmap]
 //! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
+//!                [--front-end epoll|threads] [--max-conns N] [--backlog N]
+//!                [--workers N] [--outbox-cap BYTES]
 //!                [--threads N] [--serving file|resident|mmap] [--memory on|off]
 //!                [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
 //!                [--deadline-ms MS] [--max-line BYTES]
@@ -21,8 +23,13 @@
 //!
 //! `serve` turns the index into an always-on query service speaking
 //! line-delimited JSON (see [`kbtim::serve`]) over stdin/stdout, or over
-//! TCP with `--listen` (one thread per connection, all sharing one
-//! index through the process-wide page cache).
+//! TCP with `--listen`. On Linux the default TCP front end is a
+//! hand-rolled epoll readiness loop (`--front-end epoll`): thousands of
+//! connections multiplexed onto a fixed worker pool, with per-connection
+//! request pipelining and `"id"`-matched responses. `--front-end
+//! threads` selects the portable thread-per-connection loop (the only
+//! option off Linux), all connections sharing one index through the
+//! process-wide page cache.
 
 use kbtim::core::theta::SamplingConfig;
 use kbtim::datagen::{DatasetConfig, DatasetFamily};
@@ -90,6 +97,8 @@ USAGE:
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
                  [--threads N] [--serving file|resident|mmap]
   kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
+                 [--front-end epoll|threads] [--max-conns N] [--backlog N]
+                 [--workers N] [--outbox-cap BYTES]
                  [--threads N] [--serving file|resident|mmap] [--memory on|off]
                  [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
                  [--deadline-ms MS] [--max-line BYTES]
@@ -309,49 +318,36 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Process-wide SIGTERM/SIGINT latch for graceful drain. The handler
-/// only flips an atomic (the one async-signal-safe thing it may do);
-/// the serve loops poll it between requests / accepts.
-mod term_signal {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    static TERMINATE: AtomicBool = AtomicBool::new(false);
-
-    /// Whether SIGTERM/SIGINT has arrived.
-    pub fn pending() -> bool {
-        TERMINATE.load(Ordering::SeqCst)
-    }
-
-    /// Install the handlers. The workspace vendors no platform crates,
-    /// so this binds `signal(2)` directly, like the storage mmap shim.
+/// Whether stdin is a pipe or socket — the channels where EOF is a
+/// deliberate drain signal from a supervisor. A daemonized server with
+/// stdin on `/dev/null` (a character device, always at EOF) must NOT
+/// treat that instant EOF as "drain now", which it historically did
+/// (the caveat `docs/OPERATIONS.md` used to carry). A TTY stdin is
+/// also excluded: interactive operators stop a server with Ctrl-C
+/// (SIGINT), which still drains.
+fn stdin_is_pipe() -> bool {
     #[cfg(unix)]
-    pub fn install() {
-        extern "C" fn on_term(_sig: i32) {
-            TERMINATE.store(true, Ordering::SeqCst);
-        }
-        extern "C" {
-            fn signal(signum: i32, handler: usize) -> usize;
-        }
-        const SIGINT: i32 = 2;
-        const SIGTERM: i32 = 15;
-        unsafe {
-            signal(SIGTERM, on_term as *const () as usize);
-            signal(SIGINT, on_term as *const () as usize);
+    {
+        use std::os::unix::fs::FileTypeExt;
+        if let Ok(meta) = std::fs::metadata("/proc/self/fd/0") {
+            let ft = meta.file_type();
+            return ft.is_fifo() || ft.is_socket();
         }
     }
-
-    #[cfg(not(unix))]
-    pub fn install() {}
+    // No /proc (or not Unix): keep the historic stdin-EOF drain
+    // contract rather than silently dropping a shutdown channel.
+    true
 }
 
 fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Result<(), String> {
     use kbtim::index::{PageCache, QueryEngine};
     use kbtim::serve::{
-        handle_line_ctx, read_bounded_line, render_error, LineRead, Router, ServeCtx,
+        handle_line_ctx, read_bounded_line, render_error, serve_epoll, serve_threads, term_signal,
+        EpollConfig, LineRead, Router, ServeCtx,
     };
-    use std::io::{BufReader, Write};
+    use std::io::Write;
     use std::sync::Arc;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     // Repeatable routing flag: `--index name=dir` serves many indexes
     // from one process (the first is the default route); a bare
@@ -423,8 +419,49 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     if max_line == 0 {
         return Err("--max-line must be positive".to_string());
     }
+    // TCP front end: `epoll` (Linux default — one event loop, pipelined
+    // requests, fixed worker pool) or `threads` (portable, one thread
+    // per connection). Off Linux, `epoll` falls back to `threads` with
+    // a notice. Stdin mode is its own strictly-serial loop.
+    let fe_flag = flags.get("front-end").map(String::as_str);
+    if fe_flag.is_some() && !flags.contains_key("listen") {
+        return Err("--front-end requires --listen".to_string());
+    }
+    let front_end: &'static str = match (flags.contains_key("listen"), fe_flag) {
+        (false, _) => "stdin",
+        (true, Some("threads")) => "threads",
+        (true, None | Some("epoll")) => {
+            if cfg!(target_os = "linux") {
+                "epoll"
+            } else {
+                if fe_flag.is_some() {
+                    eprintln!("kbtim serve: the epoll front end is Linux-only; using threads");
+                }
+                "threads"
+            }
+        }
+        (true, Some(other)) => {
+            return Err(format!("--front-end must be epoll|threads, got {other:?}"));
+        }
+    };
+    // Epoll front-end knobs (ignored by the other front ends).
+    let max_conns: usize = parse(flags, "max-conns", 4096)?;
+    if max_conns == 0 {
+        return Err("--max-conns must be positive".to_string());
+    }
+    let backlog: i32 = parse(flags, "backlog", 1024)?;
+    if backlog <= 0 {
+        return Err("--backlog must be positive".to_string());
+    }
+    // Query-execution workers of the epoll dispatcher; 0 = the
+    // machine's available parallelism. Distinct from --threads, which
+    // is the per-query fan-out *inside* the engine.
+    let workers: usize = parse(flags, "workers", 0)?;
+    // Per-connection unread-response cap in bytes; beyond it, further
+    // requests on that connection are shed with `overloaded`.
+    let outbox_cap: usize = parse(flags, "outbox-cap", 256 * 1024)?;
     let default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-    let ctx = Arc::new(ServeCtx::new(max_queue, default_deadline));
+    let ctx = Arc::new(ServeCtx::new(max_queue, default_deadline).with_front_end(front_end));
     term_signal::install();
 
     // Open every index through the process-wide page cache: indexes
@@ -446,8 +483,9 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     }
     let engine = router.engine(None).expect("at least one index");
     eprintln!(
-        "kbtim serve: {} index(es) [{}] (serving {}, shards {}, threads {}, memory {}, \
-         batch {}, merge-cache {}, max-queue {}, deadline {}, max-line {})",
+        "kbtim serve: {} index(es) [{}] (front-end {front_end}, serving {}, shards {}, \
+         threads {}, memory {}, batch {}, merge-cache {}, max-queue {}, deadline {}, \
+         max-line {})",
         router.len(),
         router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
@@ -471,9 +509,6 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     );
     let router = Arc::new(router);
 
-    let too_long = |max_line: usize| {
-        render_error(None, "bad_request", &format!("request line exceeds {max_line} bytes"))
-    };
     match flags.get("listen") {
         None => {
             // stdin/stdout mode: one request line in, one response line
@@ -490,7 +525,12 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
                 let read = read_bounded_line(&mut reader, max_line).map_err(|e| e.to_string())?;
                 let response = match read {
                     LineRead::Eof => break,
-                    LineRead::TooLong => too_long(max_line),
+                    LineRead::TooLong => render_error(
+                        None,
+                        "bad_request",
+                        &format!("request line exceeds {max_line} bytes"),
+                        ctx.front_end(),
+                    ),
                     LineRead::Line(line) => {
                         let line = line.trim();
                         if line.is_empty() {
@@ -508,95 +548,43 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
         }
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| e.to_string())?;
-            // Nonblocking accept so the loop can poll the shutdown
-            // latch: a blocked `accept(2)` would pin the process until
-            // one more client happened to connect.
-            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
             eprintln!(
                 "kbtim serve: listening on {}",
                 listener.local_addr().map_err(|e| e.to_string())?
             );
             // stdin EOF also means drain (mirrors the stdin-mode
             // contract, and gives supervisors a portable shutdown
-            // channel besides SIGTERM).
-            {
-                let ctx = Arc::clone(&ctx);
-                std::thread::spawn(move || {
-                    use std::io::Read;
-                    let mut sink = [0u8; 4096];
-                    let mut stdin = std::io::stdin();
-                    loop {
-                        match stdin.read(&mut sink) {
-                            Ok(0) | Err(_) => break,
-                            Ok(_) => {}
-                        }
-                    }
-                    ctx.begin_shutdown();
-                });
-            }
-            loop {
-                if term_signal::pending() {
-                    ctx.begin_shutdown();
-                }
-                if ctx.is_shutting_down() {
-                    break;
-                }
-                let stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
-                    }
-                    // Transient accept failures (a client resetting mid
-                    // handshake, fd exhaustion) must not take down every
-                    // established connection.
-                    Err(e) => {
-                        eprintln!("kbtim serve: accept error: {e}");
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                // The listener is nonblocking only for the poll loop;
-                // per-connection reads stay blocking.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let router = Arc::clone(&router);
-                let ctx = Arc::clone(&ctx);
-                // One thread per connection; all connections share the
-                // router's engines (and therefore the indexes, their
-                // scratch pools, the request coalescing and the batch
-                // planner) plus the admission/drain context.
-                std::thread::spawn(move || {
-                    let mut writer = match stream.try_clone() {
-                        Ok(w) => w,
-                        Err(_) => return,
+            // channel besides SIGTERM) — but only when stdin is a pipe
+            // or socket, where EOF is a deliberate signal. A daemon
+            // with stdin on /dev/null no longer drains at startup.
+            let watch_stdin = stdin_is_pipe();
+            let grace = Duration::from_secs(10);
+            match front_end {
+                "epoll" => {
+                    let cfg = EpollConfig {
+                        max_conns,
+                        backlog,
+                        workers,
+                        outbox_cap,
+                        max_line,
+                        grace,
+                        watch_stdin,
+                        ..EpollConfig::default()
                     };
-                    let mut reader = BufReader::new(stream);
-                    loop {
-                        let response = match read_bounded_line(&mut reader, max_line) {
-                            Err(_) | Ok(LineRead::Eof) => break,
-                            Ok(LineRead::TooLong) => too_long(max_line),
-                            Ok(LineRead::Line(line)) => {
-                                let line = line.trim();
-                                if line.is_empty() {
-                                    continue;
-                                }
-                                handle_line_ctx(&router, &ctx, line)
-                            }
-                        };
-                        if writeln!(writer, "{response}").is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            // Drain: stop accepting (done — the loop exited), let
-            // admitted requests finish, then report and exit. The grace
-            // bound keeps a wedged query from pinning shutdown forever.
-            let grace = Instant::now() + Duration::from_secs(10);
-            while ctx.inflight() > 0 && Instant::now() < grace {
-                std::thread::sleep(Duration::from_millis(10));
+                    serve_epoll(listener, Arc::clone(&router), Arc::clone(&ctx), cfg)
+                        .map_err(|e| e.to_string())?;
+                }
+                _ => {
+                    serve_threads(
+                        listener,
+                        Arc::clone(&router),
+                        Arc::clone(&ctx),
+                        max_line,
+                        watch_stdin,
+                        grace,
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
             }
             eprintln!("kbtim serve: drained ({})", ctx.stats_line());
             Ok(())

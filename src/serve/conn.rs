@@ -1,0 +1,77 @@
+//! Per-connection state for the epoll front end: the nonblocking
+//! stream, the incremental line framer feeding requests in, and the
+//! bounded outbox draining responses out.
+
+use super::framer::LineFramer;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+
+/// One client connection multiplexed by the event loop. Addressed by a
+/// monotonic connection id — the epoll token and the completion
+/// address. Never an fd: fds are reused by the kernel the moment a
+/// connection closes, and a stale completion must miss, not land on
+/// whoever inherited the number.
+pub(crate) struct Conn {
+    /// The nonblocking stream.
+    pub stream: TcpStream,
+    /// Reassembles torn request lines across reads.
+    pub framer: LineFramer,
+    /// Bytes of rendered responses not yet accepted by the socket.
+    pub outbox: VecDeque<u8>,
+    /// Requests handed to the dispatcher whose responses have not yet
+    /// been enqueued — the per-connection pipeline depth.
+    pub pending: usize,
+    /// Whether the connection is currently registered for `EPOLLOUT`
+    /// (mirrors the kernel-side interest so re-arms are cheap).
+    pub want_write: bool,
+    /// The client half-closed (EOF / `EPOLLRDHUP`): no more requests
+    /// will arrive; the connection closes once `pending` and the outbox
+    /// both drain.
+    pub read_closed: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, max_line: usize) -> Conn {
+        Conn {
+            stream,
+            framer: LineFramer::new(max_line),
+            outbox: VecDeque::new(),
+            pending: 0,
+            want_write: false,
+            read_closed: false,
+        }
+    }
+
+    /// Queue one rendered response line (newline appended) for writing.
+    pub(crate) fn enqueue_response(&mut self, line: &str) {
+        self.outbox.extend(line.as_bytes());
+        self.outbox.push_back(b'\n');
+    }
+
+    /// Write as much of the outbox as the socket accepts right now.
+    /// `Ok(true)` means fully drained; `Ok(false)` means the socket
+    /// would block and `EPOLLOUT` should stay armed. Errors mean the
+    /// connection is dead.
+    pub(crate) fn flush(&mut self) -> io::Result<bool> {
+        while !self.outbox.is_empty() {
+            let (front, _) = self.outbox.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.outbox.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether every accepted request has been answered and flushed —
+    /// a half-closed connection may be dropped once this holds.
+    pub(crate) fn done(&self) -> bool {
+        self.pending == 0 && self.outbox.is_empty()
+    }
+}

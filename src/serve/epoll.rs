@@ -1,0 +1,535 @@
+//! The Linux epoll front end: one event-loop thread multiplexing every
+//! connection, pipelined requests fanned into a fixed worker pool.
+//!
+//! Layout of the machine:
+//!
+//! * **Event loop (this module)** — nonblocking accept, per-connection
+//!   nonblocking reads through an incremental [`LineFramer`](super::LineFramer)
+//!   (same cap/resync semantics as the blocking reader), response
+//!   outboxes with `EPOLLOUT` re-arm, and the drain state machine.
+//! * **Dispatch (`super::dispatch`)** — admitted requests enter a
+//!   per-(connection × index) fair queue; workers dequeue windows and
+//!   execute them, batching through
+//!   [`kbtim_index::QueryEngine::query_window`] when the engine has a
+//!   batch window configured (the ready queue *is* the admission
+//!   window, so nobody condvar-sleeps to collect concurrency).
+//! * **Hand-off (`super::sys`)** — workers push rendered responses into
+//!   a [`kbtim_exec::CompletionQueue`] whose waker writes an
+//!   `eventfd`, kicking `epoll_wait`; the loop drains completions in
+//!   batches and routes each to its connection by id.
+//!
+//! Pipelining: a client may write many request lines without reading;
+//! responses come back **in completion order**, matched by the echoed
+//! `id` (normative semantics in `docs/PROTOCOL.md`). Backpressure is
+//! per connection: at most `pipeline_depth` requests in flight and
+//! `outbox_cap` bytes of unread responses — beyond either, requests
+//! are shed with `overloaded` instead of buffering without bound.
+//!
+//! Overload and drain books are the same [`ServeCtx`] the
+//! thread-per-connection front end uses, so admission permits,
+//! deadlines, failpoint containment, and the drained stats line work
+//! unchanged across front ends.
+//!
+//! Connections are addressed by a **monotonic id**, never by fd: the
+//! kernel reuses fds the moment a connection closes, and a completion
+//! for a dead connection must be dropped, not delivered to whoever
+//! inherited the number.
+
+use super::Router;
+use super::ServeCtx;
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs of [`serve_epoll`]. Defaults match the CLI's.
+#[derive(Debug, Clone)]
+pub struct EpollConfig {
+    /// Accepted-connection cap; further connects get a best-effort
+    /// `overloaded` line and are dropped (`--max-conns`).
+    pub max_conns: usize,
+    /// Kernel accept backlog (`listen(2)`), for connect bursts.
+    pub backlog: i32,
+    /// Worker threads executing queries; `0` = the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Per-connection outbox cap in bytes: beyond this many unread
+    /// response bytes, further requests are shed with `overloaded`.
+    pub outbox_cap: usize,
+    /// Per-request line cap (`--max-line`), enforced by the framer.
+    pub max_line: usize,
+    /// Per-connection pipeline depth: at most this many requests in
+    /// flight per connection; excess is shed with `overloaded`.
+    pub pipeline_depth: usize,
+    /// Drain grace: after shutdown begins, in-flight work gets this
+    /// long to finish before the loop gives up.
+    pub grace: Duration,
+    /// Watch stdin for EOF as a drain channel (the supervisor-pipe
+    /// contract). The CLI enables this only when stdin is a pipe or
+    /// socket, so a daemon with stdin on `/dev/null` no longer drains
+    /// immediately.
+    pub watch_stdin: bool,
+}
+
+impl Default for EpollConfig {
+    fn default() -> EpollConfig {
+        EpollConfig {
+            max_conns: 4096,
+            backlog: 1024,
+            workers: 0,
+            outbox_cap: 256 * 1024,
+            max_line: 1 << 20,
+            pipeline_depth: 128,
+            grace: Duration::from_secs(10),
+            watch_stdin: false,
+        }
+    }
+}
+
+/// Serve `listener` on the epoll event loop until drain, then return
+/// (the caller reports [`ServeCtx::stats_line`]). Linux only — other
+/// platforms get `ErrorKind::Unsupported`, and the CLI falls back to
+/// [`super::serve_threads`].
+#[cfg(not(target_os = "linux"))]
+pub fn serve_epoll(
+    _listener: TcpListener,
+    _router: Arc<Router>,
+    _ctx: Arc<ServeCtx>,
+    _cfg: EpollConfig,
+) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the epoll front end is Linux-only; use the threads front end",
+    ))
+}
+
+/// Serve `listener` on the epoll event loop until drain, then return
+/// (the caller reports [`ServeCtx::stats_line`]).
+#[cfg(target_os = "linux")]
+pub fn serve_epoll(
+    listener: TcpListener,
+    router: Arc<Router>,
+    ctx: Arc<ServeCtx>,
+    cfg: EpollConfig,
+) -> io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+
+    let epoll = super::sys::Epoll::new()?;
+    let wake = Arc::new(super::sys::EventFd::new()?);
+    listener.set_nonblocking(true)?;
+    super::sys::set_backlog(listener.as_raw_fd(), cfg.backlog)?;
+    epoll.add(listener.as_raw_fd(), linux::TOK_LISTENER)?;
+    epoll.add(wake.as_raw_fd(), linux::TOK_WAKE)?;
+    if cfg.watch_stdin {
+        // Fails with EPERM when stdin is a regular file (epoll cannot
+        // watch those); the drain channels are then SIGTERM and client
+        // EOF only.
+        let _ = epoll.add(0, linux::TOK_STDIN);
+    }
+    let workers = match cfg.workers {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    let waker = {
+        let wake = Arc::clone(&wake);
+        move || wake.signal()
+    };
+    let dispatcher =
+        super::dispatch::Dispatcher::new(Arc::clone(&router), Arc::clone(&ctx), workers, waker);
+    linux::EventLoop {
+        epoll,
+        wake,
+        listener,
+        router,
+        ctx,
+        cfg,
+        dispatcher: Some(dispatcher),
+        conns: std::collections::HashMap::new(),
+        next_id: linux::FIRST_CONN,
+        accepting: true,
+        buf: vec![0u8; 64 * 1024],
+        scratch: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::super::conn::Conn;
+    use super::super::dispatch::{Dispatcher, Pending};
+    use super::super::framer::FramedLine;
+    use super::super::sys::{self, EpollEvent, EventFd};
+    use super::super::term_signal;
+    use super::super::{render_error, render_unknown_index, Router, ServeCtx, ServeRequest};
+    use super::EpollConfig;
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::TcpListener;
+    use std::os::unix::io::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Fixed epoll tokens; connection ids start above them and only
+    /// grow, so a token is never ambiguous.
+    pub(super) const TOK_LISTENER: u64 = 0;
+    pub(super) const TOK_WAKE: u64 = 1;
+    pub(super) const TOK_STDIN: u64 = 2;
+    pub(super) const FIRST_CONN: u64 = 3;
+
+    pub(super) struct EventLoop {
+        pub epoll: sys::Epoll,
+        pub wake: Arc<EventFd>,
+        pub listener: TcpListener,
+        pub router: Arc<Router>,
+        pub ctx: Arc<ServeCtx>,
+        pub cfg: EpollConfig,
+        /// `Option` so the drain tail can take it for `stop_and_join`.
+        pub dispatcher: Option<Dispatcher>,
+        pub conns: HashMap<u64, Conn>,
+        pub next_id: u64,
+        pub accepting: bool,
+        /// Shared read scratch — one buffer for every connection, since
+        /// reads happen one connection at a time on the loop thread.
+        pub buf: Vec<u8>,
+        /// Reusable completion drain buffer.
+        pub scratch: Vec<(u64, String)>,
+    }
+
+    impl EventLoop {
+        pub(super) fn run(mut self) -> io::Result<()> {
+            let mut events = vec![EpollEvent::default(); 1024];
+            let mut drain_deadline: Option<Instant> = None;
+            loop {
+                if term_signal::pending() {
+                    self.ctx.begin_shutdown();
+                }
+                if self.ctx.is_shutting_down() && self.accepting {
+                    // Drain begins: stop accepting; queued and in-flight
+                    // requests finish, outboxes flush, then the loop
+                    // exits (or the grace expires).
+                    self.accepting = false;
+                    let _ = self.epoll.del(self.listener.as_raw_fd());
+                    drain_deadline = Some(Instant::now() + self.cfg.grace);
+                }
+                if let Some(deadline) = drain_deadline {
+                    let dispatcher = self.dispatcher.as_ref().expect("dispatcher until drained");
+                    let idle = dispatcher.queued() == 0
+                        && self.ctx.inflight() == 0
+                        && self.conns.values().all(Conn::done);
+                    if idle || Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                // The timeout bounds how stale a signal-only shutdown
+                // can go unnoticed (a signal also interrupts the wait
+                // with EINTR, reported as zero events).
+                let n = self.epoll.wait(&mut events, 100)?;
+                for event in &events[..n] {
+                    // Copy out of the (packed) event before use.
+                    let (token, bits) = (event.token, event.events);
+                    match token {
+                        TOK_LISTENER => self.accept_ready(),
+                        TOK_WAKE => self.wake.drain(),
+                        TOK_STDIN => self.stdin_ready(),
+                        id => self.conn_ready(id, bits),
+                    }
+                }
+                self.apply_completions();
+            }
+            // Drain tail: finish whatever is still queued, deliver the
+            // final completions, flush best-effort, report.
+            if let Some(mut dispatcher) = self.dispatcher.take() {
+                dispatcher.stop_and_join();
+                self.scratch.clear();
+                dispatcher.drain_completions(&mut self.scratch);
+                let last = std::mem::take(&mut self.scratch);
+                for (id, response) in last {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.pending -= 1;
+                        conn.enqueue_response(&response);
+                    }
+                }
+            }
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                self.flush_and_rearm(id);
+            }
+            Ok(())
+        }
+
+        /// Accept until the listener would block. Connections beyond
+        /// the cap (or arriving mid-drain) get one best-effort error
+        /// line on the still-blocking socket and are dropped.
+        fn accept_ready(&mut self) {
+            if !self.accepting {
+                return;
+            }
+            loop {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        // Transient accept failures (a client resetting
+                        // mid-handshake, fd exhaustion) must not take
+                        // down every established connection.
+                        eprintln!("kbtim serve: accept error: {e}");
+                        break;
+                    }
+                };
+                if self.ctx.is_shutting_down() {
+                    self.ctx.count_shed();
+                    let _ = writeln!(
+                        &stream,
+                        "{}",
+                        render_error(
+                            None,
+                            "shutting_down",
+                            "server is draining; connection rejected",
+                            self.ctx.front_end(),
+                        )
+                    );
+                    continue;
+                }
+                if self.conns.len() >= self.cfg.max_conns {
+                    self.ctx.count_shed();
+                    let _ = writeln!(
+                        &stream,
+                        "{}",
+                        render_error(
+                            None,
+                            "overloaded",
+                            &format!("connection limit reached ({} open)", self.cfg.max_conns),
+                            self.ctx.front_end(),
+                        )
+                    );
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Pipelined line-JSON is exactly the traffic Nagle
+                // penalizes: a response burst held back waiting for an
+                // ACK the client's next request would carry anyway.
+                let _ = stream.set_nodelay(true);
+                let id = self.next_id;
+                self.next_id += 1;
+                if self.epoll.add(stream.as_raw_fd(), id).is_err() {
+                    continue;
+                }
+                self.conns.insert(id, Conn::new(stream, self.cfg.max_line));
+            }
+        }
+
+        /// Stdin readable: consume; EOF (or error) begins the drain.
+        /// This replaces the dedicated stdin-watcher thread the
+        /// thread-per-connection front end needs — here the latch is
+        /// just another fd on the loop.
+        fn stdin_ready(&mut self) {
+            let mut sink = [0u8; 4096];
+            match io::stdin().lock().read(&mut sink) {
+                Ok(0) | Err(_) => {
+                    let _ = self.epoll.del(0);
+                    self.ctx.begin_shutdown();
+                }
+                Ok(_) => {}
+            }
+        }
+
+        /// Readiness on a connection: read (and frame, and dispatch)
+        /// whatever arrived, then flush whatever fits.
+        fn conn_ready(&mut self, id: u64, bits: u32) {
+            let readable =
+                bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0;
+            if readable && !self.read_ready(id) {
+                self.close_conn(id);
+                return;
+            }
+            self.flush_and_rearm(id);
+        }
+
+        /// Drain the socket's read side into the framer and process the
+        /// completed lines. Returns `false` if the connection died.
+        fn read_ready(&mut self, id: u64) -> bool {
+            let mut lines: Vec<FramedLine> = Vec::new();
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return true;
+            };
+            if !conn.read_closed {
+                loop {
+                    match conn.stream.read(&mut self.buf) {
+                        Ok(0) => {
+                            conn.read_closed = true;
+                            if let Some(last) = conn.framer.finish() {
+                                lines.push(last);
+                            }
+                            break;
+                        }
+                        Ok(n) => conn.framer.push(&self.buf[..n], &mut lines),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => return false,
+                    }
+                }
+            }
+            for line in lines {
+                self.process_line(id, line);
+            }
+            true
+        }
+
+        /// One framed request line: the epoll-side equivalent of
+        /// [`super::super::handle_line_ctx`], with the execution
+        /// detached — parse and admission happen here on the loop
+        /// thread (cheap, and errors answer immediately), the query
+        /// itself goes through the fair queue to a worker, and the
+        /// response comes back as a completion.
+        fn process_line(&mut self, id: u64, line: FramedLine) {
+            let fe = self.ctx.front_end();
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let line = match line {
+                FramedLine::TooLong => {
+                    conn.enqueue_response(&render_error(
+                        None,
+                        "bad_request",
+                        &format!("request line exceeds {} bytes", self.cfg.max_line),
+                        fe,
+                    ));
+                    return;
+                }
+                FramedLine::Line(line) => line,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                return;
+            }
+            let parsed = match ServeRequest::parse(line) {
+                Ok(parsed) => parsed,
+                Err(err) => {
+                    self.ctx.count_failed();
+                    let recovered = ServeRequest::recover_id(line);
+                    conn.enqueue_response(&render_error(recovered, err.code, &err.message, fe));
+                    return;
+                }
+            };
+            if self.ctx.is_shutting_down() {
+                self.ctx.count_shed();
+                conn.enqueue_response(&render_error(
+                    parsed.id,
+                    "shutting_down",
+                    "server is draining; request rejected",
+                    fe,
+                ));
+                return;
+            }
+            // Per-connection backpressure, checked before the global
+            // admission bound: a connection pipelining past its depth
+            // or not reading its responses sheds *its own* requests
+            // without eating global admission slots.
+            if conn.pending >= self.cfg.pipeline_depth {
+                self.ctx.count_shed();
+                conn.enqueue_response(&render_error(
+                    parsed.id,
+                    "overloaded",
+                    &format!("pipeline full ({} requests in flight)", self.cfg.pipeline_depth),
+                    fe,
+                ));
+                return;
+            }
+            if conn.outbox.len() > self.cfg.outbox_cap {
+                self.ctx.count_shed();
+                conn.enqueue_response(&render_error(
+                    parsed.id,
+                    "overloaded",
+                    &format!("outbox full ({} bytes unread)", self.cfg.outbox_cap),
+                    fe,
+                ));
+                return;
+            }
+            let Some(permit) = self.ctx.admit_owned() else {
+                self.ctx.count_shed();
+                conn.enqueue_response(&render_error(
+                    parsed.id,
+                    "overloaded",
+                    &format!("admission queue full ({} in flight)", self.ctx.admission_bound()),
+                    fe,
+                ));
+                return;
+            };
+            let Some(route) = self.router.resolve(parsed.index.as_deref()) else {
+                self.ctx.count_failed();
+                conn.enqueue_response(&render_unknown_index(&self.router, &self.ctx, &parsed));
+                return;
+            };
+            // The deadline clock starts at admission, exactly as in the
+            // synchronous path; queue wait counts against it.
+            let deadline = self.ctx.request_deadline(parsed.deadline_ms);
+            conn.pending += 1;
+            self.dispatcher
+                .as_ref()
+                .expect("dispatcher lives while connections do")
+                .submit(Pending { conn: id, route, req: parsed, deadline, permit: Some(permit) });
+        }
+
+        /// Route finished responses to their connections. A completion
+        /// whose connection has since closed is dropped — its admission
+        /// permit already released when the `Pending` dropped.
+        fn apply_completions(&mut self) {
+            self.scratch.clear();
+            if let Some(dispatcher) = self.dispatcher.as_ref() {
+                dispatcher.drain_completions(&mut self.scratch);
+            }
+            if self.scratch.is_empty() {
+                return;
+            }
+            let completions = std::mem::take(&mut self.scratch);
+            for (id, response) in &completions {
+                if let Some(conn) = self.conns.get_mut(id) {
+                    conn.pending -= 1;
+                    conn.enqueue_response(response);
+                }
+            }
+            for (id, _) in &completions {
+                self.flush_and_rearm(*id);
+            }
+            // Keep the allocation for the next drain.
+            self.scratch = completions;
+        }
+
+        /// Flush the outbox, re-arm epoll interest to match the new
+        /// state, and close the connection if it is finished (or dead).
+        fn flush_and_rearm(&mut self, id: u64) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let fd = conn.stream.as_raw_fd();
+            match conn.flush() {
+                Err(_) => self.close_conn(id),
+                Ok(drained) => {
+                    if conn.read_closed && conn.done() {
+                        self.close_conn(id);
+                        return;
+                    }
+                    let want_write = !drained;
+                    // Re-arm unconditionally when something changed:
+                    // write interest toggles with the outbox, read
+                    // interest drops after the peer half-closes (a
+                    // level-triggered EOF would fire forever).
+                    if (conn.want_write != want_write || conn.read_closed)
+                        && self.epoll.modify(fd, id, !conn.read_closed, want_write).is_ok()
+                    {
+                        conn.want_write = want_write;
+                    }
+                }
+            }
+        }
+
+        fn close_conn(&mut self, id: u64) {
+            if let Some(conn) = self.conns.remove(&id) {
+                let _ = self.epoll.del(conn.stream.as_raw_fd());
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Line framing with a hard per-line byte cap, in two shapes sharing
+//! one semantics: [`read_bounded_line`] pulls from a blocking
+//! `BufRead` (the stdin and thread-per-connection loops), while
+//! [`LineFramer`] is fed whatever bytes a nonblocking read produced
+//! (the epoll loop). Either way an oversized line — including a
+//! hostile newline-free stream — costs at most the cap in buffering,
+//! is reported once, and the stream resyncs at the next newline.
+
+/// One line read from a bounded reader: see [`read_bounded_line`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// Clean end of stream (no partial line pending).
+    Eof,
+    /// One complete line, newline stripped (also returned for a final
+    /// unterminated line at EOF).
+    Line(String),
+    /// The line exceeded the cap. Its bytes were consumed up to and
+    /// including the next newline (or EOF), so the stream is resynced —
+    /// answer with `bad_request` and keep reading.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than
+/// `max_len` bytes of it — the fix for the unbounded `BufRead::lines`
+/// loop a hostile client could feed gigabytes without a newline.
+/// Oversized lines are consumed (not buffered) through their
+/// terminating newline so the caller can shed one request and continue
+/// with the next. Invalid UTF-8 is replaced, to be rejected by the JSON
+/// parser downstream.
+pub fn read_bounded_line<R: std::io::BufRead>(
+    reader: &mut R,
+    max_len: usize,
+) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(finish_line(buf))
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow && buf.len() + pos > max_len {
+                    overflow = true;
+                    buf.clear();
+                } else if !overflow {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line(finish_line(buf))
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !overflow && buf.len() + len > max_len {
+                    overflow = true;
+                    buf.clear();
+                } else if !overflow {
+                    buf.extend_from_slice(chunk);
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> String {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// One framed line from a [`LineFramer`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FramedLine {
+    /// A complete line, newline stripped (trailing `\r` too).
+    Line(String),
+    /// A line exceeded the cap; its bytes were discarded through the
+    /// terminating newline and the stream is resynced. Answer with
+    /// `bad_request` and keep framing.
+    TooLong,
+}
+
+/// Incremental line framer for nonblocking reads: push whatever bytes
+/// arrived, collect the complete lines they finished. Semantics match
+/// [`read_bounded_line`] exactly — same cap, same
+/// discard-through-newline resync, same lossy UTF-8 — which the
+/// equivalence proptest in `tests/protocol.rs` pins down.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_len: usize,
+    /// Inside an oversized line: discard until the next newline, then
+    /// report one `TooLong`.
+    overflow: bool,
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_len` bytes per line (newline excluded).
+    pub fn new(max_len: usize) -> LineFramer {
+        LineFramer { buf: Vec::new(), max_len, overflow: false }
+    }
+
+    /// Feed `chunk` and append every line it completed to `out`.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<FramedLine>) {
+        let mut rest = chunk;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            if !self.overflow && self.buf.len() + pos > self.max_len {
+                self.overflow = true;
+                self.buf.clear();
+            } else if !self.overflow {
+                self.buf.extend_from_slice(&rest[..pos]);
+            }
+            out.push(if self.overflow {
+                FramedLine::TooLong
+            } else {
+                FramedLine::Line(finish_line(std::mem::take(&mut self.buf)))
+            });
+            self.overflow = false;
+            rest = &rest[pos + 1..];
+        }
+        if !self.overflow && self.buf.len() + rest.len() > self.max_len {
+            self.overflow = true;
+            self.buf.clear();
+        } else if !self.overflow {
+            self.buf.extend_from_slice(rest);
+        }
+    }
+
+    /// End of stream: the final unterminated line, if any. Mirrors
+    /// [`read_bounded_line`]'s EOF arm.
+    pub fn finish(&mut self) -> Option<FramedLine> {
+        if self.overflow {
+            self.overflow = false;
+            Some(FramedLine::TooLong)
+        } else if self.buf.is_empty() {
+            None
+        } else {
+            Some(FramedLine::Line(finish_line(std::mem::take(&mut self.buf))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_all(framer: &mut LineFramer, chunks: &[&[u8]]) -> Vec<FramedLine> {
+        let mut out = Vec::new();
+        for chunk in chunks {
+            framer.push(chunk, &mut out);
+        }
+        if let Some(last) = framer.finish() {
+            out.push(last);
+        }
+        out
+    }
+
+    #[test]
+    fn framer_reassembles_torn_lines() {
+        let mut framer = LineFramer::new(64);
+        let got = frame_all(&mut framer, &[b"{\"a\"", b":1}\n{\"b\":", b"2}\n", b"tail"]);
+        assert_eq!(
+            got,
+            vec![
+                FramedLine::Line("{\"a\":1}".into()),
+                FramedLine::Line("{\"b\":2}".into()),
+                FramedLine::Line("tail".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn framer_caps_and_resyncs_like_the_reader() {
+        // One oversized line (fed in pieces, none individually over the
+        // cap) yields exactly one TooLong and the next line survives.
+        let mut framer = LineFramer::new(8);
+        let got = frame_all(&mut framer, &[b"0123", b"4567", b"89\nok\n"]);
+        assert_eq!(got, vec![FramedLine::TooLong, FramedLine::Line("ok".into())]);
+
+        // Unterminated overflow at EOF still reports once.
+        let mut framer = LineFramer::new(4);
+        let got = frame_all(&mut framer, &[b"toolongtail"]);
+        assert_eq!(got, vec![FramedLine::TooLong]);
+
+        // Exactly at the cap is fine; one byte over is not.
+        let mut framer = LineFramer::new(9);
+        let got = frame_all(&mut framer, &[b"nine char\n"]);
+        assert_eq!(got, vec![FramedLine::Line("nine char".into())]);
+        let mut framer = LineFramer::new(8);
+        let got = frame_all(&mut framer, &[b"nine char\n"]);
+        assert_eq!(got, vec![FramedLine::TooLong]);
+    }
+
+    #[test]
+    fn framer_strips_crlf_and_replaces_bad_utf8() {
+        let mut framer = LineFramer::new(64);
+        let got = frame_all(&mut framer, &[b"a\r\n", &[0xff, 0xfe, b'\n']]);
+        assert_eq!(
+            got,
+            vec![FramedLine::Line("a".into()), FramedLine::Line("\u{fffd}\u{fffd}".into())]
+        );
+    }
+}

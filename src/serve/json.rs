@@ -1,0 +1,303 @@
+//! The protocol's JSON subset: a hand-rolled, depth-capped parser and
+//! the string escaper the response renderers share. The workspace
+//! vendors no JSON crate, so this is the whole of it — objects, arrays,
+//! strings (with escapes), numbers, booleans, null, duplicate keys
+//! rejected at parse time.
+
+/// Maximum nesting depth the JSON parser accepts. Protocol values are
+/// at most two levels deep; the cap exists so a hostile line of
+/// `[[[[…` fails with a parse error instead of exhausting the thread
+/// stack (stack overflow aborts the whole process — `catch_unwind`
+/// cannot contain it).
+const MAX_JSON_DEPTH: u32 = 64;
+
+/// A parsed JSON value (the subset the protocol needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64 (ids and counts fit exactly).
+    Num(f64),
+    /// A (de-escaped) string.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs (duplicate keys rejected at
+    /// parse time).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON value; trailing non-whitespace is an
+    /// error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), at: 0, depth: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer that fits `u64` exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.at))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.nested(Parser::array),
+            b'{' => self.nested(Parser::object),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected {:?} at offset {}", other as char, self.at)),
+        }
+    }
+
+    /// Run a container parse one nesting level deeper, enforcing
+    /// [`MAX_JSON_DEPTH`]. Recursion in this parser is bounded only by
+    /// input nesting, so the cap is what keeps `[[[[…` from blowing the
+    /// thread stack.
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(format!("nesting deeper than {MAX_JSON_DEPTH} at offset {}", self.at));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        // The matched bytes are all ASCII, so this conversion cannot
+        // fail — but the serving loop must never panic on client
+        // bytes, so the impossible case degrades to a parse error.
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| format!("bad number bytes at offset {start}"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.at) else {
+                return Err("unterminated string".to_string());
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.at) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            self.at += 4;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            // Surrogates (rare in topic queries) are
+                            // replaced rather than paired — the protocol
+                            // carries no user text where this matters.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.at - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.at = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.peek()? == b'}' {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON response.
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalar_round_trips() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(Json::parse(r#""hi\nthere""#).unwrap(), Json::Str("hi\nthere".to_string()));
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
+        assert_eq!(Json::parse(r#""héllo""#).unwrap(), Json::Str("héllo".to_string()));
+    }
+
+    #[test]
+    fn json_compound_values() {
+        let v = Json::parse(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Str("d".to_string())));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "{\"a\":1,\"a\":2}", "\"x"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -1,10 +1,12 @@
-//! Line-delimited JSON protocol of `kbtim serve` — the normative
-//! specification lives in `docs/PROTOCOL.md`; this module implements it.
+//! Line-delimited JSON serving tier of `kbtim serve` — the normative
+//! protocol specification lives in `docs/PROTOCOL.md`; this module tree
+//! implements it.
 //!
-//! One request per line in, one response per line out — over stdin/stdout
-//! or a TCP connection, the same bytes either way. The protocol is
-//! deliberately small and self-contained (the workspace vendors no JSON
-//! crate, so a subset parser lives here):
+//! One request per line in, one response per line out — over
+//! stdin/stdout or a TCP connection, the same bytes either way. The
+//! protocol is deliberately small and self-contained (the workspace
+//! vendors no JSON crate, so a subset parser lives in the private
+//! `json` module, surfaced as [`Json`]):
 //!
 //! ```text
 //! → {"id": 7, "index": "sports", "topics": [0, 1], "k": 10, "algo": "irr"}
@@ -24,277 +26,45 @@
 //! `{"id":7,"error":"...","code":"unknown_field"}` — `code` is a stable
 //! machine-readable discriminant (see [`ServeError`]), `error` the
 //! human-readable message. A malformed line never kills the connection.
+//!
+//! The tree splits along the serving layers:
+//!
+//! * `json` — the JSON subset parser and escaper ([`Json`]);
+//! * `framer` — bounded line framing ([`read_bounded_line`] for
+//!   blocking readers, [`LineFramer`] for nonblocking chunks);
+//! * this module — requests, routing, admission/drain books
+//!   ([`ServeCtx`]), response rendering, and the per-line pipeline
+//!   ([`handle_line_ctx`]);
+//! * [`threads`] — the portable thread-per-connection TCP front end;
+//! * [`epoll`] — the Linux epoll front end: one event-loop thread
+//!   multiplexing every connection nonblocking, pipelined requests
+//!   fairly dequeued (per connection × index) into a fixed worker pool
+//!   (`dispatch`), completions handed back over an eventfd (`sys`);
+//! * [`term_signal`] — the process-wide SIGTERM/SIGINT drain latch both
+//!   front ends poll.
 
+#[cfg(target_os = "linux")]
+mod conn;
+#[cfg(target_os = "linux")]
+mod dispatch;
+pub mod epoll;
+mod framer;
+mod json;
+#[cfg(target_os = "linux")]
+mod sys;
+pub mod term_signal;
+pub mod threads;
+
+pub use epoll::{serve_epoll, EpollConfig};
+pub use framer::{read_bounded_line, FramedLine, LineFramer, LineRead};
+pub use json::Json;
+pub use threads::serve_threads;
+
+use json::escape_into;
 use kbtim_index::{Algo, EngineRequest, IndexError, QueryEngine, QueryOutcome};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Maximum nesting depth the JSON parser accepts. Protocol values are
-/// at most two levels deep; the cap exists so a hostile line of
-/// `[[[[…` fails with a parse error instead of exhausting the thread
-/// stack (stack overflow aborts the whole process — `catch_unwind`
-/// cannot contain it).
-const MAX_JSON_DEPTH: u32 = 64;
-
-/// A parsed JSON value (the subset the protocol needs).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number, kept as f64 (ids and counts fit exactly).
-    Num(f64),
-    /// A (de-escaped) string.
-    Str(String),
-    /// An array of values.
-    Arr(Vec<Json>),
-    /// An object as ordered key/value pairs (duplicate keys rejected at
-    /// parse time).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parse one complete JSON value; trailing non-whitespace is an
-    /// error.
-    pub fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: input.as_bytes(), at: 0, depth: 0 };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.at != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.at));
-        }
-        Ok(value)
-    }
-
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer that fits `u64` exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match *self {
-            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-    depth: u32,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.at) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.at += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes.get(self.at).copied().ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at offset {}", b as char, self.at))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
-            self.at += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at offset {}", self.at))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'n' => self.literal("null", Json::Null),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b'[' => self.nested(Parser::array),
-            b'{' => self.nested(Parser::object),
-            b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!("unexpected {:?} at offset {}", other as char, self.at)),
-        }
-    }
-
-    /// Run a container parse one nesting level deeper, enforcing
-    /// [`MAX_JSON_DEPTH`]. Recursion in this parser is bounded only by
-    /// input nesting, so the cap is what keeps `[[[[…` from blowing the
-    /// thread stack.
-    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
-        if self.depth >= MAX_JSON_DEPTH {
-            return Err(format!("nesting deeper than {MAX_JSON_DEPTH} at offset {}", self.at));
-        }
-        self.depth += 1;
-        let result = parse(self);
-        self.depth -= 1;
-        result
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.at;
-        while let Some(&b) = self.bytes.get(self.at) {
-            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-                self.at += 1;
-            } else {
-                break;
-            }
-        }
-        // The matched bytes are all ASCII, so this conversion cannot
-        // fail — but the serving loop must never panic on client
-        // bytes, so the impossible case degrades to a parse error.
-        let text = std::str::from_utf8(&self.bytes[start..self.at])
-            .map_err(|_| format!("bad number bytes at offset {start}"))?;
-        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.at) else {
-                return Err("unterminated string".to_string());
-            };
-            self.at += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.bytes.get(self.at) else {
-                        return Err("unterminated escape".to_string());
-                    };
-                    self.at += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{0008}'),
-                        b'f' => out.push('\u{000c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.at..self.at + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            self.at += 4;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                            // Surrogates (rare in topic queries) are
-                            // replaced rather than paired — the protocol
-                            // carries no user text where this matters.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("bad escape \\{}", other as char)),
-                    }
-                }
-                _ => {
-                    // Collect the full UTF-8 sequence starting at b.
-                    let start = self.at - 1;
-                    let len = match b {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = self
-                        .bytes
-                        .get(start..start + len)
-                        .and_then(|c| std::str::from_utf8(c).ok())
-                        .ok_or("invalid utf-8 in string")?;
-                    out.push_str(chunk);
-                    self.at = start + len;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.at += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.at += 1,
-                b']' => {
-                    self.at += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields: Vec<(String, Json)> = Vec::new();
-        if self.peek()? == b'}' {
-            self.at += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            if fields.iter().any(|(k, _)| *k == key) {
-                return Err(format!("duplicate key {key:?}"));
-            }
-            self.eat(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.at += 1,
-                b'}' => {
-                    self.at += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
-            }
-        }
-    }
-}
-
-/// Escape a string for embedding in a JSON response.
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
 
 /// A structured protocol error: a stable machine-readable `code` plus a
 /// human-readable `message`, rendered as
@@ -309,8 +79,9 @@ fn escape_into(s: &str, out: &mut String) {
 ///   value (missing `topics`, zero `k`, unknown `algo`, …);
 /// * `unknown_index` — the `index` field names no served index;
 /// * `engine_error` — the query itself failed inside the engine;
-/// * `overloaded` — admission control shed the request: the in-flight
-///   count already sits at `--max-queue` (load-shed, retry later);
+/// * `overloaded` — the request was shed: the in-flight count already
+///   sits at `--max-queue`, or (epoll front end) the connection's
+///   pipeline or outbox is full (load-shed, retry later);
 /// * `deadline_exceeded` — the request's deadline (its `deadline_ms`
 ///   field, or the server's `--deadline-ms` default) passed before the
 ///   query finished;
@@ -424,6 +195,14 @@ impl ServeRequest {
         };
         Ok(ServeRequest { id, index, deadline_ms, request: EngineRequest { topics, k, algo } })
     }
+
+    /// Best-effort id recovery from a line that failed to parse as a
+    /// request — validation failures (unknown field, bad `k`) happen on
+    /// perfectly parseable JSON, and pipelined clients still need to
+    /// attribute the error line.
+    pub fn recover_id(line: &str) -> Option<u64> {
+        Json::parse(line).ok().and_then(|json| json.get("id").and_then(Json::as_u64))
+    }
 }
 
 /// Multi-index routing: one serve process, many named indexes, one
@@ -470,10 +249,27 @@ impl Router {
     /// Resolve a request's routing field: `None` routes to the default
     /// (first) index, `Some(name)` to the engine of that name.
     pub fn engine(&self, index: Option<&str>) -> Option<&Arc<QueryEngine>> {
+        self.resolve(index).map(|id| self.engine_at(id))
+    }
+
+    /// Resolve a routing field to a stable route id (the index's
+    /// position in registration order), for callers that queue work per
+    /// route — the epoll dispatcher keys its fair queues on it.
+    pub fn resolve(&self, index: Option<&str>) -> Option<usize> {
         match index {
-            None => self.engines.first().map(|(_, e)| e),
-            Some(name) => self.engines.iter().find(|(n, _)| n == name).map(|(_, e)| e),
+            None => (!self.engines.is_empty()).then_some(0),
+            Some(name) => self.engines.iter().position(|(n, _)| n == name),
         }
+    }
+
+    /// The engine of route `id` (ids come from [`Router::resolve`]).
+    pub fn engine_at(&self, id: usize) -> &Arc<QueryEngine> {
+        &self.engines[id].1
+    }
+
+    /// The name of route `id` (ids come from [`Router::resolve`]).
+    pub fn name_at(&self, id: usize) -> &str {
+        &self.engines[id].0
     }
 
     /// Registered index names, in registration (routing-priority) order.
@@ -516,6 +312,10 @@ pub struct ServeCtx {
     /// Default deadline applied when a request carries no
     /// `deadline_ms` field; `None` means unbounded.
     default_deadline: Option<Duration>,
+    /// Active front-end name (`"epoll"` / `"threads"` / `"stdin"`),
+    /// reported in every response; `None` (the library default) omits
+    /// the field.
+    front_end: Option<&'static str>,
     served: AtomicU64,
     shed: AtomicU64,
     expired: AtomicU64,
@@ -531,6 +331,7 @@ impl ServeCtx {
             inflight: AtomicUsize::new(0),
             max_inflight,
             default_deadline,
+            front_end: None,
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
@@ -543,6 +344,18 @@ impl ServeCtx {
     /// behaviour.
     pub fn unlimited() -> ServeCtx {
         ServeCtx::new(usize::MAX, None)
+    }
+
+    /// Name the active front end; every response rendered under this
+    /// context carries it as a `front_end` field.
+    pub fn with_front_end(mut self, name: &'static str) -> ServeCtx {
+        self.front_end = Some(name);
+        self
+    }
+
+    /// The active front-end name, if one was set.
+    pub fn front_end(&self) -> Option<&'static str> {
+        self.front_end
     }
 
     /// Flip the shutdown flag: new requests get `shutting_down`,
@@ -561,14 +374,18 @@ impl ServeCtx {
         self.inflight.load(Ordering::SeqCst)
     }
 
-    /// Try to admit one request; `None` means the queue is full and
-    /// the caller must shed. The permit releases the slot on drop —
-    /// including on panic, so containment never leaks admission slots.
-    fn admit(&self) -> Option<AdmissionPermit<'_>> {
+    /// The admission bound (`--max-queue`).
+    pub fn admission_bound(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// CAS one admission slot; a `true` must be paired with a permit
+    /// that releases the slot on drop.
+    fn try_reserve(&self) -> bool {
         let mut cur = self.inflight.load(Ordering::SeqCst);
         loop {
             if cur >= self.max_inflight {
-                return None;
+                return false;
             }
             match self.inflight.compare_exchange_weak(
                 cur,
@@ -576,10 +393,36 @@ impl ServeCtx {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             ) {
-                Ok(_) => return Some(AdmissionPermit { ctx: self }),
+                Ok(_) => return true,
                 Err(now) => cur = now,
             }
         }
+    }
+
+    /// Try to admit one request; `None` means the queue is full and
+    /// the caller must shed. The permit releases the slot on drop —
+    /// including on panic, so containment never leaks admission slots.
+    fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        self.try_reserve().then_some(AdmissionPermit { ctx: self })
+    }
+
+    /// [`ServeCtx::admit`] for callers that queue the request rather
+    /// than run it on the spot: the permit owns an `Arc` to the
+    /// context, so it travels with the request to a worker thread and
+    /// releases the slot wherever the request ends — completion, shed,
+    /// or a connection dying under it.
+    pub(crate) fn admit_owned(self: &Arc<Self>) -> Option<OwnedPermit> {
+        self.try_reserve().then(|| OwnedPermit { ctx: Arc::clone(self) })
+    }
+
+    /// The effective deadline of a request admitted *now*: its own
+    /// `deadline_ms` if present, else the context default. `Some(0)`
+    /// yields an already-expired instant, deterministically.
+    pub(crate) fn request_deadline(&self, deadline_ms: Option<u64>) -> Option<Instant> {
+        let budget_ms = deadline_ms.or_else(|| {
+            self.default_deadline.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        });
+        budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
     }
 
     /// Final stats line for the operator log, rendered at drain.
@@ -604,8 +447,24 @@ impl ServeCtx {
         self.shed.load(Ordering::SeqCst)
     }
 
-    fn count(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::SeqCst);
+    pub(crate) fn count_served(&self) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_expired(&self) {
+        self.expired.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_failed(&self) {
+        self.failed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn count_panicked(&self) {
+        self.panicked.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -615,6 +474,20 @@ struct AdmissionPermit<'a> {
 }
 
 impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Owned admission slot for queued requests: travels with the request
+/// from the event loop to the worker that answers it, releasing the
+/// slot on drop wherever that happens.
+#[derive(Debug)]
+pub(crate) struct OwnedPermit {
+    ctx: Arc<ServeCtx>,
+}
+
+impl Drop for OwnedPermit {
     fn drop(&mut self) {
         self.ctx.inflight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -642,13 +515,16 @@ fn push_u32_array(out: &mut String, key: &str, items: impl Iterator<Item = u64>)
 /// Render a successful outcome as one protocol line (no trailing
 /// newline). `index` is the request's routing field, echoed back when
 /// present; `shards` is the answering index's shard count (1 for the
-/// flat layout), so clients can see when scatter-gather was in play.
+/// flat layout), so clients can see when scatter-gather was in play;
+/// `front_end` names the serving front end ([`ServeCtx::front_end`])
+/// and is omitted when `None`.
 pub fn render_outcome(
     id: Option<u64>,
     index: Option<&str>,
     algo: Algo,
     outcome: &QueryOutcome,
     shards: usize,
+    front_end: Option<&str>,
 ) -> String {
     let mut out = String::with_capacity(128);
     out.push('{');
@@ -664,19 +540,24 @@ pub fn render_outcome(
     push_u32_array(&mut out, "marginal_gains", outcome.marginal_gains.iter().copied());
     out.push_str(&format!(
         ",\"coverage\":{},\"estimated_influence\":{:.6},\"theta_q\":{},\
-         \"rr_sets_loaded\":{},\"shards\":{shards},\"elapsed_us\":{}}}",
+         \"rr_sets_loaded\":{},\"shards\":{shards}",
         outcome.coverage,
         outcome.estimated_influence,
         outcome.stats.theta_q,
         outcome.stats.rr_sets_loaded,
-        outcome.stats.elapsed.as_micros(),
     ));
+    if let Some(front_end) = front_end {
+        out.push_str(",\"front_end\":");
+        escape_into(front_end, &mut out);
+    }
+    out.push_str(&format!(",\"elapsed_us\":{}}}", outcome.stats.elapsed.as_micros()));
     out
 }
 
 /// Render a structured error as one protocol line (no trailing
-/// newline): `{"id":…,"error":"<message>","code":"<code>"}`.
-pub fn render_error(id: Option<u64>, code: &str, message: &str) -> String {
+/// newline): `{"id":…,"error":"<message>","code":"<code>"}`, plus a
+/// `front_end` field when one is given ([`ServeCtx::front_end`]).
+pub fn render_error(id: Option<u64>, code: &str, message: &str, front_end: Option<&str>) -> String {
     let mut out = String::with_capacity(64);
     out.push('{');
     push_id(&mut out, id);
@@ -684,6 +565,10 @@ pub fn render_error(id: Option<u64>, code: &str, message: &str) -> String {
     escape_into(message, &mut out);
     out.push_str(",\"code\":");
     escape_into(code, &mut out);
+    if let Some(front_end) = front_end {
+        out.push_str(",\"front_end\":");
+        escape_into(front_end, &mut out);
+    }
     out.push('}');
     out
 }
@@ -709,49 +594,78 @@ pub fn handle_line(router: &Router, line: &str) -> String {
 /// 6. run the query under `catch_unwind`: a panic becomes
 ///    `internal_error` and the worker/connection survives.
 pub fn handle_line_ctx(router: &Router, ctx: &ServeCtx, line: &str) -> String {
+    let fe = ctx.front_end();
     let parsed = match ServeRequest::parse(line) {
         Ok(parsed) => parsed,
         Err(err) => {
-            // Best-effort id recovery so pipelined clients can still
-            // attribute the error line (validation failures — unknown
-            // field, bad k — happen on perfectly parseable JSON).
-            let id = Json::parse(line).ok().and_then(|json| json.get("id").and_then(Json::as_u64));
-            ServeCtx::count(&ctx.failed);
-            return render_error(id, err.code, &err.message);
+            let id = ServeRequest::recover_id(line);
+            ctx.count_failed();
+            return render_error(id, err.code, &err.message, fe);
         }
     };
     if ctx.is_shutting_down() {
-        ServeCtx::count(&ctx.shed);
-        return render_error(parsed.id, "shutting_down", "server is draining; request rejected");
+        ctx.count_shed();
+        return render_error(
+            parsed.id,
+            "shutting_down",
+            "server is draining; request rejected",
+            fe,
+        );
     }
     let Some(_permit) = ctx.admit() else {
-        ServeCtx::count(&ctx.shed);
+        ctx.count_shed();
         return render_error(
             parsed.id,
             "overloaded",
             &format!("admission queue full ({} in flight)", ctx.max_inflight),
+            fe,
         );
     };
     let Some(engine) = router.engine(parsed.index.as_deref()) else {
-        let known: Vec<&str> = router.names().collect();
-        ServeCtx::count(&ctx.failed);
+        ctx.count_failed();
+        return render_unknown_index(router, ctx, &parsed);
+    };
+    let deadline = ctx.request_deadline(parsed.deadline_ms);
+    execute_rendered(engine, ctx, &parsed, deadline)
+}
+
+/// The `unknown_index` response, naming the served indexes.
+pub(crate) fn render_unknown_index(
+    router: &Router,
+    ctx: &ServeCtx,
+    parsed: &ServeRequest,
+) -> String {
+    let known: Vec<&str> = router.names().collect();
+    render_error(
+        parsed.id,
+        "unknown_index",
+        &format!(
+            "unknown index {:?} (serving: {})",
+            parsed.index.as_deref().unwrap_or_default(),
+            known.join(", ")
+        ),
+        ctx.front_end(),
+    )
+}
+
+/// Execute an already-admitted, already-routed request and render the
+/// response — the shared tail of [`handle_line_ctx`] and the epoll
+/// dispatcher. Checks the (pre-computed) deadline, runs the query under
+/// `catch_unwind`, and books the outcome on `ctx`.
+pub(crate) fn execute_rendered(
+    engine: &QueryEngine,
+    ctx: &ServeCtx,
+    parsed: &ServeRequest,
+    deadline: Option<Instant>,
+) -> String {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        ctx.count_expired();
         return render_error(
             parsed.id,
-            "unknown_index",
-            &format!(
-                "unknown index {:?} (serving: {})",
-                parsed.index.as_deref().unwrap_or_default(),
-                known.join(", ")
-            ),
+            "deadline_exceeded",
+            "deadline expired at admission",
+            ctx.front_end(),
         );
-    };
-    let budget_ms = parsed
-        .deadline_ms
-        .or_else(|| ctx.default_deadline.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)));
-    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    if deadline.is_some_and(|d| Instant::now() >= d) {
-        ServeCtx::count(&ctx.expired);
-        return render_error(parsed.id, "deadline_exceeded", "deadline expired at admission");
     }
     // The engine already contains panics per flight internally, but it
     // re-raises them to the submitting thread; this boundary is what
@@ -760,141 +674,56 @@ pub fn handle_line_ctx(router: &Router, ctx: &ServeCtx, line: &str) -> String {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         engine.query_deadline(&parsed.request, deadline)
     }));
+    render_result(engine, ctx, parsed, result)
+}
+
+/// Render (and book) one engine result — shared by the per-request and
+/// the batched-window execution paths. The outer `Result` is a
+/// `catch_unwind` verdict: `Err` means the execution panicked (the
+/// payload is dropped; the response says so).
+pub(crate) fn render_result(
+    engine: &QueryEngine,
+    ctx: &ServeCtx,
+    parsed: &ServeRequest,
+    result: std::thread::Result<kbtim_index::EngineResult>,
+) -> String {
+    let fe = ctx.front_end();
     match result {
         Ok(Ok(outcome)) => {
-            ServeCtx::count(&ctx.served);
+            ctx.count_served();
             render_outcome(
                 parsed.id,
                 parsed.index.as_deref(),
                 parsed.request.algo,
                 &outcome,
                 engine.index().num_shards(),
+                fe,
             )
         }
         Ok(Err(err)) => {
             if matches!(err.index_error(), IndexError::DeadlineExceeded) {
-                ServeCtx::count(&ctx.expired);
-                render_error(parsed.id, "deadline_exceeded", &err.to_string())
+                ctx.count_expired();
+                render_error(parsed.id, "deadline_exceeded", &err.to_string(), fe)
             } else {
-                ServeCtx::count(&ctx.failed);
-                render_error(parsed.id, "engine_error", &err.to_string())
+                ctx.count_failed();
+                render_error(parsed.id, "engine_error", &err.to_string(), fe)
             }
         }
         Err(_) => {
-            ServeCtx::count(&ctx.panicked);
+            ctx.count_panicked();
             render_error(
                 parsed.id,
                 "internal_error",
                 "query execution panicked; the fault was contained",
+                fe,
             )
         }
     }
-}
-
-/// One line read from a bounded reader: see [`read_bounded_line`].
-#[derive(Debug, PartialEq, Eq)]
-pub enum LineRead {
-    /// Clean end of stream (no partial line pending).
-    Eof,
-    /// One complete line, newline stripped (also returned for a final
-    /// unterminated line at EOF).
-    Line(String),
-    /// The line exceeded the cap. Its bytes were consumed up to and
-    /// including the next newline (or EOF), so the stream is resynced —
-    /// answer with `bad_request` and keep reading.
-    TooLong,
-}
-
-/// Read one `\n`-terminated line without ever buffering more than
-/// `max_len` bytes of it — the fix for the unbounded `BufRead::lines`
-/// loop a hostile client could feed gigabytes without a newline.
-/// Oversized lines are consumed (not buffered) through their
-/// terminating newline so the caller can shed one request and continue
-/// with the next. Invalid UTF-8 is replaced, to be rejected by the JSON
-/// parser downstream.
-pub fn read_bounded_line<R: std::io::BufRead>(
-    reader: &mut R,
-    max_len: usize,
-) -> std::io::Result<LineRead> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut overflow = false;
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            return Ok(if overflow {
-                LineRead::TooLong
-            } else if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                LineRead::Line(finish_line(buf))
-            });
-        }
-        match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if !overflow && buf.len() + pos > max_len {
-                    overflow = true;
-                    buf.clear();
-                } else if !overflow {
-                    buf.extend_from_slice(&chunk[..pos]);
-                }
-                reader.consume(pos + 1);
-                return Ok(if overflow {
-                    LineRead::TooLong
-                } else {
-                    LineRead::Line(finish_line(buf))
-                });
-            }
-            None => {
-                let len = chunk.len();
-                if !overflow && buf.len() + len > max_len {
-                    overflow = true;
-                    buf.clear();
-                } else if !overflow {
-                    buf.extend_from_slice(chunk);
-                }
-                reader.consume(len);
-            }
-        }
-    }
-}
-
-fn finish_line(mut buf: Vec<u8>) -> String {
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    String::from_utf8_lossy(&buf).into_owned()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_scalar_round_trips() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
-        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
-        assert_eq!(Json::parse(r#""hi\nthere""#).unwrap(), Json::Str("hi\nthere".to_string()));
-        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
-        assert_eq!(Json::parse(r#""héllo""#).unwrap(), Json::Str("héllo".to_string()));
-    }
-
-    #[test]
-    fn json_compound_values() {
-        let v = Json::parse(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
-        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
-        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Str("d".to_string())));
-        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
-        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
-    }
-
-    #[test]
-    fn json_rejects_malformed_input() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "{\"a\":1,\"a\":2}", "\"x"] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
-        }
-    }
 
     #[test]
     fn request_parsing() {
@@ -938,11 +767,16 @@ mod tests {
 
     #[test]
     fn responses_are_parseable_json() {
-        let rendered = render_error(Some(9), "unknown_index", "no \"such\" index\n");
+        let rendered = render_error(Some(9), "unknown_index", "no \"such\" index\n", None);
         let back = Json::parse(&rendered).unwrap();
         assert_eq!(back.get("id").unwrap().as_u64(), Some(9));
         assert_eq!(back.get("error"), Some(&Json::Str("no \"such\" index\n".to_string())));
         assert_eq!(back.get("code"), Some(&Json::Str("unknown_index".to_string())));
+        assert_eq!(back.get("front_end"), None, "omitted unless the context names one");
+
+        let rendered = render_error(None, "overloaded", "full", Some("epoll"));
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.get("front_end"), Some(&Json::Str("epoll".to_string())));
     }
 
     #[test]
@@ -976,6 +810,7 @@ mod tests {
         let empty = Router::new();
         assert!(empty.is_empty());
         assert!(empty.engine(None).is_none());
+        assert!(empty.resolve(None).is_none());
         assert_eq!(Router::default().len(), 0);
 
         // Routing: first registration is the default route, names
@@ -988,6 +823,11 @@ mod tests {
         assert!(Arc::ptr_eq(router.engine(Some("alpha")).unwrap(), &a));
         assert!(Arc::ptr_eq(router.engine(Some("beta")).unwrap(), &b));
         assert!(router.engine(Some("gamma")).is_none());
+        assert_eq!(router.resolve(None), Some(0));
+        assert_eq!(router.resolve(Some("beta")), Some(1));
+        assert_eq!(router.resolve(Some("gamma")), None);
+        assert_eq!(router.name_at(1), "beta");
+        assert!(Arc::ptr_eq(router.engine_at(0), &a));
         assert_eq!(router.names().collect::<Vec<_>>(), ["alpha", "beta"]);
         assert_eq!(router.len(), 2);
         assert!(router.add("alpha", Arc::clone(&b)).unwrap_err().contains("duplicate"));

@@ -1,0 +1,39 @@
+//! Process-wide SIGTERM/SIGINT latch for graceful drain. The handler
+//! only flips an atomic (the one async-signal-safe thing it may do);
+//! the serve loops poll it between requests / accepts / epoll wakes
+//! (the signal also interrupts a blocked `epoll_wait` with `EINTR`, so
+//! the epoll loop observes it promptly).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT has arrived.
+pub fn pending() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+/// Install the handlers. The workspace vendors no platform crates, so
+/// this binds `signal(2)` directly, like the storage mmap shim.
+#[cfg(unix)]
+pub fn install() {
+    extern "C" fn on_term(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_term` is async-signal-safe (a single atomic store)
+    // and stays valid for the process lifetime; `signal(2)` itself has
+    // no memory-safety preconditions.
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+/// No-op off Unix: the drain channels are stdin EOF and process exit.
+#[cfg(not(unix))]
+pub fn install() {}

@@ -1,0 +1,132 @@
+//! The portable thread-per-connection TCP front end — the PR-7 serving
+//! loop, moved out of the binary so both front ends live behind one
+//! library surface and `--front-end threads` keeps working on every
+//! platform the workspace builds on.
+//!
+//! One OS thread per connection, blocking reads, strictly serial per
+//! connection: a request line is read only after the previous response
+//! was written. Pipelining clients still *work* (the kernel buffers
+//! their burst), but get no concurrency within a connection — that is
+//! the epoll front end's job ([`super::epoll`]).
+
+use super::term_signal;
+use super::{handle_line_ctx, read_bounded_line, render_error, LineRead, Router, ServeCtx};
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serve `listener` until drain (SIGTERM/SIGINT, stdin EOF when
+/// `watch_stdin`, or [`ServeCtx::begin_shutdown`] from elsewhere), one
+/// thread per connection.
+///
+/// `watch_stdin` spawns the stdin watcher: EOF on stdin begins the
+/// drain, giving supervisors a portable shutdown channel besides
+/// SIGTERM. Pass `false` when stdin is not a meaningful channel — a
+/// daemon started with stdin on `/dev/null` would otherwise drain
+/// immediately (the caveat `docs/OPERATIONS.md` documents; the CLI
+/// detects this case and disables the watcher).
+///
+/// Returns once the drain grace expires or every admitted request has
+/// finished; the caller reports [`ServeCtx::stats_line`].
+pub fn serve_threads(
+    listener: TcpListener,
+    router: Arc<Router>,
+    ctx: Arc<ServeCtx>,
+    max_line: usize,
+    watch_stdin: bool,
+    grace: Duration,
+) -> std::io::Result<()> {
+    // Nonblocking accept so the loop can poll the shutdown latch: a
+    // blocked `accept(2)` would pin the process until one more client
+    // happened to connect.
+    listener.set_nonblocking(true)?;
+    if watch_stdin {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            ctx.begin_shutdown();
+        });
+    }
+    loop {
+        if term_signal::pending() {
+            ctx.begin_shutdown();
+        }
+        if ctx.is_shutting_down() {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            // Transient accept failures (a client resetting mid
+            // handshake, fd exhaustion) must not take down every
+            // established connection.
+            Err(e) => {
+                eprintln!("kbtim serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // The listener is nonblocking only for the poll loop;
+        // per-connection reads stay blocking.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // One small response line per request is Nagle's worst case;
+        // don't hold it back waiting for a piggyback ACK.
+        let _ = stream.set_nodelay(true);
+        let router = Arc::clone(&router);
+        let ctx = Arc::clone(&ctx);
+        // One thread per connection; all connections share the router's
+        // engines (and therefore the indexes, their scratch pools, the
+        // request coalescing and the batch planner) plus the
+        // admission/drain context.
+        std::thread::spawn(move || {
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(stream);
+            loop {
+                let response = match read_bounded_line(&mut reader, max_line) {
+                    Err(_) | Ok(LineRead::Eof) => break,
+                    Ok(LineRead::TooLong) => render_error(
+                        None,
+                        "bad_request",
+                        &format!("request line exceeds {max_line} bytes"),
+                        ctx.front_end(),
+                    ),
+                    Ok(LineRead::Line(line)) => {
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        handle_line_ctx(&router, &ctx, line)
+                    }
+                };
+                if writeln!(writer, "{response}").is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    // Drain: stop accepting (done — the loop exited), let admitted
+    // requests finish, then return. The grace bound keeps a wedged
+    // query from pinning shutdown forever.
+    let deadline = Instant::now() + grace;
+    while ctx.inflight() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}

@@ -28,8 +28,13 @@ use kbtim::storage::{IoStats, TempDir};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The failpoint registry is process-global; the two storm tests must
+/// not arm and reset it under each other. (A poisoned lock is fine —
+/// the state is re-armed from scratch each case.)
+static STORM_LOCK: Mutex<()> = Mutex::new(());
 
 const NUM_CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 8;
@@ -145,6 +150,7 @@ proptest! {
         fault_seed in any::<u64>(),
         batching in any::<bool>(),
     ) {
+        let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let oracle = oracle();
         for mode in all_modes() {
             kbtim_fault::reset();
@@ -238,6 +244,202 @@ proptest! {
                     mode, responses.len()
                 );
             }
+        }
+    }
+}
+
+/// The same storm through the epoll front end over real TCP: pipelined
+/// clients, random failpoints, responses matched by echoed id. Same
+/// contract — one response per request, documented codes only, every
+/// success bit-identical to the oracle, and the server outlives the
+/// storm.
+#[cfg(target_os = "linux")]
+mod epoll_storm {
+    use super::*;
+    use kbtim::serve::{serve_epoll, EpollConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    /// `LINES` minus their fixed ids — pipelined clients need ids
+    /// unique per connection to match responses back.
+    const BODIES: [&str; 6] = [
+        r#""topics":[0,1],"k":5,"algo":"rr""#,
+        r#""topics":[1,2],"k":3,"algo":"irr""#,
+        r#""topics":[0,3],"k":8,"algo":"auto""#,
+        r#""topics":[2],"k":4"#,
+        r#""topics":[0,1,2],"k":6,"deadline_ms":30000"#,
+        r#""topics":[3],"k":2,"algo":"irr""#,
+    ];
+
+    /// Oracle keyed by body, id stripped from the answer.
+    fn body_oracle() -> &'static HashMap<&'static str, Vec<(String, Json)>> {
+        static ORACLE: OnceLock<HashMap<&'static str, Vec<(String, Json)>>> = OnceLock::new();
+        ORACLE.get_or_init(|| {
+            kbtim_fault::reset();
+            let index =
+                KbtimIndex::open_with(index_dir().path(), IoStats::new(), ServingMode::File)
+                    .unwrap();
+            let router = Router::single(Arc::new(QueryEngine::new(Arc::new(index))));
+            BODIES
+                .iter()
+                .map(|&body| {
+                    let response = handle_line(&router, &format!("{{{body}}}"));
+                    assert!(response.contains("\"seeds\""), "oracle for {body}: {response}");
+                    (body, strip_identity(answer_fields(&response)))
+                })
+                .collect()
+        })
+    }
+
+    /// Drop the per-request and per-front-end fields so answers compare
+    /// across ids and front ends.
+    fn strip_identity(fields: Vec<(String, Json)>) -> Vec<(String, Json)> {
+        fields.into_iter().filter(|(k, _)| !matches!(k.as_str(), "id" | "front_end")).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, .. ProptestConfig::default() })]
+
+        #[test]
+        fn epoll_pipelined_clients_survive_random_failpoints(
+            picks in proptest::collection::vec(any::<proptest::sample::Index>(), 1..4),
+            fault_seed in any::<u64>(),
+            batching in any::<bool>(),
+        ) {
+            let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let oracle = body_oracle();
+            kbtim_fault::reset();
+
+            let index =
+                KbtimIndex::open_with(index_dir().path(), IoStats::new(), ServingMode::Mmap)
+                    .unwrap();
+            let engine = QueryEngine::new(Arc::new(index))
+                .with_batch_window(batching.then(|| Duration::from_micros(100)))
+                .with_merge_cache(4);
+            let router = Arc::new(Router::single(Arc::new(engine)));
+            let ctx = Arc::new(ServeCtx::new(64, None).with_front_end("epoll"));
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = {
+                let (router, ctx) = (Arc::clone(&router), Arc::clone(&ctx));
+                std::thread::spawn(move || {
+                    serve_epoll(listener, router, ctx, EpollConfig {
+                        workers: 2,
+                        ..EpollConfig::default()
+                    })
+                })
+            };
+
+            kbtim_fault::set_seed(fault_seed);
+            for pick in &picks {
+                let (name, spec) = MENU[pick.index(MENU.len())];
+                kbtim_fault::arm(name, spec).unwrap();
+            }
+
+            let mut clients = Vec::new();
+            for client in 0..NUM_CLIENTS {
+                clients.push(std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    // Per-read watchdog: a hang fails loudly instead of
+                    // pinning the suite.
+                    stream.set_read_timeout(Some(WATCHDOG)).unwrap();
+                    let mut want: HashMap<u64, &'static str> = HashMap::new();
+                    let mut wire = String::new();
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let id = client as u64 * 1000 + r as u64;
+                        let body = BODIES[(client + r * 3) % BODIES.len()];
+                        wire.push_str(&format!("{{\"id\":{id},{body}}}\n"));
+                        want.insert(id, body);
+                    }
+                    // The whole burst goes out before any response is
+                    // read: full pipelining under faults.
+                    stream.write_all(wire.as_bytes()).unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let mut got = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    let mut line = String::new();
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        line.clear();
+                        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "server closed early");
+                        let response = line.trim().to_string();
+                        let json = Json::parse(&response).expect("responses are protocol JSON");
+                        let Some(Json::Num(id)) = json.get("id") else {
+                            panic!("response without echoed id: {response}");
+                        };
+                        let body = want
+                            .remove(&(*id as u64))
+                            .expect("echoed id matches exactly one pending request");
+                        got.push((body, response));
+                    }
+                    assert!(want.is_empty(), "every request answered exactly once");
+                    got
+                }));
+            }
+
+            let mut responses = Vec::new();
+            for client in clients {
+                let got = client.join().expect("client threads never die");
+                prop_assert_eq!(got.len(), REQUESTS_PER_CLIENT);
+                responses.extend(got);
+            }
+            kbtim_fault::reset();
+
+            for (body, response) in &responses {
+                let json = Json::parse(response).unwrap();
+                prop_assert!(
+                    matches!(json.get("front_end"), Some(Json::Str(s)) if s == "epoll"),
+                    "every epoll response is tagged: {}", response
+                );
+                if response.contains("\"seeds\"") {
+                    prop_assert_eq!(
+                        &strip_identity(answer_fields(response)),
+                        &oracle[body],
+                        "a successful pipelined answer under faults must be \
+                         bit-identical to the fault-free oracle"
+                    );
+                } else {
+                    let code = match json.get("code") {
+                        Some(Json::Str(code)) => code.clone(),
+                        other => panic!("error without code: {other:?}"),
+                    };
+                    prop_assert!(
+                        DOCUMENTED_CODES.contains(&code.as_str()),
+                        "undocumented error code {}", code
+                    );
+                }
+            }
+
+            // The server outlives the storm: a fresh connection,
+            // disarmed, gets oracle-exact answers for every body.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(WATCHDOG)).unwrap();
+            let mut wire = String::new();
+            for (i, body) in BODIES.iter().enumerate() {
+                wire.push_str(&format!("{{\"id\":{},{body}}}\n", 90_000 + i));
+            }
+            stream.write_all(wire.as_bytes()).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut clean = 0;
+            let mut line = String::new();
+            for _ in 0..BODIES.len() {
+                line.clear();
+                assert_ne!(reader.read_line(&mut line).unwrap(), 0, "server closed early");
+                let response = line.trim();
+                let json = Json::parse(response).unwrap();
+                let Some(Json::Num(id)) = json.get("id") else {
+                    panic!("response without echoed id: {response}");
+                };
+                let body = BODIES[*id as usize - 90_000];
+                prop_assert_eq!(
+                    &strip_identity(answer_fields(response)),
+                    &oracle[body],
+                    "the epoll server must serve clean answers after the storm"
+                );
+                clean += 1;
+            }
+            prop_assert_eq!(clean, BODIES.len());
+
+            ctx.begin_shutdown();
+            server.join().expect("serve loop thread").expect("serve loop exits cleanly");
         }
     }
 }

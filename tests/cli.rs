@@ -554,3 +554,107 @@ fn serve_tcp_drains_gracefully_on_stdin_eof() {
 
     std::fs::remove_dir_all(&root).ok();
 }
+
+/// `--front-end` selection over the real binary: both TCP front ends
+/// answer a pipelined burst with ids echoed (responses matched as a
+/// set — the epoll loop does not promise cross-id ordering), the
+/// banner names the active front end, every response carries it as a
+/// `front_end` field, and flag validation fails cleanly.
+#[test]
+fn serve_front_end_selection_and_pipelining() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let root = temp_dir("frontend");
+    let data = root.join("data");
+    let index = root.join("index");
+    assert!(kbtim()
+        .args(["gen", "--family", "news", "--users", "300", "--topics", "4"])
+        .args(["--seed", "9", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(kbtim()
+        .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+        .args(["--cap", "500", "--threads", "2"])
+        .status()
+        .unwrap()
+        .success());
+
+    let front_ends: &[&str] =
+        if cfg!(target_os = "linux") { &["epoll", "threads"] } else { &["threads"] };
+    for fe in front_ends {
+        let mut child = kbtim()
+            .args(["serve", "--index", index.to_str().unwrap(), "--listen", "127.0.0.1:0"])
+            .args(["--front-end", fe, "--max-conns", "64"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let mut banner = String::new();
+        let addr = loop {
+            let mut line = String::new();
+            assert!(stderr.read_line(&mut line).unwrap() > 0, "server died before listening");
+            banner.push_str(&line);
+            if let Some(at) = line.find("listening on ") {
+                break line[at + "listening on ".len()..].trim().to_string();
+            }
+        };
+        assert!(
+            banner.contains(&format!("front-end {fe}")),
+            "banner names the front end: {banner}"
+        );
+
+        // One pipelined burst: every request written before any
+        // response is read.
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let ids: Vec<u64> = (10..16).collect();
+        for id in &ids {
+            writeln!(writer, r#"{{"id":{id},"topics":[0,1],"k":4}}"#).unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in &ids {
+            let mut response = String::new();
+            assert!(reader.read_line(&mut response).unwrap() > 0, "server closed early");
+            assert!(response.contains("\"seeds\""), "{response}");
+            assert!(
+                response.contains(&format!("\"front_end\":\"{fe}\"")),
+                "responses report the active front end: {response}"
+            );
+            let at = response.find("\"id\":").expect("id echoed") + "\"id\":".len();
+            let digits: String = response[at..].chars().take_while(char::is_ascii_digit).collect();
+            seen.push(digits.parse::<u64>().unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, ids, "every pipelined request answered exactly once by id");
+
+        drop(writer);
+        drop(reader);
+        child.stdin.take();
+        let status = child.wait().unwrap();
+        assert!(status.success(), "front end {fe} must drain cleanly");
+        let mut rest = String::new();
+        stderr.read_to_string(&mut rest).unwrap();
+        assert!(rest.contains("drained (served=6"), "front end {fe} final stats: {rest}");
+    }
+
+    // Flag validation: --front-end without --listen, and a bad value.
+    let out = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap(), "--front-end", "epoll"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--front-end requires --listen"));
+    let out = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap()])
+        .args(["--listen", "127.0.0.1:0", "--front-end", "kqueue"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--front-end must be"));
+
+    std::fs::remove_dir_all(&root).ok();
+}

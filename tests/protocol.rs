@@ -4,7 +4,7 @@
 //! request lines are shed and resynced by the bounded reader, and the
 //! new admission/deadline request plumbing parses as documented.
 
-use kbtim::serve::{read_bounded_line, Json, LineRead, ServeRequest};
+use kbtim::serve::{read_bounded_line, FramedLine, Json, LineFramer, LineRead, ServeRequest};
 use proptest::prelude::*;
 use std::io::BufReader;
 
@@ -119,5 +119,51 @@ proptest! {
             );
         }
         assert_eq!(read_bounded_line(&mut reader, 64).unwrap(), LineRead::Eof);
+    }
+
+    /// The incremental framer (epoll front end) and the blocking
+    /// bounded reader (stdin / threads front ends) implement one
+    /// semantics: identical lines, identical `TooLong` sheds, identical
+    /// resync — for arbitrary byte streams (newlines, CRLF, invalid
+    /// UTF-8, oversized runs) under arbitrary tearing into chunks.
+    #[test]
+    fn framer_is_equivalent_to_the_bounded_reader(
+        raw in proptest::collection::vec(any::<u8>(), 0..200),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+        cap in 1usize..32,
+    ) {
+        // Skew toward newlines, CR and invalid UTF-8 — uniform bytes
+        // would almost never produce a line boundary or an exact-cap
+        // line.
+        const ALPHABET: &[u8] = b"aaaabbbb\n\n\n\r\r\xff{\x00";
+        let bytes: Vec<u8> = raw.iter().map(|&b| ALPHABET[b as usize % ALPHABET.len()]).collect();
+        // Reader side: pull lines until EOF (tiny capacity exercises
+        // its own internal chunking independently of ours).
+        let mut reader = BufReader::with_capacity(3, &bytes[..]);
+        let mut from_reader = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, cap).unwrap() {
+                LineRead::Eof => break,
+                LineRead::Line(line) => from_reader.push(FramedLine::Line(line)),
+                LineRead::TooLong => from_reader.push(FramedLine::TooLong),
+            }
+        }
+
+        // Framer side: the same bytes torn at arbitrary boundaries.
+        let mut at: Vec<usize> = cuts.iter().map(|c| c.index(bytes.len() + 1)).collect();
+        at.sort_unstable();
+        at.dedup();
+        let mut framer = LineFramer::new(cap);
+        let mut from_framer = Vec::new();
+        let mut prev = 0;
+        for cut in at.into_iter().chain(std::iter::once(bytes.len())) {
+            framer.push(&bytes[prev..cut], &mut from_framer);
+            prev = cut;
+        }
+        if let Some(last) = framer.finish() {
+            from_framer.push(last);
+        }
+
+        prop_assert_eq!(from_reader, from_framer);
     }
 }
