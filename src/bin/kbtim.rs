@@ -457,9 +457,13 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     // machine's available parallelism. Distinct from --threads, which
     // is the per-query fan-out *inside* the engine.
     let workers: usize = parse(flags, "workers", 0)?;
-    // Per-connection unread-response cap in bytes; beyond it, further
-    // requests on that connection are shed with `overloaded`.
+    // Per-connection unread-response cap in bytes; beyond it the loop
+    // stops reading the connection until the client drains (TCP
+    // backpressure), resuming once the outbox is back under the cap.
     let outbox_cap: usize = parse(flags, "outbox-cap", 256 * 1024)?;
+    if outbox_cap == 0 {
+        return Err("--outbox-cap must be positive".to_string());
+    }
     let default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let ctx = Arc::new(ServeCtx::new(max_queue, default_deadline).with_front_end(front_end));
     term_signal::install();

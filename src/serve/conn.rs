@@ -22,6 +22,12 @@ pub(crate) struct Conn {
     /// Requests handed to the dispatcher whose responses have not yet
     /// been enqueued — the per-connection pipeline depth.
     pub pending: usize,
+    /// Whether the connection is currently registered for `EPOLLIN`
+    /// (mirrors the kernel-side interest so re-arms are cheap). Read
+    /// interest drops while the outbox is over its cap — backpressure
+    /// on a client that pipelines without reading — and after the peer
+    /// half-closes.
+    pub want_read: bool,
     /// Whether the connection is currently registered for `EPOLLOUT`
     /// (mirrors the kernel-side interest so re-arms are cheap).
     pub want_write: bool,
@@ -38,6 +44,7 @@ impl Conn {
             framer: LineFramer::new(max_line),
             outbox: VecDeque::new(),
             pending: 0,
+            want_read: true,
             want_write: false,
             read_closed: false,
         }

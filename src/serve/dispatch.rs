@@ -125,6 +125,10 @@ struct Shared {
     queue: Mutex<FairQueue>,
     ready: Condvar,
     stop: AtomicBool,
+    /// Set when the drain grace expired: workers exit without draining
+    /// what is still queued (the queued `Pending`s are dropped by
+    /// [`Dispatcher::stop_and_join`], releasing their permits).
+    abandon: AtomicBool,
     completions: CompletionQueue<(u64, String)>,
     router: Arc<Router>,
     ctx: Arc<ServeCtx>,
@@ -150,6 +154,7 @@ impl Dispatcher {
             queue: Mutex::new(FairQueue::default()),
             ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
             completions: CompletionQueue::new(waker),
             router,
             ctx,
@@ -184,14 +189,38 @@ impl Dispatcher {
         self.shared.queue.lock().expect("dispatch queue poisoned").len()
     }
 
-    /// Finish everything queued, then stop the workers and join them.
-    /// Completions pushed during the drain still reach
+    /// Stop the workers. With `finish_queued` (a clean drain: nothing
+    /// was pending when the loop decided to exit), workers first
+    /// finish everything still queued and are joined; completions
+    /// pushed during the drain still reach
     /// [`Dispatcher::drain_completions`] afterwards.
-    pub(crate) fn stop_and_join(&mut self) {
+    ///
+    /// Without it — the drain grace expired — the queued `Pending`s
+    /// are dropped on the spot (counted as shed; their admission
+    /// permits release), workers exit after at most their current
+    /// window, and they are detached rather than joined: a query
+    /// wedged inside the engine must not pin shutdown past the grace,
+    /// exactly as the threads front end's detached handlers cannot.
+    pub(crate) fn stop_and_join(&mut self, finish_queued: bool) {
+        if !finish_queued {
+            self.shared.abandon.store(true, Ordering::SeqCst);
+        }
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.ready.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if finish_queued {
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        } else {
+            self.workers.clear();
+            let abandoned =
+                std::mem::take(&mut *self.shared.queue.lock().expect("dispatch queue poisoned"));
+            for _ in 0..abandoned.len() {
+                self.shared.ctx.count_shed();
+            }
+            // Dropping the queue drops its Pendings, releasing their
+            // admission permits.
+            drop(abandoned);
         }
     }
 }
@@ -201,6 +230,9 @@ fn worker_main(shared: &Shared) {
         let window = {
             let mut queue = shared.queue.lock().expect("dispatch queue poisoned");
             loop {
+                if shared.abandon.load(Ordering::SeqCst) {
+                    return; // grace expired: leave the queue for stop_and_join to drop
+                }
                 if !queue.is_empty() {
                     break;
                 }

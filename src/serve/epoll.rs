@@ -21,9 +21,12 @@
 //! Pipelining: a client may write many request lines without reading;
 //! responses come back **in completion order**, matched by the echoed
 //! `id` (normative semantics in `docs/PROTOCOL.md`). Backpressure is
-//! per connection: at most `pipeline_depth` requests in flight and
-//! `outbox_cap` bytes of unread responses — beyond either, requests
-//! are shed with `overloaded` instead of buffering without bound.
+//! per connection: at most `pipeline_depth` requests in flight —
+//! beyond that, requests are shed with `overloaded` — and `outbox_cap`
+//! bytes of unread responses, past which the loop *stops reading* the
+//! connection (`EPOLLIN` drops until the outbox drains back under the
+//! cap), so a client that pipelines without reading is throttled by
+//! TCP instead of growing server memory without bound.
 //!
 //! Overload and drain books are the same [`ServeCtx`] the
 //! thread-per-connection front end uses, so admission permits,
@@ -54,7 +57,9 @@ pub struct EpollConfig {
     /// parallelism.
     pub workers: usize,
     /// Per-connection outbox cap in bytes: beyond this many unread
-    /// response bytes, further requests are shed with `overloaded`.
+    /// response bytes the loop stops reading the connection (read
+    /// interest re-arms once the outbox drains), so unread responses
+    /// become TCP backpressure on the client, not server memory.
     pub outbox_cap: usize,
     /// Per-request line cap (`--max-line`), enforced by the framer.
     pub max_line: usize,
@@ -199,6 +204,10 @@ mod linux {
         pub(super) fn run(mut self) -> io::Result<()> {
             let mut events = vec![EpollEvent::default(); 1024];
             let mut drain_deadline: Option<Instant> = None;
+            // Cleared when the grace expires with work still pending:
+            // the dispatcher then abandons its queue instead of
+            // draining it, so a wedged query cannot pin shutdown.
+            let mut graceful = true;
             loop {
                 if term_signal::pending() {
                     self.ctx.begin_shutdown();
@@ -216,7 +225,11 @@ mod linux {
                     let idle = dispatcher.queued() == 0
                         && self.ctx.inflight() == 0
                         && self.conns.values().all(Conn::done);
-                    if idle || Instant::now() >= deadline {
+                    if idle {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        graceful = false;
                         break;
                     }
                 }
@@ -236,10 +249,12 @@ mod linux {
                 }
                 self.apply_completions();
             }
-            // Drain tail: finish whatever is still queued, deliver the
-            // final completions, flush best-effort, report.
+            // Drain tail: finish whatever is still queued (unless the
+            // grace expired — then the queue is abandoned and its
+            // permits released), deliver the final completions, flush
+            // best-effort, report.
             if let Some(mut dispatcher) = self.dispatcher.take() {
-                dispatcher.stop_and_join();
+                dispatcher.stop_and_join(graceful);
                 self.scratch.clear();
                 dispatcher.drain_completions(&mut self.scratch);
                 let last = std::mem::take(&mut self.scratch);
@@ -349,33 +364,55 @@ mod linux {
         }
 
         /// Drain the socket's read side into the framer and process the
-        /// completed lines. Returns `false` if the connection died.
+        /// completed lines, one chunk at a time so the outbox cap is
+        /// honored *between* chunks: a connection whose outbox is over
+        /// cap stops being read — the bytes stay in the kernel buffer
+        /// and TCP pushes back on the client — and [`flush_and_rearm`]
+        /// drops its `EPOLLIN` interest until the outbox drains back
+        /// under the cap (a level-triggered `EPOLLIN` on data we refuse
+        /// to read would otherwise spin). Returns `false` if the
+        /// connection died.
+        ///
+        /// [`flush_and_rearm`]: EventLoop::flush_and_rearm
         fn read_ready(&mut self, id: u64) -> bool {
             let mut lines: Vec<FramedLine> = Vec::new();
-            let Some(conn) = self.conns.get_mut(&id) else {
-                return true;
-            };
-            if !conn.read_closed {
-                loop {
-                    match conn.stream.read(&mut self.buf) {
-                        Ok(0) => {
-                            conn.read_closed = true;
-                            if let Some(last) = conn.framer.finish() {
-                                lines.push(last);
+            loop {
+                lines.clear();
+                let mut closed = false;
+                {
+                    let Some(conn) = self.conns.get_mut(&id) else {
+                        return true;
+                    };
+                    if conn.read_closed || conn.outbox.len() > self.cfg.outbox_cap {
+                        return true;
+                    }
+                    loop {
+                        match conn.stream.read(&mut self.buf) {
+                            Ok(0) => {
+                                conn.read_closed = true;
+                                if let Some(last) = conn.framer.finish() {
+                                    lines.push(last);
+                                }
+                                closed = true;
+                                break;
                             }
-                            break;
+                            Ok(n) => {
+                                conn.framer.push(&self.buf[..n], &mut lines);
+                                break;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => return false,
                         }
-                        Ok(n) => conn.framer.push(&self.buf[..n], &mut lines),
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        Err(_) => return false,
                     }
                 }
+                for line in lines.drain(..) {
+                    self.process_line(id, line);
+                }
+                if closed {
+                    return true;
+                }
             }
-            for line in lines {
-                self.process_line(id, line);
-            }
-            true
         }
 
         /// One framed request line: the epoll-side equivalent of
@@ -438,6 +475,11 @@ mod linux {
                 ));
                 return;
             }
+            // Over-cap outboxes pause *reading* (see `read_ready`), so
+            // this branch only fires for lines framed from the chunk
+            // that pushed the outbox over — a bounded tail, not an
+            // amplification loop: after this chunk the connection is
+            // not read again until the client drains below the cap.
             if conn.outbox.len() > self.cfg.outbox_cap {
                 self.ctx.count_shed();
                 conn.enqueue_response(&render_error(
@@ -513,13 +555,17 @@ mod linux {
                         return;
                     }
                     let want_write = !drained;
-                    // Re-arm unconditionally when something changed:
-                    // write interest toggles with the outbox, read
-                    // interest drops after the peer half-closes (a
-                    // level-triggered EOF would fire forever).
-                    if (conn.want_write != want_write || conn.read_closed)
-                        && self.epoll.modify(fd, id, !conn.read_closed, want_write).is_ok()
+                    // Read interest drops after the peer half-closes
+                    // (a level-triggered EOF would fire forever) and
+                    // while the outbox is over cap (backpressure: the
+                    // client must drain responses before the loop
+                    // reads more requests); it re-arms as completions
+                    // flush the outbox back under the cap.
+                    let want_read = !conn.read_closed && conn.outbox.len() <= self.cfg.outbox_cap;
+                    if (conn.want_write != want_write || conn.want_read != want_read)
+                        && self.epoll.modify(fd, id, want_read, want_write).is_ok()
                     {
+                        conn.want_read = want_read;
                         conn.want_write = want_write;
                     }
                 }

@@ -655,6 +655,15 @@ fn serve_front_end_selection_and_pipelining() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--front-end must be"));
+    // A zero outbox cap would shed every request with even one
+    // response byte unflushed — reject the typo like the neighbors.
+    let out = kbtim()
+        .args(["serve", "--index", index.to_str().unwrap()])
+        .args(["--listen", "127.0.0.1:0", "--outbox-cap", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--outbox-cap must be positive"));
 
     std::fs::remove_dir_all(&root).ok();
 }

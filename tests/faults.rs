@@ -292,3 +292,63 @@ fn every_documented_error_code_is_producible_and_round_trips() {
     let ok = handle_line(&router, r#"{"topics":[0,1],"k":5}"#);
     assert!(ok.contains("\"seeds\""), "{ok}");
 }
+
+/// The epoll drain grace is a hard bound: with the engine wedged on a
+/// long injected delay and a queue of requests stacked behind a single
+/// worker, shutdown must complete within the grace (plus loop slack) —
+/// the dispatcher abandons the queued work (dropping it as shed, which
+/// releases the admission permits) and detaches rather than joins the
+/// wedged worker, instead of draining the queue at one wedged query at
+/// a time.
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_drain_grace_bounds_wedged_queries() {
+    use kbtim::serve::{serve_epoll, EpollConfig};
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    let _section = armed_section();
+    // Every query sleeps 1.5 s inside the engine; draining the six
+    // queued below would take ~9 s on the one worker.
+    kbtim_fault::arm("engine.merge", "delay(1500000)").unwrap();
+
+    let router = Arc::new(kbtim::serve::Router::single(open_engine(ServingMode::File)));
+    let ctx = Arc::new(ServeCtx::new(1024, None).with_front_end("epoll"));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = {
+        let (router, ctx) = (Arc::clone(&router), Arc::clone(&ctx));
+        std::thread::spawn(move || {
+            let cfg = EpollConfig {
+                workers: 1,
+                grace: Duration::from_millis(300),
+                ..EpollConfig::default()
+            };
+            serve_epoll(listener, router, ctx, cfg)
+        })
+    };
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    for id in 0..6 {
+        writeln!(client, "{{\"id\":{id},\"topics\":[0,1],\"k\":5}}").unwrap();
+    }
+    client.flush().unwrap();
+    // Let the burst be read and admitted (first query is then wedged
+    // in its delay, the rest queued) before beginning the drain.
+    std::thread::sleep(Duration::from_millis(300));
+    let begun = Instant::now();
+    ctx.begin_shutdown();
+    handle.join().expect("serve loop thread").expect("serve loop exits");
+    let elapsed = begun.elapsed();
+    // Well under a single query's 1.5 s delay: shutdown waited for the
+    // grace, not for the wedged query or the queue behind it.
+    assert!(
+        elapsed < Duration::from_millis(1400),
+        "drain must be bounded by the grace, took {elapsed:?}"
+    );
+    // The five abandoned queue entries released their permits; only
+    // the wedged query's own permit may still be held (its detached
+    // worker is mid-delay).
+    assert!(ctx.inflight() <= 1, "abandoned queue must release its permits: {}", ctx.inflight());
+}

@@ -229,6 +229,66 @@ fn thousands_of_idle_connections_do_not_starve_active_clients() {
     server.shutdown();
 }
 
+/// Write backpressure: a client that pipelines a burst far past a tiny
+/// `--outbox-cap` without reading must not grow the server's outbox
+/// without bound — the loop pauses reading the connection at the cap
+/// (the burst waits in kernel buffers as TCP backpressure) and resumes
+/// as the client drains. Every request is still answered exactly once,
+/// by id, with either the oracle answer or an `overloaded` shed; if
+/// the `EPOLLIN` re-arm were broken the reads below would time out.
+#[test]
+fn outbox_cap_pauses_reads_and_resumes_as_client_drains() {
+    const N: usize = 2000; // burst comfortably larger than one 64 KiB read chunk
+    let server =
+        Server::start(false, EpollConfig { workers: 2, outbox_cap: 512, ..EpollConfig::default() });
+    let oracle = oracle();
+    let stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    // Write the whole burst from a separate thread: the test must not
+    // deadlock against its own backpressure while it is not yet reading.
+    let writer = {
+        let mut stream = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let mut wire = String::new();
+            for id in 0..N {
+                wire.push_str(&format!("{{\"id\":{id},{}}}\n", BODIES[id % BODIES.len()]));
+            }
+            stream.write_all(wire.as_bytes()).unwrap();
+            stream.flush().unwrap();
+        })
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut seen = vec![false; N];
+    for _ in 0..N {
+        line.clear();
+        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "server closed early");
+        let response = line.trim();
+        let json = Json::parse(response).expect("responses are protocol JSON");
+        let Some(Json::Num(id)) = json.get("id") else {
+            panic!("response without echoed id: {response}");
+        };
+        let id = *id as usize;
+        assert!(!seen[id], "duplicate response for id {id}");
+        seen[id] = true;
+        if let Some(Json::Str(code)) = json.get("code") {
+            assert_eq!(code, "overloaded", "only backpressure sheds expected: {response}");
+        } else {
+            assert_eq!(
+                answer_fields(response),
+                oracle[BODIES[id % BODIES.len()]],
+                "successful answer for id {id} must match the serial oracle"
+            );
+        }
+    }
+    writer.join().expect("writer thread");
+    let (served, shed) = (server.ctx.served(), server.ctx.shed());
+    server.shutdown();
+    assert_eq!(served + shed, N as u64, "every request served or shed exactly once");
+}
+
 /// Draining with requests in flight: the client's already-written
 /// burst is answered (or cleanly shed) before the loop exits, and the
 /// served/shed books add up.
