@@ -1,0 +1,344 @@
+//! Record a machine-readable baseline for the mutable delta tier:
+//! **what does sustained ingest cost the query path?**
+//!
+//! One committed answer (`BENCH_mutate.json`), three phases on one
+//! server configuration (mmap pages through the process-wide cache,
+//! the delta tier attached, requests through the full line-protocol
+//! front end):
+//!
+//! 1. **Static baseline** — closed-loop query clients against the
+//!    attached-but-idle tier: the cost of *having* the delta layer.
+//! 2. **Sustained ingest** — the same query clients while a writer
+//!    drives mutation verbs (`set_topic_weight` / `ingest_user` /
+//!    `ingest_edge`) through the protocol, with periodic `flush` ops
+//!    compacting into new segment generations mid-storm. Query p50/p99
+//!    *during* ingest is the headline number — it prices snapshot
+//!    publication and compaction against the read path.
+//! 3. **Verification** — after the storm, `DeltaIndex::verify` rebuilds
+//!    the union from scratch and structurally compares catalogs: the
+//!    served state must equal a clean build of the same content, or
+//!    the numbers above priced the wrong system.
+//!
+//! ```text
+//! cargo run --release -p kbtim-bench --bin mutate_baseline [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks the dataset and window for CI (and skips writing
+//! the JSON unless a path is given explicitly).
+
+use kbtim::serve::{handle_line_ctx, Router, ServeCtx};
+use kbtim_core::theta::SamplingConfig;
+use kbtim_datagen::{DatasetConfig, DatasetFamily};
+use kbtim_index::{
+    DeltaIndex, IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex, PageCache, QueryEngine,
+    ServingMode, ThetaMode,
+};
+use kbtim_propagation::model::IcModel;
+use kbtim_storage::{IoStats, TempDir};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const TOPICS: u32 = 8;
+const QUERY_CLIENTS: usize = 4;
+const QUERIES: [&str; 4] = [
+    r#"{"id":1,"topics":[0,1],"k":10,"algo":"rr"}"#,
+    r#"{"id":2,"topics":[0,1],"k":10,"algo":"irr"}"#,
+    r#"{"id":3,"topics":[2,3,4],"k":10,"algo":"auto"}"#,
+    r#"{"id":4,"topics":[1,5,7],"k":25,"algo":"rr"}"#,
+];
+
+struct Config {
+    users: u32,
+    theta_cap: u64,
+    /// Wall-clock length of each measured phase.
+    window: Duration,
+    /// Journaled mutations between protocol `flush` ops: compaction
+    /// runs *during* the measured window, not just after it.
+    flush_every: u64,
+}
+
+struct PhaseRow {
+    label: &'static str,
+    served: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let config = if smoke {
+        Config {
+            users: 2_000,
+            theta_cap: 600,
+            window: Duration::from_millis(1_200),
+            flush_every: 100,
+        }
+    } else {
+        Config { users: 20_000, theta_cap: 2_000, window: Duration::from_secs(8), flush_every: 100 }
+    };
+    kbtim_fault::reset();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("generating news-family dataset ({} users, {TOPICS} topics)...", config.users);
+    let data = DatasetConfig::family(DatasetFamily::News)
+        .num_users(config.users)
+        .num_topics(TOPICS)
+        .seed(6)
+        .build();
+    let model = IcModel::weighted_cascade(&data.graph);
+
+    eprintln!("building IRR index...");
+    let build_config = IndexBuildConfig {
+        sampling: SamplingConfig {
+            theta_cap: Some(config.theta_cap),
+            opt_initial_samples: 128,
+            opt_max_rounds: 6,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 100 },
+        threads: host_threads,
+        seed: SEED,
+        ..IndexBuildConfig::default()
+    };
+    let dir = TempDir::new("mutate-baseline-idx").unwrap();
+    let report = IndexBuilder::new(&model, &data.profiles, build_config).build(dir.path()).unwrap();
+    eprintln!(
+        "index built: Σθ_w = {}, {:.1} MiB, {:.1}s",
+        report.total_theta,
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.elapsed.as_secs_f64()
+    );
+
+    // The server configuration with the delta tier attached. The tier
+    // re-samples with the build's own sampling config — the same
+    // requirement `kbtim serve --data` enforces through its flags.
+    let mut index =
+        KbtimIndex::open_shared(dir.path(), IoStats::new(), ServingMode::Mmap, PageCache::global())
+            .unwrap();
+    index.set_threads(Some(1));
+    let index = Arc::new(index);
+    let delta = Arc::new(
+        DeltaIndex::attach(Arc::clone(&index), &data.graph, &data.profiles, build_config).unwrap(),
+    );
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&index)).with_delta(Arc::clone(&delta)));
+    let router = Arc::new(Router::single(engine));
+
+    // ---- Phase 1: queries against the idle tier. ---------------------
+    let quiet = run_phase(&router, "static", config.window, None);
+    eprintln!(
+        "static: {} served, {:.0} qps, p50 {:.2} ms, p99 {:.2} ms",
+        quiet.served, quiet.qps, quiet.p50_ms, quiet.p99_ms
+    );
+
+    // ---- Phase 2: the same queries during sustained ingest. ----------
+    let writer = WriterPlan {
+        base_users: config.users,
+        flush_every: config.flush_every,
+        applied: AtomicU64::new(0),
+        flushes: AtomicU64::new(0),
+    };
+    let ingest = run_phase(&router, "during_ingest", config.window, Some(&writer));
+    let stats = delta.stats();
+    eprintln!(
+        "during ingest: {} served, {:.0} qps, p50 {:.2} ms, p99 {:.2} ms",
+        ingest.served, ingest.qps, ingest.p50_ms, ingest.p99_ms
+    );
+    eprintln!(
+        "writer: {} mutations ({:.0}/s), {} flushes → segment generation {}, \
+         mutation generation {}",
+        writer.applied.load(Ordering::Relaxed),
+        writer.applied.load(Ordering::Relaxed) as f64 / config.window.as_secs_f64(),
+        writer.flushes.load(Ordering::Relaxed),
+        stats.flushed_generation,
+        stats.generation,
+    );
+    assert!(writer.applied.load(Ordering::Relaxed) > 0, "the writer never got a mutation in");
+
+    // ---- Phase 3: the served union must equal a from-scratch build. --
+    eprintln!("verifying base ∪ delta against a from-scratch rebuild...");
+    delta.verify().expect("post-storm union must verify structurally");
+
+    if smoke && out_path.is_none() {
+        eprintln!(
+            "smoke run: p99 {:.2} ms static → {:.2} ms during ingest, union verified; \
+             no JSON written",
+            quiet.p99_ms, ingest.p99_ms
+        );
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_mutate.json".to_string());
+    let json = format!(
+        r#"{{
+  "bench": "mutable_delta_tier",
+  "methodology": "docs/BENCHMARKS.md and docs/OPERATIONS.md (closed-loop query clients; the ingest phase runs a concurrent protocol writer with periodic flush ops; latencies are successful queries only)",
+  "graph": {{ "family": "news", "nodes": {nodes}, "edges": {edges} }},
+  "seed": {SEED},
+  "host_available_parallelism": {host_threads},
+  "index": {{ "users": {users}, "topics": {TOPICS}, "theta_cap": {theta_cap}, "variant": "irr", "partition_size": 100, "total_theta": {total_theta} }},
+  "serving_mode": "mmap (process-wide page cache), per_query_threads 1, delta tier attached",
+  "query_clients": {QUERY_CLIENTS},
+  "window_seconds": {window_secs:.1},
+  "static": {static_json},
+  "during_ingest": {ingest_json},
+  "writer": {{ "mutations": {applied}, "mutations_per_sec": {mps:.1}, "flush_every": {flush_every}, "flushes": {flushes}, "final_segment_generation": {seg_gen}, "final_mutation_generation": {mut_gen} }},
+  "union_verified_against_rebuild": true
+}}
+"#,
+        nodes = data.graph.num_nodes(),
+        edges = data.graph.num_edges(),
+        users = config.users,
+        theta_cap = config.theta_cap,
+        total_theta = report.total_theta,
+        window_secs = config.window.as_secs_f64(),
+        static_json = phase_json(&quiet),
+        ingest_json = phase_json(&ingest),
+        applied = writer.applied.load(Ordering::Relaxed),
+        mps = writer.applied.load(Ordering::Relaxed) as f64 / config.window.as_secs_f64(),
+        flush_every = config.flush_every,
+        flushes = writer.flushes.load(Ordering::Relaxed),
+        seg_gen = stats.flushed_generation,
+        mut_gen = stats.generation,
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}
+
+struct WriterPlan {
+    base_users: u32,
+    flush_every: u64,
+    /// Mutations acked (everything except `flush` ops).
+    applied: AtomicU64,
+    /// `flush` ops acked.
+    flushes: AtomicU64,
+}
+
+impl WriterPlan {
+    /// The i-th mutation line of the sustained stream: mostly profile
+    /// weight updates (the high-rate verb), salted with user and edge
+    /// ingests (which dirty every keyword), and a `flush` op every
+    /// `flush_every` mutations so compaction lands inside the window.
+    fn line(&self, i: u64) -> String {
+        if i > 0 && i.is_multiple_of(self.flush_every) {
+            return r#"{"op":"flush"}"#.to_string();
+        }
+        let user = i % self.base_users as u64;
+        let topic = i % TOPICS as u64;
+        match i % 25 {
+            7 => r#"{"op":"ingest_user"}"#.to_string(),
+            16 => format!(
+                r#"{{"op":"ingest_edge","from":{user},"to":{}}}"#,
+                (i * 7) % self.base_users as u64
+            ),
+            _ => format!(
+                r#"{{"op":"set_topic_weight","user":{user},"topic":{topic},"weight":{:.2}}}"#,
+                0.05 + (i % 19) as f64 / 20.0
+            ),
+        }
+    }
+}
+
+// Counters live on the plan so `main` can read them after the phase.
+impl WriterPlan {
+    fn run(&self, router: &Arc<Router>, ctx: &Arc<ServeCtx>, stop: &AtomicBool) {
+        let mut i = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let line = self.line(i);
+            let response = handle_line_ctx(router, ctx, &line);
+            if line.contains("\"flush\"") {
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.applied.fetch_add(1, Ordering::Relaxed);
+            }
+            assert!(
+                response.contains("\"generation\""),
+                "writer got an error response for {line}: {response}"
+            );
+            i += 1;
+        }
+    }
+}
+
+/// Closed-loop query clients for one wall-clock window, optionally
+/// with the protocol writer running alongside them.
+fn run_phase(
+    router: &Arc<Router>,
+    label: &'static str,
+    window: Duration,
+    writer: Option<&WriterPlan>,
+) -> PhaseRow {
+    let ctx = Arc::new(ServeCtx::unlimited());
+    let latencies = Mutex::new(Vec::new());
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(QUERY_CLIENTS + usize::from(writer.is_some()));
+    std::thread::scope(|scope| {
+        if let Some(plan) = writer {
+            let router = Arc::clone(router);
+            let ctx = Arc::clone(&ctx);
+            let (stop, barrier) = (&stop, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                plan.run(&router, &ctx, stop);
+            });
+        }
+        for tid in 0..QUERY_CLIENTS {
+            let router = Arc::clone(router);
+            let ctx = Arc::clone(&ctx);
+            let latencies = &latencies;
+            let (stop, barrier) = (&stop, &barrier);
+            scope.spawn(move || {
+                let mut mine = Vec::new();
+                barrier.wait();
+                let until = Instant::now() + window;
+                let mut at = tid;
+                while Instant::now() < until {
+                    let line = QUERIES[at % QUERIES.len()];
+                    at += 1;
+                    let t0 = Instant::now();
+                    let response = handle_line_ctx(&router, &ctx, line);
+                    mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    assert!(
+                        response.contains("\"seeds\"") && response.contains("\"generation\""),
+                        "{label}: unexpected response {response}"
+                    );
+                }
+                stop.store(true, Ordering::Relaxed);
+                latencies.lock().unwrap().append(&mut mine);
+            });
+        }
+    });
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PhaseRow {
+        label,
+        served: latencies.len() as u64,
+        qps: latencies.len() as f64 / window.as_secs_f64(),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn phase_json(row: &PhaseRow) -> String {
+    format!(
+        r#"{{ "label": "{}", "served": {}, "qps": {:.1}, "p50_ms": {:.3}, "p99_ms": {:.3} }}"#,
+        row.label, row.served, row.qps, row.p50_ms, row.p99_ms
+    )
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let at = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[at]
+}

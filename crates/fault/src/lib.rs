@@ -39,7 +39,10 @@
 //!
 //! The special name `*` is a wildcard matched by every failpoint that is
 //! not armed by its own name — `KBTIM_FAILPOINTS='*=0.1%delay(50)'`
-//! jitters every instrumented site in the process.
+//! jitters every instrumented site in the process. A name ending in `*`
+//! is a *prefix* pattern: `flush.*=3%err` covers `flush.build`,
+//! `flush.verify`, and `flush.commit`. Resolution order is exact name,
+//! then the longest matching prefix pattern, then the catch-all `*`.
 //!
 //! # Books
 //!
@@ -228,8 +231,20 @@ fn inject_slow(name: &str) -> bool {
     let action = {
         let mut reg = registry();
         let seed = reg.seed;
-        let point = match reg.points.get_mut(name) {
-            Some(point) => point,
+        // Exact name first, then the longest matching trailing-`*`
+        // prefix pattern (`flush.*` covers `flush.commit`), then the
+        // catch-all `*`.
+        let key = if reg.points.contains_key(name) {
+            Some(name.to_string())
+        } else {
+            reg.points
+                .keys()
+                .filter(|k| k.len() > 1 && k.ends_with('*') && name.starts_with(&k[..k.len() - 1]))
+                .max_by_key(|k| k.len())
+                .cloned()
+        };
+        let point = match key {
+            Some(k) => reg.points.get_mut(&k).expect("key drawn from the map"),
             None => match reg.points.get_mut("*") {
                 Some(point) => point,
                 None => return false,
@@ -440,6 +455,27 @@ mod tests {
         assert!(inject("t.anything"), "wildcard catches unarmed names");
         assert!(!inject("t.mine"), "an explicit point shadows the wildcard");
         assert_eq!(fires("*"), 1);
+        reset();
+    }
+
+    #[test]
+    fn prefix_wildcard_matches_by_longest_prefix() {
+        let _g = lock();
+        reset();
+        arm("flush.*", "err").unwrap();
+        arm("flush.commit", "noop").unwrap();
+        arm("*", "noop").unwrap();
+        assert!(!inject("flush.commit"), "an exact point shadows the prefix");
+        assert!(inject("flush.build"), "prefix pattern catches the family");
+        assert!(inject("flush.verify"));
+        assert!(!inject("engine.decode"), "unrelated names fall to the catch-all");
+        assert_eq!(fires("flush.*"), 2);
+        assert_eq!(hits("*"), 1);
+        reset();
+        arm("flush.*", "noop").unwrap();
+        arm("flush.c*", "err").unwrap();
+        assert!(inject("flush.commit"), "the longest matching prefix wins");
+        assert!(!inject("flush.build"));
         reset();
     }
 

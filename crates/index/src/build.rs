@@ -140,6 +140,20 @@ struct KeywordBuild {
     stats: KeywordBuildStats,
 }
 
+/// One keyword's complete sampled content, before any segment is
+/// written: the global catalog row, the RR batch, and the inverted
+/// list. Produced by [`IndexBuilder::sample_keyword`] — the shared
+/// deterministic core of the on-disk build and the delta tier's
+/// in-memory keyword materializer.
+pub(crate) struct KeywordSample {
+    /// Global catalog row (θ_w, tf·idf mass, OPT^w, list statistics).
+    pub(crate) meta: KeywordMeta,
+    /// The θ_w sampled RR sets.
+    pub(crate) sets: RrBatch,
+    /// `L_w`: ascending users with their ascending rr-id lists.
+    pub(crate) il_entries: Vec<IlEntry>,
+}
+
 /// What [`IndexBuilder::write_segment`] measured for one
 /// (keyword × shard) segment.
 struct SegmentSummary {
@@ -301,42 +315,22 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
         })
     }
 
-    /// Build one keyword's segment(s); returns its catalog rows and stats.
-    fn build_keyword(&self, dir: &Path, topic: TopicId) -> Result<KeywordBuild, IndexError> {
-        let started = Instant::now();
-        let shards = self.config.shards;
-        let empty = |topic| {
-            let meta = KeywordMeta {
-                topic,
-                theta: 0,
-                tf_sum: 0.0,
-                idf: 0.0,
-                opt_w: 0.0,
-                max_list_len: 0,
-                num_partitions: 0,
-                total_rr_members: 0,
-            };
-            KeywordBuild {
-                shard_rows: if shards > 1 { vec![(meta.clone(), 0); shards] } else { Vec::new() },
-                meta,
-                stats: KeywordBuildStats {
-                    topic,
-                    theta: 0,
-                    mean_rr_size: 0.0,
-                    file_bytes: 0,
-                    elapsed: started.elapsed(),
-                },
-            }
-        };
-
+    /// Sample one keyword's complete logical content — the θ_w RR sets,
+    /// the inverted list `L_w`, and the global catalog row — without
+    /// touching disk. `None` when the keyword holds no segment (no
+    /// profile mass, or θ_w = 0).
+    ///
+    /// This is the deterministic core of [`IndexBuilder::build_keyword`]
+    /// and the oracle the delta tier materializes dirty keywords with:
+    /// a pure function of (model, profiles, config, topic), never of the
+    /// shard split or scheduling.
+    pub(crate) fn sample_keyword(&self, topic: TopicId) -> Option<KeywordSample> {
         let (users, tfs) = self.profiles.topic_vector(topic);
         if users.is_empty() {
-            return Ok(empty(topic));
+            return None;
         }
         let weights: Vec<f64> = tfs.iter().map(|&t| t as f64).collect();
-        let Some(roots) = RootSampler::from_sparse(users, &weights) else {
-            return Ok(empty(topic));
-        };
+        let roots = RootSampler::from_sparse(users, &weights)?;
         let tf_sum = self.profiles.tf_sum(topic);
 
         // Deterministic per-keyword RNG stream, independent of scheduling.
@@ -369,7 +363,7 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             &self.config.sampling,
         );
         if theta == 0 {
-            return Ok(empty(topic));
+            return None;
         }
 
         // Sample R_w into a flat arena batch.
@@ -396,14 +390,60 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             IndexVariant::Rr => 0,
         };
 
+        let meta = KeywordMeta {
+            topic,
+            theta,
+            tf_sum,
+            idf: self.profiles.idf(topic),
+            opt_w: opt.value,
+            max_list_len,
+            num_partitions,
+            total_rr_members: total_members,
+        };
+        Some(KeywordSample { meta, sets, il_entries })
+    }
+
+    /// Build one keyword's segment(s); returns its catalog rows and stats.
+    fn build_keyword(&self, dir: &Path, topic: TopicId) -> Result<KeywordBuild, IndexError> {
+        let started = Instant::now();
+        let shards = self.config.shards;
+        let empty = |topic| {
+            let meta = KeywordMeta {
+                topic,
+                theta: 0,
+                tf_sum: 0.0,
+                idf: 0.0,
+                opt_w: 0.0,
+                max_list_len: 0,
+                num_partitions: 0,
+                total_rr_members: 0,
+            };
+            KeywordBuild {
+                shard_rows: if shards > 1 { vec![(meta.clone(), 0); shards] } else { Vec::new() },
+                meta,
+                stats: KeywordBuildStats {
+                    topic,
+                    theta: 0,
+                    mean_rr_size: 0.0,
+                    file_bytes: 0,
+                    elapsed: started.elapsed(),
+                },
+            }
+        };
+
+        let Some(KeywordSample { meta, sets, il_entries }) = self.sample_keyword(topic) else {
+            return Ok(empty(topic));
+        };
+        let (theta, tf_sum, total_members) = (meta.theta, meta.tf_sum, meta.total_rr_members);
+
         let num_users = self.profiles.num_users();
         let mut shard_rows = Vec::new();
         let file_bytes = if shards == 1 {
             // Legacy flat layout: the full universe is one shard.
             let path = dir.join(format::keyword_file_name(topic));
             let summary = self.write_segment(&path, &sets, 0, num_users, &il_entries)?;
-            debug_assert_eq!(summary.max_list_len, max_list_len);
-            debug_assert_eq!(summary.num_partitions, num_partitions);
+            debug_assert_eq!(summary.max_list_len, meta.max_list_len);
+            debug_assert_eq!(summary.num_partitions, meta.num_partitions);
             debug_assert_eq!(summary.total_members, total_members);
             summary.file_bytes
         } else {
@@ -420,8 +460,8 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
                         topic,
                         theta,
                         tf_sum,
-                        idf: self.profiles.idf(topic),
-                        opt_w: opt.value,
+                        idf: meta.idf,
+                        opt_w: meta.opt_w,
                         max_list_len: summary.max_list_len,
                         num_partitions: summary.num_partitions,
                         total_rr_members: summary.total_members,
@@ -432,16 +472,6 @@ impl<'a, M: TriggeringModel> IndexBuilder<'a, M> {
             total
         };
 
-        let meta = KeywordMeta {
-            topic,
-            theta,
-            tf_sum,
-            idf: self.profiles.idf(topic),
-            opt_w: opt.value,
-            max_list_len,
-            num_partitions,
-            total_rr_members: total_members,
-        };
         let stats = KeywordBuildStats {
             topic,
             theta,

@@ -46,6 +46,7 @@
 //! to serial execution for any interleaving.
 
 pub mod build;
+pub mod delta;
 pub mod format;
 pub mod irr_query;
 pub mod memory;
@@ -62,12 +63,20 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 pub use build::{BuildReport, IndexBuildConfig, IndexBuilder, KeywordBuildStats, ThetaMode};
+pub use delta::{DeltaIndex, DeltaSnapshot, DeltaStats, Mutation};
 pub use format::{IndexMeta, IndexVariant, KeywordMeta};
 pub use kbtim_storage::{PageCache, ServingMode};
 pub use memory::MemoryIndex;
 pub use rr_query::MergedQuery;
 pub use scratch::{KeywordArena, QueryScratch};
 pub use serve::{Algo, EngineError, EngineRequest, EngineResult, QueryEngine};
+
+/// Pointer file naming the live segment generation inside an index
+/// root (`gen-<N>`, written atomically by the delta tier's flush).
+/// Absent for the legacy flat layout, which is generation 0.
+pub const CURRENT_FILE: &str = "CURRENT";
+/// Directory-name prefix of one flushed segment generation.
+pub const GEN_DIR_PREFIX: &str = "gen-";
 
 /// Errors from index construction and querying.
 #[derive(Debug)]
@@ -218,7 +227,16 @@ pub(crate) struct Shard {
 /// gather in shard order, so answers stay bit-identical to the
 /// single-shard index (see [`mod@format`]'s layout notes).
 pub struct KbtimIndex {
+    /// The directory handed to `open` — the *root* of the index. With
+    /// the generation layout (`root/CURRENT` naming a `gen-<N>/`
+    /// subdirectory) this is where new generations land; for the legacy
+    /// layout it equals [`KbtimIndex::dir`].
+    root: PathBuf,
+    /// The resolved segment directory this handle actually serves from.
     dir: PathBuf,
+    /// Segment generation resolved from `root/CURRENT` (0 for the
+    /// legacy pointer-less layout).
+    generation: u64,
     meta: IndexMeta,
     /// The opened shards in shard order. Every shard's sources share the
     /// same cloned [`IoStats`] handle, so per-query I/O books aggregate
@@ -286,7 +304,25 @@ impl KbtimIndex {
         mode: ServingMode,
         cache: Option<&kbtim_storage::PageCache>,
     ) -> Result<KbtimIndex, IndexError> {
-        let dir = dir.to_path_buf();
+        let root = dir.to_path_buf();
+        // Generation layout: a `CURRENT` file names the live `gen-<N>`
+        // subdirectory (written atomically by the delta tier's flush).
+        // Without one the directory itself is the (generation-0)
+        // segment dir — every pre-delta index keeps opening unchanged.
+        let (dir, generation) = match std::fs::read_to_string(root.join(CURRENT_FILE)) {
+            Ok(contents) => {
+                let name = contents.trim();
+                let gen = name
+                    .strip_prefix(GEN_DIR_PREFIX)
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        IndexError::Corrupt(format!("CURRENT names invalid generation {name:?}"))
+                    })?;
+                (root.join(name), gen)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (root.clone(), 0),
+            Err(e) => return Err(IndexError::Storage(kbtim_storage::segment::StorageError::Io(e))),
+        };
         let open_stats = IoStats::new(); // discard catalog-open I/O
         let meta_reader = SegmentReader::open(dir.join(format::META_FILE), open_stats.clone())?;
         let meta_bytes = meta_reader.read_block(format::META_BLOCK)?;
@@ -340,6 +376,7 @@ impl KbtimIndex {
         let fingerprint = {
             use std::hash::{Hash, Hasher};
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            generation.hash(&mut hasher);
             for (shard_idx, shard) in shards.iter().enumerate() {
                 for (topic, source) in shard.sources.iter().enumerate() {
                     let Some(source) = source.as_ref() else { continue };
@@ -352,11 +389,18 @@ impl KbtimIndex {
                         .and_then(|m| m.modified().ok())
                         .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok());
                     mtime.hash(&mut hasher);
+                    // Content discriminator: the directory CRC survives
+                    // same-length same-mtime rewrites that fool the triple.
+                    kbtim_storage::segment::footer_tag(source.path())
+                        .unwrap_or(0)
+                        .hash(&mut hasher);
                 }
             }
             hasher.finish()
         };
         Ok(KbtimIndex {
+            root,
+            generation,
             dir,
             meta,
             shards,
@@ -381,6 +425,20 @@ impl KbtimIndex {
     /// reflush that leaves every other shard untouched.
     pub fn segment_fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The segment generation this handle resolved at open time: `N`
+    /// when the root's [`CURRENT`](CURRENT_FILE) pointer named `gen-N`,
+    /// 0 for the legacy flat layout with no pointer file.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The index *root* this handle was opened with — where generation
+    /// directories and the `CURRENT` pointer live. Distinct from the
+    /// resolved segment directory when a generation pointer is present.
+    pub fn root(&self) -> &Path {
+        &self.root
     }
 
     /// Number of shards this index serves from (1 for the legacy flat

@@ -344,11 +344,24 @@ impl KbtimIndex {
         budget: &[(TopicId, u64)],
         arena: &KeywordArena,
     ) -> Result<MergedQuery, IndexError> {
+        self.merge_budgeted_over(self.meta().num_users, phi_q, budget, arena)
+    }
+
+    /// [`KbtimIndex::merge_budgeted`] over an explicit user universe —
+    /// the delta tier unions in-memory keyword overlays with this
+    /// index's segments, and the union's `|V|` (base plus ingested
+    /// users) sizes the merged instance, not the catalog's.
+    pub(crate) fn merge_budgeted_over(
+        &self,
+        num_users: u32,
+        phi_q: f64,
+        budget: &[(TopicId, u64)],
+        arena: &KeywordArena,
+    ) -> Result<MergedQuery, IndexError> {
         if kbtim_fault::inject("engine.merge") {
             return Err(IndexError::Injected("engine.merge"));
         }
-        let mut builder =
-            InvertedIndexBuilder::recycled(self.meta().num_users, self.scratch.take_arenas());
+        let mut builder = InvertedIndexBuilder::recycled(num_users, self.scratch.take_arenas());
         let mut theta_q = 0u64;
         for &(topic, share) in budget {
             let il = arena.csr(topic).ok_or_else(|| {

@@ -48,6 +48,7 @@
 //! The line-protocol front end (`kbtim serve`) in the facade crate is a
 //! thin wrapper over this engine.
 
+use crate::delta::{self, DeltaIndex, DeltaSnapshot};
 use crate::rr_query::MergedQuery;
 use crate::scratch::KeywordArena;
 use crate::{IndexError, KbtimIndex, MemoryIndex, QueryCtx, QueryOutcome};
@@ -332,6 +333,7 @@ impl MergeCache {
 pub struct QueryEngine {
     index: Arc<KbtimIndex>,
     memory: Option<MemoryIndex>,
+    delta: Option<Arc<DeltaIndex>>,
     inflight: Mutex<HashMap<EngineRequest, Arc<Flight>>>,
     batch: Option<Batcher>,
     merge_cache: Option<MergeCache>,
@@ -352,6 +354,7 @@ impl QueryEngine {
         QueryEngine {
             index,
             memory: None,
+            delta: None,
             inflight: Mutex::new(HashMap::new()),
             batch: None,
             merge_cache: None,
@@ -376,14 +379,41 @@ impl QueryEngine {
         Ok(engine)
     }
 
-    /// The shared index this engine serves.
+    /// Attach a mutable delta tier (builder-style). With a delta
+    /// attached, **every** request — all four algorithms — routes
+    /// through the tier's union snapshot: answers reflect base ∪ delta
+    /// at a pinned generation, never a stale RAM copy or a stale base
+    /// handle left behind by a flush. Bit-identical-across-algos
+    /// invariants carry over because all algorithms serve from one
+    /// union decode.
+    pub fn with_delta(mut self, delta: Arc<DeltaIndex>) -> QueryEngine {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// The attached mutable tier, if any.
+    pub fn delta(&self) -> Option<&Arc<DeltaIndex>> {
+        self.delta.as_ref()
+    }
+
+    /// The current mutation generation (None without a delta tier) —
+    /// the protocol's `generation` response field.
+    pub fn generation(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.generation())
+    }
+
+    /// The shared index this engine serves. With a delta tier attached,
+    /// this is the base handle the engine was *built* over — a flush
+    /// republishes a fresh base inside the tier's snapshots, so live
+    /// serving state should come from
+    /// [`DeltaIndex::snapshot`](crate::DeltaIndex::snapshot) instead.
     pub fn index(&self) -> &Arc<KbtimIndex> {
         &self.index
     }
 
     /// Whether [`Algo::Memory`] requests can be served.
     pub fn has_memory(&self) -> bool {
-        self.memory.is_some()
+        self.memory.is_some() || self.delta.is_some()
     }
 
     /// Requests this engine actually executed (excluding coalesced
@@ -728,6 +758,13 @@ impl QueryEngine {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
+        // With a delta tier attached, pin ONE union snapshot for the
+        // whole batch: every member sees the same generation, concurrent
+        // writers notwithstanding, and `serving` is the snapshot's live
+        // base (the engine's own handle goes stale across flushes).
+        let snap: Option<Arc<DeltaSnapshot>> = self.delta.as_ref().map(|d| d.snapshot());
+        let serving: &KbtimIndex = snap.as_ref().map(|s| s.base().as_ref()).unwrap_or(&self.index);
+
         // Identical requests in one batch execute once (the batched
         // form of coalescing); order of first arrival is kept, though
         // answers are order-independent anyway. Duplicates share one
@@ -779,7 +816,10 @@ impl QueryEngine {
         }
         let mut groups: Vec<Group<'_>> = Vec::new();
         for (at, req) in unique.iter().enumerate() {
-            if req.algo == Algo::Memory {
+            // Memory requests are decode-free only without a delta tier;
+            // with one attached they join the union groups like every
+            // other algorithm (the RAM copy would be stale).
+            if req.algo == Algo::Memory && snap.is_none() {
                 continue;
             }
             match groups.iter_mut().find(|g| g.lead.topics == req.topics) {
@@ -792,7 +832,10 @@ impl QueryEngine {
                 }
                 None => {
                     let query = Query::new(req.topics.iter().copied(), req.k);
-                    let (phi_q, budget) = self.index.query_budget(&query);
+                    let (phi_q, budget) = match &snap {
+                        Some(s) => s.query_budget(&query),
+                        None => self.index.query_budget(&query),
+                    };
                     let key = query.topics().to_vec();
                     groups.push(Group {
                         lead: req,
@@ -806,7 +849,13 @@ impl QueryEngine {
                 }
             }
         }
-        let fingerprint = self.index.segment_fingerprint();
+        // Cache identity: the base segment generation XOR the (mixed)
+        // delta generation — bumped by every applied batch and every
+        // flush, so no prepared instance survives a mutation.
+        let fingerprint = match &snap {
+            Some(s) => s.base().segment_fingerprint() ^ delta::splitmix64(s.generation()),
+            None => self.index.segment_fingerprint(),
+        };
         if let Some(cache) = &self.merge_cache {
             for group in &mut groups {
                 group.cached = cache.get(fingerprint, &group.key);
@@ -837,15 +886,21 @@ impl QueryEngine {
         // and `Irr` keeps its variant check so batched error behavior
         // matches `execute`.
         let mut results: Vec<Option<EngineResult>> = vec![None; unique.len()];
-        for (at, req) in unique.iter().enumerate() {
-            if req.algo == Algo::Memory {
-                self.executed.fetch_add(1, Ordering::Relaxed);
-                results[at] = Some(self.execute_ctx(req, &QueryCtx { deadline: deadlines[at] }));
+        if snap.is_none() {
+            for (at, req) in unique.iter().enumerate() {
+                if req.algo == Algo::Memory {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    results[at] =
+                        Some(self.execute_ctx(req, &QueryCtx { deadline: deadlines[at] }));
+                }
             }
         }
         let run_group = |group: &Group<'_>, arena: &KeywordArena| -> Vec<(usize, EngineResult)> {
-            let irr_available =
-                matches!(self.index.meta().variant, crate::format::IndexVariant::Irr { .. });
+            let variant = match &snap {
+                Some(s) => s.meta().variant,
+                None => self.index.meta().variant,
+            };
+            let irr_available = matches!(variant, crate::format::IndexVariant::Irr { .. });
             // Resolve the merged instance: a cache hit reuses the shared
             // Arc; a miss merges from the batch arena and (with a cache
             // configured) publishes the result for later batches.
@@ -853,7 +908,14 @@ impl QueryEngine {
                 Some(merged) => Arc::clone(merged),
                 None => {
                     self.merged_groups.fetch_add(1, Ordering::Relaxed);
-                    match self.index.merge_budgeted(group.phi_q, &group.budget, arena) {
+                    // The union's |V| (base plus ingested users) sizes
+                    // the merged instance when a delta is pinned.
+                    let num_users = match &snap {
+                        Some(s) => s.meta().num_users,
+                        None => serving.meta().num_users,
+                    };
+                    match serving.merge_budgeted_over(num_users, group.phi_q, &group.budget, arena)
+                    {
                         Ok(merged) => {
                             let merged = Arc::new(merged);
                             if let Some(cache) = &self.merge_cache {
@@ -882,7 +944,7 @@ impl QueryEngine {
             // (no partial seeds escape).
             let k_max = group.members.iter().map(|&at| unique[at].k).max().unwrap_or(0);
             let group_ctx = QueryCtx { deadline: group.deadline };
-            let full = match self.index.query_merged_ctx(&merged, k_max, &group_ctx) {
+            let full = match serving.query_merged_ctx(&merged, k_max, &group_ctx) {
                 Ok(full) => Arc::new(full),
                 Err(e) => {
                     let err = EngineError::from(e);
@@ -890,7 +952,7 @@ impl QueryEngine {
                     let out: Vec<(usize, EngineResult)> =
                         group.members.iter().map(|&at| (at, Err(err.clone()))).collect();
                     if let Ok(sole) = Arc::try_unwrap(merged) {
-                        self.index.recycle_merged(sole);
+                        serving.recycle_merged(sole);
                     }
                     return out;
                 }
@@ -919,7 +981,7 @@ impl QueryEngine {
             // otherwise the cache keeps the instance alive for the next
             // hit and the Arc simply drops.
             if let Ok(sole) = Arc::try_unwrap(merged) {
-                self.index.recycle_merged(sole);
+                serving.recycle_merged(sole);
             }
             out
         };
@@ -927,7 +989,10 @@ impl QueryEngine {
         let union_arena = if wants.is_empty() {
             Ok(KeywordArena::default())
         } else {
-            self.index.decode_keywords(&wants)
+            match &snap {
+                Some(s) => s.decode_union(&wants),
+                None => self.index.decode_keywords(&wants),
+            }
         };
         match union_arena {
             Ok(arena) => {
@@ -950,17 +1015,15 @@ impl QueryEngine {
                         }
                     }
                 } else {
-                    let per_group = self
-                        .index
-                        .pool()
-                        .map_shards(groups.len(), |i| run_group(&groups[i], &arena));
+                    let per_group =
+                        serving.pool().map_shards(groups.len(), |i| run_group(&groups[i], &arena));
                     for group_results in per_group {
                         for (at, result) in group_results {
                             results[at] = Some(result);
                         }
                     }
                 }
-                self.index.recycle_keywords(arena);
+                serving.recycle_keywords(arena);
             }
             Err(_) => {
                 // The union decode hit an unreadable keyword. Answers
@@ -985,14 +1048,18 @@ impl QueryEngine {
                         *widest = (*widest).max(share);
                     }
                     let group_wants: Vec<(TopicId, u64)> = group_wants.into_iter().collect();
-                    match self.index.decode_keywords(&group_wants) {
+                    let retried = match &snap {
+                        Some(s) => s.decode_union(&group_wants),
+                        None => self.index.decode_keywords(&group_wants),
+                    };
+                    match retried {
                         Ok(arena) => {
                             self.keywords_decoded
                                 .fetch_add(group_wants.len() as u64, Ordering::Relaxed);
                             for (at, result) in run_group(group, &arena) {
                                 results[at] = Some(result);
                             }
-                            self.index.recycle_keywords(arena);
+                            serving.recycle_keywords(arena);
                         }
                         Err(e) => {
                             let err = EngineError::from(e);
@@ -1024,6 +1091,20 @@ impl QueryEngine {
     /// decode-free and run in microseconds).
     pub fn execute_ctx(&self, req: &EngineRequest, ctx: &QueryCtx) -> EngineResult {
         let query = Query::new(req.topics.iter().copied(), req.k);
+        // A delta tier routes every algorithm through one pinned union
+        // snapshot: base handles and RAM copies captured at engine build
+        // go stale the moment a mutation lands, and the per-algo
+        // bit-identity invariants survive because all four serve from
+        // the same union decode. Variant errors keep per-algo semantics.
+        if let Some(delta) = &self.delta {
+            let snap = delta.snapshot();
+            if req.algo == Algo::Irr
+                && !matches!(snap.meta().variant, crate::format::IndexVariant::Irr { .. })
+            {
+                return Err(EngineError::from(IndexError::NotAnIrrIndex));
+            }
+            return Ok(Arc::new(snap.query_ctx(&query, ctx)?));
+        }
         let outcome = match req.algo {
             Algo::Rr => self.index.query_rr_ctx(&query, ctx)?,
             Algo::Irr => self.index.query_irr_ctx(&query, ctx)?,

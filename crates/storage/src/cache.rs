@@ -37,14 +37,18 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::SystemTime;
 
 /// Identity of one loaded segment. Length and mtime guard against a
-/// file being replaced at the same path; the mode keeps heap arenas and
-/// kernel mappings distinct (they are different objects even over the
-/// same bytes).
+/// file being replaced at the same path; the footer tag
+/// ([`crate::segment::footer_tag`]) guards against the rewrite those
+/// two miss — a same-second same-length replacement, which fast
+/// flush/compact cycles produce routinely; the mode keeps heap arenas
+/// and kernel mappings distinct (they are different objects even over
+/// the same bytes).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     path: PathBuf,
     len: u64,
     mtime: Option<SystemTime>,
+    tag: u64,
     mode: ServingMode,
 }
 
@@ -137,6 +141,7 @@ impl PageCache {
             path: std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf()),
             len: meta.len(),
             mtime: meta.modified().ok(),
+            tag: crate::segment::footer_tag(path)?,
             mode,
         };
         enum Action {
@@ -326,6 +331,47 @@ mod tests {
         let new =
             BlockSource::open_shared(&path, IoStats::new(), ServingMode::Resident, &cache).unwrap();
         assert_eq!(&*new.read_block("alpha").unwrap(), b"replacement!!");
+        // The old handle keeps its old (still-valid) pages.
+        assert_eq!(&*old.read_block("alpha").unwrap(), b"hello world");
+        assert_ne!(old.pages_addr(), new.pages_addr());
+    }
+
+    #[test]
+    fn same_length_same_mtime_rewrite_is_not_served_stale() {
+        // The staleness window the footer tag closes: a rewrite that
+        // preserves both the file length and the mtime (fast
+        // flush/compact cycles land within one mtime tick routinely) —
+        // path + len + mtime alone would serve the old pages.
+        let dir = TempDir::new("pagecache-stale-tag").unwrap();
+        let path = dir.path().join("demo.seg");
+        write_demo(&path);
+        let before = std::fs::metadata(&path).unwrap();
+        let cache = PageCache::new();
+        let old =
+            BlockSource::open_shared(&path, IoStats::new(), ServingMode::Resident, &cache).unwrap();
+        assert_eq!(&*old.read_block("alpha").unwrap(), b"hello world");
+
+        // Same block names, same payload lengths, different bytes —
+        // the rewritten file is byte-length-identical to the original.
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.write_block("alpha", b"jello world").unwrap();
+        writer.write_block("beta", b"9876543210").unwrap();
+        writer.finish().unwrap();
+        let after = std::fs::metadata(&path).unwrap();
+        assert_eq!(before.len(), after.len(), "rewrite must be length-preserving");
+        // Pin the mtime back to the original's: the worst case of two
+        // rebuilds inside one filesystem timestamp tick, deterministic.
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_modified(before.modified().unwrap()).unwrap();
+        drop(file);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().modified().unwrap(),
+            before.modified().unwrap()
+        );
+
+        let new =
+            BlockSource::open_shared(&path, IoStats::new(), ServingMode::Resident, &cache).unwrap();
+        assert_eq!(&*new.read_block("alpha").unwrap(), b"jello world", "stale pages served");
         // The old handle keeps its old (still-valid) pages.
         assert_eq!(&*old.read_block("alpha").unwrap(), b"hello world");
         assert_ne!(old.pages_addr(), new.pages_addr());

@@ -469,6 +469,27 @@ fn check_footer(footer: &[u8], file_len: u64) -> Result<(u64, u64, u32)> {
     Ok((dir_offset, dir_len, dir_crc))
 }
 
+/// A cheap content discriminator for the segment at `path`: the footer's
+/// directory CRC (which covers every block's name, extent, *and* payload
+/// CRC) mixed with the directory extent. Two rewrites of the same path
+/// with different payload bytes produce different tags with CRC-grade
+/// probability even when file length and mtime collide — exactly the
+/// same-second same-length rewrite a fast flush/compact cycle produces.
+/// The [`crate::PageCache`] key and the index fingerprint both fold this
+/// in to close that staleness window. One 28-byte read, no payload I/O.
+pub fn footer_tag(path: impl AsRef<Path>) -> Result<u64> {
+    let mut file = File::open(path.as_ref())?;
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN + FOOTER_LEN {
+        return Err(StorageError::Corrupt("file shorter than framing".into()));
+    }
+    let mut footer = [0u8; FOOTER_LEN as usize];
+    file.seek(SeekFrom::Start(file_len - FOOTER_LEN))?;
+    file.read_exact(&mut footer)?;
+    let (dir_offset, dir_len, dir_crc) = check_footer(&footer, file_len)?;
+    Ok(((dir_crc as u64) << 32) ^ dir_offset.wrapping_mul(0x9E37_79B9) ^ dir_len)
+}
+
 /// Validate the framing of a whole segment held in memory and return its
 /// directory. Shared by the resident and mmap backends of
 /// [`crate::block::BlockSource`]; runs exactly the same [`check_header`]

@@ -8,18 +8,33 @@
 //!                [--shards S]
 //! kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
 //!                [--threads N] [--serving file|resident|mmap]
+//! kbtim ingest   --index DIR --data DIR [--file F] [--flush on|off]
+//!                [--eps F] [--cap N] [--seed S]
 //! kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
 //!                [--front-end epoll|threads] [--max-conns N] [--backlog N]
 //!                [--workers N] [--outbox-cap BYTES]
 //!                [--threads N] [--serving file|resident|mmap] [--memory on|off]
 //!                [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
 //!                [--deadline-ms MS] [--max-line BYTES]
+//!                [--data DIR] [--flush-watermark N] [--eps F] [--cap N] [--seed S]
 //! kbtim validate --index DIR [--serving file|resident|mmap]
+//!                [--data DIR] [--eps F] [--cap N] [--seed S]
 //! ```
 //!
 //! `gen` writes `graph.txt` (SNAP edge list) and `profiles.tsv` into the
 //! output directory; `build` reads that pair back, so datasets can also be
 //! assembled by other tools in the same two formats.
+//!
+//! `ingest` applies line-JSON mutations (`{"op":"ingest_user"}`,
+//! `{"op":"ingest_edge","from":U,"to":V}`,
+//! `{"op":"set_topic_weight","user":U,"topic":T,"weight":W}` — the same
+//! verbs the serve protocol accepts) to an index through its mutable
+//! delta tier, and by default compacts the result into the next segment
+//! generation. `--data` names the directory holding the dataset the
+//! live generation was built from (`graph.txt` + `profiles.tsv`);
+//! `--eps` / `--cap` / `--seed` must repeat the original build's values
+//! so the compacted generation is bit-identical to a from-scratch
+//! build.
 //!
 //! `serve` turns the index into an always-on query service speaking
 //! line-delimited JSON (see [`kbtim::serve`]) over stdin/stdout, or over
@@ -69,6 +84,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
+        "ingest" => cmd_ingest(&flags),
         "serve" => cmd_serve(&flags, &pairs),
         "validate" => cmd_validate(&flags),
         "--help" | "-h" | "help" => {
@@ -96,13 +112,17 @@ USAGE:
                  [--shards S]
   kbtim query    --index DIR --topics 1,2,3 --k 30 [--algo rr|irr|auto]
                  [--threads N] [--serving file|resident|mmap]
+  kbtim ingest   --index DIR --data DIR [--file F] [--flush on|off]
+                 [--eps F] [--cap N] [--seed S]
   kbtim serve    --index [NAME=]DIR [--index NAME=DIR ...] [--listen HOST:PORT]
                  [--front-end epoll|threads] [--max-conns N] [--backlog N]
                  [--workers N] [--outbox-cap BYTES]
                  [--threads N] [--serving file|resident|mmap] [--memory on|off]
                  [--batch USEC] [--merge-cache ENTRIES] [--max-queue N]
                  [--deadline-ms MS] [--max-line BYTES]
-  kbtim validate --index DIR [--serving file|resident|mmap]";
+                 [--data DIR] [--flush-watermark N] [--eps F] [--cap N] [--seed S]
+  kbtim validate --index DIR [--serving file|resident|mmap]
+                 [--data DIR] [--eps F] [--cap N] [--seed S]";
 
 /// `--key value` pairs in argument order (repeats preserved — `serve`
 /// accepts `--index` more than once).
@@ -318,6 +338,133 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The build config a delta tier needs to re-materialize keywords
+/// bit-identically to the base index's own build: codec/variant/shards
+/// come from the base itself, the sampling knobs and seed from flags
+/// that must repeat the original `kbtim build` invocation (`--eps`,
+/// `--cap`, `--seed` — same defaults as `build`).
+fn delta_config(
+    flags: &HashMap<String, String>,
+    index: &KbtimIndex,
+) -> Result<IndexBuildConfig, String> {
+    let eps: f64 = parse(flags, "eps", 0.5)?;
+    let cap: u64 = parse(flags, "cap", 100_000)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let sampling = SamplingConfig {
+        eps,
+        theta_cap: if cap == 0 { None } else { Some(cap) },
+        ..SamplingConfig::fast()
+    };
+    Ok(IndexBuildConfig {
+        sampling,
+        codec: index.meta().codec,
+        theta_mode: ThetaMode::Compact,
+        variant: index.meta().variant,
+        threads: 8, // index bytes are identical at any thread count
+        seed,
+        shards: index.num_shards(),
+    })
+}
+
+/// Attach a mutable delta tier over `index`. The logical dataset comes
+/// from the live generation directory when one exists (flush rewrites
+/// `graph.txt` + `profiles.tsv` there); a generation-0 (flat) index has
+/// no embedded dataset, so `--data` supplies it.
+fn attach_delta(
+    flags: &HashMap<String, String>,
+    index: &std::sync::Arc<KbtimIndex>,
+    data_flag: &str,
+) -> Result<kbtim::index::DeltaIndex, String> {
+    use kbtim::index::DeltaIndex;
+    let data_dir =
+        if index.generation() > 0 { index.dir().to_path_buf() } else { PathBuf::from(data_flag) };
+    let (graph, profiles) = load_data(&data_dir)?;
+    let config = delta_config(flags, index)?;
+    DeltaIndex::attach(std::sync::Arc::clone(index), &graph, &profiles, config)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    use kbtim::index::PageCache;
+    use kbtim::serve::{ServeOp, ServeRequest};
+    use std::io::BufRead;
+    use std::sync::Arc;
+
+    let dir = required(flags, "index")?;
+    let data = required(flags, "data")?;
+    let mode = serving_mode(flags)?;
+    let flush = match flags.get("flush").map(String::as_str).unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--flush must be on|off, got {other:?}")),
+    };
+    let index = Arc::new(
+        KbtimIndex::open_shared(dir, IoStats::new(), mode, PageCache::global())
+            .map_err(|e| e.to_string())?,
+    );
+    let delta = attach_delta(flags, &index, data)?;
+    let replayed = delta.unflushed();
+
+    // Mutation lines come from --file or stdin: the same line-JSON verbs
+    // the serve protocol accepts, minus query/flush.
+    let lines: Box<dyn Iterator<Item = std::io::Result<String>>> = match flags.get("file") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            Box::new(std::io::BufReader::new(file).lines())
+        }
+        None => Box::new(std::io::stdin().lock().lines()),
+    };
+    let mut mutations = Vec::new();
+    for (at, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = ServeRequest::parse(line).map_err(|e| format!("line {}: {e}", at + 1))?;
+        match parsed.op {
+            ServeOp::Mutate(m) => mutations.push(m),
+            other => {
+                return Err(format!(
+                    "line {}: op {:?} is not a mutation (ingest accepts \
+                     ingest_user / ingest_edge / set_topic_weight)",
+                    at + 1,
+                    other.name()
+                ))
+            }
+        }
+    }
+    delta.apply(&mutations).map_err(|e| e.to_string())?;
+    let stats = delta.stats();
+    if flush {
+        let flushed = delta.flush().map_err(|e| e.to_string())?;
+        println!(
+            "ingested {} mutation(s) ({} replayed from the journal): \
+             flushed segment generation {} ({} users, {} edges, {} profile entries)",
+            mutations.len(),
+            replayed,
+            flushed,
+            stats.num_users,
+            stats.num_edges,
+            stats.num_entries,
+        );
+    } else {
+        println!(
+            "ingested {} mutation(s) ({} replayed from the journal): \
+             journaled, unflushed={} at mutation generation {} \
+             ({} users, {} edges, {} profile entries)",
+            mutations.len(),
+            replayed,
+            delta.unflushed(),
+            delta.generation(),
+            stats.num_users,
+            stats.num_edges,
+            stats.num_entries,
+        );
+    }
+    Ok(())
+}
+
 /// Whether stdin is a pipe or socket — the channels where EOF is a
 /// deliberate drain signal from a supervisor. A daemonized server with
 /// stdin on `/dev/null` (a character device, always at EOF) must NOT
@@ -464,6 +611,19 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     if outbox_cap == 0 {
         return Err("--outbox-cap must be positive".to_string());
     }
+    // Mutable delta tier: `--data DIR` (single-index serving only)
+    // attaches one, enabling the mutation verbs; `--flush-watermark N`
+    // starts a background compaction job that flushes whenever that
+    // many mutations are journaled (0, the default, flushes only on an
+    // explicit `op:flush` and at drain).
+    let data_flag = flags.get("data").map(String::as_str);
+    let flush_watermark: u64 = parse(flags, "flush-watermark", 0)?;
+    if data_flag.is_some() && indexes.len() > 1 {
+        return Err("--data attaches a mutable tier to a single served index".to_string());
+    }
+    if flush_watermark > 0 && data_flag.is_none() {
+        return Err("--flush-watermark requires --data".to_string());
+    }
     let default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let ctx = Arc::new(ServeCtx::new(max_queue, default_deadline).with_front_end(front_end));
     term_signal::install();
@@ -472,24 +632,34 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
     // sharing segment files (and any further open in this process —
     // another serve loop, a validator) share the resident pages.
     let mut router = Router::new();
+    let mut delta: Option<Arc<kbtim::index::DeltaIndex>> = None;
     for (name, dir) in &indexes {
         let mut index = KbtimIndex::open_shared(dir, IoStats::new(), mode, PageCache::global())
             .map_err(|e| format!("index {name} ({dir}): {e}"))?;
         index.set_threads(if threads == 0 { None } else { Some(threads) });
         let index = Arc::new(index);
         let engine = if memory {
-            QueryEngine::with_memory(index).map_err(|e| format!("index {name} ({dir}): {e}"))?
+            QueryEngine::with_memory(Arc::clone(&index))
+                .map_err(|e| format!("index {name} ({dir}): {e}"))?
         } else {
-            QueryEngine::new(index)
+            QueryEngine::new(Arc::clone(&index))
         };
-        let engine = engine.with_batch_window(batch_window).with_merge_cache(merge_cache);
+        let mut engine = engine.with_batch_window(batch_window).with_merge_cache(merge_cache);
+        if let Some(data) = data_flag {
+            let tier = Arc::new(
+                attach_delta(flags, &index, data)
+                    .map_err(|e| format!("index {name} ({dir}): {e}"))?,
+            );
+            engine = engine.with_delta(Arc::clone(&tier));
+            delta = Some(tier);
+        }
         router.add(name.clone(), Arc::new(engine))?;
     }
     let engine = router.engine(None).expect("at least one index");
     eprintln!(
         "kbtim serve: {} index(es) [{}] (front-end {front_end}, serving {}, shards {}, \
          threads {}, memory {}, batch {}, merge-cache {}, max-queue {}, deadline {}, \
-         max-line {})",
+         max-line {}, mutable {})",
         router.len(),
         router.names().collect::<Vec<_>>().join(", "),
         engine.index().serving_mode(),
@@ -510,8 +680,35 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
             ms => format!("{ms}ms"),
         },
         max_line,
+        match (&delta, flush_watermark) {
+            (None, _) => "off".to_string(),
+            (Some(d), 0) => format!("gen {} (manual flush)", d.generation()),
+            (Some(d), n) => format!("gen {} (flush watermark {n})", d.generation()),
+        },
     );
     let router = Arc::new(router);
+
+    // Background compaction job: flush whenever the journal crosses the
+    // watermark. A flush is heavyweight next to a 100 ms poll, so
+    // polling costs nothing measurable; a failed flush (transient I/O,
+    // armed failpoint) retries on a later poll while the journal keeps
+    // every mutation durable.
+    let flusher_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flusher = match (&delta, flush_watermark) {
+        (Some(tier), n) if n > 0 => {
+            let tier = Arc::clone(tier);
+            let stop = Arc::clone(&flusher_stop);
+            Some(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    if tier.unflushed() >= n {
+                        let _ = tier.flush();
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }))
+        }
+        _ => None,
+    };
 
     match flags.get("listen") {
         None => {
@@ -547,8 +744,6 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
                 stdout.flush().map_err(|e| e.to_string())?;
             }
             ctx.begin_shutdown();
-            eprintln!("kbtim serve: drained ({})", ctx.stats_line());
-            Ok(())
         }
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr).map_err(|e| e.to_string())?;
@@ -590,10 +785,24 @@ fn cmd_serve(flags: &HashMap<String, String>, pairs: &[(String, String)]) -> Res
                     .map_err(|e| e.to_string())?;
                 }
             }
-            eprintln!("kbtim serve: drained ({})", ctx.stats_line());
-            Ok(())
         }
     }
+
+    flusher_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(job) = flusher {
+        let _ = job.join();
+    }
+    // Drain contract for a dirty delta tier: compact it inside the
+    // drain window, or report what stays journaled (`unflushed=N`) for
+    // the next attach to replay.
+    let mut stats = ctx.stats_line();
+    if let Some(tier) = &delta {
+        if tier.flush().is_err() {
+            stats.push_str(&format!(" unflushed={}", tier.unflushed()));
+        }
+    }
+    eprintln!("kbtim serve: drained ({stats})");
+    Ok(())
 }
 
 fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -603,7 +812,7 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
     let report = index.validate().map_err(|e| e.to_string())?;
     println!(
         "ok: {} shard(s), {} keyword segments, {} RR sets, {} inverted entries, \
-         {} partitions (model {}, {:?})",
+         {} partitions (model {}, {:?}, segment generation {})",
         report.shards_checked,
         report.keywords_checked,
         report.rr_sets_checked,
@@ -611,6 +820,31 @@ fn cmd_validate(flags: &HashMap<String, String>) -> Result<(), String> {
         report.partitions_checked,
         index.meta().model_name,
         index.meta().variant,
+        index.generation(),
     );
+    // `--data DIR` additionally validates the mutable tier: attach it
+    // (replaying any journaled mutations), report its entry counts, and
+    // structurally verify that the next flushed generation would equal
+    // base ∪ delta — the catalog of a from-scratch build of the union
+    // must be byte-identical to the union snapshot's.
+    if let Some(data) = flags.get("data") {
+        let index = std::sync::Arc::new(index);
+        let delta = attach_delta(flags, &index, data)?;
+        let stats = delta.stats();
+        delta.verify().map_err(|e| format!("delta verification failed: {e}"))?;
+        println!(
+            "delta ok: unflushed={}, overlay keywords {}, union {} users / {} edges / \
+             {} profile entries (mutation generation {}, flushed generation {}); \
+             gen {} ≡ base ∪ delta verified structurally",
+            stats.unflushed,
+            stats.overlay_keywords,
+            stats.num_users,
+            stats.num_edges,
+            stats.num_entries,
+            stats.generation,
+            stats.flushed_generation,
+            stats.flushed_generation + 1,
+        );
+    }
     Ok(())
 }

@@ -18,7 +18,9 @@
 //! for, which is what lets the batch leader stop sleeping (the
 //! `BENCH_batch.json` 1-client regression this PR retires).
 
-use super::{execute_rendered, render_result, OwnedPermit, Router, ServeCtx, ServeRequest};
+use super::{
+    execute_rendered, render_result, OwnedPermit, Router, ServeCtx, ServeOp, ServeRequest,
+};
 use kbtim_exec::CompletionQueue;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -281,11 +283,17 @@ fn execute_window(shared: &Shared, window: Vec<Pending>) {
 
     // Split out requests already expired at dequeue — the same
     // admission-expiry check `execute_rendered` applies — then run the
-    // rest as one shared batch.
+    // rest as one shared batch. Mutation ops never batch: each runs on
+    // its own through the per-request path (serialized on the delta
+    // tier's writer lane), so a window mixing queries and writes
+    // answers both correctly.
     let now = Instant::now();
     let mut live: Vec<&Pending> = Vec::with_capacity(window.len());
     for item in &window {
-        if item.deadline.is_some_and(|d| now >= d) {
+        if !matches!(item.req.op, ServeOp::Query) {
+            let rendered = execute_rendered(engine, ctx, &item.req, item.deadline);
+            shared.completions.push((item.conn, rendered));
+        } else if item.deadline.is_some_and(|d| now >= d) {
             ctx.count_expired();
             shared.completions.push((
                 item.conn,
@@ -343,6 +351,7 @@ mod tests {
                 id: Some(tag as u64),
                 index: None,
                 deadline_ms: None,
+                op: ServeOp::Query,
                 request: EngineRequest { topics: vec![tag], k: 1, algo: Algo::Auto },
             },
             deadline: None,

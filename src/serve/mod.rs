@@ -22,6 +22,13 @@
 //! responses to pipelined requests). Unknown fields are rejected — a
 //! typo'd `"indx"` must fail loudly, not route to the default index.
 //!
+//! Indexes served with a mutable delta tier (`kbtim serve --data`)
+//! additionally accept mutation verbs through the `op` field
+//! (`ingest_user` / `ingest_edge` / `set_topic_weight` / `flush` — see
+//! [`ServeOp`]); their responses and every query response against such
+//! an index carry the tier's `generation` counter, so clients can tell
+//! exactly which logical content answered.
+//!
 //! Errors come back on the same line protocol as structured objects:
 //! `{"id":7,"error":"...","code":"unknown_field"}` — `code` is a stable
 //! machine-readable discriminant (see [`ServeError`]), `error` the
@@ -61,7 +68,7 @@ pub use json::Json;
 pub use threads::serve_threads;
 
 use json::escape_into;
-use kbtim_index::{Algo, EngineRequest, IndexError, QueryEngine, QueryOutcome};
+use kbtim_index::{Algo, EngineRequest, IndexError, Mutation, QueryEngine, QueryOutcome};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -115,6 +122,35 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// What a protocol line asks the server to do. The default (no `"op"`
+/// field) is a query — every pre-mutation client line keeps its exact
+/// meaning. Mutation ops require the routed index to carry a mutable
+/// delta tier (`kbtim serve --data`); against an immutable index they
+/// fail with `bad_request`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeOp {
+    /// Run the influence query in [`ServeRequest::request`].
+    Query,
+    /// Apply one mutation to the routed index's delta tier.
+    Mutate(Mutation),
+    /// Compact the routed index's delta tier into the next segment
+    /// generation.
+    Flush,
+}
+
+impl ServeOp {
+    /// The protocol name of this op (the `"op"` field value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOp::Query => "query",
+            ServeOp::Mutate(Mutation::IngestUser) => "ingest_user",
+            ServeOp::Mutate(Mutation::IngestEdge { .. }) => "ingest_edge",
+            ServeOp::Mutate(Mutation::SetTopicWeight { .. }) => "set_topic_weight",
+            ServeOp::Flush => "flush",
+        }
+    }
+}
+
 /// A parsed serve request: the engine request plus the client's routing
 /// and echo fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,7 +165,9 @@ pub struct ServeRequest {
     /// "already expired" and deterministically yields
     /// `deadline_exceeded`.
     pub deadline_ms: Option<u64>,
-    /// The query to run.
+    /// What to do: query (the default) or a delta-tier mutation.
+    pub op: ServeOp,
+    /// The query to run ([`ServeOp::Query`] only; empty otherwise).
     pub request: EngineRequest,
 }
 
@@ -141,7 +179,20 @@ impl ServeRequest {
             return Err(ServeError::bad("request must be a JSON object"));
         };
         for (key, _) in fields {
-            if !matches!(key.as_str(), "id" | "index" | "topics" | "k" | "algo" | "deadline_ms") {
+            if !matches!(
+                key.as_str(),
+                "id" | "index"
+                    | "topics"
+                    | "k"
+                    | "algo"
+                    | "deadline_ms"
+                    | "op"
+                    | "user"
+                    | "from"
+                    | "to"
+                    | "topic"
+                    | "weight"
+            ) {
                 return Err(ServeError {
                     code: "unknown_field",
                     message: format!("unknown field {key:?}"),
@@ -160,6 +211,76 @@ impl ServeRequest {
             Some(Json::Str(s)) => Some(s.clone()),
             Some(_) => return Err(ServeError::bad("\"index\" must be a string")),
         };
+        let deadline_ms = match json.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ServeError::bad("\"deadline_ms\" must be a non-negative integer")
+            })?),
+        };
+        let op_name = match json.get("op") {
+            None => "query",
+            Some(Json::Str(s)) => s.as_str(),
+            Some(_) => return Err(ServeError::bad("\"op\" must be a string")),
+        };
+        // Every defined field is tied to specific ops — a `"weight"` on
+        // an `ingest_edge` is as much a client bug as a typo'd key, and
+        // must fail loudly rather than be silently dropped.
+        let allowed: &[&str] = match op_name {
+            "query" => &["id", "index", "deadline_ms", "op", "topics", "k", "algo"],
+            "ingest_user" | "flush" => &["id", "index", "deadline_ms", "op"],
+            "ingest_edge" => &["id", "index", "deadline_ms", "op", "from", "to"],
+            "set_topic_weight" => &["id", "index", "deadline_ms", "op", "user", "topic", "weight"],
+            other => return Err(ServeError::bad(format!("unknown op {other:?}"))),
+        };
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ServeError::bad(format!(
+                    "field {key:?} is not valid for op {op_name:?}"
+                )));
+            }
+        }
+        let field_u32 = |key: &str| -> Result<u32, ServeError> {
+            json.get(key)
+                .ok_or_else(|| ServeError::bad(format!("op {op_name:?} requires {key:?}")))?
+                .as_u64()
+                .filter(|&v| v <= u32::MAX as u64)
+                .map(|v| v as u32)
+                .ok_or_else(|| {
+                    ServeError::bad(format!("{key:?} must be a 32-bit non-negative integer"))
+                })
+        };
+        let op = match op_name {
+            "query" => ServeOp::Query,
+            "ingest_user" => ServeOp::Mutate(Mutation::IngestUser),
+            "flush" => ServeOp::Flush,
+            "ingest_edge" => ServeOp::Mutate(Mutation::IngestEdge {
+                from: field_u32("from")?,
+                to: field_u32("to")?,
+            }),
+            "set_topic_weight" => {
+                let weight = match json.get("weight") {
+                    Some(&Json::Num(n)) if n >= 0.0 && (n as f32).is_finite() => n as f32,
+                    Some(_) => {
+                        return Err(ServeError::bad(
+                            "\"weight\" must be a finite non-negative number",
+                        ))
+                    }
+                    None => {
+                        return Err(ServeError::bad(format!("op {op_name:?} requires \"weight\"")))
+                    }
+                };
+                ServeOp::Mutate(Mutation::SetTopicWeight {
+                    user: field_u32("user")?,
+                    topic: field_u32("topic")?,
+                    weight,
+                })
+            }
+            _ => unreachable!("op names validated above"),
+        };
+        if !matches!(op, ServeOp::Query) {
+            let request = EngineRequest { topics: Vec::new(), k: 1, algo: Algo::Auto };
+            return Ok(ServeRequest { id, index, deadline_ms, op, request });
+        }
         let topics_json =
             json.get("topics").ok_or_else(|| ServeError::bad("missing \"topics\""))?;
         let Json::Arr(items) = topics_json else {
@@ -187,13 +308,13 @@ impl ServeRequest {
             }
             Some(_) => return Err(ServeError::bad("\"algo\" must be a string")),
         };
-        let deadline_ms = match json.get("deadline_ms") {
-            None => None,
-            Some(v) => Some(v.as_u64().ok_or_else(|| {
-                ServeError::bad("\"deadline_ms\" must be a non-negative integer")
-            })?),
-        };
-        Ok(ServeRequest { id, index, deadline_ms, request: EngineRequest { topics, k, algo } })
+        Ok(ServeRequest {
+            id,
+            index,
+            deadline_ms,
+            op: ServeOp::Query,
+            request: EngineRequest { topics, k, algo },
+        })
     }
 
     /// Best-effort id recovery from a line that failed to parse as a
@@ -516,6 +637,8 @@ fn push_u32_array(out: &mut String, key: &str, items: impl Iterator<Item = u64>)
 /// newline). `index` is the request's routing field, echoed back when
 /// present; `shards` is the answering index's shard count (1 for the
 /// flat layout), so clients can see when scatter-gather was in play;
+/// `generation` is the answering index's delta-tier generation
+/// ([`QueryEngine::generation`]) and is omitted for immutable indexes;
 /// `front_end` names the serving front end ([`ServeCtx::front_end`])
 /// and is omitted when `None`.
 pub fn render_outcome(
@@ -524,6 +647,7 @@ pub fn render_outcome(
     algo: Algo,
     outcome: &QueryOutcome,
     shards: usize,
+    generation: Option<u64>,
     front_end: Option<&str>,
 ) -> String {
     let mut out = String::with_capacity(128);
@@ -546,11 +670,44 @@ pub fn render_outcome(
         outcome.stats.theta_q,
         outcome.stats.rr_sets_loaded,
     ));
+    if let Some(generation) = generation {
+        out.push_str(&format!(",\"generation\":{generation}"));
+    }
     if let Some(front_end) = front_end {
         out.push_str(",\"front_end\":");
         escape_into(front_end, &mut out);
     }
     out.push_str(&format!(",\"elapsed_us\":{}}}", outcome.stats.elapsed.as_micros()));
+    out
+}
+
+/// Render a successful mutation acknowledgement as one protocol line
+/// (no trailing newline):
+/// `{"id":…,"op":"ingest_edge","generation":…,"unflushed":…}` —
+/// `generation` is the delta tier's mutation generation after the op,
+/// `unflushed` the journaled mutations still awaiting compaction.
+pub fn render_mutation(
+    id: Option<u64>,
+    index: Option<&str>,
+    op: &str,
+    generation: u64,
+    unflushed: u64,
+    front_end: Option<&str>,
+) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    push_id(&mut out, id);
+    if let Some(index) = index {
+        out.push_str("\"index\":");
+        escape_into(index, &mut out);
+        out.push(',');
+    }
+    out.push_str(&format!("\"op\":\"{op}\",\"generation\":{generation},\"unflushed\":{unflushed}"));
+    if let Some(front_end) = front_end {
+        out.push_str(",\"front_end\":");
+        escape_into(front_end, &mut out);
+    }
+    out.push('}');
     out
 }
 
@@ -667,6 +824,9 @@ pub(crate) fn execute_rendered(
             ctx.front_end(),
         );
     }
+    if !matches!(parsed.op, ServeOp::Query) {
+        return execute_mutation(engine, ctx, parsed);
+    }
     // The engine already contains panics per flight internally, but it
     // re-raises them to the submitting thread; this boundary is what
     // turns them into a structured response instead of a dead
@@ -675,6 +835,61 @@ pub(crate) fn execute_rendered(
         engine.query_deadline(&parsed.request, deadline)
     }));
     render_result(engine, ctx, parsed, result)
+}
+
+/// Execute a mutation op against the routed engine's delta tier and
+/// render the acknowledgement. Mutations never batch — each one runs
+/// on the worker that dequeued it, serialized on the tier's writer
+/// lane, and panics are contained exactly like query panics.
+pub(crate) fn execute_mutation(
+    engine: &QueryEngine,
+    ctx: &ServeCtx,
+    parsed: &ServeRequest,
+) -> String {
+    let fe = ctx.front_end();
+    let Some(delta) = engine.delta() else {
+        ctx.count_failed();
+        return render_error(
+            parsed.id,
+            "bad_request",
+            &format!(
+                "op {:?} needs a mutable index (serve with --data); this index is immutable",
+                parsed.op.name()
+            ),
+            fe,
+        );
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match parsed.op {
+        ServeOp::Query => unreachable!("queries take the query path"),
+        ServeOp::Mutate(m) => delta.apply(&[m]),
+        ServeOp::Flush => delta.flush(),
+    }));
+    match result {
+        Ok(Ok(_)) => {
+            ctx.count_served();
+            render_mutation(
+                parsed.id,
+                parsed.index.as_deref(),
+                parsed.op.name(),
+                delta.generation(),
+                delta.unflushed(),
+                fe,
+            )
+        }
+        Ok(Err(err)) => {
+            ctx.count_failed();
+            render_error(parsed.id, "engine_error", &err.to_string(), fe)
+        }
+        Err(_) => {
+            ctx.count_panicked();
+            render_error(
+                parsed.id,
+                "internal_error",
+                "mutation execution panicked; the fault was contained",
+                fe,
+            )
+        }
+    }
 }
 
 /// Render (and book) one engine result — shared by the per-request and
@@ -697,6 +912,7 @@ pub(crate) fn render_result(
                 parsed.request.algo,
                 &outcome,
                 engine.index().num_shards(),
+                engine.generation(),
                 fe,
             )
         }
@@ -744,6 +960,50 @@ mod tests {
         // Routing field.
         let req = ServeRequest::parse(r#"{"index":"sports","topics":[2]}"#).unwrap();
         assert_eq!(req.index.as_deref(), Some("sports"));
+
+        // An explicit op:query is the same request.
+        let req = ServeRequest::parse(r#"{"op":"query","topics":[2]}"#).unwrap();
+        assert_eq!(req.op, ServeOp::Query);
+    }
+
+    #[test]
+    fn mutation_ops_parse() {
+        let req = ServeRequest::parse(r#"{"id":1,"op":"ingest_user"}"#).unwrap();
+        assert_eq!(req.op, ServeOp::Mutate(Mutation::IngestUser));
+        assert_eq!(req.op.name(), "ingest_user");
+
+        let req = ServeRequest::parse(r#"{"op":"ingest_edge","from":3,"to":9}"#).unwrap();
+        assert_eq!(req.op, ServeOp::Mutate(Mutation::IngestEdge { from: 3, to: 9 }));
+
+        let req =
+            ServeRequest::parse(r#"{"op":"set_topic_weight","user":5,"topic":2,"weight":0.75}"#)
+                .unwrap();
+        assert_eq!(
+            req.op,
+            ServeOp::Mutate(Mutation::SetTopicWeight { user: 5, topic: 2, weight: 0.75 })
+        );
+
+        let req = ServeRequest::parse(r#"{"op":"flush","index":"news"}"#).unwrap();
+        assert_eq!(req.op, ServeOp::Flush);
+        assert_eq!(req.index.as_deref(), Some("news"));
+    }
+
+    #[test]
+    fn mutation_ops_reject_bad_fields() {
+        for (bad, code) in [
+            (r#"{"op":"compact"}"#, "bad_request"), // unknown op
+            (r#"{"op":7}"#, "bad_request"),         // op not a string
+            (r#"{"op":"ingest_edge","from":1}"#, "bad_request"), // missing to
+            (r#"{"op":"ingest_edge","from":1,"to":2,"weight":0.5}"#, "bad_request"),
+            (r#"{"op":"ingest_user","topics":[0]}"#, "bad_request"), // query field on a write
+            (r#"{"op":"set_topic_weight","user":1,"topic":0,"weight":-1}"#, "bad_request"),
+            (r#"{"op":"set_topic_weight","user":1,"topic":0}"#, "bad_request"),
+            (r#"{"op":"flush","k":3}"#, "bad_request"),
+            (r#"{"op":"ingest_edge","from":1,"to":2,"frobnicate":1}"#, "unknown_field"),
+        ] {
+            let err = ServeRequest::parse(bad).expect_err(bad);
+            assert_eq!(err.code, code, "{bad:?} → {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Generation-equivalence gates for the mutable delta tier.
+//!
+//! The tier's whole contract is one sentence: **queries at a fixed
+//! generation are bit-identical to a from-scratch flat build of the
+//! same logical content.** These tests enforce it three ways:
+//!
+//! 1. the differential proptest — random mutation batches folded into
+//!    an attached delta tier answer every query (rr / irr / auto /
+//!    memory, every `ServingMode`, 1 and 2 threads, flat and sharded
+//!    bases) with exactly the bytes a from-scratch flat build of the
+//!    mutated dataset produces, before *and* after compaction, and a
+//!    journal replay on a fresh attach reproduces the same state;
+//! 2. the flush/compaction chaos extension — with `flush.build` /
+//!    `flush.verify` / `flush.commit` / transient `storage.read`
+//!    failpoints armed, a failed flush leaves the published snapshot,
+//!    the `CURRENT` pointer, and every query byte untouched, and a
+//!    later retry compacts cleanly;
+//! 3. the writers-vs-readers proptest — a reader pinned to a
+//!    generation keeps getting bit-identical answers while a writer
+//!    thread applies batches underneath it.
+//!
+//! f64s are compared via `.to_bits()` throughout: equivalence here
+//! means *equality of bytes*, not approximation.
+
+use kbtim::core::theta::SamplingConfig;
+use kbtim::datagen::{Dataset, DatasetConfig, DatasetFamily};
+use kbtim::graph::{Graph, NodeId};
+use kbtim::index::{
+    Algo, DeltaIndex, EngineRequest, IndexBuildConfig, IndexBuilder, IndexVariant, KbtimIndex,
+    Mutation, QueryEngine, QueryOutcome, ThetaMode,
+};
+use kbtim::propagation::model::IcModel;
+use kbtim::storage::block::all_modes;
+use kbtim::storage::{IoStats, TempDir};
+use kbtim::topics::{Query, TopicId, UserProfiles};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+const USERS: u32 = 220;
+const TOPICS: u32 = 5;
+
+fn base_data() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        DatasetConfig::family(DatasetFamily::News)
+            .num_users(USERS)
+            .num_topics(TOPICS)
+            .seed(17)
+            .build()
+    })
+}
+
+fn config(shards: usize) -> IndexBuildConfig {
+    IndexBuildConfig {
+        sampling: SamplingConfig {
+            eps: 0.3,
+            theta_cap: Some(400),
+            opt_initial_samples: 32,
+            opt_max_rounds: 3,
+            ..SamplingConfig::fast()
+        },
+        theta_mode: ThetaMode::Compact,
+        variant: IndexVariant::Irr { partition_size: 16 },
+        threads: 2,
+        seed: 7,
+        shards,
+        ..IndexBuildConfig::default()
+    }
+}
+
+fn build_into(
+    graph: &Graph,
+    profiles: &UserProfiles,
+    cfg: IndexBuildConfig,
+    dir: &std::path::Path,
+) {
+    let model = IcModel::weighted_cascade(graph);
+    IndexBuilder::new(&model, profiles, cfg).build(dir).unwrap();
+}
+
+/// Fold a mutation batch into the base dataset the same way the delta
+/// tier defines it: users append to the universe, edges append to the
+/// edge list (`Graph::from_edges` dedups), a topic weight overwrites
+/// the profile entry and weight 0 removes it.
+fn fold(data: &Dataset, mutations: &[Mutation]) -> (Graph, UserProfiles) {
+    let mut num_users = data.profiles.num_users();
+    let mut edges: Vec<(NodeId, NodeId)> = data.graph.edges().collect();
+    let mut entries: BTreeMap<(NodeId, TopicId), f32> = BTreeMap::new();
+    for user in 0..num_users {
+        let (topics, tfs) = data.profiles.user_vector(user);
+        for (&topic, &tf) in topics.iter().zip(tfs) {
+            entries.insert((user, topic), tf);
+        }
+    }
+    for m in mutations {
+        match *m {
+            Mutation::IngestUser => num_users += 1,
+            Mutation::IngestEdge { from, to } => edges.push((from, to)),
+            Mutation::SetTopicWeight { user, topic, weight } => {
+                if weight == 0.0 {
+                    entries.remove(&(user, topic));
+                } else {
+                    entries.insert((user, topic), weight);
+                }
+            }
+        }
+    }
+    let graph = Graph::from_edges(num_users, &edges);
+    let flat: Vec<(NodeId, TopicId, f32)> =
+        entries.iter().map(|(&(u, t), &tf)| (u, t, tf)).collect();
+    let profiles = UserProfiles::from_entries(num_users, data.profiles.num_topics(), &flat);
+    (graph, profiles)
+}
+
+/// An abstract mutation: indices are drawn over the full `u32` range
+/// and reduced modulo the *evolving* universe at concretization, so
+/// every generated batch is valid by construction (including edges to
+/// users ingested earlier in the same batch).
+#[derive(Debug, Clone, Copy)]
+enum Spec {
+    User,
+    Edge(u32, u32),
+    Weight(u32, u32, u8),
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        Just(Spec::User),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| Spec::Edge(a, b)),
+        (any::<u32>(), any::<u32>(), 0u8..=40).prop_map(|(u, t, w)| Spec::Weight(u, t, w)),
+    ]
+}
+
+fn concretize(specs: &[Spec], base_users: u32, topics: u32) -> Vec<Mutation> {
+    let mut users = base_users;
+    specs
+        .iter()
+        .map(|s| match *s {
+            Spec::User => {
+                users += 1;
+                Mutation::IngestUser
+            }
+            Spec::Edge(a, b) => Mutation::IngestEdge { from: a % users, to: b % users },
+            Spec::Weight(u, t, w) => Mutation::SetTopicWeight {
+                user: u % users,
+                topic: t % topics,
+                // A small grid including 0.0, the removal sentinel.
+                weight: w as f32 / 20.0,
+            },
+        })
+        .collect()
+}
+
+fn assert_bit_identical(got: &QueryOutcome, want: &QueryOutcome, label: &str) {
+    assert_eq!(got.seeds, want.seeds, "{label}: seeds");
+    assert_eq!(got.marginal_gains, want.marginal_gains, "{label}: marginal gains");
+    assert_eq!(got.coverage, want.coverage, "{label}: coverage");
+    assert_eq!(
+        got.estimated_influence.to_bits(),
+        want.estimated_influence.to_bits(),
+        "{label}: estimated influence"
+    );
+    assert_eq!(got.stats.theta_q, want.stats.theta_q, "{label}: theta_q");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The headline differential gate: any mutation batch, queried at a
+    /// fixed generation through any backend × thread count × algo over a
+    /// flat or sharded base, answers with exactly the bytes a from-scratch
+    /// flat build of the same logical content produces — and compaction
+    /// into the next segment generation changes none of them.
+    #[test]
+    fn any_mutation_batch_is_generation_equivalent(
+        specs in proptest::collection::vec(spec_strategy(), 0..10),
+        raw_topics in proptest::collection::vec(0u32..TOPICS, 1..4),
+        k in 1u32..10,
+        shards in prop_oneof![Just(1usize), Just(3usize)],
+    ) {
+        let data = base_data();
+        let muts = concretize(&specs, data.profiles.num_users(), TOPICS);
+        let mut topics = raw_topics;
+        topics.sort_unstable();
+        topics.dedup();
+        let query = Query::new(topics.clone(), k);
+
+        // Oracle: a from-scratch *flat* build of the folded content.
+        let oracle_dir = TempDir::new("delta-equiv-oracle").unwrap();
+        let (folded_graph, folded_profiles) = fold(data, &muts);
+        build_into(&folded_graph, &folded_profiles, config(1), oracle_dir.path());
+        let oracle = KbtimIndex::open(oracle_dir.path(), IoStats::new()).unwrap();
+        let expect = oracle.query_rr(&query).unwrap();
+        prop_assert_eq!(&oracle.query_irr(&query).unwrap().seeds, &expect.seeds);
+
+        // Subject: the base build with the batch applied to its delta
+        // tier. The first attach journals the batch; every later attach
+        // (other backends and thread counts) replays that journal, so
+        // the matrix doubles as a recovery test.
+        let root = TempDir::new("delta-equiv-base").unwrap();
+        build_into(&data.graph, &data.profiles, config(shards), root.path());
+        let mut first = true;
+        for mode in all_modes() {
+            for threads in [1usize, 2] {
+                let index = Arc::new(
+                    KbtimIndex::open_with(root.path(), IoStats::new(), mode)
+                        .unwrap()
+                        .with_threads(Some(threads)),
+                );
+                let delta = Arc::new(
+                    DeltaIndex::attach(
+                        Arc::clone(&index),
+                        &data.graph,
+                        &data.profiles,
+                        config(shards),
+                    )
+                    .unwrap(),
+                );
+                if first {
+                    delta.apply(&muts).unwrap();
+                    first = false;
+                } else {
+                    prop_assert_eq!(delta.unflushed(), muts.len() as u64, "journal replay");
+                }
+                let engine = QueryEngine::new(Arc::clone(&index)).with_delta(Arc::clone(&delta));
+                for algo in [Algo::Rr, Algo::Irr, Algo::Auto, Algo::Memory] {
+                    let got = engine
+                        .query(&EngineRequest { topics: topics.clone(), k, algo })
+                        .unwrap();
+                    assert_bit_identical(&got, &expect, &format!("{mode} t{threads} {algo:?}"));
+                }
+            }
+        }
+
+        // Compact: the flushed generation serves the same bytes, both
+        // through the still-attached engine and through a fresh open of
+        // the root (which must resolve the new generation).
+        let index = Arc::new(KbtimIndex::open(root.path(), IoStats::new()).unwrap());
+        let base_gen = index.generation();
+        let delta = Arc::new(
+            DeltaIndex::attach(Arc::clone(&index), &data.graph, &data.profiles, config(shards))
+                .unwrap(),
+        );
+        let engine = QueryEngine::new(Arc::clone(&index)).with_delta(Arc::clone(&delta));
+        if muts.is_empty() {
+            prop_assert_eq!(delta.flush().unwrap(), base_gen, "empty tier: flush is a no-op");
+        } else {
+            prop_assert_eq!(delta.flush().unwrap(), base_gen + 1);
+        }
+        for algo in [Algo::Rr, Algo::Irr, Algo::Auto, Algo::Memory] {
+            let got = engine.query(&EngineRequest { topics: topics.clone(), k, algo }).unwrap();
+            assert_bit_identical(&got, &expect, &format!("post-flush {algo:?}"));
+        }
+        let reopened = KbtimIndex::open(root.path(), IoStats::new()).unwrap();
+        if !muts.is_empty() {
+            prop_assert_eq!(reopened.generation(), base_gen + 1);
+        }
+        assert_bit_identical(&reopened.query_rr(&query).unwrap(), &expect, "fresh open");
+    }
+}
+
+/// Serializes failpoint-arming tests (the registry is process-global).
+static GATE: Mutex<()> = Mutex::new(());
+
+fn armed_section() -> MutexGuard<'static, ()> {
+    let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    kbtim_fault::reset();
+    kbtim_fault::set_seed(42);
+    guard
+}
+
+/// Chaos extension: flush failpoints at every stage (and a transient
+/// storage-read burst mid-compaction) never tear a generation — the
+/// published snapshot, the on-disk generation pointer, and every query
+/// byte stay exactly where they were, and a later flush retries
+/// cleanly from scratch.
+#[test]
+fn failed_flushes_never_tear_a_generation() {
+    let _gate = armed_section();
+    let data = base_data();
+    let muts = [
+        Mutation::IngestUser,
+        Mutation::IngestEdge { from: USERS, to: 3 },
+        Mutation::SetTopicWeight { user: USERS, topic: 1, weight: 0.6 },
+        Mutation::SetTopicWeight { user: 4, topic: 2, weight: 0.0 },
+    ];
+    let query = Query::new(vec![1, 2], 6);
+
+    let root = TempDir::new("delta-chaos").unwrap();
+    build_into(&data.graph, &data.profiles, config(1), root.path());
+    let index = Arc::new(KbtimIndex::open(root.path(), IoStats::new()).unwrap());
+    let delta =
+        DeltaIndex::attach(Arc::clone(&index), &data.graph, &data.profiles, config(1)).unwrap();
+    delta.apply(&muts).unwrap();
+    let before = delta.snapshot().query(&query).unwrap();
+    let generation = delta.generation();
+
+    // Deterministic failures at each flush stage: nothing moves.
+    for point in ["flush.build", "flush.verify", "flush.commit"] {
+        kbtim_fault::arm(point, "err").unwrap();
+        assert!(delta.flush().is_err(), "{point} must surface");
+        kbtim_fault::disarm(point);
+        assert_eq!(delta.generation(), generation, "{point}: snapshot untouched");
+        assert_eq!(delta.unflushed(), muts.len() as u64, "{point}: journal untouched");
+        assert_eq!(
+            KbtimIndex::open(root.path(), IoStats::new()).unwrap().generation(),
+            0,
+            "{point}: CURRENT untouched"
+        );
+        assert_bit_identical(
+            &delta.snapshot().query(&query).unwrap(),
+            &before,
+            &format!("{point}: queries unchanged"),
+        );
+    }
+
+    // A probabilistic storm over the whole flush family: keep retrying
+    // until one attempt gets through; every failed attempt leaves the
+    // tier answering identically.
+    kbtim_fault::arm("flush.*", "60%err").unwrap();
+    let mut attempts = 0;
+    loop {
+        match delta.flush() {
+            Ok(flushed) => {
+                assert_eq!(flushed, 1);
+                break;
+            }
+            Err(_) => {
+                assert_bit_identical(
+                    &delta.snapshot().query(&query).unwrap(),
+                    &before,
+                    "mid-storm query",
+                );
+            }
+        }
+        attempts += 1;
+        assert!(attempts < 200, "the storm never let a flush through");
+    }
+    kbtim_fault::disarm("flush.*");
+    assert_eq!(delta.unflushed(), 0);
+    assert_bit_identical(&delta.snapshot().query(&query).unwrap(), &before, "post-storm");
+
+    // A transient read burst *during* compaction is masked by the
+    // storage retry budget: the next flush (of a fresh batch) succeeds
+    // on the first call.
+    delta.apply(&[Mutation::SetTopicWeight { user: 9, topic: 1, weight: 0.9 }]).unwrap();
+    kbtim_fault::arm("storage.read", "2*err").unwrap();
+    assert_eq!(delta.flush().unwrap(), 2, "transient reads are retried, not surfaced");
+    kbtim_fault::disarm("storage.read");
+    assert_eq!(KbtimIndex::open(root.path(), IoStats::new()).unwrap().generation(), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Writers-vs-readers: a reader pinned to a generation keeps getting
+    /// bit-identical bytes no matter how many batches a concurrent writer
+    /// applies; the writer's batches all land (generation advances once
+    /// per batch) and the *new* snapshot reflects them.
+    #[test]
+    fn pinned_readers_never_see_inflight_writes(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(spec_strategy(), 1..4), 1..5),
+    ) {
+        let data = base_data();
+        let root = TempDir::new("delta-rw").unwrap();
+        build_into(&data.graph, &data.profiles, config(1), root.path());
+        let index = Arc::new(KbtimIndex::open(root.path(), IoStats::new()).unwrap());
+        let delta = Arc::new(
+            DeltaIndex::attach(Arc::clone(&index), &data.graph, &data.profiles, config(1))
+                .unwrap(),
+        );
+        let query = Query::new(vec![0, 2], 6);
+
+        // Pin the pre-write generation.
+        let pinned = delta.snapshot();
+        let before = pinned.query(&query).unwrap();
+        let pinned_gen = pinned.generation();
+
+        // Writer thread: apply every batch. Each batch is concretized
+        // against the universe as it stands when the batch lands, so
+        // it is valid regardless of interleaving.
+        let writer = {
+            let delta = Arc::clone(&delta);
+            let batches = batches.clone();
+            std::thread::spawn(move || {
+                for specs in &batches {
+                    let users = delta.stats().num_users;
+                    let muts = concretize(specs, users, TOPICS);
+                    delta.apply(&muts).unwrap();
+                }
+            })
+        };
+
+        // Reader: hammer the pinned snapshot while the writer runs.
+        while !writer.is_finished() {
+            assert_bit_identical(&pinned.query(&query).unwrap(), &before, "pinned mid-write");
+        }
+        writer.join().unwrap();
+
+        // Every batch landed: one generation tick per apply, and the
+        // pinned view *still* answers identically.
+        prop_assert_eq!(delta.generation(), pinned_gen + batches.len() as u64);
+        assert_bit_identical(&pinned.query(&query).unwrap(), &before, "pinned post-write");
+
+        // The fresh snapshot serves the union — equivalently to a
+        // from-scratch build of the final logical content.
+        let final_muts: Vec<Mutation> = {
+            // Re-derive the full mutation sequence the writer applied.
+            let mut users = data.profiles.num_users();
+            let mut all = Vec::new();
+            for specs in &batches {
+                let muts = concretize(specs, users, TOPICS);
+                users += muts.iter().filter(|m| matches!(m, Mutation::IngestUser)).count() as u32;
+                all.extend(muts);
+            }
+            all
+        };
+        let oracle_dir = TempDir::new("delta-rw-oracle").unwrap();
+        let (graph, profiles) = fold(data, &final_muts);
+        build_into(&graph, &profiles, config(1), oracle_dir.path());
+        let oracle = KbtimIndex::open(oracle_dir.path(), IoStats::new()).unwrap();
+        assert_bit_identical(
+            &delta.snapshot().query(&query).unwrap(),
+            &oracle.query_rr(&query).unwrap(),
+            "fresh snapshot vs from-scratch",
+        );
+    }
+}

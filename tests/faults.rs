@@ -352,3 +352,94 @@ fn epoll_drain_grace_bounds_wedged_queries() {
     // worker is mid-delay).
     assert!(ctx.inflight() <= 1, "abandoned queue must release its permits: {}", ctx.inflight());
 }
+
+/// The drain contract for a dirty delta tier: when `kbtim serve` shuts
+/// down (stdin EOF — the same drain path SIGTERM reaches) with
+/// journaled-but-uncompacted writes, it either flushes them within the
+/// drain grace — the index root advances one segment generation and
+/// the stats line stays clean — or, when compaction cannot complete
+/// (flush failpoints armed through the child's environment), the drain
+/// stats report `unflushed=N` rather than claiming durability it does
+/// not have. Failpoints are armed in the *child* via `KBTIM_FAILPOINTS`,
+/// so this test never touches the in-process registry and needs no
+/// [`GATE`].
+#[test]
+fn drain_with_dirty_delta_flushes_or_reports() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Command, Stdio};
+
+    let root = std::env::temp_dir().join(format!("kbtim-faults-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let bin = env!("CARGO_BIN_EXE_kbtim");
+    let data = root.join("data");
+    assert!(Command::new(bin)
+        .args(["gen", "--family", "news", "--users", "120", "--topics", "3"])
+        .args(["--seed", "5", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // (label, failpoint spec for the child, expected stderr fragment)
+    let cases: [(&str, Option<&str>, &str); 2] = [
+        // Every flush attempt errors: the drain must not pretend the
+        // journal was compacted.
+        ("reporting", Some("flush.*=err"), " unflushed=2"),
+        // No faults: the dirty journal compacts within the grace and
+        // the stats line stays clean.
+        ("flushing", None, "drained (served="),
+    ];
+    for (label, failpoints, fragment) in cases {
+        let index = root.join(format!("index-{label}"));
+        assert!(Command::new(bin)
+            .args(["build", "--data", data.to_str().unwrap(), "--out", index.to_str().unwrap()])
+            .args(["--cap", "300", "--threads", "2"])
+            .status()
+            .unwrap()
+            .success());
+
+        let mut cmd = Command::new(bin);
+        cmd.args(["serve", "--index", index.to_str().unwrap()])
+            .args(["--data", data.to_str().unwrap(), "--cap", "300"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if let Some(spec) = failpoints {
+            cmd.env("KBTIM_FAILPOINTS", spec);
+        }
+        let mut child = cmd.spawn().unwrap();
+
+        // Two mutations, acked before EOF, so the journal is dirty when
+        // the drain begins.
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, r#"{{"id":1,"op":"ingest_user"}}"#).unwrap();
+        writeln!(stdin, r#"{{"id":2,"op":"set_topic_weight","user":120,"topic":1,"weight":0.7}}"#)
+            .unwrap();
+        let mut acks = BufReader::new(child.stdout.take().unwrap());
+        for id in 1..=2 {
+            let mut line = String::new();
+            acks.read_line(&mut line).unwrap();
+            assert!(line.contains(&format!("\"id\":{id},")), "{label}: ack missing: {line}");
+            assert!(line.contains(&format!("\"unflushed\":{id}")), "{label}: {line}");
+        }
+        drop(stdin);
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "{label}: serve must still exit cleanly");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("drained ("), "{label}: no drain stats: {stderr}");
+        assert!(stderr.contains(fragment), "{label}: want {fragment:?} in: {stderr}");
+
+        // The on-disk outcome matches the report: a clean drain
+        // committed generation 1; a failed one left the root at 0.
+        let reopened = KbtimIndex::open(&index, IoStats::new()).unwrap();
+        let want_gen = if failpoints.is_some() { 0 } else { 1 };
+        assert_eq!(reopened.generation(), want_gen, "{label}: generation after drain");
+        if failpoints.is_none() {
+            assert!(
+                !stderr.contains("unflushed="),
+                "{label}: clean drain must not report: {stderr}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
